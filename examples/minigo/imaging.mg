@@ -1,0 +1,11 @@
+package imaging
+
+func negate(buf) {
+  out := alloc(len(buf))
+  i := 0
+  for i < len(buf) {
+    set(out, i, 255 - get(buf, i))
+    i = i + 1
+  }
+  return out
+}

@@ -1,0 +1,15 @@
+package main
+import imaging
+import vault
+
+func main() {
+  secret := vault.load()
+
+  // Default view: imaging (+ deps); vault added read-only; no syscalls.
+  process := with "vault:R; sys=none" func() {
+    return imaging.negate(secret)
+  }
+
+  out := process()
+  print(concat("negated: ", itoa(get(out, 0))))
+}

@@ -1,0 +1,7 @@
+package vault
+
+func load() {
+  s := alloc(32)
+  fill(s, 200)
+  return s
+}
