@@ -1,0 +1,485 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (§6) on the simulated machine, then runs one
+   Bechamel micro-benchmark per table measuring the harness itself.
+
+   Set ENCL_BENCH_QUICK=1 to shrink workload sizes (CI mode). *)
+
+module Runtime = Encl_golike.Runtime
+module Gbuf = Encl_golike.Gbuf
+module Lb = Encl_litterbox.Litterbox
+module Machine = Encl_litterbox.Machine
+module K = Encl_kernel.Kernel
+module Scenarios = Encl_apps.Scenarios
+module Malice = Encl_apps.Malice
+module Bild = Encl_apps.Bild
+module Fasthttp = Encl_apps.Fasthttp
+module Plot = Encl_pylike.Plot_experiment
+module Pyrt = Encl_pylike.Pyrt
+
+let quick = Sys.getenv_opt "ENCL_BENCH_QUICK" = Some "1"
+
+let configs = [ None; Some Lb.Mpk; Some Lb.Vtx ]
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+(* ------------------------------------------------------------------ *)
+(* Micro-benchmark program (Table 1)                                   *)
+
+let micro_packages () =
+  [
+    Runtime.package "main" ~imports:[ "libFx" ]
+      ~functions:[ ("main", 128); ("empty_body", 64); ("io_body", 64) ]
+      ~enclosures:
+        [
+          {
+            Encl_elf.Objfile.enc_name = "empty";
+            enc_policy = "; sys=none";
+            enc_closure = "empty_body";
+            enc_deps = [ "libFx" ];
+          };
+          {
+            (* A distinct memory view from "empty" so the two enclosures
+               get distinct PKRU values: LB_MPK's seccomp program
+               dispatches on PKRU and merges filters of identical views
+               fail-closed. *)
+            Encl_elf.Objfile.enc_name = "io_enc";
+            enc_policy = "img:U; sys=all";
+            enc_closure = "io_body";
+            enc_deps = [ "libFx" ];
+          };
+        ]
+      ();
+    Runtime.package "libFx" ~imports:[ "img" ]
+      ~functions:[ ("invert", 256) ]
+      ();
+    Runtime.package "img" ~functions:[ ("decode", 128) ] ();
+  ]
+
+let micro_boot config =
+  match
+    Runtime.boot
+      (match config with
+      | None -> Runtime.baseline
+      | Some b -> Runtime.with_backend b)
+      ~packages:(micro_packages ()) ~entry:"main"
+  with
+  | Ok rt -> rt
+  | Error e -> failwith ("micro boot: " ^ e)
+
+let median values =
+  let sorted = List.sort compare values in
+  List.nth sorted (List.length sorted / 2)
+
+let iters = if quick then 1_000 else 100_000
+
+(* Time to call and return from an empty enclosure. *)
+let micro_call config =
+  let rt = micro_boot config in
+  let clock = Runtime.clock rt in
+  let samples = ref [] in
+  for _ = 1 to iters do
+    let t0 = Clock.now clock in
+    Runtime.with_enclosure rt "empty" (fun () -> ());
+    samples := (Clock.now clock - t0) :: !samples
+  done;
+  median !samples
+
+(* Transfer of a 4-page memory section. *)
+let micro_transfer config =
+  match config with
+  | None -> 0 (* no LitterBox: spans never change protection domains *)
+  | Some _ ->
+      let rt = micro_boot config in
+      let lb = Option.get (Runtime.lb rt) in
+      let clock = Runtime.clock rt in
+      let addr = Runtime.syscall_exn rt (K.Mmap { len = 4 * Phys.page_size }) in
+      let samples = ref [] in
+      let flip = ref false in
+      for _ = 1 to min iters 20_000 do
+        let to_pkg = if !flip then "img" else "libFx" in
+        flip := not !flip;
+        let t0 = Clock.now clock in
+        Lb.transfer lb ~addr ~len:(4 * Phys.page_size) ~to_pkg
+          ~site:"runtime.mallocgc";
+        samples := (Clock.now clock - t0) :: !samples
+      done;
+      median !samples
+
+(* getuid(2) in a loop, from inside an enclosure that permits it. *)
+let micro_syscall config =
+  let rt = micro_boot config in
+  let clock = Runtime.clock rt in
+  let samples = ref [] in
+  let measure () =
+    for _ = 1 to iters do
+      let t0 = Clock.now clock in
+      ignore (Runtime.syscall rt K.Getuid);
+      samples := (Clock.now clock - t0) :: !samples
+    done
+  in
+  (match config with
+  | None -> measure ()
+  | Some _ -> Runtime.with_enclosure rt "io_enc" measure);
+  median !samples
+
+let table1 () =
+  section "Table 1: Microbenchmarks (ns, median)";
+  let rows =
+    [
+      ("call", micro_call);
+      ("transfer", micro_transfer);
+      ("syscall", micro_syscall);
+    ]
+  in
+  Printf.printf "%-10s %10s %10s %10s\n" "" "Baseline" "LB_MPK" "LB_VTX";
+  List.iter
+    (fun (name, f) ->
+      let values = List.map f configs in
+      match values with
+      | [ b; m; v ] -> Printf.printf "%-10s %10d %10d %10d\n%!" name b m v
+      | _ -> assert false)
+    rows;
+  Printf.printf
+    "(paper:    call 45/86/924; transfer 0/1002/158; syscall 387/523/4126)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: macrobenchmarks                                            *)
+
+let table2 () =
+  section "Table 2: Macrobenchmarks";
+  let bild_iters = if quick then 1 else 3 in
+  let dim = if quick then 256 else 1024 in
+  let requests = if quick then 200 else 2000 in
+  (* bild *)
+  let bild_res =
+    List.map (fun c -> Scenarios.bild c ~width:dim ~height:dim ~iters:bild_iters ()) configs
+  in
+  (match List.map (fun r -> float_of_int r.Scenarios.b_ns_per_invert /. 1e6) bild_res with
+  | [ b; m; v ] ->
+      Printf.printf
+        "bild       %8.2fms  %8.2fms (%.2fx)  %8.2fms (%.2fx)   [paper: 13.25 / 1.12x / 1.05x]\n%!"
+        b m (m /. b) v (v /. b)
+  | _ -> assert false);
+  (* HTTP *)
+  let http_res = List.map (fun c -> Scenarios.http c ~requests ()) configs in
+  (match List.map (fun r -> r.Scenarios.h_req_per_sec) http_res with
+  | [ b; m; v ] ->
+      Printf.printf
+        "HTTP       %7.0freq/s %7.0freq/s (%.2fx) %7.0freq/s (%.2fx) [paper: 16991 / 1.02x / 1.77x]\n%!"
+        b m (b /. m) v (b /. v)
+  | _ -> assert false);
+  (* FastHTTP *)
+  let fast_res = List.map (fun c -> Scenarios.fasthttp c ~requests ()) configs in
+  (match List.map (fun r -> r.Scenarios.h_req_per_sec) fast_res with
+  | [ b; m; v ] ->
+      Printf.printf
+        "FastHTTP   %7.0freq/s %7.0freq/s (%.2fx) %7.0freq/s (%.2fx) [paper: 22867 / 1.04x / 2.01x]\n%!"
+        b m (b /. m) v (b /. v)
+  | _ -> assert false);
+  (* The TCB-information columns of Table 2. *)
+  Printf.printf
+    "\nBenchmark information (Table 2, right side):\n%-10s %-10s %-14s %-12s\n"
+    "App" "#Enclosed" "#Public deps" "enclosures";
+  Printf.printf "%-10s %-10d %-14d %s\n" "bild" (1 + Bild.dep_count) 1
+    "rcl (secrets:R; sys=none)";
+  Printf.printf "%-10s %-10d %-14d %s\n" "HTTP" 0 0
+    "handler_enc (assets:R; sys=none)";
+  Printf.printf "%-10s %-10d %-14d %s\n" "FastHTTP" (1 + Fasthttp.dep_count) 1
+    "fasthttp_srv (; sys=net)"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 5: the wiki application                                      *)
+
+let figure5 () =
+  section "Figure 5: wiki-like web application (mux + pq + Postgres)";
+  let requests = if quick then 120 else 1000 in
+  let res = List.map (fun c -> Scenarios.wiki c ~requests ()) configs in
+  (match List.map (fun r -> r.Scenarios.h_req_per_sec) res with
+  | [ b; m; v ] ->
+      Printf.printf
+        "wiki       %7.0freq/s %7.0freq/s (%.2fx) %7.0freq/s (%.2fx)\n\
+         (paper: \"the throughput slowdown is similar to the one in the \
+         FastHTTP experiment\")\n%!"
+        b m (b /. m) v (b /. v)
+  | _ -> assert false);
+  match Scenarios.wiki_check (Some Lb.Vtx) with
+  | Ok body ->
+      Printf.printf "functional check (POST then GET through both enclosures): %s\n"
+        body
+  | Error e -> Printf.printf "functional check FAILED: %s\n" e
+
+(* ------------------------------------------------------------------ *)
+(* §6.4: Python enclosures                                             *)
+
+let python () =
+  section "Section 6.4: Python enclosures (matplotlib plot of secret data)";
+  let points = if quick then 25_000 else 250_000 in
+  let base = Plot.run ~mode:Pyrt.Conservative ~points () in
+  let cons = Plot.run ~backend:Lb.Vtx ~mode:Pyrt.Conservative ~points () in
+  let dec = Plot.run ~backend:Lb.Vtx ~mode:Pyrt.Decoupled ~points () in
+  let ms ns = float_of_int ns /. 1e6 in
+  let slow r = float_of_int r.Plot.total_ns /. float_of_int base.Plot.total_ns in
+  Printf.printf "%-22s %10s %10s %10s %12s\n" "" "total" "switch" "init" "switches";
+  Printf.printf "%-22s %8.1fms %8.1fms %8.1fms %12d\n" "CPython baseline"
+    (ms base.Plot.total_ns) (ms base.Plot.switch_ns) (ms base.Plot.init_ns)
+    base.Plot.switches;
+  Printf.printf
+    "%-22s %8.1fms %8.1fms %8.1fms %12d  -> %.1fx  [paper ~18x, ~1M switches]\n"
+    "LB_VTX conservative" (ms cons.Plot.total_ns) (ms cons.Plot.switch_ns)
+    (ms cons.Plot.init_ns) cons.Plot.switches (slow cons);
+  Printf.printf "%-22s %8.1fms %8.1fms %8.1fms %12d  -> %.2fx [paper ~1.4x]\n"
+    "LB_VTX decoupled" (ms dec.Plot.total_ns) (ms dec.Plot.switch_ns)
+    (ms dec.Plot.init_ns) dec.Plot.switches (slow dec);
+  Printf.printf
+    "init share of conservative slowdown: %.1f%% (paper: 4.3%%); syscall share: %.2f%%\n"
+    (100.0
+    *. float_of_int cons.Plot.init_ns
+    /. float_of_int (cons.Plot.total_ns - base.Plot.total_ns))
+    (100.0
+    *. float_of_int (cons.Plot.syscall_ns - base.Plot.syscall_ns)
+    /. float_of_int (cons.Plot.total_ns - base.Plot.total_ns));
+  (* Beyond the paper: the same conservative port under LB_MPK, whose
+     41ns switch pair makes even per-refcount excursions affordable. *)
+  let mpk_cons = Plot.run ~backend:Lb.Mpk ~mode:Pyrt.Conservative ~points () in
+  Printf.printf
+    "%-22s %8.1fms %8.1fms %8.1fms %12d  -> %.2fx [extension: not in the paper]\n"
+    "LB_MPK conservative" (ms mpk_cons.Plot.total_ns) (ms mpk_cons.Plot.switch_ns)
+    (ms mpk_cons.Plot.init_ns) mpk_cons.Plot.switches (slow mpk_cons)
+
+(* ------------------------------------------------------------------ *)
+(* §6.5: security                                                      *)
+
+let security () =
+  section "Section 6.5: malicious-package attacks";
+  Printf.printf "%-14s %-20s %-6s %-8s %-6s\n" "attack" "mitigation" "legit"
+    "blocked" "exfil";
+  List.iter
+    (fun attack ->
+      List.iter
+        (fun mitigation ->
+          let backend =
+            match mitigation with Malice.Unprotected -> None | _ -> Some Lb.Mpk
+          in
+          let o = Malice.run ~backend attack mitigation in
+          Printf.printf "%-14s %-20s %-6b %-8b %-6d\n%!"
+            (Malice.attack_name attack)
+            (Malice.mitigation_name mitigation)
+            o.Malice.legit_ok o.Malice.attack_blocked o.Malice.exfiltrated)
+        Malice.all_mitigations)
+    Malice.all_attacks;
+  Printf.printf
+    "(ssh-decorator needs mitigation 1 or 2 to keep working while contained, \
+     as in the paper)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Extension: the hardware-free LWC backend (paper 8's suggestion)     *)
+
+let lwc_extension () =
+  section "Extension: LB_LWC (light-weight contexts, no specialized hardware)";
+  Printf.printf "%-10s %10s %10s %10s %10s
+" "" "Baseline" "LB_MPK" "LB_VTX" "LB_LWC";
+  let all = [ None; Some Lb.Mpk; Some Lb.Vtx; Some Lb.Lwc ] in
+  let row name f =
+    let values = List.map f all in
+    match values with
+    | [ b; m; v; l ] -> Printf.printf "%-10s %10d %10d %10d %10d
+%!" name b m v l
+    | _ -> assert false
+  in
+  row "call" micro_call;
+  row "transfer" micro_transfer;
+  row "syscall" micro_syscall;
+  let requests = if quick then 200 else 1000 in
+  let http = List.map (fun c -> (Scenarios.http c ~requests ()).Scenarios.h_req_per_sec) all in
+  (match http with
+  | [ b; m; v; l ] ->
+      Printf.printf
+        "HTTP req/s %10.0f %10.0f %10.0f %10.0f  (slowdowns %.2fx / %.2fx / %.2fx)
+"
+        b m v l (b /. m) (b /. v) (b /. l)
+  | _ -> assert false);
+  Printf.printf
+    "(LWC switches cost two kernel crossings but system calls stay at
+     baseline cost: it beats LB_VTX on syscall-heavy servers while needing
+     no MPK keys or VT-x.)
+"
+
+(* ------------------------------------------------------------------ *)
+(* Ablations: the design choices DESIGN.md calls out                   *)
+
+let ablations () =
+  section "Ablations";
+  (* 1. Meta-package clustering (paper 5.3). Without it, every package
+     needs its own protection key and LB_MPK cannot even initialize the
+     FastHTTP program (104 packages). *)
+  let main =
+    Runtime.package "main" ~imports:[ Fasthttp.pkg ]
+      ~functions:[ ("main", 64); ("b", 32) ]
+      ~enclosures:
+        [
+          {
+            Encl_elf.Objfile.enc_name = "srv";
+            enc_policy = "; sys=net";
+            enc_closure = "b";
+            enc_deps = [ Fasthttp.pkg ];
+          };
+        ]
+      ()
+  in
+  let packages = main :: Fasthttp.packages () in
+  let npkgs = List.length packages + 2 (* + litterbox user/super *) in
+  (match Runtime.boot (Runtime.with_backend Lb.Mpk) ~packages ~entry:"main" with
+  | Ok rt ->
+      let lb = Option.get (Runtime.lb rt) in
+      Printf.printf
+        "clustering ON:  %d packages fit in %d meta-packages (protection keys)
+"
+        npkgs
+        (Encl_litterbox.Cluster.count (Lb.cluster lb))
+  | Error e -> Printf.printf "clustering ON: unexpected failure: %s
+" e);
+  (match
+     Runtime.boot
+       { (Runtime.with_backend Lb.Mpk) with Runtime.clustering = false }
+       ~packages ~entry:"main"
+   with
+  | Ok _ -> Printf.printf "clustering OFF: unexpectedly initialized
+"
+  | Error e -> Printf.printf "clustering OFF: %s
+" e);
+  (* 2. The seccomp trusted-PKRU fast path. Charging the full BPF walk on
+     every system call erases most of LB_MPK's advantage on
+     syscall-heavy servers. *)
+  let requests = if quick then 200 else 1000 in
+  let base = Scenarios.http None ~requests () in
+  let fast = Scenarios.http (Some Lb.Mpk) ~requests () in
+  let slow_costs =
+    { Costs.default with Costs.seccomp_fast = Costs.default.Costs.seccomp_eval }
+  in
+  let slow =
+    Scenarios.http (Some Lb.Mpk)
+      ~rcfg:{ (Runtime.with_backend Lb.Mpk) with Runtime.costs = slow_costs }
+      ~requests ()
+  in
+  Printf.printf
+    "seccomp fast path ON:  HTTP LB_MPK %.0f req/s (%.3fx)
+     seccomp fast path OFF: HTTP LB_MPK %.0f req/s (%.3fx)
+"
+    fast.Scenarios.h_req_per_sec
+    (base.Scenarios.h_req_per_sec /. fast.Scenarios.h_req_per_sec)
+    slow.Scenarios.h_req_per_sec
+    (base.Scenarios.h_req_per_sec /. slow.Scenarios.h_req_per_sec);
+  (* 3. TLB locality: LB_MPK switches write PKRU and keep the same page
+     table (TLB stays warm); LB_VTX switches move CR3 and flush it. *)
+  let tlb_flushes backend =
+    let rt = micro_boot (Some backend) in
+    let cpu = (Runtime.machine rt).Machine.cpu in
+    let f0 = Tlb.flushes (Cpu.tlb cpu) in
+    for _ = 1 to 100 do
+      Runtime.with_enclosure rt "empty" (fun () -> ())
+    done;
+    Tlb.flushes (Cpu.tlb cpu) - f0
+  in
+  Printf.printf
+    "TLB flushes across 100 enclosure calls: LB_MPK %d, LB_VTX %d
+"
+    (tlb_flushes Lb.Mpk) (tlb_flushes Lb.Vtx);
+  (* 4. Default-policy annotation burden (paper 3.1): the default view
+     needs zero annotations for the packages an enclosure uses; the
+     deny-all alternative would require listing every natural
+     dependency. *)
+  (match Runtime.boot Runtime.baseline ~packages ~entry:"main" with
+  | Error e -> Printf.printf "annotation count: boot failed: %s
+" e
+  | Ok rt ->
+      let g = (Runtime.image rt).Encl_elf.Image.graph in
+      let nat = List.length (Encl_pkg.Graph.natural_deps g Fasthttp.pkg) + 1 in
+      Printf.printf
+        "default policy: the FastHTTP enclosure needs 0 memory annotations;
+         an allow-list alternative would enumerate %d packages (and track
+         them across upgrades)
+"
+        nat)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel: harness wall-clock, one Test.make per table               *)
+
+let bechamel_tests () =
+  let open Bechamel in
+  let mpk_rt = micro_boot (Some Lb.Mpk) in
+  let vtx_rt = micro_boot (Some Lb.Vtx) in
+  let t1_call =
+    Test.make ~name:"table1/mpk-enclosure-call"
+      (Staged.stage (fun () -> Runtime.with_enclosure mpk_rt "empty" (fun () -> ())))
+  in
+  let t1_syscall =
+    Test.make ~name:"table1/vtx-syscall"
+      (Staged.stage (fun () -> ignore (Runtime.syscall vtx_rt K.Getuid)))
+  in
+  let t2_bild =
+    Test.make ~name:"table2/bild-64x64-invert"
+      (Staged.stage (fun () ->
+           ignore (Scenarios.bild (Some Lb.Mpk) ~width:64 ~height:64 ~iters:1 ())))
+  in
+  let f5_wiki =
+    Test.make ~name:"figure5/wiki-24-requests"
+      (Staged.stage (fun () ->
+           ignore (Scenarios.wiki (Some Lb.Vtx) ~requests:24 ~conns:4 ())))
+  in
+  let p64_python =
+    Test.make ~name:"section6.4/python-1k-points"
+      (Staged.stage (fun () ->
+           ignore (Plot.run ~backend:Lb.Vtx ~mode:Pyrt.Conservative ~points:1_000 ())))
+  in
+  let s65_attack =
+    Test.make ~name:"section6.5/ssh-decorator-run"
+      (Staged.stage (fun () ->
+           ignore
+             (Malice.run ~backend:(Some Lb.Mpk) Malice.Ssh_decorator
+                Malice.Default_policy)))
+  in
+  [ t1_call; t1_syscall; t2_bild; f5_wiki; p64_python; s65_attack ]
+
+let run_bechamel () =
+  section "Bechamel: harness wall-clock cost (one Test.make per table)";
+  let open Bechamel in
+  let open Toolkit in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instance = Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:200
+      ~quota:(Time.second (if quick then 0.1 else 0.5))
+      ~kde:None ()
+  in
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let raw = Benchmark.run cfg [ instance ] elt in
+          let est = Analyze.one ols instance raw in
+          match Analyze.OLS.estimates est with
+          | Some [ ns ] ->
+              Printf.printf "%-34s %12.1f ns/run (wall clock)\n%!"
+                (Test.Elt.name elt) ns
+          | Some _ | None ->
+              Printf.printf "%-34s (no estimate)\n%!" (Test.Elt.name elt))
+        (Test.elements test))
+    (bechamel_tests ())
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Printf.printf "Enclosure/LitterBox reproduction benchmarks%s\n"
+    (if quick then " (quick mode)" else "");
+  table1 ();
+  table2 ();
+  figure5 ();
+  python ();
+  security ();
+  lwc_extension ();
+  ablations ();
+  run_bechamel ();
+  print_newline ()

@@ -1,0 +1,28 @@
+(* Runs the §6.5 attack suite and prints the outcome matrix. *)
+
+module Malice = Encl_apps.Malice
+module Lb = Encl_litterbox.Litterbox
+
+let () =
+  let backend =
+    if Array.length Sys.argv > 1 && Sys.argv.(1) = "vtx" then Lb.Vtx else Lb.Mpk
+  in
+  Printf.printf "attack suite under %s\n\n" (Lb.backend_name backend);
+  Printf.printf "%-14s %-20s %-6s %-8s %-6s %s\n" "attack" "mitigation" "legit"
+    "blocked" "exfil" "detail";
+  List.iter
+    (fun attack ->
+      List.iter
+        (fun mitigation ->
+          let backend =
+            match mitigation with Malice.Unprotected -> None | _ -> Some backend
+          in
+          let o = Malice.run ~backend attack mitigation in
+          Printf.printf "%-14s %-20s %-6b %-8b %-6d %s\n%!"
+            (Malice.attack_name attack)
+            (Malice.mitigation_name mitigation)
+            o.Malice.legit_ok o.Malice.attack_blocked o.Malice.exfiltrated
+            (String.sub o.Malice.detail 0 (min 48 (String.length o.Malice.detail))))
+        Malice.all_mitigations;
+      print_newline ())
+    Malice.all_attacks

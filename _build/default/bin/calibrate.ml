@@ -1,0 +1,79 @@
+(* Quick calibration driver: prints the macro scenarios' measurements so
+   workload constants can be tuned against the paper's Table 2. Not part
+   of the benchmark harness (see bench/main.ml). *)
+
+module Scenarios = Encl_apps.Scenarios
+module Lb = Encl_litterbox.Litterbox
+module Plot = Encl_pylike.Plot_experiment
+module Pyrt = Encl_pylike.Pyrt
+
+let configs = [ None; Some Lb.Mpk; Some Lb.Vtx ]
+
+let () =
+  let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let run name f = if which = "all" || which = name then f () in
+  run "bild" (fun () ->
+      Printf.printf "== bild (1024x1024 invert) ==\n%!";
+      let base = ref 0.0 in
+      List.iter
+        (fun config ->
+          let r = Scenarios.bild config ~iters:2 () in
+          let ms = float_of_int r.Scenarios.b_ns_per_invert /. 1e6 in
+          if config = None then base := ms;
+          Printf.printf "%-9s %8.2f ms  (%.2fx)  transfers/iter=%d checksum=%d\n%!"
+            (Scenarios.config_name config) ms (ms /. !base)
+            r.Scenarios.b_transfers r.Scenarios.b_checksum)
+        configs);
+  run "http" (fun () ->
+      Printf.printf "== HTTP ==\n%!";
+      let base = ref 0.0 in
+      List.iter
+        (fun config ->
+          let r = Scenarios.http config ~requests:1000 () in
+          if config = None then base := r.Scenarios.h_req_per_sec;
+          Printf.printf "%-9s %9.0f req/s (slowdown %.2fx) syscalls/req=%.1f\n%!"
+            (Scenarios.config_name config) r.Scenarios.h_req_per_sec
+            (!base /. r.Scenarios.h_req_per_sec)
+            r.Scenarios.h_syscalls_per_req)
+        configs);
+  run "fasthttp" (fun () ->
+      Printf.printf "== FastHTTP ==\n%!";
+      let base = ref 0.0 in
+      List.iter
+        (fun config ->
+          let r = Scenarios.fasthttp config ~requests:1000 () in
+          if config = None then base := r.Scenarios.h_req_per_sec;
+          Printf.printf "%-9s %9.0f req/s (slowdown %.2fx) syscalls/req=%.1f\n%!"
+            (Scenarios.config_name config) r.Scenarios.h_req_per_sec
+            (!base /. r.Scenarios.h_req_per_sec)
+            r.Scenarios.h_syscalls_per_req)
+        configs);
+  run "wiki" (fun () ->
+      Printf.printf "== Wiki (Figure 5) ==\n%!";
+      let base = ref 0.0 in
+      List.iter
+        (fun config ->
+          let r = Scenarios.wiki config ~requests:400 () in
+          if config = None then base := r.Scenarios.h_req_per_sec;
+          Printf.printf "%-9s %9.0f req/s (slowdown %.2fx) syscalls/req=%.1f\n%!"
+            (Scenarios.config_name config) r.Scenarios.h_req_per_sec
+            (!base /. r.Scenarios.h_req_per_sec)
+            r.Scenarios.h_syscalls_per_req)
+        configs;
+      match Scenarios.wiki_check (Some Lb.Vtx) with
+      | Ok body -> Printf.printf "functional check: %s\n%!" body
+      | Error e -> Printf.printf "functional check FAILED: %s\n%!" e);
+  run "python" (fun () ->
+      Printf.printf "== Python (6.4) ==\n%!";
+      let base = Plot.run ~mode:Pyrt.Conservative ~points:250_000 () in
+      Printf.printf "baseline      %a\n%!" (fun _ r -> Format.printf "%a" Plot.pp r) base;
+      let cons = Plot.run ~backend:Lb.Vtx ~mode:Pyrt.Conservative ~points:250_000 () in
+      Printf.printf "conservative  %a (%.1fx)\n%!"
+        (fun _ r -> Format.printf "%a" Plot.pp r)
+        cons
+        (float_of_int cons.Plot.total_ns /. float_of_int base.Plot.total_ns);
+      let dec = Plot.run ~backend:Lb.Vtx ~mode:Pyrt.Decoupled ~points:250_000 () in
+      Printf.printf "decoupled     %a (%.2fx)\n%!"
+        (fun _ r -> Format.printf "%a" Plot.pp r)
+        dec
+        (float_of_int dec.Plot.total_ns /. float_of_int base.Plot.total_ns))

@@ -1,0 +1,34 @@
+(* Prints a Figure-4-style view of a linked executable: the bild program's
+   ELF sections, segregated marked packages, and LitterBox sections. *)
+
+module Objfile = Encl_elf.Objfile
+module Linker = Encl_elf.Linker
+module Image = Encl_elf.Image
+
+let () =
+  let secrets = Objfile.make ~pkg:"secrets" ~globals:[ Objfile.sym "original" 64 ] () in
+  let img = Objfile.make ~pkg:"img" ~functions:[ Objfile.sym "decode" 128 ] () in
+  let libfx =
+    Objfile.make ~pkg:"libFx" ~imports:[ "img" ]
+      ~functions:[ Objfile.sym "invert" 256 ]
+      ()
+  in
+  let main =
+    Objfile.make ~pkg:"main"
+      ~imports:[ "libFx"; "secrets" ]
+      ~functions:[ Objfile.sym "main" 128; Objfile.sym "rcl_body" 64 ]
+      ~globals:[ Objfile.sym "private_key" 64 ]
+      ~enclosures:
+        [
+          {
+            Objfile.enc_name = "rcl";
+            enc_policy = "secrets:R; sys=none";
+            enc_closure = "rcl_body";
+            enc_deps = [ "libFx" ];
+          };
+        ]
+      ()
+  in
+  match Linker.link ~objfiles:[ img; libfx; secrets; main ] ~entry:"main" with
+  | Error e -> prerr_endline (Linker.error_message e)
+  | Ok image -> Format.printf "%a@." Image.pp_layout image

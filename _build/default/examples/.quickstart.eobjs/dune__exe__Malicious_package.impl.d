@@ -1,0 +1,1 @@
+examples/malicious_package.ml: Encl_apps Encl_litterbox Format List

@@ -1,0 +1,1 @@
+examples/minigo_quickstart.ml: Array Encl_golike Encl_litterbox Encl_minigo Printf String Sys

@@ -1,0 +1,1 @@
+examples/minigo_quickstart.mli:

@@ -1,0 +1,1 @@
+examples/python_plot.ml: Encl_litterbox Encl_pylike Format

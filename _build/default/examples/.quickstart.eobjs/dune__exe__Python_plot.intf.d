@@ -1,0 +1,1 @@
+examples/python_plot.mli:

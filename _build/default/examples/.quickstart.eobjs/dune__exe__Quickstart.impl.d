@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Bytes Char Encl_elf Encl_golike Encl_kernel Encl_litterbox Format Option Printf Sys

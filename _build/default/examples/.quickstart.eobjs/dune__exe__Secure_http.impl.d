@@ -1,0 +1,1 @@
+examples/secure_http.ml: Bytes Encl_apps Encl_elf Encl_golike Encl_kernel Encl_litterbox Option Printf

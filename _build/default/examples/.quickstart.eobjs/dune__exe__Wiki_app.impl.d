@@ -1,0 +1,1 @@
+examples/wiki_app.ml: Array Bytes Encl_apps Encl_golike Encl_kernel Encl_litterbox Option Printf String Sys

@@ -1,0 +1,83 @@
+(* Securing an HTTP server (paper §6.2).
+
+   The net/http-like server runs trusted; the request handler is an
+   enclosure with no packages in its view beyond the read-only static
+   assets and no system calls: a buffer overflow in the handler cannot
+   read the TLS private key or open a socket.
+
+   Run with: dune exec examples/secure_http.exe *)
+
+module Runtime = Encl_golike.Runtime
+module Gbuf = Encl_golike.Gbuf
+module Lb = Encl_litterbox.Litterbox
+module Httpd = Encl_apps.Httpd
+module K = Encl_kernel.Kernel
+
+let page_bytes = 13 * 1024
+
+let packages () =
+  [
+    Runtime.package "main"
+      ~imports:[ Httpd.pkg; "assets" ]
+      ~functions:[ ("main", 128); ("handler_body", 64) ]
+      ~globals:[ ("tls_private_key", 128, Some (Bytes.of_string "-----BEGIN RSA KEY-----")) ]
+      ~enclosures:
+        [
+          {
+            Encl_elf.Objfile.enc_name = "handler_enc";
+            enc_policy = "assets:R; sys=none";
+            enc_closure = "handler_body";
+            enc_deps = [];
+          };
+        ]
+      ();
+    Runtime.package "assets"
+      ~constants:[ ("index_html", page_bytes, Some (Bytes.make page_bytes 'x')) ]
+      ();
+  ]
+  @ Httpd.packages ()
+
+let () =
+  Printf.printf "== Secure HTTP server (LB_MPK) ==\n\n";
+  let rt =
+    match
+      Runtime.boot (Runtime.with_backend Lb.Mpk) ~packages:(packages ()) ~entry:"main"
+    with
+    | Ok rt -> rt
+    | Error e -> failwith e
+  in
+  let lb = Option.get (Runtime.lb rt) in
+  let m = Runtime.machine rt in
+  let page = Runtime.global rt ~pkg:"assets" "index_html" in
+  let tls_key = Runtime.global rt ~pkg:"main" "tls_private_key" in
+
+  (* A handler with a lurking "bug": when the path looks hostile it tries
+     to read the TLS key and phone home — the enclosure stops both. *)
+  let handler ~meth:_ ~path =
+    Runtime.with_enclosure rt "handler_enc" (fun () ->
+        if path = "/pwn" then begin
+          ignore (Gbuf.get m tls_key 0);
+          ignore (Runtime.syscall rt K.Socket)
+        end;
+        page)
+  in
+  Runtime.run_main rt (fun () -> Httpd.serve rt ~port:8080 ~handler);
+  Runtime.kick rt;
+
+  (* A normal request. *)
+  let ep = Httpd.client_connect rt ~port:8080 in
+  Runtime.kick rt;
+  Httpd.client_get rt ep ~path:"/index.html";
+  Runtime.kick rt;
+  let resp = Httpd.client_read_response rt ep in
+  Printf.printf "GET /index.html -> %d bytes (%s...)\n" (Bytes.length resp)
+    (Bytes.to_string (Bytes.sub resp 0 15));
+
+  (* The hostile request faults inside the enclosure. *)
+  Httpd.client_get rt ep ~path:"/pwn";
+  (match Lb.run_protected lb (fun () -> Runtime.kick rt) with
+  | Ok () -> Printf.printf "GET /pwn -> UNEXPECTEDLY served\n"
+  | Error e -> Printf.printf "GET /pwn -> handler faulted as intended:\n   %s\n" e);
+
+  Printf.printf "\nrequests served: %d, %s\n" (Httpd.requests_served ())
+    (Runtime.stats rt)

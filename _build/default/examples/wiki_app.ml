@@ -1,0 +1,68 @@
+(* The Figure 5 wiki application: two enclosures (mux HTTP server, pq
+   database proxy) around trusted glue code, pages in a Postgres-like
+   remote database.
+
+   Run with: dune exec examples/wiki_app.exe [baseline|mpk|vtx] *)
+
+module Runtime = Encl_golike.Runtime
+module Lb = Encl_litterbox.Litterbox
+module Wiki = Encl_apps.Wiki
+module Httpd = Encl_apps.Httpd
+module Net = Encl_kernel.Net
+module Machine = Encl_litterbox.Machine
+
+let () =
+  let config =
+    match if Array.length Sys.argv > 1 then Sys.argv.(1) else "mpk" with
+    | "baseline" -> None
+    | "vtx" -> Some Lb.Vtx
+    | "lwc" -> Some Lb.Lwc
+    | _ -> Some Lb.Mpk
+  in
+  Printf.printf "== Wiki app (%s) ==\n\n"
+    (match config with None -> "baseline" | Some b -> Lb.backend_name b);
+  let packages = Wiki.main_package () :: Wiki.packages () in
+  let rt =
+    match
+      Runtime.boot
+        (match config with
+        | None -> Runtime.baseline
+        | Some b -> Runtime.with_backend b)
+        ~packages ~entry:"main"
+    with
+    | Ok rt -> rt
+    | Error e -> failwith e
+  in
+  let db = Wiki.setup_remote_db rt in
+  Runtime.run_main rt (fun () -> Wiki.start rt ~port:8090 ~enclosed:(config <> None));
+  Runtime.kick rt;
+
+  let ep = Httpd.client_connect rt ~port:8090 in
+  Runtime.kick rt;
+
+  let request ?(body = "") meth path =
+    let payload =
+      if body = "" then Printf.sprintf "%s %s HTTP/1.1\r\nHost: wiki\r\n\r\n" meth path
+      else Printf.sprintf "%s %s HTTP/1.1\r\nHost: wiki\r\n\r\n|%s" meth path body
+    in
+    (match Net.send (Runtime.machine rt).Machine.net ep (Bytes.of_string payload) with
+    | Ok _ -> ()
+    | Error e -> failwith e);
+    Runtime.kick rt;
+    let resp = Bytes.to_string (Httpd.client_read_response rt ep) in
+    match String.index_opt resp '<' with
+    | Some i -> String.sub resp i (String.length resp - i)
+    | None -> resp
+  in
+
+  Printf.printf "GET /page/home  -> %s\n" (request "GET" "/page/home");
+  Printf.printf "GET /page/about -> %s\n" (request "GET" "/page/about");
+  Printf.printf "POST /page/pl   -> %s\n"
+    (request ~body:"Programming languages have not changed" "POST" "/page/pl");
+  Printf.printf "GET /page/pl    -> %s\n" (request "GET" "/page/pl");
+  Printf.printf "GET /page/nope  -> %s\n" (request "GET" "/page/nope");
+
+  Printf.printf "\ndatabase tables: %s, pages stored: %d\n"
+    (String.concat ", " (Encl_apps.Minidb.table_names db))
+    (Option.value ~default:0 (Encl_apps.Minidb.row_count db "pages"));
+  Printf.printf "%s\n" (Runtime.stats rt)

@@ -1,0 +1,1 @@
+lib/apps/bild.ml: Bytes Char Clock Deps Encl_elf Encl_golike Encl_litterbox

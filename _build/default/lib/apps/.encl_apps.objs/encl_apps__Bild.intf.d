@@ -1,0 +1,1 @@
+lib/apps/bild.mli: Encl_elf Encl_golike

@@ -1,0 +1,1 @@
+lib/apps/deps.ml: Bytes Encl_golike List Printf

@@ -1,0 +1,1 @@
+lib/apps/deps.mli: Encl_golike

@@ -1,0 +1,1 @@
+lib/apps/fasthttp.mli: Encl_golike

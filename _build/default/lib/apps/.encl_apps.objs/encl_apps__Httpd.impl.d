@@ -1,0 +1,1 @@
+lib/apps/httpd.ml: Buffer Bytes Clock Cpu Encl_golike Encl_kernel Encl_litterbox Printf String

@@ -1,0 +1,1 @@
+lib/apps/httpd.mli: Bytes Encl_golike Encl_kernel

@@ -1,0 +1,1 @@
+lib/apps/malice.ml: Bytes Clock Cpu Encl_elf Encl_golike Encl_kernel Encl_litterbox Format Printf String

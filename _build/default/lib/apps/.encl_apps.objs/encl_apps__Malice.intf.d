@@ -1,0 +1,1 @@
+lib/apps/malice.mli: Encl_litterbox Format

@@ -1,0 +1,1 @@
+lib/apps/minidb.ml: Buffer Bytes Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+lib/apps/minidb.mli: Bytes

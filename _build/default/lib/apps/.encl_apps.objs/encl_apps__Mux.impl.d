@@ -1,0 +1,1 @@
+lib/apps/mux.ml: Clock Deps Encl_golike List Option String

@@ -1,0 +1,1 @@
+lib/apps/mux.mli: Encl_golike

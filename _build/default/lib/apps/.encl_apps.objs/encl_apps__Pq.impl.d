@@ -1,0 +1,1 @@
+lib/apps/pq.ml: Bytes Clock Cpu Deps Encl_golike Encl_kernel Encl_litterbox Minidb

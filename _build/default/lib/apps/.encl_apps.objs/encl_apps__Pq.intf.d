@@ -1,0 +1,1 @@
+lib/apps/pq.mli: Encl_golike

@@ -1,0 +1,1 @@
+lib/apps/scenarios.ml: Bild Bytes Clock Encl_elf Encl_golike Encl_kernel Encl_litterbox Fasthttp Httpd List Printf String Wiki

@@ -1,0 +1,1 @@
+lib/apps/scenarios.mli: Encl_golike Encl_litterbox

@@ -1,0 +1,1 @@
+lib/apps/wiki.ml: Bytes Clock Cpu Encl_elf Encl_golike Encl_kernel Encl_litterbox Minidb Mux Pq Printf String

@@ -1,0 +1,1 @@
+lib/apps/wiki.mli: Encl_golike Minidb

@@ -1,0 +1,47 @@
+(** A bild-like parallel image-processing public package (paper §6.2).
+
+    The real bild is "a popular Go GitHub public package for parallel
+    image processing" that "silently drags in over 160K lines of code of
+    unverified origin" (15 public dependencies). This analogue implements
+    [invert] over RGBA images held in simulated guest memory, processing
+    tile by tile with per-tile scratch buffers — the allocation pattern
+    that drives the paper's LB_MPK transfer overhead.
+
+    The package's {e only} view of the source image is the one the caller
+    grants: the Table 2 benchmark shares it read-only, so [invert] must
+    copy before processing. *)
+
+val pkg : string
+(** ["bild"] *)
+
+val dep_count : int
+(** 15, as in Table 2. *)
+
+val packages : unit -> Encl_golike.Runtime.pkgdef list
+(** The bild package plus its synthetic dependency tree. *)
+
+val enclosure_decl :
+  name:string -> policy:string -> closure:string -> Encl_elf.Objfile.enclosure_decl
+(** An enclosure declaration whose direct dependency is bild (convenience
+    for applications that enclose bild calls). *)
+
+val invert :
+  Encl_golike.Runtime.t -> src:Encl_golike.Gbuf.t -> width:int -> height:int ->
+  Encl_golike.Gbuf.t
+(** Returns a freshly allocated inverted image in bild's arena. Allocates
+    a working copy, an intermediate buffer, per-tile scratch, and the
+    destination — all in bild's arena via the tagged allocator. *)
+
+val grayscale :
+  Encl_golike.Runtime.t -> src:Encl_golike.Gbuf.t -> width:int -> height:int ->
+  Encl_golike.Gbuf.t
+(** Luma conversion: each pixel's RGB channels are replaced by their
+    average; alpha is preserved. *)
+
+val blur :
+  Encl_golike.Runtime.t -> src:Encl_golike.Gbuf.t -> width:int -> height:int ->
+  Encl_golike.Gbuf.t
+(** Horizontal 3-tap box blur per channel (edges clamped). *)
+
+val checksum : Encl_golike.Runtime.t -> Encl_golike.Gbuf.t -> int
+(** Byte sum (used by tests to check the transforms). *)

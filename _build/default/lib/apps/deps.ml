@@ -1,0 +1,20 @@
+module Runtime = Encl_golike.Runtime
+
+let name prefix i = Printf.sprintf "%s_dep%d" prefix i
+
+let names ~prefix ~count = List.init count (name prefix)
+
+let tree ~prefix ~count =
+  if count < 1 then invalid_arg "Deps.tree: count must be >= 1";
+  let pkg i =
+    let imports =
+      List.filter (fun j -> j < count) [ (2 * i) + 1; (2 * i) + 2 ]
+      |> List.map (name prefix)
+    in
+    Runtime.package (name prefix i) ~imports
+      ~functions:[ ("helper", 96); ("internal", 64) ]
+      ~globals:[ ("state", 64, None) ]
+      ~constants:[ ("version", 16, Some (Bytes.of_string "v1.0")) ]
+      ()
+  in
+  (List.init count pkg, name prefix 0)

@@ -1,0 +1,17 @@
+(** Synthetic public-package dependency trees.
+
+    The paper's macrobenchmarks stress that importing one public package
+    silently drags in large dependency graphs (bild: 15 packages / 166 kLOC;
+    FastHTTP: 100 packages / 374 kLOC). This module fabricates such trees:
+    binary-tree-shaped import graphs of small leaf packages, so that
+    enclosing the root demonstrably covers every transitive dependency. *)
+
+val tree :
+  prefix:string -> count:int -> Encl_golike.Runtime.pkgdef list * string
+(** [tree ~prefix ~count] builds [count] packages named [prefix_depN];
+    package [N] imports [2N+1] and [2N+2] when they exist. Returns the
+    package definitions and the root package's name (to be imported by
+    the public package). Each package carries a few functions and a small
+    amount of data so the linker gives it real sections. *)
+
+val names : prefix:string -> count:int -> string list

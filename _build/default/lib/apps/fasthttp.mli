@@ -1,0 +1,39 @@
+(** A FastHTTP-like performance-oriented HTTP server (paper §6.2).
+
+    Differences from {!Httpd} mirror the real projects: request and
+    response buffers are allocated once per connection and reused across
+    requests ("HTTPRequest object reuse across requests... allows LB_MPK
+    to avoid numerous costly transfers"), and parsing is leaner.
+
+    The intended deployment runs the whole server inside an enclosure
+    that may only perform [net] system calls; parsed requests are
+    forwarded to a trusted handler goroutine over a channel and the
+    response comes back the same way ("this benchmark shows how trusted
+    callbacks can easily be implemented"). {!serve_enclosed} wires
+    exactly that; the fd-poll and futex/clock systems calls are issued by
+    the trusted side (the Go netpoller), as they would be denied by the
+    [net]-only filter. *)
+
+val pkg : string
+(** ["fasthttp"] *)
+
+val dep_count : int
+(** 100 public dependencies, as in Table 2. *)
+
+val packages : unit -> Encl_golike.Runtime.pkgdef list
+
+type request = { meth : string; path : string }
+
+val serve_enclosed :
+  Encl_golike.Runtime.t ->
+  port:int ->
+  enclosure:string option ->
+  handler:(request -> Encl_golike.Gbuf.t) ->
+  unit
+(** Start the server. [enclosure = Some name] runs the accept/parse/write
+    loop inside the named enclosure (linked by the application);
+    [None] is the baseline. [handler] runs in a separate trusted
+    goroutine either way. *)
+
+val requests_served : unit -> int
+val reset_counters : unit -> unit

@@ -1,0 +1,142 @@
+module Runtime = Encl_golike.Runtime
+module Gbuf = Encl_golike.Gbuf
+module Sched = Encl_golike.Sched
+module K = Encl_kernel.Kernel
+module Machine = Encl_litterbox.Machine
+
+let pkg = "net_http"
+
+(* Calibrated per-request workload constants (ns): parsing, the
+   header/connection bookkeeping net/http performs (context, header maps,
+   interface dispatch), and response assembly (copying the body into the
+   response buffer). *)
+let parse_ns = 6_000
+let bookkeeping_ns = 34_200
+let assembly_ns_per_kb = 1_400
+
+let packages () =
+  [
+    Runtime.package pkg
+      ~functions:
+        [
+          ("listen_and_serve", 4096);
+          ("accept_loop", 1024);
+          ("read_request", 2048);
+          ("write_response", 2048);
+        ]
+      ~globals:[ ("server_state", 512, None) ]
+      ();
+  ]
+
+let served = ref 0
+let requests_served () = !served
+let reset_counters () = served := 0
+
+let charge rt cat ns = Clock.consume (Runtime.clock rt) cat ns
+
+(* One full request/response cycle on an established connection; returns
+   false when the connection reached EOF. *)
+let handle_one rt ~conn_fd ~handler =
+  let m = Runtime.machine rt in
+  ignore (Runtime.syscall rt K.Epoll_wait);
+  (* net/http allocates a fresh request buffer per request. *)
+  let reqbuf = Runtime.alloc_in rt ~pkg 1024 in
+  match Runtime.syscall rt (K.Recv { fd = conn_fd; buf = reqbuf.Gbuf.addr; len = 1024 }) with
+  | Error _ -> false
+  | Ok 0 -> false
+  | Ok n ->
+      charge rt Clock.Compute parse_ns;
+      let request = Bytes.to_string (Cpu.read_bytes m.Machine.cpu ~addr:reqbuf.Gbuf.addr ~len:n) in
+      let meth, path =
+        match String.split_on_char ' ' request with
+        | m :: p :: _ -> (m, p)
+        | _ -> ("GET", "/")
+      in
+      ignore (Runtime.syscall rt K.Clock_gettime);
+      ignore (Runtime.syscall rt (K.Setsockopt conn_fd));
+      let body = handler ~meth ~path in
+      ignore (Runtime.syscall rt K.Clock_gettime);
+      (* A fresh 8 KiB bufio.Writer per request (the LB_MPK transfer
+         driver): headers plus the body prefix are staged there, the body
+         tail is written straight from the handler's buffer. *)
+      let headers =
+        Printf.sprintf
+          "HTTP/1.1 200 OK\r\nContent-Type: text/html\r\nContent-Length: %d\r\n\r\n"
+          body.Gbuf.len
+      in
+      let bufio = Runtime.alloc_in rt ~pkg 8192 in
+      let hlen = String.length headers in
+      let prefix = min (8192 - hlen) body.Gbuf.len in
+      Gbuf.write_string m (Gbuf.sub bufio ~pos:0 ~len:hlen) headers;
+      Gbuf.blit m ~src:(Gbuf.sub body ~pos:0 ~len:prefix)
+        ~dst:(Gbuf.sub bufio ~pos:hlen ~len:prefix);
+      charge rt Clock.Io (assembly_ns_per_kb * ((hlen + prefix) / 1024));
+      ignore
+        (Runtime.syscall rt (K.Send { fd = conn_fd; buf = bufio.Gbuf.addr; len = hlen + prefix }));
+      if body.Gbuf.len > prefix then
+        ignore
+          (Runtime.syscall rt
+             (K.Send
+                { fd = conn_fd; buf = body.Gbuf.addr + prefix; len = body.Gbuf.len - prefix }));
+      ignore (Runtime.syscall rt (K.Epoll_ctl conn_fd));
+      ignore (Runtime.syscall rt K.Futex);
+      ignore (Runtime.syscall rt K.Futex);
+      ignore (Runtime.syscall rt K.Futex);
+      ignore (Runtime.syscall rt K.Clock_gettime);
+      charge rt Clock.Compute bookkeeping_ns;
+      incr served;
+      true
+
+let conn_loop rt ~conn_fd ~handler () =
+  let kernel = (Runtime.machine rt).Machine.kernel in
+  let rec loop () =
+    Sched.wait_until (Runtime.sched rt) (fun () -> K.fd_readable kernel conn_fd);
+    if handle_one rt ~conn_fd ~handler then loop ()
+    else ignore (Runtime.syscall rt (K.Close conn_fd))
+  in
+  loop ()
+
+let serve rt ~port ~handler =
+  Runtime.in_function rt ~pkg ~fn:"listen_and_serve" @@ fun () ->
+  let fd = Runtime.syscall_exn rt K.Socket in
+  ignore (Runtime.syscall_exn rt (K.Bind { fd; port }));
+  ignore (Runtime.syscall_exn rt (K.Listen fd));
+  let kernel = (Runtime.machine rt).Machine.kernel in
+  Runtime.go rt (fun () ->
+      let rec accept_loop () =
+        Sched.wait_until (Runtime.sched rt) (fun () -> K.listener_pending kernel fd);
+        match Runtime.syscall rt (K.Accept fd) with
+        | Ok conn_fd ->
+            Runtime.go rt (conn_loop rt ~conn_fd ~handler);
+            accept_loop ()
+        | Error K.Eagain -> accept_loop ()
+        | Error e -> failwith ("accept: " ^ K.errno_name e)
+      in
+      accept_loop ())
+
+(* ------------------------------------------------------------------ *)
+(* Client side: external peers driving the server.                     *)
+
+let client_connect rt ~port =
+  match Encl_kernel.Net.client_connect (Runtime.machine rt).Machine.net ~port with
+  | Ok ep -> ep
+  | Error e -> failwith ("client_connect: " ^ e)
+
+let client_get rt ep ~path =
+  let req = Printf.sprintf "GET %s HTTP/1.1\r\nHost: sim\r\n\r\n" path in
+  match Encl_kernel.Net.send (Runtime.machine rt).Machine.net ep (Bytes.of_string req) with
+  | Ok _ -> ()
+  | Error e -> failwith ("client_get: " ^ e)
+
+let client_read_response rt ep =
+  let net = (Runtime.machine rt).Machine.net in
+  let buf = Buffer.create 16384 in
+  let rec drain () =
+    match Encl_kernel.Net.recv net ep 65536 with
+    | Encl_kernel.Net.Data d ->
+        Buffer.add_bytes buf d;
+        drain ()
+    | Encl_kernel.Net.Would_block | Encl_kernel.Net.Eof -> ()
+  in
+  drain ();
+  Buffer.to_bytes buf

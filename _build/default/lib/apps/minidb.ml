@@ -1,0 +1,243 @@
+type table = { columns : string list; mutable rows : string list list }
+
+type t = { tables : (string, table) Hashtbl.t; mutable wire_buf : Buffer.t }
+
+let create () = { tables = Hashtbl.create 8; wire_buf = Buffer.create 256 }
+
+(* ------------------------------------------------------------------ *)
+(* Tokenizer: words, commas, parens, and single-quoted strings.        *)
+
+type token = Word of string | Str of string | Comma | Lparen | Rparen | Eq | Star
+
+let tokenize sql =
+  let n = String.length sql in
+  let rec skip i = if i < n && (sql.[i] = ' ' || sql.[i] = '\n' || sql.[i] = '\t') then skip (i + 1) else i in
+  let rec go i acc =
+    let i = skip i in
+    if i >= n then Ok (List.rev acc)
+    else
+      match sql.[i] with
+      | ',' -> go (i + 1) (Comma :: acc)
+      | '(' -> go (i + 1) (Lparen :: acc)
+      | ')' -> go (i + 1) (Rparen :: acc)
+      | '=' -> go (i + 1) (Eq :: acc)
+      | '*' -> go (i + 1) (Star :: acc)
+      | '\'' ->
+          let rec find j = if j >= n then None else if sql.[j] = '\'' then Some j else find (j + 1) in
+          (match find (i + 1) with
+          | None -> Error "unterminated string literal"
+          | Some j -> go (j + 1) (Str (String.sub sql (i + 1) (j - i - 1)) :: acc))
+      | c when (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_' ->
+          let rec find j =
+            if j < n
+               && ((sql.[j] >= 'a' && sql.[j] <= 'z')
+                  || (sql.[j] >= 'A' && sql.[j] <= 'Z')
+                  || (sql.[j] >= '0' && sql.[j] <= '9')
+                  || sql.[j] = '_')
+            then find (j + 1)
+            else j
+          in
+          let j = find i in
+          go j (Word (String.sub sql i (j - i)) :: acc)
+      | c -> Error (Printf.sprintf "unexpected character %C" c)
+  in
+  go 0 []
+
+let keyword w = String.uppercase_ascii w
+
+(* ------------------------------------------------------------------ *)
+(* Parser + evaluator                                                  *)
+
+let find_table t name =
+  match Hashtbl.find_opt t.tables name with
+  | Some tbl -> Ok tbl
+  | None -> Error (Printf.sprintf "no such table: %s" name)
+
+let col_index tbl c =
+  let rec go i = function
+    | [] -> Error (Printf.sprintf "no such column: %s" c)
+    | x :: _ when x = c -> Ok i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 tbl.columns
+
+(* WHERE clause: [Some (col, value)] or [None]. *)
+let parse_where tbl = function
+  | [] -> Ok None
+  | [ Word w; Word c; Eq; Str v ] when keyword w = "WHERE" -> (
+      match col_index tbl c with Ok i -> Ok (Some (i, v)) | Error e -> Error e)
+  | _ -> Error "malformed WHERE clause"
+
+let matches where row =
+  match where with None -> true | Some (i, v) -> List.nth row i = v
+
+let rec split_commas acc cur = function
+  | [] -> List.rev (List.rev cur :: acc)
+  | Comma :: rest -> split_commas (List.rev cur :: acc) [] rest
+  | tok :: rest -> split_commas acc (tok :: cur) rest
+
+let exec t sql =
+  match tokenize sql with
+  | Error e -> Error e
+  | Ok tokens -> (
+      match tokens with
+      | Word create :: Word table :: Word name :: Lparen :: rest
+        when keyword create = "CREATE" && keyword table = "TABLE" -> (
+          let rec cols acc = function
+            | [ Rparen ] -> Ok (List.rev acc)
+            | Word c :: Comma :: rest -> cols (c :: acc) rest
+            | [ Word c; Rparen ] -> Ok (List.rev (c :: acc))
+            | _ -> Error "malformed column list"
+          in
+          match cols [] rest with
+          | Error e -> Error e
+          | Ok columns ->
+              if Hashtbl.mem t.tables name then
+                Error (Printf.sprintf "table %s already exists" name)
+              else begin
+                Hashtbl.replace t.tables name { columns; rows = [] };
+                Ok []
+              end)
+      | [ Word drop; Word table; Word name ]
+        when keyword drop = "DROP" && keyword table = "TABLE" ->
+          if Hashtbl.mem t.tables name then begin
+            Hashtbl.remove t.tables name;
+            Ok []
+          end
+          else Error (Printf.sprintf "no such table: %s" name)
+      | Word insert :: Word into :: Word name :: Word values :: Lparen :: rest
+        when keyword insert = "INSERT" && keyword into = "INTO"
+             && keyword values = "VALUES" -> (
+          match find_table t name with
+          | Error e -> Error e
+          | Ok tbl -> (
+              let rec vals acc = function
+                | [ Rparen ] -> Ok (List.rev acc)
+                | Str v :: Comma :: rest -> vals (v :: acc) rest
+                | [ Str v; Rparen ] -> Ok (List.rev (v :: acc))
+                | _ -> Error "malformed VALUES list"
+              in
+              match vals [] rest with
+              | Error e -> Error e
+              | Ok row ->
+                  if List.length row <> List.length tbl.columns then
+                    Error "arity mismatch"
+                  else begin
+                    tbl.rows <- tbl.rows @ [ row ];
+                    Ok []
+                  end))
+      | Word select :: rest when keyword select = "SELECT" -> (
+          (* SELECT cols FROM t [WHERE ...] *)
+          let rec split_from acc = function
+            | Word w :: rest when keyword w = "FROM" -> Ok (List.rev acc, rest)
+            | tok :: rest -> split_from (tok :: acc) rest
+            | [] -> Error "missing FROM"
+          in
+          match split_from [] rest with
+          | Error e -> Error e
+          | Ok (col_toks, Word name :: where_toks) -> (
+              match find_table t name with
+              | Error e -> Error e
+              | Ok tbl -> (
+                  match parse_where tbl where_toks with
+                  | Error e -> Error e
+                  | Ok where -> (
+                      let projection =
+                        match col_toks with
+                        | [ Star ] -> Ok None
+                        | toks -> (
+                            let groups = split_commas [] [] toks in
+                            let rec proj acc = function
+                              | [] -> Ok (Some (List.rev acc))
+                              | [ Word c ] :: rest -> (
+                                  match col_index tbl c with
+                                  | Ok i -> proj (i :: acc) rest
+                                  | Error e -> Error e)
+                              | _ -> Error "malformed column list"
+                            in
+                            proj [] groups)
+                      in
+                      match projection with
+                      | Error e -> Error e
+                      | Ok proj ->
+                          let selected = List.filter (matches where) tbl.rows in
+                          let project row =
+                            match proj with
+                            | None -> row
+                            | Some idxs -> List.map (fun i -> List.nth row i) idxs
+                          in
+                          Ok (List.map project selected))))
+          | Ok (_, _) -> Error "malformed SELECT")
+      | Word update :: Word name :: Word set :: Word c :: Eq :: Str v :: where_toks
+        when keyword update = "UPDATE" && keyword set = "SET" -> (
+          match find_table t name with
+          | Error e -> Error e
+          | Ok tbl -> (
+              match col_index tbl c with
+              | Error e -> Error e
+              | Ok ci -> (
+                  match parse_where tbl where_toks with
+                  | Error e -> Error e
+                  | Ok where ->
+                      tbl.rows <-
+                        List.map
+                          (fun row ->
+                            if matches where row then
+                              List.mapi (fun i x -> if i = ci then v else x) row
+                            else row)
+                          tbl.rows;
+                      Ok [])))
+      | Word delete :: Word from :: Word name :: where_toks
+        when keyword delete = "DELETE" && keyword from = "FROM" -> (
+          match find_table t name with
+          | Error e -> Error e
+          | Ok tbl -> (
+              match parse_where tbl where_toks with
+              | Error e -> Error e
+              | Ok where ->
+                  tbl.rows <- List.filter (fun row -> not (matches where row)) tbl.rows;
+                  Ok []))
+      | _ -> Error "unrecognized statement")
+
+let table_names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.tables [] |> List.sort compare
+
+let row_count t name =
+  Option.map (fun tbl -> List.length tbl.rows) (Hashtbl.find_opt t.tables name)
+
+(* ------------------------------------------------------------------ *)
+(* Wire protocol                                                       *)
+
+let encode_request sql = Bytes.of_string (sql ^ "\000")
+
+let encode_response = function
+  | Ok rows ->
+      let body = String.concat "\n" (List.map (String.concat "\t") rows) in
+      Bytes.of_string (body ^ "\000")
+  | Error e -> Bytes.of_string ("ERROR: " ^ e ^ "\000")
+
+let decode_response data =
+  let s = Bytes.to_string data in
+  let s = if String.length s > 0 && s.[String.length s - 1] = '\000' then String.sub s 0 (String.length s - 1) else s in
+  if String.length s >= 7 && String.sub s 0 7 = "ERROR: " then
+    Error (String.sub s 7 (String.length s - 7))
+  else if s = "" then Ok []
+  else
+    Ok (String.split_on_char '\n' s |> List.map (String.split_on_char '\t'))
+
+let wire_server t chunk =
+  Buffer.add_bytes t.wire_buf chunk;
+  let data = Buffer.contents t.wire_buf in
+  let responses = ref [] in
+  let rec consume start =
+    match String.index_from_opt data start '\000' with
+    | None ->
+        Buffer.clear t.wire_buf;
+        Buffer.add_string t.wire_buf (String.sub data start (String.length data - start))
+    | Some stop ->
+        let sql = String.sub data start (stop - start) in
+        responses := encode_response (exec t sql) :: !responses;
+        consume (stop + 1)
+  in
+  consume 0;
+  List.rev !responses

@@ -1,0 +1,42 @@
+(** A miniature Postgres-like SQL database.
+
+    The paper's wiki application (Figure 5) stores its pages in a Postgres
+    database reached over the network through the [pq] driver. This module
+    is that substrate: an in-memory relational engine with a small SQL
+    dialect, plus a wire-protocol server suitable for registration as a
+    simulated remote host.
+
+    Dialect:
+    {v
+      CREATE TABLE t (c1, c2, ...)
+      DROP TABLE t
+      INSERT INTO t VALUES ('v1', 'v2', ...)
+      SELECT * | c1, c2 FROM t [WHERE c = 'v']
+      UPDATE t SET c = 'v' [WHERE c2 = 'v2']
+      DELETE FROM t [WHERE c = 'v']
+    v}
+
+    All values are strings; [WHERE] supports a single equality. *)
+
+type t
+
+val create : unit -> t
+
+val exec : t -> string -> (string list list, string) result
+(** Run one statement; returns rows (for [SELECT]) or [[]]. *)
+
+val table_names : t -> string list
+val row_count : t -> string -> int option
+
+(** {2 Wire protocol}
+
+    Each request is a SQL statement terminated by ['\000']. The response
+    is rows joined by ['\n'] (columns by ['\t']), or ["ERROR: ..."], also
+    terminated by ['\000']. *)
+
+val wire_server : t -> Bytes.t -> Bytes.t list
+(** Stateful responder for {!Encl_kernel.Net.register_remote}: buffers
+    partial requests across chunks. *)
+
+val encode_request : string -> Bytes.t
+val decode_response : Bytes.t -> (string list list, string) result

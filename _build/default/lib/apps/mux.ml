@@ -1,0 +1,42 @@
+module Runtime = Encl_golike.Runtime
+
+let pkg = "mux"
+let dep_count = 24
+
+(* Routing-table lookup cost (ns). *)
+let route_ns = 700
+
+let packages () =
+  let deps, root = Deps.tree ~prefix:pkg ~count:dep_count in
+  Runtime.package pkg ~imports:[ root ]
+    ~functions:[ ("new_router", 512); ("handle", 512); ("route", 1024) ]
+    ~globals:[ ("routes", 1024, None) ]
+    ()
+  :: deps
+
+type 'a router = { mutable routes : (string * string * 'a) list }
+
+let router rt =
+  Runtime.in_function rt ~pkg ~fn:"new_router" @@ fun () -> { routes = [] }
+
+let handle r ~meth ~pattern v = r.routes <- (meth, pattern, v) :: r.routes
+
+let is_prefix ~prefix s =
+  String.length prefix <= String.length s
+  && String.sub s 0 (String.length prefix) = prefix
+
+let route rt r ~meth ~path =
+  Runtime.in_function rt ~pkg ~fn:"route" @@ fun () ->
+  Clock.consume (Runtime.clock rt) Clock.Compute route_ns;
+  let candidates =
+    List.filter (fun (m, p, _) -> m = meth && is_prefix ~prefix:p path) r.routes
+  in
+  let best =
+    List.fold_left
+      (fun acc (_, p, v) ->
+        match acc with
+        | Some (bp, _) when String.length bp >= String.length p -> acc
+        | _ -> Some (p, v))
+      None candidates
+  in
+  Option.map snd best

@@ -1,0 +1,18 @@
+(** A gorilla/mux-like HTTP request router (paper §6.3). *)
+
+val pkg : string
+(** ["mux"] *)
+
+val dep_count : int
+
+val packages : unit -> Encl_golike.Runtime.pkgdef list
+
+type 'a router
+
+val router : Encl_golike.Runtime.t -> 'a router
+
+val handle : 'a router -> meth:string -> pattern:string -> 'a -> unit
+(** [pattern] is a path prefix; the longest matching prefix wins (with
+    method equality). *)
+
+val route : Encl_golike.Runtime.t -> 'a router -> meth:string -> path:string -> 'a option

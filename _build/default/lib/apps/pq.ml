@@ -1,0 +1,55 @@
+module Runtime = Encl_golike.Runtime
+module Gbuf = Encl_golike.Gbuf
+module Sched = Encl_golike.Sched
+module K = Encl_kernel.Kernel
+module Machine = Encl_litterbox.Machine
+
+let pkg = "pq"
+let dep_count = 18
+
+(* Driver-side compute per query (ns): escaping, protocol framing, row
+   decoding. *)
+let query_overhead_ns = 2_600
+
+let packages () =
+  let deps, root = Deps.tree ~prefix:pkg ~count:dep_count in
+  Runtime.package pkg ~imports:[ root ]
+    ~functions:[ ("connect", 1024); ("query", 2048); ("close", 256) ]
+    ~globals:[ ("conn_pool", 256, None) ]
+    ()
+  :: deps
+
+type conn = { fd : int; buf : Gbuf.t }
+
+let connect rt ~ip ~port =
+  Runtime.in_function rt ~pkg ~fn:"connect" @@ fun () ->
+  let fd = Runtime.syscall_exn rt K.Socket in
+  ignore (Runtime.syscall_exn rt (K.Connect { fd; ip; port }));
+  { fd; buf = Runtime.alloc_in rt ~pkg 8192 }
+
+let query rt conn sql =
+  Runtime.in_function rt ~pkg ~fn:"query" @@ fun () ->
+  let m = Runtime.machine rt in
+  Clock.consume (Runtime.clock rt) Clock.Compute query_overhead_ns;
+  let req = Minidb.encode_request sql in
+  Gbuf.write_bytes m (Gbuf.sub conn.buf ~pos:0 ~len:(Bytes.length req)) req;
+  (match
+     Runtime.syscall rt
+       (K.Send { fd = conn.fd; buf = conn.buf.Gbuf.addr; len = Bytes.length req })
+   with
+  | Ok _ -> ()
+  | Error e -> failwith ("pq: send failed: " ^ K.errno_name e));
+  let kernel = m.Machine.kernel in
+  Sched.wait_until (Runtime.sched rt) (fun () -> K.fd_readable kernel conn.fd);
+  match
+    Runtime.syscall rt
+      (K.Recv { fd = conn.fd; buf = conn.buf.Gbuf.addr; len = conn.buf.Gbuf.len })
+  with
+  | Error e -> Error ("recv failed: " ^ K.errno_name e)
+  | Ok n ->
+      let data = Cpu.read_bytes m.Machine.cpu ~addr:conn.buf.Gbuf.addr ~len:n in
+      Minidb.decode_response data
+
+let close rt conn =
+  Runtime.in_function rt ~pkg ~fn:"close" @@ fun () ->
+  ignore (Runtime.syscall rt (K.Close conn.fd))

@@ -1,0 +1,245 @@
+module Runtime = Encl_golike.Runtime
+module Gbuf = Encl_golike.Gbuf
+module Lb = Encl_litterbox.Litterbox
+module K = Encl_kernel.Kernel
+module Net = Encl_kernel.Net
+module Machine = Encl_litterbox.Machine
+
+type config = Lb.backend option
+
+let config_name = function
+  | None -> "Baseline"
+  | Some backend -> Lb.backend_name backend
+
+let runtime_config ?rcfg config =
+  match rcfg with
+  | Some c -> c
+  | None -> (
+      match config with
+      | None -> Runtime.baseline
+      | Some b -> Runtime.with_backend b)
+
+let boot_exn ?rcfg config ~packages ~entry =
+  match Runtime.boot (runtime_config ?rcfg config) ~packages ~entry with
+  | Ok rt -> rt
+  | Error e -> failwith ("scenario boot: " ^ e)
+
+(* ------------------------------------------------------------------ *)
+(* bild                                                                *)
+
+type bild_result = {
+  b_ns_per_invert : int;
+  b_transfers : int;
+  b_checksum : int;
+}
+
+let bild config ?rcfg ?(width = 1024) ?(height = 1024) ?(iters = 3) () =
+  let secrets =
+    Runtime.package "secrets" ~functions:[ ("load_image", 256) ] ()
+  in
+  let main =
+    Runtime.package "main"
+      ~imports:[ Bild.pkg; "secrets" ]
+      ~functions:[ ("main", 512); ("rcl_body", 256) ]
+      ~enclosures:
+        [
+          {
+            Encl_elf.Objfile.enc_name = "rcl";
+            enc_policy = "secrets:R; sys=none";
+            enc_closure = "rcl_body";
+            enc_deps = [ Bild.pkg ];
+          };
+        ]
+      ()
+  in
+  let rt =
+    boot_exn ?rcfg config
+      ~packages:(main :: secrets :: Bild.packages ())
+      ~entry:"main"
+  in
+  let m = Runtime.machine rt in
+  (* The sensitive image lives in the secrets package's arena. *)
+  let size = width * height * 4 in
+  let image = Runtime.alloc_in rt ~pkg:"secrets" size in
+  Gbuf.fill m image 0x55;
+  let checksum = ref 0 in
+  let invert_once () =
+    Runtime.with_enclosure rt "rcl" (fun () ->
+        Bild.invert rt ~src:image ~width ~height)
+  in
+  (* Warm-up (hardware and allocator caches, as in any benchmark). *)
+  ignore (invert_once ());
+  let transfers0 =
+    match Runtime.lb rt with Some lb -> Lb.transfer_count lb | None -> 0
+  in
+  let clock = Runtime.clock rt in
+  let t0 = Clock.now clock in
+  for _ = 1 to iters do
+    let out = invert_once () in
+    checksum := Bild.checksum rt out
+  done;
+  let elapsed = Clock.now clock - t0 in
+  let transfers =
+    (match Runtime.lb rt with Some lb -> Lb.transfer_count lb | None -> 0)
+    - transfers0
+  in
+  {
+    b_ns_per_invert = elapsed / iters;
+    b_transfers = transfers / max 1 iters;
+    b_checksum = !checksum;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* HTTP servers                                                        *)
+
+type http_result = {
+  h_requests : int;
+  h_ns : int;
+  h_req_per_sec : float;
+  h_syscalls_per_req : float;
+}
+
+let page_bytes = 13 * 1024
+
+let assets_package () =
+  Runtime.package "assets"
+    ~constants:[ ("index_html", page_bytes, Some (Bytes.make page_bytes 'x')) ]
+    ()
+
+(* Drive [requests] requests over [conns] persistent connections and
+   measure the steady state. *)
+let drive rt ~port ~requests ~conns ~served =
+  let m = Runtime.machine rt in
+  let kernel = m.Machine.kernel in
+  (* Let the server start. *)
+  Runtime.kick rt;
+  let eps = List.init conns (fun _ -> Httpd.client_connect rt ~port) in
+  Runtime.kick rt;
+  (* Warm-up round. *)
+  List.iter (fun ep -> Httpd.client_get rt ep ~path:"/page/home") eps;
+  Runtime.kick rt;
+  List.iter (fun ep -> ignore (Httpd.client_read_response rt ep)) eps;
+  let clock = Runtime.clock rt in
+  let t0 = Clock.now clock in
+  let sys0 = K.syscall_count kernel in
+  let served0 = served () in
+  let rounds = requests / conns in
+  for _ = 1 to rounds do
+    List.iter (fun ep -> Httpd.client_get rt ep ~path:"/page/home") eps;
+    Runtime.kick rt;
+    List.iter
+      (fun ep ->
+        let resp = Httpd.client_read_response rt ep in
+        if Bytes.length resp = 0 then failwith "empty response")
+      eps
+  done;
+  let handled = served () - served0 in
+  if handled < rounds * conns then
+    failwith
+      (Printf.sprintf "server fell behind: %d/%d requests" handled (rounds * conns));
+  let elapsed = Clock.now clock - t0 in
+  let syscalls = K.syscall_count kernel - sys0 in
+  {
+    h_requests = handled;
+    h_ns = elapsed;
+    h_req_per_sec = float_of_int handled /. (float_of_int elapsed /. 1e9);
+    h_syscalls_per_req = float_of_int syscalls /. float_of_int handled;
+  }
+
+let http config ?rcfg ?(requests = 2000) ?(conns = 8) () =
+  let main =
+    Runtime.package "main"
+      ~imports:[ Httpd.pkg; "assets" ]
+      ~functions:[ ("main", 512); ("handler_body", 256) ]
+      ~enclosures:
+        [
+          {
+            Encl_elf.Objfile.enc_name = "handler_enc";
+            enc_policy = "assets:R; sys=none";
+            enc_closure = "handler_body";
+            enc_deps = [];
+          };
+        ]
+      ()
+  in
+  let packages = main :: assets_package () :: Httpd.packages () in
+  let rt = boot_exn ?rcfg config ~packages ~entry:"main" in
+  Httpd.reset_counters ();
+  let page = Runtime.global rt ~pkg:"assets" "index_html" in
+  let m = Runtime.machine rt in
+  let handler ~meth:_ ~path:_ =
+    Runtime.with_enclosure rt "handler_enc" (fun () ->
+        (* The handler's logic selects the in-memory page. *)
+        ignore (Gbuf.get m page 0);
+        page)
+  in
+  Runtime.run_main rt (fun () -> Httpd.serve rt ~port:8080 ~handler);
+  drive rt ~port:8080 ~requests ~conns ~served:Httpd.requests_served
+
+let fasthttp config ?rcfg ?(requests = 2000) ?(conns = 8) () =
+  let main =
+    Runtime.package "main"
+      ~imports:[ Fasthttp.pkg; "assets" ]
+      ~functions:[ ("main", 512); ("srv_body", 256) ]
+      ~enclosures:
+        [
+          {
+            Encl_elf.Objfile.enc_name = "fasthttp_srv";
+            enc_policy = "; sys=net";
+            enc_closure = "srv_body";
+            enc_deps = [ Fasthttp.pkg ];
+          };
+        ]
+      ()
+  in
+  let packages = main :: assets_package () :: Fasthttp.packages () in
+  let rt = boot_exn ?rcfg config ~packages ~entry:"main" in
+  Fasthttp.reset_counters ();
+  let page = Runtime.global rt ~pkg:"assets" "index_html" in
+  (* The enclosed server cannot see the assets package; the trusted
+     handler stages the body into a server-owned buffer (fasthttp's
+     ctx.SetBody), reused across requests. *)
+  let m = Runtime.machine rt in
+  let staged = Runtime.alloc_in rt ~pkg:Fasthttp.pkg page_bytes in
+  Gbuf.blit m ~src:page ~dst:staged;
+  let handler (_ : Fasthttp.request) = staged in
+  let enclosure = match config with None -> None | Some _ -> Some "fasthttp_srv" in
+  Runtime.run_main rt (fun () ->
+      Fasthttp.serve_enclosed rt ~port:8081 ~enclosure ~handler);
+  drive rt ~port:8081 ~requests ~conns ~served:Fasthttp.requests_served
+
+(* ------------------------------------------------------------------ *)
+(* Wiki (Figure 5)                                                     *)
+
+let wiki_boot config =
+  let packages = Wiki.main_package () :: Wiki.packages () in
+  let rt = boot_exn config ~packages ~entry:"main" in
+  let _db = Wiki.setup_remote_db rt in
+  Wiki.reset_counters ();
+  Runtime.run_main rt (fun () ->
+      Wiki.start rt ~port:8090 ~enclosed:(config <> None));
+  rt
+
+let wiki config ?(requests = 1000) ?(conns = 4) () =
+  let rt = wiki_boot config in
+  drive rt ~port:8090 ~requests ~conns ~served:Wiki.requests_served
+
+let wiki_check config =
+  let rt = wiki_boot config in
+  Runtime.kick rt;
+  let ep = Httpd.client_connect rt ~port:8090 in
+  (* Create a page, then read it back. *)
+  let post = "POST /page/ocaml HTTP/1.1\r\nHost: sim\r\n\r\n|Enclosures in OCaml" in
+  (match Net.send (Runtime.machine rt).Machine.net ep (Bytes.of_string post) with
+  | Ok _ -> ()
+  | Error e -> failwith e);
+  Runtime.kick rt;
+  ignore (Httpd.client_read_response rt ep);
+  Httpd.client_get rt ep ~path:"/page/ocaml";
+  Runtime.kick rt;
+  let resp = Bytes.to_string (Httpd.client_read_response rt ep) in
+  if resp = "" then Error "no response"
+  else
+    match String.index_opt resp '<' with
+    | Some i -> Ok (String.sub resp i (String.length resp - i))
+    | None -> Error ("unexpected response: " ^ resp)

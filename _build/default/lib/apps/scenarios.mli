@@ -1,0 +1,54 @@
+(** Ready-made macrobenchmark scenarios (paper §6.2–§6.3).
+
+    Each scenario builds a full program (packages + enclosures), boots it
+    under the requested configuration ([None] = unmodified-Go baseline),
+    drives a workload, and reports simulated-time results. These are used
+    by the benchmark harness, the examples, and the integration tests. *)
+
+type config = Encl_litterbox.Litterbox.backend option
+
+val config_name : config -> string
+
+(** The [?rcfg] parameter overrides the full runtime configuration
+    (custom cost model, clustering ablation); when present it takes
+    precedence over the backend [config]. *)
+
+type bild_result = {
+  b_ns_per_invert : int;  (** steady-state simulated ns per invert call *)
+  b_transfers : int;
+  b_checksum : int;  (** output checksum (correctness witness) *)
+}
+
+val bild :
+  config -> ?rcfg:Encl_golike.Runtime.config -> ?width:int -> ?height:int ->
+  ?iters:int -> unit -> bild_result
+(** The Table 2 "bild" row: a sensitive image shared read-only with an
+    enclosed call to bild's [invert]; all system calls denied. Default
+    image 1024x1024 RGBA, 3 measured iterations after one warm-up. *)
+
+type http_result = {
+  h_requests : int;
+  h_ns : int;  (** simulated ns for the measured requests *)
+  h_req_per_sec : float;
+  h_syscalls_per_req : float;
+}
+
+val http :
+  config -> ?rcfg:Encl_golike.Runtime.config -> ?requests:int -> ?conns:int ->
+  unit -> http_result
+(** The Table 2 "HTTP" row: net/http server, enclosed request handler
+    (no packages, no system calls) returning a 13 KB static page. *)
+
+val fasthttp :
+  config -> ?rcfg:Encl_golike.Runtime.config -> ?requests:int -> ?conns:int ->
+  unit -> http_result
+(** The Table 2 "FastHTTP" row: whole server enclosed with a net-only
+    filter, trusted handler goroutine behind channels. *)
+
+val wiki : config -> ?requests:int -> ?conns:int -> unit -> http_result
+(** The Figure 5 wiki application: GET-page workload against the
+    mini-Postgres remote, two enclosures (HTTP server, DB proxy). *)
+
+val wiki_check : config -> (string, string) result
+(** Functional check: create a page over POST, read it back over GET;
+    returns the page body seen by the client. *)

@@ -1,0 +1,1 @@
+lib/elf/image.ml: Bytes Encl_pkg Format List Section String

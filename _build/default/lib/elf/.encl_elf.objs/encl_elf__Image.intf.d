@@ -1,0 +1,1 @@
+lib/elf/image.mli: Bytes Encl_pkg Format Section

@@ -1,0 +1,1 @@
+lib/elf/linker.ml: Encl_pkg Encl_util Hashtbl Image List Objfile Option Phys Printf Section String

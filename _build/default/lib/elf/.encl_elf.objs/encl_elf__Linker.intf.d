@@ -1,0 +1,1 @@
+lib/elf/linker.mli: Image Objfile

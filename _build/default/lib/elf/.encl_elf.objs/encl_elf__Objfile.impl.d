@@ -1,0 +1,1 @@
+lib/elf/objfile.ml: Bytes List Printf

@@ -1,0 +1,1 @@
+lib/elf/section.ml: Encl_util Format Phys Printf Pte

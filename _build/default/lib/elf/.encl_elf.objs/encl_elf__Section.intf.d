@@ -1,0 +1,1 @@
+lib/elf/section.mli: Format Pte

@@ -1,0 +1,309 @@
+type error =
+  | Duplicate_package of string
+  | Missing_import of { importer : string; missing : string }
+  | Import_cycle of string list
+  | Unknown_entry of string
+  | Duplicate_enclosure of string
+
+let error_message = function
+  | Duplicate_package p -> Printf.sprintf "duplicate package %s" p
+  | Missing_import { importer; missing } ->
+      Printf.sprintf "package %s imports unknown package %s" importer missing
+  | Import_cycle cycle ->
+      Printf.sprintf "import cycle: %s" (String.concat " -> " cycle)
+  | Unknown_entry e -> Printf.sprintf "entry package %s not linked" e
+  | Duplicate_enclosure e -> Printf.sprintf "duplicate enclosure name %s" e
+
+let text_base = 0x0040_0000
+let rodata_base = 0x0080_0000
+let data_base = 0x00c0_0000
+let meta_base = 0x0100_0000
+let heap_base = 0x1000_0000
+
+let user_pkg = "litterbox.user"
+let super_pkg = "litterbox.super"
+
+let sym_align = 16
+
+(* Place a list of symbols contiguously from [base]; returns placed
+   symbols and the total size. *)
+let place_syms ~section ~pkg ~base syms =
+  let cursor = ref base in
+  let placed =
+    List.map
+      (fun (s : Objfile.sym) ->
+        let addr = !cursor in
+        cursor := Encl_util.Bitops.align_up (addr + max s.Objfile.sym_size sym_align) sym_align;
+        {
+          Image.ps_name = s.Objfile.sym_name;
+          ps_pkg = pkg;
+          ps_addr = addr;
+          ps_size = s.Objfile.sym_size;
+          ps_section = section;
+          ps_init = s.Objfile.sym_init;
+        })
+      syms
+  in
+  (placed, !cursor - base)
+
+(* Naive extraction of package names mentioned in a policy literal: tokens
+   of the memory-modifier part shaped like "pkg:RIGHTS". Used only to mark
+   packages; real parsing happens in the enclosure frontend. *)
+let policy_packages literal =
+  let mem_part =
+    match String.index_opt literal ';' with
+    | Some i -> String.sub literal 0 i
+    | None -> literal
+  in
+  String.split_on_char ' ' mem_part
+  |> List.filter_map (fun tok ->
+         match String.index_opt tok ':' with
+         | Some i when i > 0 -> Some (String.sub tok 0 i)
+         | Some _ | None -> None)
+
+let link ~objfiles ~entry =
+  let seen = Hashtbl.create 32 in
+  let dup =
+    List.find_opt
+      (fun (o : Objfile.t) ->
+        if Hashtbl.mem seen o.Objfile.pkg then true
+        else begin
+          Hashtbl.replace seen o.Objfile.pkg ();
+          false
+        end)
+      objfiles
+  in
+  match dup with
+  | Some o -> Error (Duplicate_package o.Objfile.pkg)
+  | None -> (
+      (* Graph construction and validation. *)
+      let graph = Encl_pkg.Graph.create () in
+      List.iter (fun (o : Objfile.t) -> Encl_pkg.Graph.add_package graph o.Objfile.pkg) objfiles;
+      let missing = ref None in
+      List.iter
+        (fun (o : Objfile.t) ->
+          List.iter
+            (fun dep ->
+              if not (Hashtbl.mem seen dep) then (
+                if !missing = None then
+                  missing :=
+                    Some (Missing_import { importer = o.Objfile.pkg; missing = dep }))
+              else Encl_pkg.Graph.add_import graph ~importer:o.Objfile.pkg ~imported:dep)
+            o.Objfile.imports)
+        objfiles;
+      match !missing with
+      | Some e -> Error e
+      | None -> (
+          match Encl_pkg.Graph.topological_order graph with
+          | Error cycle -> Error (Import_cycle cycle)
+          | Ok topo ->
+              if not (Hashtbl.mem seen entry) then Error (Unknown_entry entry)
+              else begin
+                (* Enclosure name uniqueness (program-wide identifiers). *)
+                let enc_names = Hashtbl.create 8 in
+                let dup_enc = ref None in
+                List.iter
+                  (fun (o : Objfile.t) ->
+                    List.iter
+                      (fun (e : Objfile.enclosure_decl) ->
+                        if Hashtbl.mem enc_names e.Objfile.enc_name then
+                          (if !dup_enc = None then dup_enc := Some e.Objfile.enc_name)
+                        else Hashtbl.replace enc_names e.Objfile.enc_name ())
+                      o.Objfile.enclosures)
+                  objfiles;
+                match !dup_enc with
+                | Some e -> Error (Duplicate_enclosure e)
+                | None ->
+                    let sections = ref [] in
+                    let symbols = ref [] in
+                    let page = Phys.page_size in
+                    let emit_section ~name ~owner ~kind ~addr ~size =
+                      let s = Section.make ~name ~owner ~kind ~addr ~size in
+                      sections := s :: !sections;
+                      Section.end_addr s
+                    in
+                    (* Deterministic placement order: link order = given
+                       object order. *)
+                    let ordered = objfiles in
+                    (* .text region: per-package text, enclosure closures
+                       isolated into their own sections. *)
+                    let text_cursor = ref text_base in
+                    let closure_addrs = Hashtbl.create 8 in
+                    List.iter
+                      (fun (o : Objfile.t) ->
+                        let enclosed_syms =
+                          List.map (fun (e : Objfile.enclosure_decl) -> e.Objfile.enc_closure) o.Objfile.enclosures
+                        in
+                        let plain =
+                          List.filter
+                            (fun (s : Objfile.sym) -> not (List.mem s.Objfile.sym_name enclosed_syms))
+                            o.Objfile.functions
+                        in
+                        if plain <> [] then begin
+                          let name = o.Objfile.pkg ^ ".text" in
+                          let placed, size =
+                            place_syms ~section:name ~pkg:o.Objfile.pkg ~base:!text_cursor plain
+                          in
+                          symbols := placed @ !symbols;
+                          text_cursor :=
+                            emit_section ~name ~owner:o.Objfile.pkg ~kind:Section.Text
+                              ~addr:!text_cursor ~size
+                        end;
+                        List.iter
+                          (fun (e : Objfile.enclosure_decl) ->
+                            let fn =
+                              Option.get (Objfile.find_function o e.Objfile.enc_closure)
+                            in
+                            let name =
+                              Printf.sprintf "%s.%s.text" o.Objfile.pkg e.Objfile.enc_name
+                            in
+                            let placed, size =
+                              place_syms ~section:name ~pkg:o.Objfile.pkg ~base:!text_cursor [ fn ]
+                            in
+                            symbols := placed @ !symbols;
+                            Hashtbl.replace closure_addrs
+                              (o.Objfile.pkg, e.Objfile.enc_closure)
+                              (List.hd placed).Image.ps_addr;
+                            text_cursor :=
+                              emit_section ~name ~owner:o.Objfile.pkg ~kind:Section.Text
+                                ~addr:!text_cursor ~size)
+                          o.Objfile.enclosures;
+                        text_cursor := Encl_util.Bitops.align_up !text_cursor page)
+                      ordered;
+                    (* LitterBox user/super text. *)
+                    let lb_user_text = !text_cursor in
+                    text_cursor :=
+                      emit_section ~name:(user_pkg ^ ".text") ~owner:user_pkg
+                        ~kind:Section.Text ~addr:lb_user_text ~size:2048;
+                    let lb_super_text = !text_cursor in
+                    ignore
+                      (emit_section ~name:(super_pkg ^ ".text") ~owner:super_pkg
+                         ~kind:Section.Text ~addr:lb_super_text ~size:8192);
+                    (* .rodata region. *)
+                    let ro_cursor = ref rodata_base in
+                    List.iter
+                      (fun (o : Objfile.t) ->
+                        if o.Objfile.constants <> [] then begin
+                          let name = o.Objfile.pkg ^ ".rodata" in
+                          let placed, size =
+                            place_syms ~section:name ~pkg:o.Objfile.pkg ~base:!ro_cursor
+                              o.Objfile.constants
+                          in
+                          symbols := placed @ !symbols;
+                          ro_cursor :=
+                            emit_section ~name ~owner:o.Objfile.pkg ~kind:Section.Rodata
+                              ~addr:!ro_cursor ~size
+                        end)
+                      ordered;
+                    (* .data region. *)
+                    let data_cursor = ref data_base in
+                    List.iter
+                      (fun (o : Objfile.t) ->
+                        if o.Objfile.globals <> [] then begin
+                          let name = o.Objfile.pkg ^ ".data" in
+                          let placed, size =
+                            place_syms ~section:name ~pkg:o.Objfile.pkg ~base:!data_cursor
+                              o.Objfile.globals
+                          in
+                          symbols := placed @ !symbols;
+                          data_cursor :=
+                            emit_section ~name ~owner:o.Objfile.pkg ~kind:Section.Data
+                              ~addr:!data_cursor ~size
+                        end)
+                      ordered;
+                    (* Enclosure descriptors. *)
+                    let next_id = ref 0 in
+                    let enclosures =
+                      List.concat_map
+                        (fun (o : Objfile.t) ->
+                          List.map
+                            (fun (e : Objfile.enclosure_decl) ->
+                              let id = !next_id in
+                              incr next_id;
+                              {
+                                Image.ed_id = id;
+                                ed_owner = o.Objfile.pkg;
+                                ed_name = e.Objfile.enc_name;
+                                ed_policy = e.Objfile.enc_policy;
+                                ed_closure = e.Objfile.enc_closure;
+                                ed_closure_addr =
+                                  Hashtbl.find closure_addrs
+                                    (o.Objfile.pkg, e.Objfile.enc_closure);
+                                ed_direct_deps = e.Objfile.enc_deps;
+                              })
+                            o.Objfile.enclosures)
+                        ordered
+                    in
+                    (* Marked packages: every package reachable from an
+                       enclosure's owner plus packages named in policies. *)
+                    let marked = Hashtbl.create 16 in
+                    List.iter
+                      (fun (e : Image.enclosure_desc) ->
+                        Hashtbl.replace marked e.Image.ed_owner ();
+                        List.iter
+                          (fun p ->
+                            Hashtbl.replace marked p ();
+                            List.iter
+                              (fun q -> Hashtbl.replace marked q ())
+                              (Encl_pkg.Graph.natural_deps graph p))
+                          e.Image.ed_direct_deps;
+                        List.iter
+                          (fun p -> if Hashtbl.mem seen p then Hashtbl.replace marked p ())
+                          (policy_packages e.Image.ed_policy))
+                      enclosures;
+                    let marked =
+                      Hashtbl.fold (fun k () acc -> k :: acc) marked [] |> List.sort compare
+                    in
+                    (* LitterBox meta sections. *)
+                    let meta_cursor = ref meta_base in
+                    let npkgs = List.length objfiles + 2 in
+                    meta_cursor :=
+                      emit_section ~name:".pkgs" ~owner:super_pkg ~kind:Section.Pkgs
+                        ~addr:!meta_cursor ~size:(64 * npkgs);
+                    meta_cursor :=
+                      emit_section ~name:".rstrct" ~owner:super_pkg ~kind:Section.Rstrct
+                        ~addr:!meta_cursor
+                        ~size:(max 64 (128 * List.length enclosures));
+                    (* Verification entries: enclosure prolog/epilog sites
+                       plus the runtime's transfer/execute sites. *)
+                    let verif =
+                      List.concat_map
+                        (fun (e : Image.enclosure_desc) ->
+                          let site = "enclosure:" ^ e.Image.ed_name in
+                          [
+                            { Image.ve_site = site; ve_hook = Image.Prolog };
+                            { Image.ve_site = site; ve_hook = Image.Epilog };
+                          ])
+                        enclosures
+                      @ [
+                          { Image.ve_site = "runtime.mallocgc"; ve_hook = Image.Transfer };
+                          { Image.ve_site = "runtime.scheduler"; ve_hook = Image.Execute };
+                        ]
+                    in
+                    ignore
+                      (emit_section ~name:".verif" ~owner:super_pkg ~kind:Section.Verif
+                         ~addr:!meta_cursor
+                         ~size:(max 64 (32 * List.length verif)));
+                    (* Graph nodes for the synthetic LitterBox packages. *)
+                    Encl_pkg.Graph.add_package graph user_pkg;
+                    Encl_pkg.Graph.add_package graph super_pkg;
+                    let init_order =
+                      List.filter
+                        (fun p ->
+                          List.exists
+                            (fun (o : Objfile.t) -> o.Objfile.pkg = p && o.Objfile.has_init)
+                            objfiles)
+                        topo
+                    in
+                    Ok
+                      {
+                        Image.graph;
+                        sections = List.rev !sections;
+                        symbols = List.rev !symbols;
+                        enclosures;
+                        verif;
+                        marked;
+                        init_order;
+                        entry;
+                      }
+              end))

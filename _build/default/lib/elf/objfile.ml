@@ -1,0 +1,57 @@
+type sym = { sym_name : string; sym_size : int; sym_init : Bytes.t option }
+
+let sym ?init name size =
+  (match init with
+  | Some b when Bytes.length b > size ->
+      invalid_arg (Printf.sprintf "Objfile.sym %s: init larger than size" name)
+  | Some _ | None -> ());
+  if size < 0 then invalid_arg "Objfile.sym: negative size";
+  { sym_name = name; sym_size = size; sym_init = init }
+
+type enclosure_decl = {
+  enc_name : string;
+  enc_policy : string;
+  enc_closure : string;
+  enc_deps : string list;
+}
+
+type t = {
+  pkg : string;
+  imports : string list;
+  functions : sym list;
+  constants : sym list;
+  globals : sym list;
+  enclosures : enclosure_decl list;
+  has_init : bool;
+}
+
+let make ~pkg ?(imports = []) ?(functions = []) ?(constants = []) ?(globals = [])
+    ?(enclosures = []) ?(has_init = false) () =
+  let names = List.concat_map (List.map (fun s -> s.sym_name)) [ functions; constants; globals ] in
+  let sorted = List.sort compare names in
+  let rec check_dup = function
+    | a :: b :: _ when a = b ->
+        invalid_arg (Printf.sprintf "Objfile %s: duplicate symbol %s" pkg a)
+    | _ :: rest -> check_dup rest
+    | [] -> ()
+  in
+  check_dup sorted;
+  List.iter
+    (fun e ->
+      if not (List.exists (fun s -> s.sym_name = e.enc_closure) functions) then
+        invalid_arg
+          (Printf.sprintf "Objfile %s: enclosure %s closure %s is not a declared function"
+             pkg e.enc_name e.enc_closure);
+      List.iter
+        (fun dep ->
+          if not (List.mem dep imports || dep = pkg) then
+            invalid_arg
+              (Printf.sprintf
+                 "Objfile %s: enclosure %s depends on %s, which the package does \
+                  not import"
+                 pkg e.enc_name dep))
+        e.enc_deps)
+    enclosures;
+  { pkg; imports; functions; constants; globals; enclosures; has_init }
+
+let find_function t name = List.find_opt (fun s -> s.sym_name = name) t.functions

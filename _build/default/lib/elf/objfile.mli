@@ -1,0 +1,52 @@
+(** Per-package code objects, as produced by a frontend compiler.
+
+    "The compiler outputs one code object per package that contains the
+    expected .text (functions), .data (global variables), and .rodata
+    (constants) sections, as well as a .rstrct section containing the
+    package's enclosures configurations and direct dependencies."
+    (paper §5.1) *)
+
+type sym = { sym_name : string; sym_size : int; sym_init : Bytes.t option }
+(** A symbol to be placed by the linker. [sym_init], when present, is the
+    initial contents copied into the image at load time (constants,
+    initialised globals). *)
+
+val sym : ?init:Bytes.t -> string -> int -> sym
+(** [sym ?init name size]; when [init] is given its length must not exceed
+    [size]. *)
+
+type enclosure_decl = {
+  enc_name : string;  (** e.g. ["rcl"] *)
+  enc_policy : string;  (** the policy literal, parsed at compile time *)
+  enc_closure : string;  (** name of the closure function it wraps *)
+  enc_deps : string list;
+      (** the closure's direct dependencies, as identified by the type
+          checker (paper §5.1) — each must be one of the package's
+          imports, or the package itself (a closure that calls local
+          helpers) *)
+}
+
+type t = {
+  pkg : string;
+  imports : string list;  (** direct dependencies *)
+  functions : sym list;
+  constants : sym list;
+  globals : sym list;
+  enclosures : enclosure_decl list;
+  has_init : bool;  (** package defines an [init] function *)
+}
+
+val make :
+  pkg:string ->
+  ?imports:string list ->
+  ?functions:sym list ->
+  ?constants:sym list ->
+  ?globals:sym list ->
+  ?enclosures:enclosure_decl list ->
+  ?has_init:bool ->
+  unit ->
+  t
+(** Validates that symbol names are unique within the object and that
+    every enclosure closure names a declared function. *)
+
+val find_function : t -> string -> sym option

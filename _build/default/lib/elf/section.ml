@@ -1,0 +1,32 @@
+type kind = Text | Rodata | Data | Arena | Rstrct | Pkgs | Verif
+
+let kind_name = function
+  | Text -> "text"
+  | Rodata -> "rodata"
+  | Data -> "data"
+  | Arena -> "arena"
+  | Rstrct -> "rstrct"
+  | Pkgs -> "pkgs"
+  | Verif -> "verif"
+
+let default_perms = function
+  | Text -> { Pte.r = true; w = false; x = true }
+  | Rodata | Rstrct | Pkgs | Verif -> { Pte.r = true; w = false; x = false }
+  | Data | Arena -> { Pte.r = true; w = true; x = false }
+
+type t = { name : string; owner : string; kind : kind; addr : int; size : int }
+
+let make ~name ~owner ~kind ~addr ~size =
+  if not (Encl_util.Bitops.is_aligned addr Phys.page_size) then
+    invalid_arg (Printf.sprintf "Section %s: address %#x not page aligned" name addr);
+  if size < 0 then invalid_arg "Section: negative size";
+  { name; owner; kind; addr; size }
+
+let pages t = (max t.size 1 + Phys.page_size - 1) / Phys.page_size
+let end_addr t = t.addr + (pages t * Phys.page_size)
+let contains t addr = addr >= t.addr && addr < end_addr t
+let overlaps a b = a.addr < end_addr b && b.addr < end_addr a
+
+let pp ppf t =
+  Format.fprintf ppf "%-28s %-12s %s %#010x..%#010x (%d B)" t.name t.owner
+    (kind_name t.kind) t.addr (end_addr t) t.size

@@ -1,0 +1,1 @@
+lib/enclosure/enclosure.ml: Clock Costs Encl_litterbox Fun

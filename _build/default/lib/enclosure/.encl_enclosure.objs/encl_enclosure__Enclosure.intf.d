@@ -1,0 +1,1 @@
+lib/enclosure/enclosure.mli: Encl_litterbox

@@ -1,0 +1,27 @@
+module Lb = Encl_litterbox.Litterbox
+module Policy = Encl_litterbox.Policy
+
+type 'r t = { lb : Lb.t; enc_name : string; site : string; body : unit -> 'r }
+
+let declare lb ~name body =
+  { lb; enc_name = name; site = "enclosure:" ^ name; body }
+
+let declare_dynamic lb ~name ~owner ~deps ~policy body =
+  match Policy.parse policy with
+  | Error e -> Error e
+  | Ok _ -> (
+      match Lb.register_enclosure lb ~name ~owner ~deps ~policy ~closure_addr:0 with
+      | Error e -> Error e
+      | Ok () -> Ok (declare lb ~name body))
+
+let call t =
+  let m = Lb.machine t.lb in
+  Clock.consume m.Encl_litterbox.Machine.clock Clock.Compute
+    m.Encl_litterbox.Machine.costs.Costs.closure_call;
+  Lb.prolog t.lb ~name:t.enc_name ~site:t.site;
+  Fun.protect ~finally:(fun () -> Lb.epilog t.lb ~site:t.site) t.body
+
+let name t = t.enc_name
+
+let check_policy literal =
+  match Policy.parse literal with Ok _ -> Ok () | Error e -> Error e

@@ -1,0 +1,43 @@
+(** The enclosure programming-language construct (paper §2).
+
+    [with \[Policies\] func (args) resultType { body }] is modelled as
+    {!declare}: it returns a closure permanently associated with a memory
+    view and system-call filter; the restrictions are enforced on every
+    execution of the closure and are dynamically scoped — they apply to
+    everything the closure invokes, including nested enclosures (which may
+    only restrict further). *)
+
+type 'r t
+(** A declared enclosure producing results of type ['r]. *)
+
+val declare :
+  Encl_litterbox.Litterbox.t ->
+  name:string ->
+  (unit -> 'r) ->
+  'r t
+(** Bind the closure to the (already linked/registered) enclosure [name].
+    The closure may be called any number of times; each call pays the
+    baseline closure-call cost plus the backend's switch costs. *)
+
+val declare_dynamic :
+  Encl_litterbox.Litterbox.t ->
+  name:string ->
+  owner:string ->
+  deps:string list ->
+  policy:string ->
+  (unit -> 'r) ->
+  ('r t, string) result
+(** Dynamic-language path: validate the policy literal, register the
+    enclosure with LitterBox ([Init] is called again, paper §5.2), and
+    bind the closure. *)
+
+val call : 'r t -> 'r
+(** Execute the closure inside its restrictive environment. Raises
+    {!Encl_litterbox.Litterbox.Fault} (or {!Cpu.Fault}) on a violation;
+    the environment is restored before the exception propagates. *)
+
+val name : 'r t -> string
+
+val check_policy : string -> (unit, string) result
+(** Compile-time validation of a policy literal (syntax and category
+    names only; package existence is checked at link/Init time). *)

@@ -1,0 +1,1 @@
+lib/golike/channel.ml: Clock Encl_litterbox List Option Queue Sched

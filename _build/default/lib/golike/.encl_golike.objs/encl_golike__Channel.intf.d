@@ -1,0 +1,1 @@
+lib/golike/channel.mli: Sched

@@ -1,0 +1,1 @@
+lib/golike/galloc.ml: Clock Encl_kernel Encl_litterbox Hashtbl List Phys

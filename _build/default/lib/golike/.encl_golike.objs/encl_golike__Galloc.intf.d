@@ -1,0 +1,1 @@
+lib/golike/galloc.mli: Encl_litterbox

@@ -1,0 +1,1 @@
+lib/golike/gbuf.ml: Bytes Char Cpu Encl_litterbox

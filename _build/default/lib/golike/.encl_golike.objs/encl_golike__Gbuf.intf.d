@@ -1,0 +1,1 @@
+lib/golike/gbuf.mli: Bytes Encl_litterbox

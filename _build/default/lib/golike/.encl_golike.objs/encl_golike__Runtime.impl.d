@@ -1,0 +1,1 @@
+lib/golike/runtime.ml: Clock Costs Cpu Encl_elf Encl_enclosure Encl_kernel Encl_litterbox Encl_pkg Fun Galloc Gbuf List Printf Sched

@@ -1,0 +1,1 @@
+lib/golike/runtime.mli: Bytes Clock Costs Encl_elf Encl_kernel Encl_litterbox Galloc Gbuf Sched

@@ -1,0 +1,1 @@
+lib/golike/sched.ml: Effect Encl_litterbox Encl_util List Queue

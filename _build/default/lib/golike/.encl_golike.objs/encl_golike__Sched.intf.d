@@ -1,0 +1,1 @@
+lib/golike/sched.mli: Encl_litterbox

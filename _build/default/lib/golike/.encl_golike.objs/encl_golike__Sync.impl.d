@@ -1,0 +1,1 @@
+lib/golike/sync.ml: Fun Sched

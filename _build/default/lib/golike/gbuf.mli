@@ -1,0 +1,30 @@
+(** Guest-memory buffers: the values Go-like programs manipulate.
+
+    Every access goes through the simulated CPU, so it is checked against
+    the current execution environment — reading a buffer owned by a
+    package outside the enclosure's view faults, exactly like the paper's
+    hardware enforcement. *)
+
+type t = { addr : int; len : int }
+
+val sub : t -> pos:int -> len:int -> t
+
+val get : Encl_litterbox.Machine.t -> t -> int -> int
+(** Byte at index. *)
+
+val set : Encl_litterbox.Machine.t -> t -> int -> int -> unit
+val fill : Encl_litterbox.Machine.t -> t -> int -> unit
+
+val read_string : Encl_litterbox.Machine.t -> t -> string
+val write_string : Encl_litterbox.Machine.t -> t -> string -> unit
+(** Writes at offset 0; the string must fit. *)
+
+val read_bytes : Encl_litterbox.Machine.t -> t -> Bytes.t
+val write_bytes : Encl_litterbox.Machine.t -> t -> Bytes.t -> unit
+
+val blit :
+  Encl_litterbox.Machine.t -> src:t -> dst:t -> unit
+(** Copies [min src.len dst.len] bytes. *)
+
+val get64 : Encl_litterbox.Machine.t -> t -> int -> int64
+val set64 : Encl_litterbox.Machine.t -> t -> int -> int64 -> unit

@@ -1,0 +1,189 @@
+module Lb = Encl_litterbox.Litterbox
+module Machine = Encl_litterbox.Machine
+module K = Encl_kernel.Kernel
+module Objfile = Encl_elf.Objfile
+module Linker = Encl_elf.Linker
+module Image = Encl_elf.Image
+module Enclosure = Encl_enclosure.Enclosure
+
+type t = {
+  machine : Machine.t;
+  lb : Lb.t option;
+  image : Image.t;
+  sched : Sched.t;
+  galloc : Galloc.t;
+  mutable pkg_stack : string list;
+}
+
+type pkgdef = {
+  pd_obj : Objfile.t;
+  pd_init : (t -> unit) option;
+}
+
+let package name ?(imports = []) ?(functions = []) ?(globals = [])
+    ?(constants = []) ?(enclosures = []) ?init () =
+  let syms l = List.map (fun (n, size) -> Objfile.sym n size) l in
+  let init_syms l = List.map (fun (n, size, init) -> Objfile.sym ?init n size) l in
+  {
+    pd_obj =
+      Objfile.make ~pkg:name ~imports ~functions:(syms functions)
+        ~globals:(init_syms globals) ~constants:(init_syms constants)
+        ~enclosures ~has_init:(init <> None) ();
+    pd_init = init;
+  }
+
+type config = { backend : Lb.backend option; costs : Costs.t; clustering : bool }
+
+let baseline = { backend = None; costs = Costs.default; clustering = true }
+let with_backend b = { backend = Some b; costs = Costs.default; clustering = true }
+
+let validate_policies packages =
+  let rec check_pkgs = function
+    | [] -> Ok ()
+    | pd :: rest -> (
+        let rec check_encs = function
+          | [] -> check_pkgs rest
+          | (e : Objfile.enclosure_decl) :: more -> (
+              match Enclosure.check_policy e.Objfile.enc_policy with
+              | Ok () -> check_encs more
+              | Error err ->
+                  Error
+                    (Printf.sprintf "compile: enclosure %s in %s: %s"
+                       e.Objfile.enc_name pd.pd_obj.Objfile.pkg err))
+        in
+        check_encs pd.pd_obj.Objfile.enclosures)
+  in
+  check_pkgs packages
+
+let boot config ~packages ~entry =
+  match validate_policies packages with
+  | Error e -> Error e
+  | Ok () -> (
+      match
+        Linker.link ~objfiles:(List.map (fun p -> p.pd_obj) packages) ~entry
+      with
+      | Error e -> Error (Linker.error_message e)
+      | Ok image -> (
+          let machine = Machine.create ~costs:config.costs () in
+          let lb_result =
+            match config.backend with
+            | None -> (
+                (* Baseline still loads the image so symbols are usable. *)
+                match Encl_litterbox.Loader.load machine image with
+                | Ok () -> Ok None
+                | Error e -> Error e)
+            | Some backend -> (
+                match
+                  Lb.init ~machine ~backend ~image ~clustering:config.clustering ()
+                with
+                | Ok lb -> Ok (Some lb)
+                | Error e -> Error e)
+          in
+          match lb_result with
+          | Error e -> Error e
+          | Ok lb ->
+              let galloc = Galloc.create ~machine ~lb () in
+              let sched = Sched.create ~machine ~lb () in
+              let t = { machine; lb; image; sched; galloc; pkg_stack = [ entry ] } in
+              (* Package init functions, dependencies first. *)
+              let rec run_inits = function
+                | [] -> ()
+                | pkg :: rest ->
+                    (match
+                       List.find_opt (fun p -> p.pd_obj.Objfile.pkg = pkg) packages
+                     with
+                    | Some { pd_init = Some init; _ } -> init t
+                    | Some _ | None -> ());
+                    run_inits rest
+              in
+              run_inits image.Image.init_order;
+              Ok t))
+
+let machine t = t.machine
+let lb t = t.lb
+let image t = t.image
+let sched t = t.sched
+let galloc t = t.galloc
+let clock t = t.machine.Machine.clock
+
+let symbol_addr t ~pkg name =
+  match Image.find_symbol t.image ~pkg name with
+  | Some s -> s.Image.ps_addr
+  | None -> invalid_arg (Printf.sprintf "unknown symbol %s.%s" pkg name)
+
+let global t ~pkg name =
+  match Image.find_symbol t.image ~pkg name with
+  | Some s -> { Gbuf.addr = s.Image.ps_addr; len = s.Image.ps_size }
+  | None -> invalid_arg (Printf.sprintf "unknown symbol %s.%s" pkg name)
+
+(* Function-call entry cost, ns. *)
+let call_entry_ns = 4
+
+let in_function t ~pkg ~fn body =
+  let addr = symbol_addr t ~pkg fn in
+  Cpu.fetch t.machine.Machine.cpu ~addr;
+  Clock.consume t.machine.Machine.clock Clock.Compute call_entry_ns;
+  t.pkg_stack <- pkg :: t.pkg_stack;
+  Fun.protect
+    ~finally:(fun () ->
+      match t.pkg_stack with
+      | _ :: rest -> t.pkg_stack <- rest
+      | [] -> ())
+    body
+
+let current_pkg t = match t.pkg_stack with p :: _ -> p | [] -> "main"
+
+let alloc_in t ~pkg size = { Gbuf.addr = Galloc.alloc t.galloc ~pkg size; len = size }
+let alloc t size = alloc_in t ~pkg:(current_pkg t) size
+
+let syscall t call =
+  match t.lb with
+  | Some lb -> Lb.syscall lb call
+  | None -> K.syscall t.machine.Machine.kernel call
+
+let syscall_exn t call =
+  match syscall t call with
+  | Ok v -> v
+  | Error e ->
+      failwith
+        (Printf.sprintf "syscall %s failed: %s"
+           (Encl_kernel.Sysno.name (K.sysno_of_call call))
+           (K.errno_name e))
+
+let with_enclosure t name body =
+  match t.lb with
+  | None ->
+      (* Vanilla closure call (the paper's Baseline configuration). *)
+      Clock.consume t.machine.Machine.clock Clock.Compute
+        t.machine.Machine.costs.Costs.closure_call;
+      body ()
+  | Some lb -> Enclosure.call (Enclosure.declare lb ~name body)
+
+let go t f = Sched.go t.sched f
+let yield t = Sched.yield t.sched
+let run_main t f = Sched.main t.sched f
+let kick t = Sched.kick t.sched
+
+(* GC pass cost per live span, ns. *)
+let gc_span_ns = 210
+
+let gc t =
+  let spans =
+    List.fold_left
+      (fun acc pkg -> acc + Galloc.spans_of t.galloc ~pkg)
+      0
+      (Encl_pkg.Graph.packages t.image.Image.graph)
+  in
+  let work () =
+    Clock.consume t.machine.Machine.clock Clock.Gc (gc_span_ns * max 1 spans)
+  in
+  match t.lb with None -> work () | Some lb -> Lb.with_trusted lb work
+
+let stats t =
+  let k = t.machine.Machine.kernel in
+  Printf.sprintf "clock=%dns syscalls=%d%s" (Clock.now (clock t)) (K.syscall_count k)
+    (match t.lb with
+    | None -> " (baseline)"
+    | Some lb ->
+        Printf.sprintf " switches=%d transfers=%d faults=%d" (Lb.switch_count lb)
+          (Lb.transfer_count lb) (Lb.fault_count lb))

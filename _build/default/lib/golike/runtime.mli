@@ -1,0 +1,100 @@
+(** The Go-like language runtime: program construction ("compiler" +
+    linker front door), startup, and the services generated code uses —
+    allocation tagged with the calling package, enclosure invocation,
+    system calls, goroutines, and GC.
+
+    A program is a set of package definitions. Function bodies are OCaml
+    closures, but every function has a linked symbol with an address in
+    its package's text section: {!in_function} performs the
+    instruction-fetch check against the current execution environment
+    before running the body, which is how calling a function of an
+    unmapped package faults. *)
+
+module Lb = Encl_litterbox.Litterbox
+module Machine = Encl_litterbox.Machine
+module K = Encl_kernel.Kernel
+
+type t
+
+(** {2 Program definition} *)
+
+type pkgdef
+
+val package :
+  string ->
+  ?imports:string list ->
+  ?functions:(string * int) list ->
+  ?globals:(string * int * Bytes.t option) list ->
+  ?constants:(string * int * Bytes.t option) list ->
+  ?enclosures:Encl_elf.Objfile.enclosure_decl list ->
+  ?init:(t -> unit) ->
+  unit ->
+  pkgdef
+(** [functions] are [(name, code size)] pairs. *)
+
+type config = {
+  backend : Lb.backend option;  (** [None] = unmodified-Go baseline *)
+  costs : Costs.t;
+  clustering : bool;  (** meta-package clustering (ablation switch) *)
+}
+
+val baseline : config
+val with_backend : Lb.backend -> config
+
+val boot :
+  config -> packages:pkgdef list -> entry:string -> (t, string) result
+(** Compile (validating enclosure policies), link, create the machine,
+    initialize LitterBox when a backend is selected, and run package
+    [init] functions in dependency order. *)
+
+(** {2 Accessors} *)
+
+val machine : t -> Machine.t
+val lb : t -> Lb.t option
+val image : t -> Encl_elf.Image.t
+val sched : t -> Sched.t
+val galloc : t -> Galloc.t
+val clock : t -> Clock.t
+
+(** {2 Services for generated code} *)
+
+val in_function : t -> pkg:string -> fn:string -> (unit -> 'a) -> 'a
+(** Instruction-fetch check on the function's symbol, then run the body
+    with the allocation context set to [pkg]. *)
+
+val current_pkg : t -> string
+
+val alloc : t -> int -> Gbuf.t
+(** Allocate in the current package's arena (mallocgc tagged with the
+    caller's package identifier, paper §5.1). *)
+
+val alloc_in : t -> pkg:string -> int -> Gbuf.t
+
+val syscall : t -> K.call -> (int, K.errno) result
+(** Through LitterBox when active, straight to the kernel otherwise. *)
+
+val syscall_exn : t -> K.call -> int
+(** Like {!syscall} but failwith on errno (for workloads that expect
+    success). *)
+
+val with_enclosure : t -> string -> (unit -> 'a) -> 'a
+(** Call a closure inside the named enclosure (linked statically). In
+    baseline mode this is a vanilla closure call. *)
+
+val go : t -> (unit -> unit) -> unit
+val yield : t -> unit
+val run_main : t -> (unit -> unit) -> unit
+val kick : t -> unit
+
+val gc : t -> unit
+(** A stop-the-world collection pass: runs with full access to program
+    resources in a trusted execution environment (paper §5.1); cost
+    proportional to the number of live spans. *)
+
+val symbol_addr : t -> pkg:string -> string -> int
+
+val global : t -> pkg:string -> string -> Gbuf.t
+(** The buffer of a linked global/constant symbol. *)
+
+val stats : t -> string
+(** One-line summary: switches, transfers, faults, syscalls, clock. *)

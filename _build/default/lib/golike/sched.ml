@@ -1,0 +1,157 @@
+module Lb = Encl_litterbox.Litterbox
+module Machine = Encl_litterbox.Machine
+
+type _ Effect.t += Yield : unit Effect.t | Wait : (unit -> bool) -> unit Effect.t
+
+type step_result =
+  | Done
+  | Yielded of (unit, step_result) Effect.Deep.continuation
+  | Waiting of (unit -> bool) * (unit, step_result) Effect.Deep.continuation
+
+type state =
+  | Start of (unit -> unit)
+  | Cont of (unit, step_result) Effect.Deep.continuation
+
+type fiber = {
+  fid : int;
+  mutable env : Lb.env_ref option;  (** [None] in baseline mode *)
+  mutable state : state option;
+  mutable pred : (unit -> bool) option;
+}
+
+type t = {
+  machine : Machine.t;
+  lb : Lb.t option;
+  runq : fiber Queue.t;
+  mutable blocked : fiber list;
+  mutable current : fiber option;
+  ids : Encl_util.Ids.t;
+  mutable exec_switches : int;
+}
+
+let create ~machine ~lb () =
+  {
+    machine;
+    lb;
+    runq = Queue.create ();
+    blocked = [];
+    current = None;
+    ids = Encl_util.Ids.make ();
+    exec_switches = 0;
+  }
+
+let in_fiber t = t.current <> None
+
+let capture_current_env t =
+  match t.lb with None -> None | Some lb -> Some (Lb.capture_env lb)
+
+let go t f =
+  let fiber =
+    {
+      fid = Encl_util.Ids.next t.ids;
+      env = capture_current_env t;
+      state = Some (Start f);
+      pred = None;
+    }
+  in
+  Queue.push fiber t.runq
+
+let yield t = if in_fiber t then Effect.perform Yield
+
+let wait_until t pred =
+  if not (in_fiber t) then invalid_arg "Sched.wait_until: not inside a goroutine";
+  if not (pred ()) then Effect.perform (Wait pred)
+
+(* Restore a fiber's environment via the Execute hook, skipping redundant
+   switches. *)
+let switch_env t fiber =
+  match (t.lb, fiber.env) with
+  | None, _ -> ()
+  | Some lb, env ->
+      let target = match env with Some e -> e | None -> Lb.trusted_env_ref lb in
+      if not (Lb.env_matches lb target) then begin
+        t.exec_switches <- t.exec_switches + 1;
+        Lb.execute lb target ~site:"runtime.scheduler"
+      end
+
+let save_env t fiber =
+  match t.lb with
+  | None -> ()
+  | Some lb -> fiber.env <- Some (Lb.capture_env lb)
+
+let run_step (_ : t) fiber =
+  let open Effect.Deep in
+  let handler =
+    {
+      retc = (fun () -> Done);
+      exnc = (fun e -> raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Yield ->
+              Some (fun (k : (a, step_result) continuation) -> Yielded k)
+          | Wait p ->
+              Some (fun (k : (a, step_result) continuation) -> Waiting (p, k))
+          | _ -> None);
+    }
+  in
+  match fiber.state with
+  | None -> Done
+  | Some (Start f) ->
+      fiber.state <- None;
+      match_with f () handler
+  | Some (Cont k) ->
+      fiber.state <- None;
+      continue k ()
+
+let promote_unblocked t =
+  let still_blocked =
+    List.filter
+      (fun fiber ->
+        match fiber.pred with
+        | Some p when p () ->
+            fiber.pred <- None;
+            Queue.push fiber t.runq;
+            false
+        | Some _ -> true
+        | None ->
+            Queue.push fiber t.runq;
+            false)
+      t.blocked
+  in
+  t.blocked <- still_blocked
+
+let rec schedule t =
+  if Queue.is_empty t.runq then begin
+    promote_unblocked t;
+    if not (Queue.is_empty t.runq) then schedule t
+  end
+  else begin
+    let fiber = Queue.pop t.runq in
+    switch_env t fiber;
+    let saved = t.current in
+    t.current <- Some fiber;
+    let result = run_step t fiber in
+    t.current <- saved;
+    (match result with
+    | Done -> ()
+    | Yielded k ->
+        save_env t fiber;
+        fiber.state <- Some (Cont k);
+        Queue.push fiber t.runq
+    | Waiting (p, k) ->
+        save_env t fiber;
+        fiber.state <- Some (Cont k);
+        fiber.pred <- Some p;
+        t.blocked <- t.blocked @ [ fiber ]);
+    schedule t
+  end
+
+let main t f =
+  go t f;
+  schedule t
+
+let kick t = schedule t
+let blocked_count t = List.length t.blocked
+let machine t = t.machine
+let switch_count t = t.exec_switches

@@ -1,0 +1,45 @@
+(** The Go-like user-level scheduler (goroutines).
+
+    Goroutines are cooperative fibers built on OCaml effects. Each fiber
+    carries the execution environment captured when it was spawned —
+    "execution environments are transitively inherited by goroutine
+    creation so that user-level threads created inside an enclosure's
+    environment continue to execute in the same environment" (paper §5.1)
+    — and the scheduler calls LitterBox's [Execute] hook whenever it
+    resumes a fiber whose environment differs from the current one. *)
+
+type t
+
+val create :
+  machine:Encl_litterbox.Machine.t ->
+  lb:Encl_litterbox.Litterbox.t option ->
+  unit ->
+  t
+
+val go : t -> (unit -> unit) -> unit
+(** Spawn a goroutine inheriting the current execution environment. May
+    be called from inside or outside a fiber. *)
+
+val yield : t -> unit
+(** Cooperatively yield the current fiber. No-op outside fibers. *)
+
+val wait_until : t -> (unit -> bool) -> unit
+(** Block the current fiber until the predicate holds. The predicate is
+    re-evaluated every scheduling round. Must be called from a fiber. *)
+
+val main : t -> (unit -> unit) -> unit
+(** Run [f] as the initial goroutine and schedule until no fiber is
+    runnable. Blocked fibers (e.g. servers waiting for connections)
+    survive across calls: a later {!kick} resumes scheduling. *)
+
+val kick : t -> unit
+(** Re-enter the scheduler: promote fibers whose wait predicates have
+    become true (e.g. after a test injected network traffic) and run
+    until idle again. *)
+
+val blocked_count : t -> int
+val switch_count : t -> int
+(** Environment switches performed via the Execute hook. *)
+
+val in_fiber : t -> bool
+val machine : t -> Encl_litterbox.Machine.t

@@ -1,0 +1,51 @@
+module Mutex = struct
+  type t = { sched : Sched.t; mutable locked : bool }
+
+  let create sched = { sched; locked = false }
+
+  let rec lock t =
+    Sched.wait_until t.sched (fun () -> not t.locked);
+    (* Another waiter may have grabbed it between wake-up and here. *)
+    if t.locked then lock t else t.locked <- true
+
+  let unlock t =
+    if not t.locked then invalid_arg "Mutex.unlock: not locked";
+    t.locked <- false
+
+  let with_lock t f =
+    lock t;
+    Fun.protect ~finally:(fun () -> unlock t) f
+
+  let is_locked t = t.locked
+end
+
+module Waitgroup = struct
+  type t = { sched : Sched.t; mutable count : int }
+
+  let create sched = { sched; count = 0 }
+
+  let add t n =
+    if t.count + n < 0 then invalid_arg "Waitgroup.add: negative counter";
+    t.count <- t.count + n
+
+  let finish t =
+    if t.count <= 0 then invalid_arg "Waitgroup.finish: counter underflow";
+    t.count <- t.count - 1
+
+  let wait t = Sched.wait_until t.sched (fun () -> t.count = 0)
+  let count t = t.count
+end
+
+module Once = struct
+  type t = { mutable ran : bool }
+
+  let create () = { ran = false }
+
+  let run t f =
+    if not t.ran then begin
+      t.ran <- true;
+      f ()
+    end
+
+  let done_ t = t.ran
+end

@@ -1,0 +1,43 @@
+(** Go-like synchronization primitives over the cooperative scheduler.
+
+    Even though the simulation is single-threaded, goroutines interleave
+    at every blocking point, so programs still need mutual exclusion
+    around multi-step critical sections and completion barriers. *)
+
+module Mutex : sig
+  type t
+
+  val create : Sched.t -> t
+  val lock : t -> unit
+  (** Blocks the goroutine while another holds the lock. *)
+
+  val unlock : t -> unit
+  (** Raises [Invalid_argument] if the mutex is not held. *)
+
+  val with_lock : t -> (unit -> 'a) -> 'a
+  val is_locked : t -> bool
+end
+
+module Waitgroup : sig
+  type t
+
+  val create : Sched.t -> t
+  val add : t -> int -> unit
+  val finish : t -> unit
+  (** Go's [wg.Done()]. Raises [Invalid_argument] below zero. *)
+
+  val wait : t -> unit
+  (** Blocks until the counter reaches zero. *)
+
+  val count : t -> int
+end
+
+module Once : sig
+  type t
+
+  val create : unit -> t
+  val run : t -> (unit -> unit) -> unit
+  (** Runs the function the first time only. *)
+
+  val done_ : t -> bool
+end

@@ -1,0 +1,1 @@
+lib/kernel/bpf.ml: Array Format Int32 List Option

@@ -1,0 +1,1 @@
+lib/kernel/kernel.ml: Bpf Bytes Clock Costs Cpu Encl_util Fun Hashtbl List Mm Mpk Net Option Phys Pte Seccomp Sysno Vfs

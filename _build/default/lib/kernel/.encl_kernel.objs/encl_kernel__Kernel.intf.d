@@ -1,0 +1,1 @@
+lib/kernel/kernel.mli: Bpf Clock Costs Cpu Mm Mpk Net Sysno Vfs

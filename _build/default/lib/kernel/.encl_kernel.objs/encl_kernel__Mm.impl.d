@@ -1,0 +1,1 @@
+lib/kernel/mm.ml: Encl_util Hashtbl List Pagetable Phys Printf Pte

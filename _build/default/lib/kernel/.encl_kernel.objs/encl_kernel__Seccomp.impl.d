@@ -1,0 +1,1 @@
+lib/kernel/seccomp.ml: Array Bpf Hashtbl Int32 List Mpk Printf Sysno

@@ -1,0 +1,514 @@
+type errno =
+  | Eperm
+  | Enoent
+  | Ebadf
+  | Eagain
+  | Einval
+  | Enomem
+  | Eexist
+  | Enotdir
+  | Eisdir
+  | Eacces
+  | Econnrefused
+  | Epipe
+  | Enosys
+
+let errno_name = function
+  | Eperm -> "EPERM"
+  | Enoent -> "ENOENT"
+  | Ebadf -> "EBADF"
+  | Eagain -> "EAGAIN"
+  | Einval -> "EINVAL"
+  | Enomem -> "ENOMEM"
+  | Eexist -> "EEXIST"
+  | Enotdir -> "ENOTDIR"
+  | Eisdir -> "EISDIR"
+  | Eacces -> "EACCES"
+  | Econnrefused -> "ECONNREFUSED"
+  | Epipe -> "EPIPE"
+  | Enosys -> "ENOSYS"
+
+let errno_of_vfs = function
+  | Vfs.Enoent -> Enoent
+  | Vfs.Eexist -> Eexist
+  | Vfs.Enotdir -> Enotdir
+  | Vfs.Eisdir -> Eisdir
+  | Vfs.Einval -> Einval
+  | Vfs.Eacces -> Eacces
+
+type open_flag = O_rdonly | O_wronly | O_rdwr | O_creat | O_trunc | O_append
+
+type call =
+  | Open of { path : string; flags : open_flag list }
+  | Close of int
+  | Read of { fd : int; buf : int; len : int }
+  | Write of { fd : int; buf : int; len : int }
+  | Stat of string
+  | Unlink of string
+  | Mkdir of string
+  | Readdir of string
+  | Socket
+  | Connect of { fd : int; ip : int; port : int }
+  | Bind of { fd : int; port : int }
+  | Listen of int
+  | Accept of int
+  | Send of { fd : int; buf : int; len : int }
+  | Recv of { fd : int; buf : int; len : int }
+  | Getuid
+  | Getpid
+  | Gettimeofday
+  | Clock_gettime
+  | Nanosleep of int
+  | Sched_yield
+  | Futex
+  | Getrandom of { buf : int; len : int }
+  | Mmap of { len : int }
+  | Munmap of { addr : int; len : int }
+  | Pkey_mprotect of { addr : int; len : int; key : int }
+  | Pkey_alloc
+  | Pkey_free of int
+  | Epoll_wait
+  | Epoll_ctl of int
+  | Setsockopt of int
+  | Pipe
+  | Dup of int
+  | Lseek of { fd : int; off : int; whence : int }
+  | Fstat of int
+  | Chmod of { path : string; mode : int }
+  | Getcwd of { buf : int; len : int }
+
+let sysno_of_call = function
+  | Open _ -> Sysno.Open
+  | Close _ -> Sysno.Close
+  | Read _ -> Sysno.Read
+  | Write _ -> Sysno.Write
+  | Stat _ -> Sysno.Stat
+  | Unlink _ -> Sysno.Unlink
+  | Mkdir _ -> Sysno.Mkdir
+  | Readdir _ -> Sysno.Readdir
+  | Socket -> Sysno.Socket
+  | Connect _ -> Sysno.Connect
+  | Bind _ -> Sysno.Bind
+  | Listen _ -> Sysno.Listen
+  | Accept _ -> Sysno.Accept
+  | Send _ -> Sysno.Sendto
+  | Recv _ -> Sysno.Recvfrom
+  | Getuid -> Sysno.Getuid
+  | Getpid -> Sysno.Getpid
+  | Gettimeofday -> Sysno.Gettimeofday
+  | Clock_gettime -> Sysno.Clock_gettime
+  | Nanosleep _ -> Sysno.Nanosleep
+  | Sched_yield -> Sysno.Sched_yield
+  | Futex -> Sysno.Futex
+  | Getrandom _ -> Sysno.Getrandom
+  | Mmap _ -> Sysno.Mmap
+  | Munmap _ -> Sysno.Munmap
+  | Pkey_mprotect _ -> Sysno.Pkey_mprotect
+  | Pkey_alloc -> Sysno.Pkey_alloc
+  | Pkey_free _ -> Sysno.Pkey_free
+  | Epoll_wait -> Sysno.Epoll_wait
+  | Epoll_ctl _ -> Sysno.Epoll_ctl
+  | Setsockopt _ -> Sysno.Setsockopt
+  | Pipe -> Sysno.Pipe
+  | Dup _ -> Sysno.Dup
+  | Lseek _ -> Sysno.Lseek
+  | Fstat _ -> Sysno.Fstat
+  | Chmod _ -> Sysno.Chmod
+  | Getcwd _ -> Sysno.Getcwd
+
+(* BPF argument vector: arg0 carries what filters dispatch on. *)
+let bpf_args = function
+  | Connect { ip; _ } -> [| ip |]
+  | Open { path = _; _ } -> [| 0 |]
+  | Read { fd; _ } | Write { fd; _ } | Send { fd; _ } | Recv { fd; _ } -> [| fd |]
+  | _ -> [| 0 |]
+
+exception Syscall_killed of { nr : Sysno.t; env : string }
+exception Exited of int
+
+type fd_desc =
+  | Fd_file of { path : string; mutable offset : int; readable : bool; writable : bool }
+  | Fd_sock_unbound of { mutable port : int option }
+  | Fd_sock_listen of Net.listener
+  | Fd_sock_stream of Net.ep
+
+type t = {
+  clock : Clock.t;
+  costs : Costs.t;
+  cpu : Cpu.t;
+  trusted_env : Cpu.env;
+  vfs : Vfs.t;
+  net : Net.t;
+  mm : Mm.t;
+  seccomp : Seccomp.t;
+  pkeys : Mpk.allocator;
+  fds : (int, fd_desc) Hashtbl.t;
+  mutable next_fd : int;
+  rng : Encl_util.Rng.t;
+  counts : (Sysno.t, int) Hashtbl.t;
+  mutable total : int;
+}
+
+let create ~clock ~costs ~cpu ~trusted_env ~vfs ~net ~mm =
+  {
+    clock;
+    costs;
+    cpu;
+    trusted_env;
+    vfs;
+    net;
+    mm;
+    seccomp = Seccomp.create ();
+    pkeys = Mpk.allocator ();
+    fds = Hashtbl.create 64;
+    next_fd = 3;
+    rng = Encl_util.Rng.make ~seed:0x5eccf11eL;
+    counts = Hashtbl.create 64;
+    total = 0;
+  }
+
+let vfs t = t.vfs
+let net t = t.net
+let mm t = t.mm
+let clock t = t.clock
+let install_seccomp t prog = Seccomp.install t.seccomp prog
+let seccomp_installed t = Seccomp.installed t.seccomp
+let pkey_allocator t = t.pkeys
+
+let with_trusted t f =
+  let saved = Cpu.env t.cpu in
+  Cpu.set_env t.cpu t.trusted_env;
+  Fun.protect ~finally:(fun () -> Cpu.set_env t.cpu saved) f
+
+let copy_to_user t ~addr data = with_trusted t (fun () -> Cpu.write_bytes t.cpu ~addr data)
+let copy_from_user t ~addr ~len = with_trusted t (fun () -> Cpu.read_bytes t.cpu ~addr ~len)
+
+let pages_of len = (max len 1 + Phys.page_size - 1) / Phys.page_size
+
+(* Per-call kernel service cost (on top of the trap). *)
+let service_cost call =
+  match call with
+  | Read { len; _ } | Write { len; _ } | Send { len; _ } | Recv { len; _ } ->
+      120 + (len / 16)
+  | Open _ -> 450
+  | Close _ -> 90
+  | Stat _ -> 280
+  | Unlink _ -> 260
+  | Mkdir _ -> 320
+  | Readdir _ -> 340
+  | Socket -> 310
+  | Connect _ -> 1200
+  | Bind _ -> 180
+  | Listen _ -> 150
+  | Accept _ -> 240
+  | Getuid | Getpid -> 0
+  | Gettimeofday | Clock_gettime -> 25
+  | Nanosleep _ -> 0 (* the sleep itself is accounted separately *)
+  | Sched_yield -> 60
+  | Futex -> 320
+  | Getrandom { len; _ } -> 90 + (len / 4)
+  | Mmap { len } -> 380 + (18 * pages_of len)
+  | Munmap { len; _ } -> 200 + (8 * pages_of len)
+  | Pkey_mprotect { len; _ } -> 333 + (63 * pages_of len)
+  | Pkey_alloc | Pkey_free _ -> 140
+  | Epoll_wait -> 120
+  | Epoll_ctl _ -> 90
+  | Setsockopt _ -> 80
+  | Pipe -> 420
+  | Dup _ -> 60
+  | Lseek _ -> 40
+  | Fstat _ -> 180
+  | Chmod _ -> 240
+  | Getcwd _ -> 35
+
+let alloc_fd t desc =
+  let fd = t.next_fd in
+  t.next_fd <- fd + 1;
+  Hashtbl.replace t.fds fd desc;
+  fd
+
+let find_fd t fd = Hashtbl.find_opt t.fds fd
+
+let file_readable flags =
+  List.mem O_rdonly flags || List.mem O_rdwr flags || flags = []
+
+let file_writable flags =
+  List.mem O_wronly flags || List.mem O_rdwr flags || List.mem O_append flags
+
+let execute t call =
+  match call with
+  | Getuid -> Ok 1000
+  | Getpid -> Ok 4217
+  | Gettimeofday | Clock_gettime -> Ok (Clock.now t.clock / 1000)
+  | Nanosleep ns ->
+      Clock.consume t.clock Clock.Other ns;
+      Ok 0
+  | Sched_yield -> Ok 0
+  | Futex -> Ok 0
+  | Getrandom { buf; len } ->
+      let data = Bytes.init len (fun _ -> Encl_util.Rng.byte t.rng) in
+      copy_to_user t ~addr:buf data;
+      Ok len
+  | Open { path; flags } ->
+      let exists = Vfs.exists t.vfs path in
+      if (not exists) && not (List.mem O_creat flags) then Error Enoent
+      else begin
+        (if not exists then
+           match Vfs.create_file t.vfs path Bytes.empty with
+           | Ok () -> ()
+           | Error _ -> ());
+        if (not exists) && not (Vfs.exists t.vfs path) then Error Enoent
+        else begin
+          (if List.mem O_trunc flags then
+             ignore (Vfs.create_file t.vfs path Bytes.empty));
+          let offset =
+            if List.mem O_append flags then
+              match Vfs.stat t.vfs path with Ok s -> s.Vfs.size | Error _ -> 0
+            else 0
+          in
+          Ok
+            (alloc_fd t
+               (Fd_file
+                  {
+                    path;
+                    offset;
+                    readable = file_readable flags;
+                    writable = file_writable flags;
+                  }))
+        end
+      end
+  | Close fd -> (
+      match find_fd t fd with
+      | None -> Error Ebadf
+      | Some desc ->
+          (match desc with
+          | Fd_sock_stream ep -> Net.close_ep t.net ep
+          | Fd_file _ | Fd_sock_unbound _ | Fd_sock_listen _ -> ());
+          Hashtbl.remove t.fds fd;
+          Ok 0)
+  | Read { fd; buf; len } -> (
+      match find_fd t fd with
+      | Some (Fd_file f) when f.readable -> (
+          match Vfs.read_at t.vfs f.path ~off:f.offset ~len with
+          | Ok data ->
+              copy_to_user t ~addr:buf data;
+              f.offset <- f.offset + Bytes.length data;
+              Ok (Bytes.length data)
+          | Error e -> Error (errno_of_vfs e))
+      | Some (Fd_file _) -> Error Eacces
+      | Some (Fd_sock_stream ep) -> (
+          match Net.recv t.net ep len with
+          | Net.Data data ->
+              copy_to_user t ~addr:buf data;
+              Ok (Bytes.length data)
+          | Net.Would_block -> Error Eagain
+          | Net.Eof -> Ok 0)
+      | Some (Fd_sock_unbound _ | Fd_sock_listen _) -> Error Einval
+      | None -> Error Ebadf)
+  | Write { fd; buf; len } -> (
+      match find_fd t fd with
+      | Some (Fd_file f) when f.writable -> (
+          let data = copy_from_user t ~addr:buf ~len in
+          match Vfs.write_at t.vfs f.path ~off:f.offset data with
+          | Ok n ->
+              f.offset <- f.offset + n;
+              Ok n
+          | Error e -> Error (errno_of_vfs e))
+      | Some (Fd_file _) -> Error Eacces
+      | Some (Fd_sock_stream ep) -> (
+          let data = copy_from_user t ~addr:buf ~len in
+          match Net.send t.net ep data with Ok n -> Ok n | Error _ -> Error Epipe)
+      | Some (Fd_sock_unbound _ | Fd_sock_listen _) -> Error Einval
+      | None -> Error Ebadf)
+  | Stat path -> (
+      match Vfs.stat t.vfs path with
+      | Ok s -> Ok s.Vfs.size
+      | Error e -> Error (errno_of_vfs e))
+  | Unlink path -> (
+      match Vfs.unlink t.vfs path with
+      | Ok () -> Ok 0
+      | Error e -> Error (errno_of_vfs e))
+  | Mkdir path -> (
+      match Vfs.mkdir t.vfs path with
+      | Ok () -> Ok 0
+      | Error e -> Error (errno_of_vfs e))
+  | Readdir path -> (
+      match Vfs.readdir t.vfs path with
+      | Ok entries -> Ok (List.length entries)
+      | Error e -> Error (errno_of_vfs e))
+  | Socket -> Ok (alloc_fd t (Fd_sock_unbound { port = None }))
+  | Bind { fd; port } -> (
+      match find_fd t fd with
+      | Some (Fd_sock_unbound s) ->
+          s.port <- Some port;
+          Ok 0
+      | Some _ -> Error Einval
+      | None -> Error Ebadf)
+  | Listen fd -> (
+      match find_fd t fd with
+      | Some (Fd_sock_unbound { port = Some port }) -> (
+          match Net.listen t.net ~port with
+          | Ok l ->
+              Hashtbl.replace t.fds fd (Fd_sock_listen l);
+              Ok 0
+          | Error _ -> Error Eexist)
+      | Some (Fd_sock_unbound { port = None }) -> Error Einval
+      | Some _ -> Error Einval
+      | None -> Error Ebadf)
+  | Connect { fd; ip; port } -> (
+      match find_fd t fd with
+      | Some (Fd_sock_unbound _) -> (
+          match Net.connect t.net ~ip ~port with
+          | Ok ep ->
+              Hashtbl.replace t.fds fd (Fd_sock_stream ep);
+              Ok 0
+          | Error _ -> Error Econnrefused)
+      | Some _ -> Error Einval
+      | None -> Error Ebadf)
+  | Accept fd -> (
+      match find_fd t fd with
+      | Some (Fd_sock_listen l) -> (
+          match Net.accept t.net l with
+          | Some ep -> Ok (alloc_fd t (Fd_sock_stream ep))
+          | None -> Error Eagain)
+      | Some _ -> Error Einval
+      | None -> Error Ebadf)
+  | Send { fd; buf; len } -> (
+      match find_fd t fd with
+      | Some (Fd_sock_stream ep) -> (
+          let data = copy_from_user t ~addr:buf ~len in
+          match Net.send t.net ep data with Ok n -> Ok n | Error _ -> Error Epipe)
+      | Some _ -> Error Einval
+      | None -> Error Ebadf)
+  | Recv { fd; buf; len } -> (
+      match find_fd t fd with
+      | Some (Fd_sock_stream ep) -> (
+          match Net.recv t.net ep len with
+          | Net.Data data ->
+              copy_to_user t ~addr:buf data;
+              Ok (Bytes.length data)
+          | Net.Would_block -> Error Eagain
+          | Net.Eof -> Ok 0)
+      | Some _ -> Error Einval
+      | None -> Error Ebadf)
+  | Mmap { len } ->
+      let addr = Mm.map t.mm ~len ~perms:{ Pte.r = true; w = true; x = false } in
+      Ok addr
+  | Munmap { addr; len } -> (
+      match Mm.unmap t.mm ~addr ~len with
+      | () -> Ok 0
+      | exception Invalid_argument _ -> Error Einval)
+  | Pkey_mprotect { addr; len; key } -> (
+      if key < 0 || key >= Mpk.nr_keys then Error Einval
+      else
+        match Mm.set_pkey t.mm ~addr ~len key with
+        | () -> Ok 0
+        | exception Invalid_argument _ -> Error Einval)
+  | Pkey_alloc -> (
+      match Mpk.pkey_alloc t.pkeys with Ok k -> Ok k | Error _ -> Error Enomem)
+  | Pkey_free k -> (
+      match Mpk.pkey_free t.pkeys k with Ok () -> Ok 0 | Error _ -> Error Einval)
+  | Epoll_wait -> Ok 1
+  | Epoll_ctl fd -> if Hashtbl.mem t.fds fd then Ok 0 else Error Ebadf
+  | Setsockopt fd -> if Hashtbl.mem t.fds fd then Ok 0 else Error Ebadf
+  | Pipe ->
+      (* A unidirectional byte stream: read end first, write end next. *)
+      let wr_ep = Net.pipe_pair t.net in
+      let rd = alloc_fd t (Fd_sock_stream (fst wr_ep)) in
+      let wr = alloc_fd t (Fd_sock_stream (snd wr_ep)) in
+      assert (wr = rd + 1);
+      Ok rd
+  | Dup fd -> (
+      match find_fd t fd with
+      | None -> Error Ebadf
+      | Some desc -> Ok (alloc_fd t desc))
+  | Lseek { fd; off; whence } -> (
+      match find_fd t fd with
+      | Some (Fd_file f) -> (
+          let size =
+            match Vfs.stat t.vfs f.path with Ok s -> s.Vfs.size | Error _ -> 0
+          in
+          let target =
+            match whence with
+            | 0 -> off
+            | 1 -> f.offset + off
+            | 2 -> size + off
+            | _ -> -1
+          in
+          if target < 0 then Error Einval
+          else begin
+            f.offset <- target;
+            Ok target
+          end)
+      | Some _ -> Error Einval
+      | None -> Error Ebadf)
+  | Fstat fd -> (
+      match find_fd t fd with
+      | Some (Fd_file f) -> (
+          match Vfs.stat t.vfs f.path with
+          | Ok s -> Ok s.Vfs.size
+          | Error e -> Error (errno_of_vfs e))
+      | Some _ -> Ok 0
+      | None -> Error Ebadf)
+  | Chmod { path; mode } -> (
+      match Vfs.chmod t.vfs path mode with
+      | Ok () -> Ok 0
+      | Error e -> Error (errno_of_vfs e))
+  | Getcwd { buf; len } ->
+      if len < 2 then Error Einval
+      else begin
+        copy_to_user t ~addr:buf (Bytes.of_string "/\000");
+        Ok 2
+      end
+
+let record t nr =
+  t.total <- t.total + 1;
+  Hashtbl.replace t.counts nr (1 + Option.value ~default:0 (Hashtbl.find_opt t.counts nr))
+
+let syscall t call =
+  let nr = sysno_of_call call in
+  record t nr;
+  Clock.consume t.clock Clock.Syscall t.costs.Costs.syscall_base;
+  (* seccomp check (LB_MPK configuration). *)
+  if Seccomp.installed t.seccomp then begin
+    let env = Cpu.env t.cpu in
+    let data =
+      Bpf.make_data ~nr:(Sysno.number nr) ~args:(bpf_args call) ~pkru:env.Cpu.pkru ()
+    in
+    let action, steps = Seccomp.check_counted t.seccomp data in
+    Clock.consume t.clock Clock.Syscall
+      (if steps <= 4 then t.costs.Costs.seccomp_fast else t.costs.Costs.seccomp_eval);
+    match action with
+    | Bpf.Allow -> ()
+    | Bpf.Kill | Bpf.Trap -> raise (Syscall_killed { nr; env = env.Cpu.label })
+    | Bpf.Errno _ -> ()
+  end;
+  Clock.consume t.clock Clock.Syscall (service_cost call);
+  execute t call
+
+let exit_program t code =
+  record t Sysno.Exit;
+  Clock.consume t.clock Clock.Syscall t.costs.Costs.syscall_base;
+  raise (Exited code)
+
+let fd_readable t fd =
+  match find_fd t fd with
+  | Some (Fd_sock_stream ep) -> Net.readable t.net ep
+  | Some (Fd_file _) -> true
+  | Some _ | None -> false
+
+let listener_pending t fd =
+  match find_fd t fd with
+  | Some (Fd_sock_listen l) -> Net.pending t.net l > 0
+  | Some _ | None -> false
+
+let syscall_count t = t.total
+let count_for t nr = Option.value ~default:0 (Hashtbl.find_opt t.counts nr)
+
+let trace t =
+  Hashtbl.fold (fun nr n acc -> (nr, n) :: acc) t.counts []
+  |> List.sort (fun (a, _) (b, _) -> compare (Sysno.number a) (Sysno.number b))
+
+let reset_stats t =
+  t.total <- 0;
+  Hashtbl.reset t.counts

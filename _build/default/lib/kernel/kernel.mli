@@ -1,0 +1,132 @@
+(** The simulated operating system: system-call dispatch.
+
+    Every system call consumes the trap cost, an optional seccomp
+    evaluation (when a filter is installed — the LB_MPK configuration), and
+    a per-call service cost, then executes against the {!Vfs}, {!Net} and
+    {!Mm} subsystems. User-space buffers are copied through the CPU using a
+    trusted environment (kernel accesses are not subject to the enclosure's
+    view — enclosures restrict {e which} calls run, not kernel copies).
+
+    The LB_VTX hypercall detour (VM EXIT / RESUME) is added by the backend,
+    not here. *)
+
+type errno =
+  | Eperm
+  | Enoent
+  | Ebadf
+  | Eagain
+  | Einval
+  | Enomem
+  | Eexist
+  | Enotdir
+  | Eisdir
+  | Eacces
+  | Econnrefused
+  | Epipe
+  | Enosys
+
+val errno_name : errno -> string
+
+type open_flag = O_rdonly | O_wronly | O_rdwr | O_creat | O_trunc | O_append
+
+type call =
+  | Open of { path : string; flags : open_flag list }
+  | Close of int
+  | Read of { fd : int; buf : int; len : int }
+  | Write of { fd : int; buf : int; len : int }
+  | Stat of string
+  | Unlink of string
+  | Mkdir of string
+  | Readdir of string
+  | Socket
+  | Connect of { fd : int; ip : int; port : int }
+  | Bind of { fd : int; port : int }
+  | Listen of int
+  | Accept of int
+  | Send of { fd : int; buf : int; len : int }
+  | Recv of { fd : int; buf : int; len : int }
+  | Getuid
+  | Getpid
+  | Gettimeofday
+  | Clock_gettime
+  | Nanosleep of int
+  | Sched_yield
+  | Futex
+  | Getrandom of { buf : int; len : int }
+  | Mmap of { len : int }
+  | Munmap of { addr : int; len : int }
+  | Pkey_mprotect of { addr : int; len : int; key : int }
+  | Pkey_alloc
+  | Pkey_free of int
+  | Epoll_wait
+  | Epoll_ctl of int
+  | Setsockopt of int
+  | Pipe
+      (** returns the read end's fd; the write end is that fd + 1 *)
+  | Dup of int
+  | Lseek of { fd : int; off : int; whence : int }
+      (** whence: 0 = SET, 1 = CUR, 2 = END *)
+  | Fstat of int
+  | Chmod of { path : string; mode : int }
+  | Getcwd of { buf : int; len : int }
+
+val sysno_of_call : call -> Sysno.t
+
+exception Syscall_killed of { nr : Sysno.t; env : string }
+(** Raised when the installed seccomp filter returns [Kill]: the paper's
+    fault semantics — the program is stopped. *)
+
+exception Exited of int
+(** Raised by the [Exit] path (not in {!call}: the runtime exits by calling
+    {!exit_program}). *)
+
+type t
+
+val create :
+  clock:Clock.t ->
+  costs:Costs.t ->
+  cpu:Cpu.t ->
+  trusted_env:Cpu.env ->
+  vfs:Vfs.t ->
+  net:Net.t ->
+  mm:Mm.t ->
+  t
+
+val vfs : t -> Vfs.t
+val net : t -> Net.t
+val mm : t -> Mm.t
+val clock : t -> Clock.t
+
+val install_seccomp : t -> Bpf.program -> (unit, string) result
+val seccomp_installed : t -> bool
+
+val pkey_allocator : t -> Mpk.allocator
+
+val syscall : t -> call -> (int, errno) result
+(** Full dispatch: trap cost, seccomp (PKRU read from the CPU's current
+    environment), service. Returns a small integer (fd, byte count, value,
+    address for [Mmap]) or an errno. *)
+
+val exit_program : t -> int -> 'a
+(** Raises {!Exited} after accounting an [exit] system call. *)
+
+(** {2 Netpoller helpers}
+
+    Readiness checks used by language runtimes' poller threads; these do
+    not trap into the kernel (the runtime maintains its own epoll state),
+    so they cost nothing and bypass no filter. *)
+
+val fd_readable : t -> int -> bool
+(** Data (or EOF) available on a stream socket or regular file fd. *)
+
+val listener_pending : t -> int -> bool
+(** A listening socket has at least one connection waiting. *)
+
+(** {2 Introspection for tests and benchmarks} *)
+
+val syscall_count : t -> int
+val count_for : t -> Sysno.t -> int
+val trace : t -> (Sysno.t * int) list
+(** Per-syscall counts, sorted by syscall number. *)
+
+val reset_stats : t -> unit

@@ -1,0 +1,120 @@
+type rule = { sysno : Sysno.t; arg0_allowed : int list option }
+
+let rule ?arg0 sysno = { sysno; arg0_allowed = arg0 }
+
+type env_filter = { pkru : Mpk.pkru; rules : rule list }
+
+module Asm = struct
+  type item =
+    | Insn of Bpf.insn
+    | Label of string
+    | Jeq_lbl of int * string
+    | Jmp_lbl of string
+
+  let assemble items =
+    (* First pass: compute instruction index of every label. *)
+    let positions = Hashtbl.create 16 in
+    let count =
+      List.fold_left
+        (fun idx item ->
+          match item with
+          | Label name ->
+              if Hashtbl.mem positions name then
+                invalid_arg (Printf.sprintf "Asm: duplicate label %s" name);
+              Hashtbl.replace positions name idx;
+              idx
+          | Insn _ | Jeq_lbl _ | Jmp_lbl _ -> idx + 1)
+        0 items
+    in
+    ignore count;
+    let resolve here name =
+      match Hashtbl.find_opt positions name with
+      | None -> invalid_arg (Printf.sprintf "Asm: unknown label %s" name)
+      | Some target ->
+          let delta = target - (here + 1) in
+          if delta < 0 then
+            invalid_arg (Printf.sprintf "Asm: backward jump to %s" name);
+          delta
+    in
+    (* Second pass: emit. *)
+    let insns = ref [] in
+    let idx = ref 0 in
+    List.iter
+      (fun item ->
+        match item with
+        | Label _ -> ()
+        | Insn i ->
+            insns := i :: !insns;
+            incr idx
+        | Jeq_lbl (k, name) ->
+            insns := Bpf.Jeq (k, resolve !idx name, 0) :: !insns;
+            incr idx
+        | Jmp_lbl name ->
+            insns := Bpf.Jmp (resolve !idx name) :: !insns;
+            incr idx)
+      items;
+    Array.of_list (List.rev !insns)
+end
+
+let pkru_key pkru = Int32.to_int (Int32.logand pkru 0xffffffffl) land 0xffffffff
+
+let compile ~trusted_pkrus envs =
+  let open Asm in
+  let items = ref [] in
+  let emit item = items := item :: !items in
+  let label_of_env i = Printf.sprintf "env%d" i in
+  (* Dispatch on PKRU; trusted values first (fast path). *)
+  emit (Insn (Bpf.Ld Bpf.F_pkru));
+  List.iter (fun pkru -> emit (Jeq_lbl (pkru_key pkru, "allow"))) trusted_pkrus;
+  List.iteri (fun i (env : env_filter) -> emit (Jeq_lbl (pkru_key env.pkru, label_of_env i))) envs;
+  emit (Jmp_lbl "kill");
+  (* Per-environment whitelists. *)
+  List.iteri
+    (fun i (env : env_filter) ->
+      emit (Label (label_of_env i));
+      emit (Insn (Bpf.Ld Bpf.F_nr));
+      List.iteri
+        (fun j r ->
+          match r.arg0_allowed with
+          | None -> emit (Jeq_lbl (Sysno.number r.sysno, "allow"))
+          | Some ips ->
+              let arg_label = Printf.sprintf "env%d_arg%d" i j in
+              let next_label = Printf.sprintf "env%d_next%d" i j in
+              emit (Jeq_lbl (Sysno.number r.sysno, arg_label));
+              emit (Jmp_lbl next_label);
+              emit (Label arg_label);
+              emit (Insn (Bpf.Ld (Bpf.F_arg 0)));
+              List.iter (fun ip -> emit (Jeq_lbl (ip, "allow"))) ips;
+              emit (Jmp_lbl "kill");
+              emit (Label next_label);
+              (* Restore the syscall number for subsequent comparisons. *)
+              emit (Insn (Bpf.Ld Bpf.F_nr)))
+        env.rules;
+      emit (Jmp_lbl "kill"))
+    envs;
+  emit (Label "allow");
+  emit (Insn (Bpf.Ret Bpf.Allow));
+  emit (Label "kill");
+  emit (Insn (Bpf.Ret Bpf.Kill));
+  let prog = Asm.assemble (List.rev !items) in
+  Bpf.validate prog;
+  prog
+
+type t = { mutable prog : Bpf.program option }
+
+let create () = { prog = None }
+
+let install t prog =
+  match Bpf.validate prog with
+  | () ->
+      t.prog <- Some prog;
+      Ok ()
+  | exception Bpf.Bad_program msg -> Error msg
+
+let installed t = t.prog <> None
+
+let check t data =
+  match t.prog with None -> Bpf.Allow | Some prog -> Bpf.run prog data
+
+let check_counted t data =
+  match t.prog with None -> (Bpf.Allow, 0) | Some prog -> Bpf.run_count prog data

@@ -1,0 +1,57 @@
+(** Seccomp: install and evaluate BPF system-call filters.
+
+    The LB_MPK backend compiles all enclosure filters into one program that
+    dispatches on the PKRU value found in the seccomp data (the paper's
+    kernel patch exposes PKRU to seccomp), then whitelists the permitted
+    system-call numbers for that execution environment — optionally
+    constraining the first argument, which implements the §6.5 mitigation
+    "extend the sysfilter categories to only allow connect system calls to
+    a list of pre-defined IP addresses". *)
+
+type rule = {
+  sysno : Sysno.t;
+  arg0_allowed : int list option;
+      (** [None]: any arguments; [Some l]: argument 0 must be one of [l]. *)
+}
+
+val rule : ?arg0:int list -> Sysno.t -> rule
+
+type env_filter = { pkru : Mpk.pkru; rules : rule list }
+(** Allowed system calls for the execution environment whose PKRU value is
+    [pkru]; everything else kills the program. *)
+
+val compile : trusted_pkrus:Mpk.pkru list -> env_filter list -> Bpf.program
+(** Build the dispatch program: the trusted PKRU values are allowed
+    everything (placed first, so they decide within a few instructions —
+    the fast path); each listed environment gets its whitelist; an unknown
+    PKRU value is killed. The result is validated. *)
+
+type t
+
+val create : unit -> t
+val install : t -> Bpf.program -> (unit, string) result
+(** Validates and installs; a second install replaces the filter (the
+    simulation models a single-filter seccomp for simplicity). *)
+
+val installed : t -> bool
+val check : t -> Bpf.data -> Bpf.action
+(** [Allow] when no filter is installed. *)
+
+val check_counted : t -> Bpf.data -> Bpf.action * int
+(** Also returns how many BPF instructions ran (0 with no filter). *)
+
+(** {2 Label-resolving assembler}
+
+    Helper used by [compile]; exposed for tests and for hand-written
+    filters. *)
+module Asm : sig
+  type item =
+    | Insn of Bpf.insn
+    | Label of string
+    | Jeq_lbl of int * string  (** if A = k goto label, else fall through *)
+    | Jmp_lbl of string
+
+  val assemble : item list -> Bpf.program
+  (** Resolve labels to relative offsets. Raises [Invalid_argument] on
+      unknown or duplicate labels. *)
+end

@@ -1,0 +1,177 @@
+type node_kind = Regular | Directory
+
+type file = { mutable data : Bytes.t; mutable fmode : int }
+and dir = { entries : (string, node) Hashtbl.t; mutable dmode : int }
+and node = File of file | Dir of dir
+
+type t = { root : node }
+
+type stat = { kind : node_kind; size : int; mode : int }
+
+type errno = Enoent | Eexist | Enotdir | Eisdir | Einval | Eacces
+
+let errno_name = function
+  | Enoent -> "ENOENT"
+  | Eexist -> "EEXIST"
+  | Enotdir -> "ENOTDIR"
+  | Eisdir -> "EISDIR"
+  | Einval -> "EINVAL"
+  | Eacces -> "EACCES"
+
+let create () = { root = Dir { entries = Hashtbl.create 16; dmode = 0o755 } }
+
+let split_path path =
+  String.split_on_char '/' path |> List.filter (fun c -> c <> "")
+
+(* Walk to the node at [components]. *)
+let rec lookup node components =
+  match (node, components) with
+  | _, [] -> Ok node
+  | Dir d, c :: rest -> (
+      match Hashtbl.find_opt d.entries c with
+      | None -> Error Enoent
+      | Some child -> lookup child rest)
+  | File _, _ :: _ -> Error Enotdir
+
+let lookup_path t path =
+  if String.length path = 0 || path.[0] <> '/' then Error Einval
+  else lookup t.root (split_path path)
+
+(* Walk to the parent directory of [path]; returns (dir record, basename). *)
+let lookup_parent t path =
+  if String.length path = 0 || path.[0] <> '/' then Error Einval
+  else
+    match List.rev (split_path path) with
+    | [] -> Error Einval
+    | base :: rev_dir -> (
+        match lookup t.root (List.rev rev_dir) with
+        | Ok (Dir d) -> Ok (d, base)
+        | Ok (File _) -> Error Enotdir
+        | Error e -> Error e)
+
+let mkdir t path =
+  match lookup_parent t path with
+  | Error e -> Error e
+  | Ok (parent, base) ->
+      if Hashtbl.mem parent.entries base then Error Eexist
+      else begin
+        Hashtbl.replace parent.entries base
+          (Dir { entries = Hashtbl.create 8; dmode = 0o755 });
+        Ok ()
+      end
+
+let mkdir_p t path =
+  let rec build prefix = function
+    | [] -> Ok ()
+    | c :: rest -> (
+        let here = prefix ^ "/" ^ c in
+        match mkdir t here with
+        | Ok () | Error Eexist -> build here rest
+        | Error e -> Error e)
+  in
+  if String.length path = 0 || path.[0] <> '/' then Error Einval
+  else build "" (split_path path)
+
+let create_file t path ?(mode = 0o644) data =
+  match lookup_parent t path with
+  | Error e -> Error e
+  | Ok (parent, base) -> (
+      match Hashtbl.find_opt parent.entries base with
+      | Some (Dir _) -> Error Eisdir
+      | Some (File f) ->
+          f.data <- Bytes.copy data;
+          f.fmode <- mode;
+          Ok ()
+      | None ->
+          Hashtbl.replace parent.entries base (File { data = Bytes.copy data; fmode = mode });
+          Ok ())
+
+let read_file t path =
+  match lookup_path t path with
+  | Ok (File f) -> Ok (Bytes.copy f.data)
+  | Ok (Dir _) -> Error Eisdir
+  | Error e -> Error e
+
+let read_at t path ~off ~len =
+  if off < 0 || len < 0 then Error Einval
+  else
+    match lookup_path t path with
+    | Ok (File f) ->
+        let size = Bytes.length f.data in
+        if off >= size then Ok Bytes.empty
+        else Ok (Bytes.sub f.data off (min len (size - off)))
+    | Ok (Dir _) -> Error Eisdir
+    | Error e -> Error e
+
+let write_at t path ~off data =
+  if off < 0 then Error Einval
+  else
+    match lookup_path t path with
+    | Ok (File f) ->
+        let len = Bytes.length data in
+        let needed = off + len in
+        if needed > Bytes.length f.data then begin
+          let grown = Bytes.make needed '\000' in
+          Bytes.blit f.data 0 grown 0 (Bytes.length f.data);
+          f.data <- grown
+        end;
+        Bytes.blit data 0 f.data off len;
+        Ok len
+    | Ok (Dir _) -> Error Eisdir
+    | Error e -> Error e
+
+let append t path data =
+  match lookup_path t path with
+  | Ok (File f) -> write_at t path ~off:(Bytes.length f.data) data
+  | Ok (Dir _) -> Error Eisdir
+  | Error e -> Error e
+
+let stat t path =
+  match lookup_path t path with
+  | Ok (File f) -> Ok { kind = Regular; size = Bytes.length f.data; mode = f.fmode }
+  | Ok (Dir d) -> Ok { kind = Directory; size = Hashtbl.length d.entries; mode = d.dmode }
+  | Error e -> Error e
+
+let exists t path = Result.is_ok (lookup_path t path)
+
+let unlink t path =
+  match lookup_parent t path with
+  | Error e -> Error e
+  | Ok (parent, base) -> (
+      match Hashtbl.find_opt parent.entries base with
+      | None -> Error Enoent
+      | Some (Dir _) -> Error Eisdir
+      | Some (File _) ->
+          Hashtbl.remove parent.entries base;
+          Ok ())
+
+let rmdir t path =
+  match lookup_parent t path with
+  | Error e -> Error e
+  | Ok (parent, base) -> (
+      match Hashtbl.find_opt parent.entries base with
+      | None -> Error Enoent
+      | Some (File _) -> Error Enotdir
+      | Some (Dir d) ->
+          if Hashtbl.length d.entries > 0 then Error Einval
+          else begin
+            Hashtbl.remove parent.entries base;
+            Ok ()
+          end)
+
+let readdir t path =
+  match lookup_path t path with
+  | Ok (Dir d) ->
+      Ok (Hashtbl.fold (fun name _ acc -> name :: acc) d.entries [] |> List.sort compare)
+  | Ok (File _) -> Error Enotdir
+  | Error e -> Error e
+
+let chmod t path mode =
+  match lookup_path t path with
+  | Ok (File f) ->
+      f.fmode <- mode;
+      Ok ()
+  | Ok (Dir d) ->
+      d.dmode <- mode;
+      Ok ()
+  | Error e -> Error e

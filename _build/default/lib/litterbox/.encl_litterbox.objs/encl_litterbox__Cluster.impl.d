@@ -1,0 +1,1 @@
+lib/litterbox/cluster.ml: Array Format Hashtbl List String Types View

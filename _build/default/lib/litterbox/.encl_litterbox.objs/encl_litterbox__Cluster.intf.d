@@ -1,0 +1,1 @@
+lib/litterbox/cluster.mli: Format View

@@ -1,0 +1,1 @@
+lib/litterbox/litterbox.mli: Cluster Encl_elf Encl_kernel Encl_pkg Machine Mpk Types View

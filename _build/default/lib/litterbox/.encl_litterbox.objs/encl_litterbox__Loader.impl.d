@@ -1,0 +1,1 @@
+lib/litterbox/loader.ml: Bytes Encl_elf Encl_kernel List Machine Pagetable Phys Printf Pte

@@ -1,0 +1,1 @@
+lib/litterbox/loader.mli: Encl_elf Machine

@@ -1,0 +1,1 @@
+lib/litterbox/machine.ml: Clock Costs Cpu Encl_elf Encl_kernel Fun Pagetable Phys

@@ -1,0 +1,1 @@
+lib/litterbox/machine.mli: Clock Costs Cpu Encl_kernel Pagetable Phys

@@ -1,0 +1,1 @@
+lib/litterbox/policy.ml: Encl_kernel Format List Printf String Types

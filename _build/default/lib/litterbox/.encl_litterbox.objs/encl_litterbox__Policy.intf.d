@@ -1,0 +1,1 @@
+lib/litterbox/policy.mli: Encl_kernel Format Types

@@ -1,0 +1,1 @@
+lib/litterbox/types.ml: Encl_elf Format Mpk Pte

@@ -1,0 +1,1 @@
+lib/litterbox/types.mli: Encl_elf Format Mpk Pte

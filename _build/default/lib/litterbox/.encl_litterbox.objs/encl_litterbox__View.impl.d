@@ -1,0 +1,1 @@
+lib/litterbox/view.ml: Encl_pkg Format List Map Option Policy Printf String Types

@@ -1,0 +1,1 @@
+lib/litterbox/view.mli: Encl_pkg Format Policy Types

@@ -1,0 +1,43 @@
+type t = { arr : string list array; index : (string, int) Hashtbl.t }
+
+let compute ~packages ~views ~pinned =
+  let vector pkg = List.map (fun v -> View.access v pkg) views in
+  let groups : (Types.access list, string list ref) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun pkg ->
+      if not (List.mem pkg pinned) then begin
+        let key = vector pkg in
+        match Hashtbl.find_opt groups key with
+        | Some members -> members := pkg :: !members
+        | None ->
+            let members = ref [ pkg ] in
+            Hashtbl.replace groups key members;
+            order := key :: !order
+      end)
+    packages;
+  let grouped =
+    List.rev_map (fun key -> List.rev !(Hashtbl.find groups key)) !order
+  in
+  let singletons =
+    List.filter_map
+      (fun p -> if List.mem p packages then Some [ p ] else None)
+      pinned
+  in
+  let arr = Array.of_list (grouped @ singletons) in
+  let index = Hashtbl.create 64 in
+  Array.iteri (fun i members -> List.iter (fun p -> Hashtbl.replace index p i) members) arr;
+  { arr; index }
+
+let count t = Array.length t.arr
+let members t i = t.arr.(i)
+let cluster_of t pkg = Hashtbl.find_opt t.index pkg
+let clusters t = Array.copy t.arr
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%d meta-packages:" (count t);
+  Array.iteri
+    (fun i members ->
+      Format.fprintf ppf "@,  #%d: %s" i (String.concat ", " members))
+    t.arr;
+  Format.fprintf ppf "@]"

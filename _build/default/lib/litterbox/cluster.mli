@@ -1,0 +1,23 @@
+(** Meta-package clustering (paper §5.3).
+
+    "LitterBox performs an important optimization by clustering the
+    packages across all memory views that have the same access rights.
+    This clustering creates larger, logical meta-packages that can be
+    efficiently managed" — and, for LB_MPK, lets the views fit in the 16
+    MPK protection keys. *)
+
+type t
+
+val compute :
+  packages:string list -> views:View.t list -> pinned:string list -> t
+(** Group packages whose access-right vector across [views] is identical.
+    [pinned] packages always get singleton clusters (e.g.
+    ["litterbox.super"], which must never share a key). Unknown pinned
+    names are ignored. *)
+
+val count : t -> int
+val members : t -> int -> string list
+val cluster_of : t -> string -> int option
+val clusters : t -> string list array
+
+val pp : Format.formatter -> t -> unit

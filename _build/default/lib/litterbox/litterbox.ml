@@ -1,0 +1,872 @@
+module K = Encl_kernel.Kernel
+module Sysno = Encl_kernel.Sysno
+module Seccomp = Encl_kernel.Seccomp
+module Mm = Encl_kernel.Mm
+module Image = Encl_elf.Image
+module Section = Encl_elf.Section
+
+type backend = Mpk | Vtx | Lwc
+
+let backend_name = function Mpk -> "LB_MPK" | Vtx -> "LB_VTX" | Lwc -> "LB_LWC"
+
+exception Fault of { reason : string; enclosure : string option }
+
+let log_src = Logs.Src.create "litterbox" ~doc:"LitterBox enclosure backend"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let super_pkg = "litterbox.super"
+let user_pkg = "litterbox.user"
+
+type enc_rt = {
+  e_name : string;
+  e_owner : string;
+  e_deps : string list;
+  e_policy : Policy.t;
+  e_closure_addr : int;
+  mutable e_view : View.t;
+  mutable e_pkru : Mpk.pkru;
+  mutable e_pt : Pagetable.t option;
+  mutable e_env : Cpu.env option;
+}
+
+type env_ref = enc_rt list
+
+type t = {
+  machine : Machine.t;
+  backend : backend;
+  graph : Encl_pkg.Graph.t;
+  registry : (int, string * Section.kind) Hashtbl.t;
+  pkg_sections : (string, Section.t list ref) Hashtbl.t;
+  encs : (string, enc_rt) Hashtbl.t;
+  mutable enc_order : string list;  (** registration order, first first *)
+  verif : (string * Image.hook, unit) Hashtbl.t;
+  mutable clusters : Cluster.t;
+  mutable keys : int array;  (** cluster index -> MPK key *)
+  mutable vtx : Vtx.t option;
+  clustering : bool;
+  mutable app_trusted : Cpu.env;
+  mutable stack : enc_rt list;
+  mutable switches : int;
+  mutable transfers : int;
+  mutable faults : int;
+  mutable fault_log : string list;
+}
+
+let machine t = t.machine
+let backend t = t.backend
+let graph t = t.graph
+
+let fault t ?enclosure reason =
+  t.faults <- t.faults + 1;
+  let trace =
+    Printf.sprintf "fault%s: %s"
+      (match enclosure with Some e -> " in " ^ e | None -> "")
+      reason
+  in
+  t.fault_log <- trace :: t.fault_log;
+  Log.err (fun m -> m "%s" trace);
+  raise (Fault { reason; enclosure })
+
+(* ------------------------------------------------------------------ *)
+(* Section registry                                                    *)
+
+let register_section t (s : Section.t) =
+  let first = s.Section.addr / Phys.page_size in
+  let last = (Section.end_addr s - 1) / Phys.page_size in
+  for vpn = first to last do
+    Hashtbl.replace t.registry vpn (s.Section.owner, s.Section.kind)
+  done;
+  let lst =
+    match Hashtbl.find_opt t.pkg_sections s.Section.owner with
+    | Some lst -> lst
+    | None ->
+        let lst = ref [] in
+        Hashtbl.replace t.pkg_sections s.Section.owner lst;
+        lst
+  in
+  lst := s :: !lst
+
+let sections_of t pkg =
+  match Hashtbl.find_opt t.pkg_sections pkg with Some l -> !l | None -> []
+
+let owner_of t ~addr =
+  Option.map fst (Hashtbl.find_opt t.registry (addr / Phys.page_size))
+
+(* ------------------------------------------------------------------ *)
+(* Views and environments                                              *)
+
+let ordered_encs t =
+  List.rev_map (fun name -> Hashtbl.find t.encs name) t.enc_order |> List.rev
+
+(* The closure function lives in its own section owned by the declaring
+   package (paper §4.1); it must stay executable inside the enclosure even
+   when the declaring package is not part of the view. *)
+let closure_vpn enc = enc.e_closure_addr / Phys.page_size
+
+let exec_filter t enc ~vpn =
+  (enc.e_closure_addr <> 0 && vpn = closure_vpn enc)
+  ||
+  match Hashtbl.find_opt t.registry vpn with
+  | Some (pkg, _) -> View.access enc.e_view pkg = Types.RWX
+  | None -> false
+
+let build_env t enc =
+  match t.backend with
+  | Mpk ->
+      {
+        Cpu.label = "enc:" ^ enc.e_name;
+        pt = t.machine.Machine.trusted_pt;
+        pkru = enc.e_pkru;
+        exec_ok = Some (fun ~vpn -> exec_filter t enc ~vpn);
+      }
+  | Vtx | Lwc ->
+      {
+        Cpu.label = "enc:" ^ enc.e_name;
+        pt = Option.get enc.e_pt;
+        pkru = Mpk.pkru_all_access;
+        exec_ok = None;
+      }
+
+(* ------------------------------------------------------------------ *)
+(* MPK backend                                                         *)
+
+let rules_of_filter (f : Policy.sys_filter) =
+  match f with
+  | Policy.Sys_none -> []
+  | Policy.Sys_all -> List.map (fun s -> Seccomp.rule s) Sysno.all
+  | Policy.Sys_atoms atoms ->
+      let cats =
+        List.filter_map (function Policy.Cat c -> Some c | Policy.Connect_to _ -> None) atoms
+      in
+      let connects =
+        List.filter_map
+          (function
+            | Policy.Connect_to ips -> Some (Seccomp.rule ~arg0:ips Sysno.Connect)
+            | Policy.Cat _ -> None)
+          atoms
+      in
+      let by_cat =
+        List.filter
+          (fun s ->
+            List.mem (Sysno.category s) cats
+            (* a connect(...) list overrides the category for connect(2) *)
+            && not (s = Sysno.Connect && connects <> []))
+          Sysno.all
+        |> List.map (fun s -> Seccomp.rule s)
+      in
+      by_cat @ connects
+
+let intersect_rules (r1 : Seccomp.rule list) (r2 : Seccomp.rule list) =
+  List.filter_map
+    (fun (a : Seccomp.rule) ->
+      match List.find_opt (fun (b : Seccomp.rule) -> b.Seccomp.sysno = a.Seccomp.sysno) r2 with
+      | None -> None
+      | Some b ->
+          let arg0 =
+            match (a.Seccomp.arg0_allowed, b.Seccomp.arg0_allowed) with
+            | None, x | x, None -> x
+            | Some l1, Some l2 -> Some (List.filter (fun ip -> List.mem ip l2) l1)
+          in
+          Some { a with Seccomp.arg0_allowed = arg0 })
+    r1
+
+let mpk_recompute t =
+  let encs = ordered_encs t in
+  let views = List.map (fun e -> e.e_view) encs in
+  let packages = Encl_pkg.Graph.packages t.graph in
+  (* Ablation: without clustering, every package is its own
+     meta-package and needs its own protection key. *)
+  let pinned = if t.clustering then [ super_pkg ] else packages in
+  t.clusters <- Cluster.compute ~packages ~views ~pinned;
+  let n = Cluster.count t.clusters in
+  (* One key is reserved as the enclosure marker (below), one is the
+     default key 0: 14 remain for meta-packages. *)
+  if n > Mpk.nr_keys - 2 then
+    Error
+      (Printf.sprintf
+         "LB_MPK: %d meta-packages exceed the %d available protection keys \
+          (libmpk-style virtualization not implemented)"
+         n (Mpk.nr_keys - 2))
+  else begin
+    t.keys <- Array.init n (fun i -> i + 1);
+    (* Tag every package section with its cluster's key. *)
+    for i = 0 to n - 1 do
+      List.iter
+        (fun pkg ->
+          List.iter
+            (fun (s : Section.t) ->
+              match
+                K.syscall t.machine.Machine.kernel
+                  (K.Pkey_mprotect
+                     {
+                       addr = s.Section.addr;
+                       len = Section.pages s * Phys.page_size;
+                       key = t.keys.(i);
+                     })
+              with
+              | Ok _ -> ()
+              | Error e ->
+                  invalid_arg
+                    (Printf.sprintf "LB_MPK init: pkey_mprotect failed (%s)"
+                       (K.errno_name e)))
+            (sections_of t pkg))
+        (Cluster.members t.clusters i)
+    done;
+    (* Per-enclosure PKRU values. The highest key is a {e marker}: it
+       tags no page, but every enclosure PKRU denies it while the
+       trusted values leave it open. This keeps enclosure PKRU values
+       distinct from the trusted ones even when an enclosure's memory
+       view covers every package, so the PKRU-indexed seccomp dispatch
+       can never mistake enclosed code for trusted code (the ERIM-style
+       trusted/untrusted bit). *)
+    let marker = Mpk.nr_keys - 1 in
+    List.iter
+      (fun enc ->
+        let pkru = ref (Mpk.set_key Mpk.pkru_all_access ~key:marker Mpk.No_access) in
+        for i = 0 to n - 1 do
+          let rep = List.hd (Cluster.members t.clusters i) in
+          let rights = Types.key_rights (View.access enc.e_view rep) in
+          pkru := Mpk.set_key !pkru ~key:t.keys.(i) rights
+        done;
+        enc.e_pkru <- !pkru;
+        enc.e_env <- Some (build_env t enc))
+      encs;
+    (* Application-trusted environment: everything but super. *)
+    let app_pkru =
+      match Cluster.cluster_of t.clusters super_pkg with
+      | Some i -> Mpk.set_key Mpk.pkru_all_access ~key:t.keys.(i) Mpk.No_access
+      | None -> Mpk.pkru_all_access
+    in
+    t.app_trusted <-
+      {
+        Cpu.label = "app-trusted";
+        pt = t.machine.Machine.trusted_pt;
+        pkru = app_pkru;
+        exec_ok = None;
+      };
+    (* Seccomp program: dispatch on PKRU. Distinct enclosures that share a
+       PKRU value but declare different filters are merged fail-closed
+       (rule intersection). *)
+    let by_pkru = Hashtbl.create 8 in
+    let order = ref [] in
+    List.iter
+      (fun enc ->
+        let rules = rules_of_filter enc.e_policy.Policy.filter in
+        match Hashtbl.find_opt by_pkru enc.e_pkru with
+        | None ->
+            Hashtbl.replace by_pkru enc.e_pkru rules;
+            order := enc.e_pkru :: !order
+        | Some existing -> Hashtbl.replace by_pkru enc.e_pkru (intersect_rules existing rules))
+      encs;
+    let env_filters =
+      List.rev_map
+        (fun pkru -> { Seccomp.pkru; rules = Hashtbl.find by_pkru pkru })
+        !order
+      |> List.rev
+    in
+    let prog =
+      Seccomp.compile
+        ~trusted_pkrus:[ Mpk.pkru_all_access; t.app_trusted.Cpu.pkru ]
+        env_filters
+    in
+    match K.install_seccomp t.machine.Machine.kernel prog with
+    | Ok () -> Ok ()
+    | Error e -> Error ("LB_MPK: seccomp install failed: " ^ e)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* VTX backend                                                         *)
+
+let vtx_apply_view t enc =
+  let pt = Option.get enc.e_pt in
+  List.iter
+    (fun pkg ->
+      let access = View.access enc.e_view pkg in
+      List.iter
+        (fun (s : Section.t) ->
+          let len = Section.pages s * Phys.page_size in
+          Mm.protect t.machine.Machine.mm ~pt ~addr:s.Section.addr ~len
+            (Types.page_perms access s.Section.kind);
+          Mm.set_present t.machine.Machine.mm ~pt ~addr:s.Section.addr ~len
+            (access <> Types.U))
+        (sections_of t pkg))
+    (Encl_pkg.Graph.packages t.graph);
+  (* Keep the closure's own text section executable in its environment. *)
+  if enc.e_closure_addr <> 0 then begin
+    let addr =
+      Encl_util.Bitops.align_down enc.e_closure_addr Phys.page_size
+    in
+    Mm.protect t.machine.Machine.mm ~pt ~addr ~len:Phys.page_size
+      { Pte.r = true; w = false; x = true };
+    Mm.set_present t.machine.Machine.mm ~pt ~addr ~len:Phys.page_size true
+  end
+
+let vtx_recompute t =
+  (* Clustering is still computed (it drives reporting and the shared
+     meta-package abstraction), but VTX enforcement is per page table. *)
+  let encs = ordered_encs t in
+  let views = List.map (fun e -> e.e_view) encs in
+  let packages = Encl_pkg.Graph.packages t.graph in
+  t.clusters <- Cluster.compute ~packages ~views ~pinned:[ super_pkg ];
+  List.iter
+    (fun enc ->
+      (match enc.e_pt with
+      | Some _ -> ()
+      | None ->
+          let pt =
+            Pagetable.clone t.machine.Machine.trusted_pt ~name:("env:" ^ enc.e_name)
+          in
+          enc.e_pt <- Some pt;
+          Mm.add_pt t.machine.Machine.mm pt);
+      vtx_apply_view t enc;
+      enc.e_env <- Some (build_env t enc))
+    encs;
+  (* super is unmapped from the application's trusted view. *)
+  List.iter
+    (fun (s : Section.t) ->
+      Mm.protect t.machine.Machine.mm ~pt:t.machine.Machine.trusted_pt
+        ~addr:s.Section.addr
+        ~len:(Section.pages s * Phys.page_size)
+        Pte.no_perms)
+    (sections_of t super_pkg);
+  t.app_trusted <-
+    {
+      Cpu.label = "app-trusted";
+      pt = t.machine.Machine.trusted_pt;
+      pkru = Mpk.pkru_all_access;
+      exec_ok = None;
+    };
+  Ok ()
+
+let recompute t =
+  match t.backend with
+  | Mpk -> mpk_recompute t
+  | Vtx | Lwc -> vtx_recompute t
+
+(* ------------------------------------------------------------------ *)
+(* Initialization                                                      *)
+
+let charge_init t ~packages ~enclosures =
+  let c = t.machine.Machine.costs in
+  Clock.consume t.machine.Machine.clock Clock.Init
+    ((packages * c.Costs.init_per_package) + (enclosures * c.Costs.init_per_enclosure))
+
+let make_enc t ~name ~owner ~deps ~policy ~closure_addr =
+  match Policy.parse policy with
+  | Error e -> Error (Printf.sprintf "enclosure %s: bad policy: %s" name e)
+  | Ok p -> (
+      match View.compute ~graph:t.graph ~deps ~policy:p with
+      | Error e -> Error (Printf.sprintf "enclosure %s: %s" name e)
+      | Ok view ->
+          Ok
+            {
+              e_name = name;
+              e_owner = owner;
+              e_deps = deps;
+              e_policy = p;
+              e_closure_addr = closure_addr;
+              e_view = view;
+              e_pkru = Mpk.pkru_all_access;
+              e_pt = None;
+              e_env = None;
+            })
+
+let init ~machine ~backend ~image ?(binary_scan = []) ?(clustering = true) () =
+  match Loader.load machine image with
+  | Error e -> Error ("LitterBox init: " ^ e)
+  | Ok () -> (
+      let t =
+        {
+          machine;
+          backend;
+          graph = image.Image.graph;
+          registry = Hashtbl.create 4096;
+          pkg_sections = Hashtbl.create 64;
+          encs = Hashtbl.create 16;
+          enc_order = [];
+          verif = Hashtbl.create 32;
+          clusters = Cluster.compute ~packages:[] ~views:[] ~pinned:[];
+          keys = [||];
+          vtx = None;
+          clustering;
+          app_trusted = machine.Machine.trusted_env;
+          stack = [];
+          switches = 0;
+          transfers = 0;
+          faults = 0;
+          fault_log = [];
+        }
+      in
+      List.iter (register_section t) image.Image.sections;
+      List.iter
+        (fun (v : Image.verif_entry) ->
+          Hashtbl.replace t.verif (v.Image.ve_site, v.Image.ve_hook) ())
+        image.Image.verif;
+      (* ERIM-style binary scan: only litterbox.user may write PKRU. *)
+      let offender =
+        List.find_opt (fun (pkg, _fn) -> pkg <> user_pkg) binary_scan
+      in
+      match offender with
+      | Some (pkg, fn) ->
+          Error
+            (Printf.sprintf
+               "LB init: binary scan found a PKRU write outside LitterBox: %s.%s"
+               pkg fn)
+      | None -> (
+          (* Build enclosure runtime descriptors. *)
+          let rec build = function
+            | [] -> Ok ()
+            | (e : Image.enclosure_desc) :: rest -> (
+                match
+                  make_enc t ~name:e.Image.ed_name ~owner:e.Image.ed_owner
+                    ~deps:e.Image.ed_direct_deps ~policy:e.Image.ed_policy
+                    ~closure_addr:e.Image.ed_closure_addr
+                with
+                | Error err -> Error err
+                | Ok enc ->
+                    Hashtbl.replace t.encs enc.e_name enc;
+                    t.enc_order <- t.enc_order @ [ enc.e_name ];
+                    build rest)
+          in
+          match build image.Image.enclosures with
+          | Error e -> Error e
+          | Ok () -> (
+              (if backend = Vtx then begin
+                 let vtx =
+                   Vtx.create ~clock:machine.Machine.clock ~costs:machine.Machine.costs
+                     ~trusted_pt:machine.Machine.trusted_pt
+                 in
+                 Vtx.enter_vm vtx;
+                 t.vtx <- Some vtx
+               end);
+              match recompute t with
+              | Error e -> Error e
+              | Ok () ->
+                  charge_init t
+                    ~packages:(List.length (Encl_pkg.Graph.packages t.graph))
+                    ~enclosures:(Hashtbl.length t.encs);
+                  Cpu.set_env machine.Machine.cpu t.app_trusted;
+                  Log.info (fun m ->
+                      m "%s initialized: %d packages, %d enclosures, %d meta-packages"
+                        (backend_name backend)
+                        (List.length (Encl_pkg.Graph.packages t.graph))
+                        (Hashtbl.length t.encs)
+                        (Cluster.count t.clusters));
+                  Ok t)))
+
+(* ------------------------------------------------------------------ *)
+(* Dynamic registration                                                *)
+
+let register_package t ~name ~imports ~sections =
+  if Hashtbl.mem t.pkg_sections name && Encl_pkg.Graph.mem t.graph name then
+    Error (Printf.sprintf "package %s already registered" name)
+  else begin
+    Encl_pkg.Graph.add_package t.graph name;
+    match
+      List.find_opt (fun i -> not (Encl_pkg.Graph.mem t.graph i)) imports
+    with
+    | Some missing ->
+        Error (Printf.sprintf "package %s imports unknown package %s" name missing)
+    | None -> (
+      (* Layout assumption (paper 2.3): packages cannot share pages.
+         Verify the new sections against everything already registered. *)
+      let conflict =
+        List.find_map
+          (fun (s : Section.t) ->
+            let first = s.Section.addr / Phys.page_size in
+            let last = (Section.end_addr s - 1) / Phys.page_size in
+            let rec scan vpn =
+              if vpn > last then None
+              else
+                match Hashtbl.find_opt t.registry vpn with
+                | Some (owner, _) when owner <> name ->
+                    Some (s.Section.name, owner)
+                | Some _ | None -> scan (vpn + 1)
+            in
+            scan first)
+          sections
+      in
+      match conflict with
+      | Some (sec, owner) ->
+          Error
+            (Printf.sprintf
+               "package %s: section %s shares a page with package %s" name sec
+               owner)
+      | None ->
+        List.iter
+          (fun imported -> Encl_pkg.Graph.add_import t.graph ~importer:name ~imported)
+          imports;
+        List.iter (register_section t) sections;
+        (* Recompute views: new packages become visible per the default
+           policy unless explicitly restricted. *)
+        let rec update = function
+          | [] -> Ok ()
+          | enc :: rest -> (
+              match
+                View.compute ~graph:t.graph ~deps:enc.e_deps ~policy:enc.e_policy
+              with
+              | Error e -> Error e
+              | Ok view ->
+                  enc.e_view <- view;
+                  update rest)
+        in
+        (match update (ordered_encs t) with
+        | Error e -> Error e
+        | Ok () -> (
+            match recompute t with
+            | Error e -> Error e
+            | Ok () ->
+                charge_init t ~packages:1 ~enclosures:0;
+                Ok ())))
+  end
+
+let register_enclosure t ~name ~owner ~deps ~policy ~closure_addr =
+  if Hashtbl.mem t.encs name then
+    Error (Printf.sprintf "enclosure %s already registered" name)
+  else
+    match make_enc t ~name ~owner ~deps ~policy ~closure_addr with
+    | Error e -> Error e
+    | Ok enc -> (
+        Hashtbl.replace t.encs name enc;
+        t.enc_order <- t.enc_order @ [ name ];
+        let site = "enclosure:" ^ name in
+        Hashtbl.replace t.verif (site, Image.Prolog) ();
+        Hashtbl.replace t.verif (site, Image.Epilog) ();
+        match recompute t with
+        | Error e -> Error e
+        | Ok () ->
+            charge_init t ~packages:0 ~enclosures:1;
+            Ok ())
+
+let add_import t ~importer ~imported =
+  if not (Encl_pkg.Graph.mem t.graph importer) then
+    Error (Printf.sprintf "unknown importer %s" importer)
+  else if not (Encl_pkg.Graph.mem t.graph imported) then
+    Error (Printf.sprintf "unknown imported package %s" imported)
+  else begin
+    Encl_pkg.Graph.add_import t.graph ~importer ~imported;
+    let rec update = function
+      | [] -> Ok ()
+      | enc :: rest -> (
+          match View.compute ~graph:t.graph ~deps:enc.e_deps ~policy:enc.e_policy with
+          | Error e -> Error e
+          | Ok view ->
+              enc.e_view <- view;
+              update rest)
+    in
+    match update (ordered_encs t) with
+    | Error e -> Error e
+    | Ok () -> (
+        match recompute t with
+        | Error e -> Error e
+        | Ok () ->
+            charge_init t ~packages:0 ~enclosures:0;
+            Ok ())
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Switches                                                            *)
+
+let check_site t site hook =
+  if not (Hashtbl.mem t.verif (site, hook)) then
+    fault t
+      (Printf.sprintf "call-site %s not in the .verif list for %s" site
+         (Image.hook_name hook))
+
+let set_hw_env t env =
+  Cpu.set_env t.machine.Machine.cpu env
+
+let env_of_stack t = function
+  | [] -> t.app_trusted
+  | enc :: _ -> Option.get enc.e_env
+
+let prolog t ~name ~site =
+  Log.debug (fun m -> m "prolog %s (site %s)" name site);
+  check_site t site Image.Prolog;
+  match Hashtbl.find_opt t.encs name with
+  | None -> fault t (Printf.sprintf "unknown enclosure %s" name)
+  | Some enc -> (
+      (match t.stack with
+      | [] -> ()
+      | top :: _ ->
+          (* Only equal-or-more-restrictive transitions are allowed. *)
+          if
+            not
+              (View.subset enc.e_view top.e_view
+              && Policy.filter_leq enc.e_policy.Policy.filter
+                   top.e_policy.Policy.filter)
+          then
+            fault t ~enclosure:top.e_name
+              (Printf.sprintf
+                 "switch into %s would escalate privileges (nested enclosures \
+                  may only restrict)"
+                 name));
+      t.switches <- t.switches + 1;
+      let c = t.machine.Machine.costs in
+      match t.backend with
+      | Mpk ->
+          Clock.consume t.machine.Machine.clock Clock.Switch c.Costs.mpk_prolog;
+          t.stack <- enc :: t.stack;
+          set_hw_env t (env_of_stack t t.stack)
+      | Lwc ->
+          (* lwSwitch: an ordinary system call that installs the
+             context's memory view. *)
+          Clock.consume t.machine.Machine.clock Clock.Switch c.Costs.lwc_switch;
+          t.stack <- enc :: t.stack;
+          set_hw_env t (env_of_stack t t.stack)
+      | Vtx -> (
+          let vtx = Option.get t.vtx in
+          match
+            Vtx.guest_syscall vtx
+              ~validate:(fun () -> true)
+              ~target:(Option.get enc.e_pt)
+          with
+          | Ok () ->
+              t.stack <- enc :: t.stack;
+              set_hw_env t (env_of_stack t t.stack)
+          | Error e -> fault t ~enclosure:name e))
+
+let epilog t ~site =
+  check_site t site Image.Epilog;
+  match t.stack with
+  | [] -> fault t "epilog with no active enclosure"
+  | _ :: rest -> (
+      t.switches <- t.switches + 1;
+      let c = t.machine.Machine.costs in
+      match t.backend with
+      | Mpk ->
+          Clock.consume t.machine.Machine.clock Clock.Switch c.Costs.mpk_epilog;
+          t.stack <- rest;
+          set_hw_env t (env_of_stack t rest)
+      | Lwc ->
+          Clock.consume t.machine.Machine.clock Clock.Switch c.Costs.lwc_switch;
+          t.stack <- rest;
+          set_hw_env t (env_of_stack t rest)
+      | Vtx -> (
+          let vtx = Option.get t.vtx in
+          let target =
+            match rest with
+            | [] -> t.machine.Machine.trusted_pt
+            | enc :: _ -> Option.get enc.e_pt
+          in
+          match Vtx.guest_sysret vtx ~validate:(fun () -> true) ~target with
+          | Ok () ->
+              t.stack <- rest;
+              set_hw_env t (env_of_stack t rest)
+          | Error e -> fault t e))
+
+let in_enclosure t = match t.stack with [] -> None | e :: _ -> Some e.e_name
+
+(* ------------------------------------------------------------------ *)
+(* System calls                                                        *)
+
+let filter_allows_call (f : Policy.sys_filter) (call : K.call) =
+  match call with
+  | K.Connect { ip; _ } -> Policy.filter_allows_connect f ~ip
+  | _ -> Policy.filter_allows_cat f (Sysno.category (K.sysno_of_call call))
+
+let syscall t call =
+  match t.backend with
+  | Lwc -> (
+      (* The kernel holds the per-context filter: checked in the normal
+         syscall path, no extra crossing. *)
+      match t.stack with
+      | top :: _ when not (filter_allows_call top.e_policy.Policy.filter call) ->
+          fault t ~enclosure:top.e_name
+            (Printf.sprintf "system call %s denied by the context's filter"
+               (Sysno.name (K.sysno_of_call call)))
+      | _ -> K.syscall t.machine.Machine.kernel call)
+  | Mpk -> (
+      try K.syscall t.machine.Machine.kernel call
+      with K.Syscall_killed { nr; env } ->
+        t.faults <- t.faults + 1;
+        raise
+          (Fault
+             {
+               reason =
+                 Printf.sprintf "seccomp killed system call %s in %s"
+                   (Sysno.name nr) env;
+               enclosure = in_enclosure t;
+             }))
+  | Vtx -> (
+      match t.stack with
+      | top :: _ when not (filter_allows_call top.e_policy.Policy.filter call) ->
+          fault t ~enclosure:top.e_name
+            (Printf.sprintf "system call %s denied by enclosure filter"
+               (Sysno.name (K.sysno_of_call call)))
+      | _ ->
+          let vtx = Option.get t.vtx in
+          Vtx.hypercall vtx (fun () -> K.syscall t.machine.Machine.kernel call))
+
+(* ------------------------------------------------------------------ *)
+(* Transfer                                                            *)
+
+let transfer t ~addr ~len ~to_pkg ~site =
+  Log.debug (fun m -> m "transfer %#x+%d -> %s" addr len to_pkg);
+  check_site t site Image.Transfer;
+  if not (Encl_pkg.Graph.mem t.graph to_pkg) then
+    fault t (Printf.sprintf "transfer to unknown package %s" to_pkg);
+  t.transfers <- t.transfers + 1;
+  let pages = (max len 1 + Phys.page_size - 1) / Phys.page_size in
+  let sec =
+    Section.make
+      ~name:(Printf.sprintf "%s.arena@%#x" to_pkg addr)
+      ~owner:to_pkg ~kind:Section.Arena ~addr ~size:len
+  in
+  (* Remove the range from its previous owner's section list, if any. *)
+  (match owner_of t ~addr with
+  | Some prev when prev <> to_pkg -> (
+      match Hashtbl.find_opt t.pkg_sections prev with
+      | Some lst ->
+          lst := List.filter (fun (s : Section.t) -> s.Section.addr <> addr) !lst
+      | None -> ())
+  | Some _ | None -> ());
+  register_section t sec;
+  match t.backend with
+  | Mpk -> (
+      let key =
+        match Cluster.cluster_of t.clusters to_pkg with
+        | Some i -> t.keys.(i)
+        | None -> 0
+      in
+      (* The Transfer hook gates into LitterBox, which performs the
+         pkey_mprotect from a trusted context. *)
+      let saved = Cpu.env t.machine.Machine.cpu in
+      Cpu.set_env t.machine.Machine.cpu t.machine.Machine.trusted_env;
+      let result =
+        K.syscall t.machine.Machine.kernel
+          (K.Pkey_mprotect { addr; len = pages * Phys.page_size; key })
+      in
+      Cpu.set_env t.machine.Machine.cpu saved;
+      match result with
+      | Ok _ -> ()
+      | Error e -> fault t (Printf.sprintf "transfer: pkey_mprotect failed (%s)" (K.errno_name e)))
+  | Vtx | Lwc ->
+      let c = t.machine.Machine.costs in
+      (match t.backend with
+      | Vtx ->
+          Clock.consume t.machine.Machine.clock Clock.Transfer
+            (c.Costs.vtx_transfer_base + (pages * c.Costs.vtx_transfer_page))
+      | Lwc | Mpk ->
+          (* A kernel call updating every context's view of the range. *)
+          Clock.consume t.machine.Machine.clock Clock.Transfer
+            (c.Costs.syscall_base + (pages * c.Costs.lwc_transfer_page)));
+      let bytes = pages * Phys.page_size in
+      List.iter
+        (fun enc ->
+          match enc.e_pt with
+          | None -> ()
+          | Some pt ->
+              let access = View.access enc.e_view to_pkg in
+              Mm.protect t.machine.Machine.mm ~pt ~addr ~len:bytes
+                (Types.page_perms access Section.Arena);
+              Mm.set_present t.machine.Machine.mm ~pt ~addr ~len:bytes
+                (access <> Types.U))
+        (ordered_encs t);
+      Mm.protect t.machine.Machine.mm ~pt:t.machine.Machine.trusted_pt ~addr
+        ~len:bytes
+        { Pte.r = true; w = true; x = false }
+
+(* ------------------------------------------------------------------ *)
+(* Execute (scheduler switches) and trusted excursions                 *)
+
+let capture_env t = t.stack
+let trusted_env_ref _t = []
+
+let env_matches t env_ref =
+  List.length t.stack = List.length env_ref
+  && List.for_all2 (fun a b -> a.e_name = b.e_name) t.stack env_ref
+
+let execute t env_ref ~site =
+  check_site t site Image.Execute;
+  t.switches <- t.switches + 1;
+  let c = t.machine.Machine.costs in
+  (match t.backend with
+  | Mpk -> Clock.consume t.machine.Machine.clock Clock.Switch c.Costs.wrpkru
+  | Lwc -> Clock.consume t.machine.Machine.clock Clock.Switch c.Costs.lwc_switch
+  | Vtx -> (
+      let vtx = Option.get t.vtx in
+      let target =
+        match env_ref with
+        | [] -> t.machine.Machine.trusted_pt
+        | enc :: _ -> Option.get enc.e_pt
+      in
+      match Vtx.guest_syscall vtx ~validate:(fun () -> true) ~target with
+      | Ok () -> ()
+      | Error e -> fault t e));
+  t.stack <- env_ref;
+  set_hw_env t (env_of_stack t env_ref)
+
+let with_trusted t f =
+  let saved = t.stack in
+  let c = t.machine.Machine.costs in
+  let switch_cost =
+    match t.backend with
+    | Mpk -> c.Costs.mpk_prolog
+    | Lwc -> c.Costs.lwc_switch
+    | Vtx -> c.Costs.vtx_guest_syscall
+  in
+  Clock.consume t.machine.Machine.clock Clock.Switch switch_cost;
+  t.switches <- t.switches + 1;
+  t.stack <- [];
+  set_hw_env t t.app_trusted;
+  Fun.protect
+    ~finally:(fun () ->
+      let return_cost =
+        match t.backend with
+        | Mpk -> c.Costs.mpk_epilog
+        | Lwc -> c.Costs.lwc_switch
+        | Vtx -> c.Costs.vtx_guest_sysret
+      in
+      Clock.consume t.machine.Machine.clock Clock.Switch return_cost;
+      t.switches <- t.switches + 1;
+      t.stack <- saved;
+      set_hw_env t (env_of_stack t saved))
+    f
+
+(* ------------------------------------------------------------------ *)
+(* Introspection                                                       *)
+
+let view_of t name = Option.map (fun e -> e.e_view) (Hashtbl.find_opt t.encs name)
+
+let current_access t pkg =
+  match t.stack with
+  | [] -> None
+  | enc :: _ -> Some (View.access enc.e_view pkg)
+
+let pkru_of t name =
+  match t.backend with
+  | Vtx | Lwc -> None
+  | Mpk -> Option.map (fun e -> e.e_pkru) (Hashtbl.find_opt t.encs name)
+
+let cluster t = t.clusters
+let enclosure_names t = t.enc_order
+let switch_count t = t.switches
+let transfer_count t = t.transfers
+let fault_count t = t.faults
+let fault_log t = t.fault_log
+
+let run_protected t f =
+  match f () with
+  | v -> Ok v
+  | exception Fault { reason; enclosure } ->
+      Error
+        (Printf.sprintf "enclosure fault%s: %s"
+           (match enclosure with Some e -> " in " ^ e | None -> "")
+           reason)
+  | exception Cpu.Fault info ->
+      t.faults <- t.faults + 1;
+      (* Root-cause trace: name the package that owns the address. *)
+      let owner =
+        match owner_of t ~addr:info.Cpu.vaddr with
+        | Some pkg -> Printf.sprintf " (address belongs to package %s)" pkg
+        | None -> " (address is outside any package section)"
+      in
+      let trace = Format.asprintf "%a%s" Cpu.pp_fault info owner in
+      t.fault_log <- trace :: t.fault_log;
+      Log.err (fun m -> m "%s" trace);
+      Error trace
+  | exception K.Syscall_killed { nr; env } ->
+      t.faults <- t.faults + 1;
+      Error (Printf.sprintf "seccomp killed system call %s in %s" (Sysno.name nr) env)

@@ -1,0 +1,170 @@
+(** LitterBox: the language-independent enclosure-enforcement backend
+    (paper §4, §5.3).
+
+    The API mirrors the paper's six entry points:
+    - {!init} (and, for dynamic languages, {!register_package} /
+      {!register_enclosure}, which may be called repeatedly);
+    - {!prolog} / {!epilog}: the switch into and out of an enclosure's
+      execution environment;
+    - {!syscall}: system-call filtering ([FilterSyscall]);
+    - {!transfer}: dynamic repartitioning of heap memory between package
+      arenas;
+    - {!execute}: environment switch for user-level thread scheduling.
+
+    Two hardware backends are supported: {!Mpk} (PKRU switches, seccomp
+    filtering indexed by PKRU, [pkey_mprotect] transfers) and {!Vtx}
+    (per-enclosure page tables, switches as guest system calls, host
+    system calls via hypercall). *)
+
+type backend = Mpk | Vtx | Lwc
+
+val backend_name : backend -> string
+(** [Lwc] is the hardware-free alternative the paper's related-work
+    section sketches (light-weight contexts): per-enclosure memory views
+    held by the kernel, switches as ordinary system calls — no MPK keys,
+    no VM, correspondingly slower switches but baseline-cost system
+    calls. *)
+
+exception Fault of { reason : string; enclosure : string option }
+(** An enclosure violated its policy, or a switch was rejected. "A fault
+    stops the execution of the closure and aborts the program." *)
+
+type t
+
+(** {2 Initialization} *)
+
+val init :
+  machine:Machine.t -> backend:backend -> image:Encl_elf.Image.t ->
+  ?binary_scan:(string * string) list ->
+  ?clustering:bool ->
+  unit ->
+  (t, string) result
+(** Bulk initialization for statically linked languages: loads the image,
+    validates the configuration (alignment, overlap, policy
+    satisfiability), computes every enclosure's memory view, clusters
+    meta-packages, and programs the chosen hardware. [binary_scan] is the
+    list of [(package, function)] sites found to write the PKRU register;
+    LB_MPK refuses any outside ["litterbox.user"] (the ERIM-style scan,
+    §5.3). [clustering] (default [true]) enables meta-package clustering;
+    disabling it gives every package its own protection key, which makes
+    LB_MPK initialization fail beyond 15 packages — the ablation
+    motivating the paper's §5.3 optimization. *)
+
+val machine : t -> Machine.t
+val backend : t -> backend
+val graph : t -> Encl_pkg.Graph.t
+
+(** {2 Dynamic registration (Python-style frontends)} *)
+
+val register_package :
+  t ->
+  name:string ->
+  imports:string list ->
+  sections:Encl_elf.Section.t list ->
+  (unit, string) result
+(** Register a lazily imported module and its (already mapped) sections.
+    Existing enclosure views are recomputed: by default new packages
+    become available to executing enclosures unless their policies
+    restrict them (paper §5.2). Counts toward the delayed-initialization
+    cost. *)
+
+val register_enclosure :
+  t ->
+  name:string ->
+  owner:string ->
+  deps:string list ->
+  policy:string ->
+  closure_addr:int ->
+  (unit, string) result
+(** [deps] are the closure's direct dependencies (what its body invokes);
+    the default view is their transitive closure. *)
+
+val add_import : t -> importer:string -> imported:string -> (unit, string) result
+(** Record a new import edge discovered at run time and recompute views. *)
+
+(** {2 Switches} *)
+
+val prolog : t -> name:string -> site:string -> unit
+(** Enter the named enclosure's execution environment. Validates the
+    call-site against the [.verif] list and enforces the nesting rule: a
+    switch may only enter an equal-or-more-restrictive environment.
+    Raises {!Fault} otherwise. *)
+
+val epilog : t -> site:string -> unit
+(** Leave the innermost enclosure, returning to the enclosing (less
+    restrictive) environment. *)
+
+val in_enclosure : t -> string option
+(** Name of the innermost active enclosure, if any. *)
+
+(** {2 System calls} *)
+
+val syscall : t -> Encl_kernel.Kernel.call ->
+  (int, Encl_kernel.Kernel.errno) result
+(** Dispatch a system call under the current environment's filter. LB_MPK
+    defers to the kernel's seccomp program (killed calls raise
+    {!Fault}); LB_VTX checks the filter in the guest OS and pays a
+    hypercall round-trip for permitted calls. *)
+
+(** {2 Runtime hooks} *)
+
+val transfer :
+  t -> addr:int -> len:int -> to_pkg:string -> site:string -> unit
+(** Move a memory section into [to_pkg]'s arena, updating every execution
+    environment (paper §4.2). Must come from a verified call-site. *)
+
+val owner_of : t -> addr:int -> string option
+(** Which package owns the page containing [addr] (section registry). *)
+
+type env_ref
+(** A captured execution-environment stack, carried by a user-level
+    thread. *)
+
+val capture_env : t -> env_ref
+val trusted_env_ref : t -> env_ref
+
+val env_matches : t -> env_ref -> bool
+(** Whether the current environment stack already equals the captured one
+    (schedulers use this to skip redundant [execute] switches). *)
+
+val execute : t -> env_ref -> site:string -> unit
+(** Scheduler switch: resume the captured environment (paper's [Execute]
+    hook). Unlike {!prolog}, this transition is not subject to the
+    nesting rule — the scheduler may resume any previously captured
+    (hence already validated) environment. *)
+
+(** {2 Trusted excursions} *)
+
+val with_trusted : t -> (unit -> 'a) -> 'a
+(** Controlled switch to the trusted environment and back, paying the
+    backend's switch costs both ways (used by runtimes for GC /
+    reference-count updates on read-only objects, paper §5.2). *)
+
+(** {2 Introspection} *)
+
+val view_of : t -> string -> View.t option
+
+val current_access : t -> string -> Types.access option
+(** Access the innermost active enclosure has on a package; [None] when
+    running trusted. Language runtimes use this to decide whether a
+    metadata update (e.g. a reference count on a read-only object) needs
+    a controlled switch to the trusted environment (paper §5.2). *)
+
+val pkru_of : t -> string -> Mpk.pkru option
+(** MPK backend only. *)
+
+val cluster : t -> Cluster.t
+val enclosure_names : t -> string list
+val switch_count : t -> int
+val transfer_count : t -> int
+val fault_count : t -> int
+
+val fault_log : t -> string list
+(** Root-cause traces of the faults seen so far, most recent first (the
+    paper's LB_VTX "prints a trace of the root-cause"). Memory faults are
+    annotated with the owning package of the offending address. *)
+
+val run_protected : t -> (unit -> 'a) -> ('a, string) result
+(** Run [f], mapping enclosure faults ({!Fault}, {!Cpu.Fault},
+    seccomp kills) to [Error message]. The paper aborts the program; a
+    library embedding reports the fault to its caller instead. *)

@@ -1,0 +1,6 @@
+(** Loads a linked image into the simulated machine: maps every section
+    with its default permissions and copies initialised symbol contents. *)
+
+val load : Machine.t -> Encl_elf.Image.t -> (unit, string) result
+(** Fails when sections overlap (the layout assumption LitterBox verifies,
+    paper §2.3). *)

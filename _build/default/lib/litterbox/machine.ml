@@ -1,0 +1,32 @@
+type t = {
+  phys : Phys.t;
+  clock : Clock.t;
+  costs : Costs.t;
+  trusted_pt : Pagetable.t;
+  trusted_env : Cpu.env;
+  cpu : Cpu.t;
+  mm : Encl_kernel.Mm.t;
+  vfs : Encl_kernel.Vfs.t;
+  net : Encl_kernel.Net.t;
+  kernel : Encl_kernel.Kernel.t;
+}
+
+let create ?(costs = Costs.default) () =
+  let phys = Phys.create () in
+  let clock = Clock.create () in
+  let trusted_pt = Pagetable.create ~name:"trusted" in
+  let trusted_env = Cpu.trusted_env trusted_pt in
+  let cpu = Cpu.create ~phys ~clock ~costs trusted_env in
+  let mm = Encl_kernel.Mm.create ~phys ~base:Encl_elf.Linker.heap_base in
+  Encl_kernel.Mm.add_pt mm trusted_pt;
+  let vfs = Encl_kernel.Vfs.create () in
+  let net = Encl_kernel.Net.create () in
+  let kernel =
+    Encl_kernel.Kernel.create ~clock ~costs ~cpu ~trusted_env ~vfs ~net ~mm
+  in
+  { phys; clock; costs; trusted_pt; trusted_env; cpu; mm; vfs; net; kernel }
+
+let with_trusted t f =
+  let saved = Cpu.env t.cpu in
+  Cpu.set_env t.cpu t.trusted_env;
+  Fun.protect ~finally:(fun () -> Cpu.set_env t.cpu saved) f

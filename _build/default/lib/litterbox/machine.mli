@@ -1,0 +1,25 @@
+(** The simulated machine: one object wiring hardware and OS together.
+
+    Creates, in order: physical memory, the simulated clock, the trusted
+    page table, the CPU (starting in the trusted environment), the
+    address-space manager (heap above the linker's regions), the
+    filesystem, the network, and the kernel. *)
+
+type t = {
+  phys : Phys.t;
+  clock : Clock.t;
+  costs : Costs.t;
+  trusted_pt : Pagetable.t;
+  trusted_env : Cpu.env;
+  cpu : Cpu.t;
+  mm : Encl_kernel.Mm.t;
+  vfs : Encl_kernel.Vfs.t;
+  net : Encl_kernel.Net.t;
+  kernel : Encl_kernel.Kernel.t;
+}
+
+val create : ?costs:Costs.t -> unit -> t
+
+val with_trusted : t -> (unit -> 'a) -> 'a
+(** Run [f] with the CPU temporarily in the trusted environment (used by
+    runtimes for GC and by LitterBox internals). *)

@@ -1,0 +1,51 @@
+(** Enclosure policy literals: parsing, printing, validation.
+
+    Concrete syntax (the paper's §2.2 grammar, as a string literal so the
+    frontend compiler can validate it at compile time):
+
+    {v
+      policy    ::= [memmods] [';' 'sys' '=' sysfilter]
+      memmods   ::= (pkg ':' ('U'|'R'|'RW'|'RWX'))*        (space separated)
+      sysfilter ::= 'none' | 'all' | atom (',' atom)*
+      atom      ::= category                                (net, io, file, ...)
+                  | 'connect(' ip ('|' ip)* ')'             (§6.5 extension)
+    v}
+
+    Examples: ["secrets:R; sys=none"], ["; sys=net,file"],
+    ["os:U mylib:RWX"], [""] (the default policy). *)
+
+type filter_atom =
+  | Cat of Encl_kernel.Sysno.category
+  | Connect_to of int list
+      (** allow [connect] only to these IPs; when present it overrides
+          the [net] category for [connect] (so ["net,connect(ip)"] means
+          all socket calls but connections only to [ip]) *)
+
+type sys_filter = Sys_none | Sys_all | Sys_atoms of filter_atom list
+
+type t = { modifiers : (string * Types.access) list; filter : sys_filter }
+
+val default : t
+(** No modifiers, [Sys_none]: natural dependencies only, all system calls
+    denied (paper §3.1). *)
+
+val parse : string -> (t, string) result
+(** Rejects malformed syntax, duplicate package modifiers, and unknown
+    categories. *)
+
+val to_string : t -> string
+(** Canonical literal; [parse (to_string p)] re-reads to an equal policy. *)
+
+val validate_packages :
+  t -> known:(string -> bool) -> (unit, string) result
+(** Compile-time satisfiability: every package named by a modifier must
+    exist in the program. *)
+
+val filter_leq : sys_filter -> sys_filter -> bool
+(** [filter_leq f g]: [f] permits no call that [g] forbids (used by the
+    nesting rule: only equal-or-more-restrictive transitions). *)
+
+val filter_allows_cat : sys_filter -> Encl_kernel.Sysno.category -> bool
+val filter_allows_connect : sys_filter -> ip:int -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,30 @@
+type access = U | R | RW | RWX
+
+let access_name = function U -> "U" | R -> "R" | RW -> "RW" | RWX -> "RWX"
+
+let access_of_string = function
+  | "U" -> Some U
+  | "R" -> Some R
+  | "RW" -> Some RW
+  | "RWX" -> Some RWX
+  | _ -> None
+
+let rank = function U -> 0 | R -> 1 | RW -> 2 | RWX -> 3
+let access_leq a b = rank a <= rank b
+let access_meet a b = if rank a <= rank b then a else b
+
+let page_perms access (kind : Encl_elf.Section.kind) =
+  match (access, kind) with
+  | U, _ -> Pte.no_perms
+  | _, (Rodata | Rstrct | Pkgs | Verif) -> { Pte.r = true; w = false; x = false }
+  | RWX, Text -> { Pte.r = true; w = false; x = true }
+  | (R | RW), Text -> { Pte.r = true; w = false; x = false }
+  | R, (Data | Arena) -> { Pte.r = true; w = false; x = false }
+  | (RW | RWX), (Data | Arena) -> { Pte.r = true; w = true; x = false }
+
+let key_rights = function
+  | U -> Mpk.No_access
+  | R -> Mpk.Read_only
+  | RW | RWX -> Mpk.Read_write
+
+let pp_access ppf a = Format.pp_print_string ppf (access_name a)

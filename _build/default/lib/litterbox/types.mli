@@ -1,0 +1,29 @@
+(** Core LitterBox value types: access rights and their page-level
+    meaning. *)
+
+(** Access rights a memory view can grant on a package (paper §2.2):
+    - [U] unmaps the package entirely;
+    - [R] grants read-only access to data and constants;
+    - [RW] grants read access to constants and read-write to variables;
+    - [RWX] adds the ability to invoke the package's functions. *)
+type access = U | R | RW | RWX
+
+val access_name : access -> string
+val access_of_string : string -> access option
+
+val access_leq : access -> access -> bool
+(** [access_leq a b]: [a] grants no more than [b] ([U <= R <= RW <= RWX]). *)
+
+val access_meet : access -> access -> access
+
+val page_perms : access -> Encl_elf.Section.kind -> Pte.perms
+(** What the right means for a page of the given section kind. Text pages
+    are executable only under [RWX]; rodata is never writable; data and
+    arena pages are writable from [RW] up. *)
+
+val key_rights : access -> Mpk.key_rights
+(** The MPK encoding of a right (data accesses only; [RWX] and [RW] both
+    map to [Read_write] — execute restrictions are enforced by the
+    call-gate scan, not by PKRU). *)
+
+val pp_access : Format.formatter -> access -> unit

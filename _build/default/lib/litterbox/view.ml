@@ -1,0 +1,70 @@
+module Smap = Map.Make (String)
+
+type t = Types.access Smap.t
+
+let empty = Smap.empty
+
+let of_list l = List.fold_left (fun m (p, a) -> Smap.add p a m) Smap.empty l
+let to_list t = Smap.bindings t
+let access t pkg = Option.value ~default:Types.U (Smap.find_opt pkg t)
+let set t pkg a = Smap.add pkg a t
+
+let user_pkg = "litterbox.user"
+
+let compute ~graph ~deps ~policy =
+  match List.find_opt (fun d -> not (Encl_pkg.Graph.mem graph d)) deps with
+  | Some d -> Error (Printf.sprintf "enclosure dependency %s is not a linked package" d)
+  | None -> (
+    match
+      Policy.validate_packages policy ~known:(Encl_pkg.Graph.mem graph)
+    with
+    | Error e -> Error e
+    | Ok () ->
+        let base =
+          List.fold_left
+            (fun m p ->
+              List.fold_left
+                (fun m q -> Smap.add q Types.RWX m)
+                (Smap.add p Types.RWX m)
+                (Encl_pkg.Graph.natural_deps graph p))
+            Smap.empty deps
+        in
+        let base = Smap.add user_pkg Types.RWX base in
+        let final =
+          List.fold_left
+            (fun m (p, a) -> Smap.add p a m)
+            base policy.Policy.modifiers
+        in
+        (* The user package must stay reachable or no switch could ever
+           return (paper §5.3: available in all execution environments). *)
+        let final =
+          if access final user_pkg = Types.U then Smap.add user_pkg Types.R final
+          else final
+        in
+        Ok final)
+
+let subset a b =
+  (* Every right in [a] must be <= the right in [b]; packages absent from
+     [a] are U, which is <= anything. *)
+  Smap.for_all (fun pkg ra -> Types.access_leq ra (access b pkg)) a
+
+let equal a b =
+  let norm m = Smap.filter (fun _ a -> a <> Types.U) m in
+  Smap.equal ( = ) (norm a) (norm b)
+
+let restrict_to a b =
+  Smap.merge
+    (fun _ ra rb ->
+      match (ra, rb) with
+      | Some ra, Some rb -> Some (Types.access_meet ra rb)
+      | Some _, None | None, Some _ -> Some Types.U
+      | None, None -> None)
+    a b
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>";
+  List.iter
+    (fun (p, a) ->
+      if a <> Types.U then Format.fprintf ppf "%s:%a " p Types.pp_access a)
+    (to_list t);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,46 @@
+(** Memory views: per-package access rights for one execution environment.
+
+    A view maps every program package to an access right; packages absent
+    from the map are unmapped ([U]). The default view of an enclosure
+    grants [RWX] on the owning package and its natural dependencies and
+    unmaps everything else; user policies then restrict or extend it
+    (paper §3.1). *)
+
+type t
+
+val empty : t
+val of_list : (string * Types.access) list -> t
+val to_list : t -> (string * Types.access) list
+(** Sorted by package name; [U] entries are kept explicit only when they
+    override a natural dependency. *)
+
+val access : t -> string -> Types.access
+(** [U] for packages not in the view. *)
+
+val set : t -> string -> Types.access -> t
+
+val compute :
+  graph:Encl_pkg.Graph.t ->
+  deps:string list ->
+  policy:Policy.t ->
+  (t, string) result
+(** The complete memory view of an enclosure whose closure directly
+    depends on [deps] (the packages the closure invokes, identified by
+    the frontend's type checker): those packages and their transitive
+    dependencies at [RWX], modifiers applied, and the ["litterbox.user"]
+    package always accessible (its hooks must be callable from every
+    environment, paper §5.3). Note that the {e declaring} package is not
+    part of the view unless the closure depends on it — in Figure 1, [rcl]
+    cannot access [main]. Fails when a modifier or dependency names a
+    package unknown to the graph. *)
+
+val subset : t -> t -> bool
+(** [subset a b]: environment [a] is equal-or-more-restrictive than [b]
+    for every package. *)
+
+val equal : t -> t -> bool
+
+val restrict_to : t -> t -> t
+(** Pointwise meet (exposed for tests and ablations). *)
+
+val pp : Format.formatter -> t -> unit

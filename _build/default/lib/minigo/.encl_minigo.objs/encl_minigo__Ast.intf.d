@@ -1,0 +1,1 @@
+lib/minigo/ast.mli: Format

@@ -1,0 +1,1 @@
+lib/minigo/compile.ml: Ast Bytes Encl_elf Encl_enclosure Encl_golike Encl_pkg Hashtbl Int64 List Option Printf String

@@ -1,0 +1,1 @@
+lib/minigo/compile.mli: Ast Encl_golike Hashtbl

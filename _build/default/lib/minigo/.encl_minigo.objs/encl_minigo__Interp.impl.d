@@ -1,0 +1,1 @@
+lib/minigo/interp.ml: Ast Buffer Bytes Compile Encl_golike Encl_kernel Encl_litterbox Hashtbl Int64 List Option Printf String

@@ -1,0 +1,1 @@
+lib/minigo/interp.mli: Ast Compile Encl_golike Hashtbl

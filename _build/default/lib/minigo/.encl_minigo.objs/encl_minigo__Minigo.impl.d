@@ -1,0 +1,1 @@
+lib/minigo/minigo.ml: Compile Cpu Encl_golike Encl_litterbox Format Interp List Parser Printf

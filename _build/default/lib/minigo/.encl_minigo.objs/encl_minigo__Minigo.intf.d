@@ -1,0 +1,1 @@
+lib/minigo/minigo.mli: Encl_golike Interp

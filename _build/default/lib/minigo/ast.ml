@@ -1,0 +1,87 @@
+type binop = Add | Sub | Mul | Div | Mod | Lt | Le | Gt | Ge | Eq | Ne
+
+type expr =
+  | Int of int
+  | Str of string
+  | Bool of bool
+  | Var of string
+  | Binop of binop * expr * expr
+  | Call of string * expr list
+  | Pkg_call of string * string * expr list
+  | Enclosure of enclosure
+
+and stmt =
+  | Define of string * expr
+  | Assign of string * expr
+  | Expr of expr
+  | Return of expr option
+  | If of expr * block * block option
+  | For of expr * block
+  | Go of expr
+
+and enclosure = {
+  policy : string;
+  body : block;
+  mutable e_id : string option;
+      (** unique enclosure name, assigned by the compiler *)
+}
+
+and block = stmt list
+
+type fndecl = { fn_name : string; fn_params : string list; fn_body : block }
+
+type vardecl = { v_name : string; v_init : expr }
+
+type pkg = {
+  p_name : string;
+  p_imports : string list;
+  p_import_policies : (string * string) list;
+      (** [import foo with "policy"] tags: the imported package's [init]
+          function runs inside an enclosure with that policy (paper
+          §5.1) *)
+  p_consts : vardecl list;
+  p_vars : vardecl list;
+  p_funcs : fndecl list;
+}
+
+type program = pkg list
+
+let binop_name = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eq -> "=="
+  | Ne -> "!="
+
+let rec pp_expr ppf = function
+  | Int n -> Format.pp_print_int ppf n
+  | Str s -> Format.fprintf ppf "%S" s
+  | Bool b -> Format.pp_print_bool ppf b
+  | Var x -> Format.pp_print_string ppf x
+  | Binop (op, a, b) ->
+      Format.fprintf ppf "(%a %s %a)" pp_expr a (binop_name op) pp_expr b
+  | Call (f, args) -> Format.fprintf ppf "%s(%a)" f pp_args args
+  | Pkg_call (p, f, args) -> Format.fprintf ppf "%s.%s(%a)" p f pp_args args
+  | Enclosure { policy; _ } ->
+      Format.fprintf ppf "with %S func() {...}" policy
+
+and pp_args ppf args =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+    pp_expr ppf args
+
+and pp_stmt ppf = function
+  | Define (x, e) -> Format.fprintf ppf "%s := %a" x pp_expr e
+  | Assign (x, e) -> Format.fprintf ppf "%s = %a" x pp_expr e
+  | Expr e -> pp_expr ppf e
+  | Return None -> Format.pp_print_string ppf "return"
+  | Return (Some e) -> Format.fprintf ppf "return %a" pp_expr e
+  | If (c, _, _) -> Format.fprintf ppf "if %a {...}" pp_expr c
+  | For (c, _) -> Format.fprintf ppf "for %a {...}" pp_expr c
+  | Go e -> Format.fprintf ppf "go %a" pp_expr e

@@ -1,0 +1,269 @@
+module Runtime = Encl_golike.Runtime
+module Objfile = Encl_elf.Objfile
+module Enclosure = Encl_enclosure.Enclosure
+
+type const_info = { ci_len : int; ci_is_str : bool }
+
+type init_plan = { ip_pkg : string; ip_enclosure : string option }
+
+type compiled = {
+  c_prog : Ast.program;
+  c_pkgdefs : Runtime.pkgdef list;
+  c_consts : (string * string, const_info) Hashtbl.t;
+  c_inits : init_plan list;
+}
+
+let builtins =
+  [
+    "print"; "alloc"; "len"; "get"; "set"; "fill"; "read_str"; "write_str";
+    "getuid"; "write_file"; "read_file"; "mkdir"; "sleep"; "itoa"; "concat";
+    "make_chan"; "chan_send"; "chan_recv"; "chan_len"; "yield";
+  ]
+
+let is_builtin name = List.mem name builtins
+
+(* Walk a closure body collecting the packages it invokes. Nested
+   enclosures are separate closures with their own dependency sets. *)
+let enclosure_deps ~own body =
+  let deps = ref [] in
+  let add p = if not (List.mem p !deps) then deps := p :: !deps in
+  let rec walk_block b = List.iter walk_stmt b
+  and walk_stmt = function
+    | Ast.Define (_, e) | Ast.Assign (_, e) | Ast.Expr e -> walk_expr e
+    | Ast.Return None -> ()
+    | Ast.Return (Some e) -> walk_expr e
+    | Ast.If (c, t, e) ->
+        walk_expr c;
+        walk_block t;
+        Option.iter walk_block e
+    | Ast.For (c, b) ->
+        walk_expr c;
+        walk_block b
+    | Ast.Go e -> walk_expr e
+  and walk_expr = function
+    | Ast.Int _ | Ast.Str _ | Ast.Bool _ | Ast.Var _ -> ()
+    | Ast.Binop (_, a, b) ->
+        walk_expr a;
+        walk_expr b
+    | Ast.Call (f, args) ->
+        if not (is_builtin f) then add own;
+        List.iter walk_expr args
+    | Ast.Pkg_call (p, _, args) ->
+        add p;
+        List.iter walk_expr args
+    | Ast.Enclosure _ ->
+        (* A nested enclosure is invoked through a local closure value;
+           its own dependencies are computed separately. *)
+        ()
+  in
+  walk_block body;
+  List.sort compare !deps
+
+(* Size model: the "machine code" footprint of a block. *)
+let rec block_size b = List.fold_left (fun acc s -> acc + stmt_size s) 16 b
+
+and stmt_size = function
+  | Ast.Define (_, e) | Ast.Assign (_, e) | Ast.Expr e -> 8 + expr_size e
+  | Ast.Return None -> 4
+  | Ast.Return (Some e) -> 4 + expr_size e
+  | Ast.If (c, t, e) ->
+      expr_size c + block_size t
+      + (match e with Some b -> block_size b | None -> 0)
+  | Ast.For (c, b) -> expr_size c + block_size b
+  | Ast.Go e -> 12 + expr_size e
+
+and expr_size = function
+  | Ast.Int _ | Ast.Str _ | Ast.Bool _ | Ast.Var _ -> 4
+  | Ast.Binop (_, a, b) -> 4 + expr_size a + expr_size b
+  | Ast.Call (_, args) | Ast.Pkg_call (_, _, args) ->
+      12 + List.fold_left (fun acc e -> acc + expr_size e) 0 args
+  | Ast.Enclosure _ -> 16 (* just the closure construction *)
+
+exception Compile_error of string
+
+let err fmt = Printf.ksprintf (fun m -> raise (Compile_error m)) fmt
+
+let compile prog =
+  try
+    let pkg_names = List.map (fun p -> p.Ast.p_name) prog in
+    let find_pkg name = List.find_opt (fun p -> p.Ast.p_name = name) prog in
+    let consts = Hashtbl.create 32 in
+    (* Per-package compilation. *)
+    let pkgdefs =
+      List.map
+        (fun (p : Ast.pkg) ->
+          let own = p.Ast.p_name in
+          List.iter
+            (fun i ->
+              if not (List.mem i pkg_names) then
+                err "package %s imports unknown package %s" own i)
+            p.Ast.p_imports;
+          (* Reference checks + enclosure collection over every body. *)
+          let enclosures = ref [] in
+          let counter = ref 0 in
+          let rec check_block b = List.iter check_stmt b
+          and check_stmt = function
+            | Ast.Define (_, e) | Ast.Assign (_, e) | Ast.Expr e -> check_expr e
+            | Ast.Return None -> ()
+            | Ast.Return (Some e) -> check_expr e
+            | Ast.If (c, t, e) ->
+                check_expr c;
+                check_block t;
+                Option.iter check_block e
+            | Ast.For (c, b) ->
+                check_expr c;
+                check_block b
+            | Ast.Go e -> check_expr e
+          and check_expr = function
+            | Ast.Int _ | Ast.Str _ | Ast.Bool _ | Ast.Var _ -> ()
+            | Ast.Binop (_, a, b) ->
+                check_expr a;
+                check_expr b
+            | Ast.Call (f, args) ->
+                (* Either a builtin, a local function, or a closure-typed
+                   variable: variables cannot be checked statically in
+                   this dynamically-typed toy, so only reject nothing
+                   here. Builtin and local functions are both fine. *)
+                ignore f;
+                List.iter check_expr args
+            | Ast.Pkg_call (target, fn, args) ->
+                if not (List.mem target p.Ast.p_imports) then
+                  err "package %s calls %s.%s without importing %s" own target fn
+                    target;
+                (match find_pkg target with
+                | None -> err "package %s calls unknown package %s" own target
+                | Some tp ->
+                    if
+                      not
+                        (List.exists (fun f -> f.Ast.fn_name = fn) tp.Ast.p_funcs)
+                    then err "package %s has no function %s (called from %s)" target fn own);
+                List.iter check_expr args
+            | Ast.Enclosure enc ->
+                (* Compile-time policy validation (paper §5.1). *)
+                (match Enclosure.check_policy enc.Ast.policy with
+                | Ok () -> ()
+                | Error e -> err "package %s: invalid enclosure policy: %s" own e);
+                let id = Printf.sprintf "%s_enc%d" own !counter in
+                incr counter;
+                enc.Ast.e_id <- Some id;
+                let deps = enclosure_deps ~own enc.Ast.body in
+                List.iter
+                  (fun d ->
+                    if d <> own && not (List.mem d p.Ast.p_imports) then
+                      err "enclosure %s uses package %s without importing it" id d)
+                  deps;
+                enclosures :=
+                  {
+                    Objfile.enc_name = id;
+                    enc_policy = enc.Ast.policy;
+                    enc_closure = id ^ "_body";
+                    enc_deps = deps;
+                  }
+                  :: !enclosures;
+                check_block enc.Ast.body
+          in
+          List.iter (fun f -> check_block f.Ast.fn_body) p.Ast.p_funcs;
+          (* Globals: integers and booleans live in .data as 8-byte
+             slots; constants may also be strings in .rodata. *)
+          let global_slot (v : Ast.vardecl) =
+            match v.Ast.v_init with
+            | Ast.Int n ->
+                let b = Bytes.create 8 in
+                Bytes.set_int64_le b 0 (Int64.of_int n);
+                (v.Ast.v_name, 8, Some b)
+            | Ast.Bool flag ->
+                let b = Bytes.create 8 in
+                Bytes.set_int64_le b 0 (if flag then 1L else 0L);
+                (v.Ast.v_name, 8, Some b)
+            | _ -> err "package %s: var %s must be initialised with a literal" own v.Ast.v_name
+          in
+          let const_slot (v : Ast.vardecl) =
+            match v.Ast.v_init with
+            | Ast.Str s ->
+                Hashtbl.replace consts (own, v.Ast.v_name)
+                  { ci_len = String.length s; ci_is_str = true };
+                (v.Ast.v_name, max 8 (String.length s), Some (Bytes.of_string s))
+            | Ast.Int n ->
+                Hashtbl.replace consts (own, v.Ast.v_name) { ci_len = 8; ci_is_str = false };
+                let b = Bytes.create 8 in
+                Bytes.set_int64_le b 0 (Int64.of_int n);
+                (v.Ast.v_name, 8, Some b)
+            | _ -> err "package %s: const %s must be a string or integer literal" own v.Ast.v_name
+          in
+          (* Tagged imports: import foo with "policy" wraps foo's init
+             function in a synthesized enclosure. *)
+          List.iter
+            (fun (target, policy) ->
+              if not (List.mem target p.Ast.p_imports) then
+                err "package %s tags an import it does not declare: %s" own target;
+              (match Enclosure.check_policy policy with
+              | Ok () -> ()
+              | Error e -> err "package %s: invalid import policy for %s: %s" own target e);
+              enclosures :=
+                {
+                  Objfile.enc_name = Printf.sprintf "%s_init_%s" own target;
+                  enc_policy = policy;
+                  enc_closure = Printf.sprintf "%s_init_%s_body" own target;
+                  enc_deps = [ target ];
+                }
+                :: !enclosures)
+            p.Ast.p_import_policies;
+          let fn_sizes =
+            List.map (fun f -> (f.Ast.fn_name, block_size f.Ast.fn_body)) p.Ast.p_funcs
+          in
+          let closure_syms =
+            List.map
+              (fun (e : Objfile.enclosure_decl) -> (e.Objfile.enc_closure, 64))
+              !enclosures
+          in
+          Runtime.package own ~imports:p.Ast.p_imports
+            ~functions:(fn_sizes @ closure_syms)
+            ~globals:(List.map global_slot p.Ast.p_vars)
+            ~constants:(List.map const_slot p.Ast.p_consts)
+            ~enclosures:(List.rev !enclosures) ())
+        prog
+    in
+    (* Entry point. *)
+    (match find_pkg "main" with
+    | None -> err "no main package"
+    | Some mp ->
+        if not (List.exists (fun f -> f.Ast.fn_name = "main") mp.Ast.p_funcs) then
+          err "package main has no function main");
+    (* Init plans: every package with an [init] function, dependencies
+       first; a tagged import supplies the enclosure. *)
+    let graph = Encl_pkg.Graph.create () in
+    List.iter (fun p -> Encl_pkg.Graph.add_package graph p.Ast.p_name) prog;
+    List.iter
+      (fun p ->
+        List.iter
+          (fun i -> Encl_pkg.Graph.add_import graph ~importer:p.Ast.p_name ~imported:i)
+          p.Ast.p_imports)
+      prog;
+    let topo =
+      match Encl_pkg.Graph.topological_order graph with
+      | Ok order -> order
+      | Error cycle -> err "import cycle: %s" (String.concat " -> " cycle)
+    in
+    let enclosure_for target =
+      List.find_map
+        (fun p ->
+          List.find_map
+            (fun (t, _) ->
+              if t = target then Some (Printf.sprintf "%s_init_%s" p.Ast.p_name target)
+              else None)
+            p.Ast.p_import_policies)
+        prog
+    in
+    let inits =
+      List.filter_map
+        (fun name ->
+          match find_pkg name with
+          | Some p when List.exists (fun f -> f.Ast.fn_name = "init") p.Ast.p_funcs ->
+              Some { ip_pkg = name; ip_enclosure = enclosure_for name }
+          | _ -> None)
+        topo
+    in
+    Ok { c_prog = prog; c_pkgdefs = pkgdefs; c_consts = consts; c_inits = inits }
+  with
+  | Compile_error m -> Error m
+  | Invalid_argument m -> Error m

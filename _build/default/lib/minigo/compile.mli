@@ -1,0 +1,39 @@
+(** The mini-Go "compiler": semantic checks, enclosure-dependency
+    inference, and code-object emission (paper §5.1).
+
+    Like the paper's Go patch, it
+    - validates every enclosure policy literal at compile time;
+    - "relies on the type checker to identify and register an enclosure's
+      direct dependencies": the packages a closure body actually invokes
+      (plus its own package when it calls local helpers);
+    - emits one code object per package, with each enclosure closure as a
+      distinct function symbol the linker isolates in its own section. *)
+
+type const_info = { ci_len : int; ci_is_str : bool }
+
+type init_plan = {
+  ip_pkg : string;  (** package whose [init] runs *)
+  ip_enclosure : string option;
+      (** enclosure to run it in, when an importer tagged the import with
+          a policy (paper §5.1). The same synthesized enclosure also wraps
+          {e every} call the importer makes into the package — the
+          compiler-automated program-wide policy of paper §3.2. *)
+}
+
+type compiled = {
+  c_prog : Ast.program;  (** enclosure nodes now carry their [e_id] *)
+  c_pkgdefs : Encl_golike.Runtime.pkgdef list;
+  c_consts : (string * string, const_info) Hashtbl.t;  (** (pkg, name) *)
+  c_inits : init_plan list;  (** dependency order *)
+}
+
+val compile : Ast.program -> (compiled, string) result
+(** Fails with a human-readable message on: unknown imports, [Pkg_call]
+    to a package that is not imported or a function that does not exist,
+    duplicate definitions, invalid policy literals, global initializers
+    that are not literals, or a missing [main.main]. *)
+
+val enclosure_deps : own:string -> Ast.block -> string list
+(** The dependency-inference rule, exposed for tests: packages invoked by
+    the closure body (not counting nested enclosures' bodies), plus
+    [own] when the body calls package-local functions. *)

@@ -1,0 +1,180 @@
+type token =
+  | IDENT of string
+  | INT of int
+  | STRING of string
+  | KW_PACKAGE
+  | KW_IMPORT
+  | KW_FUNC
+  | KW_WITH
+  | KW_VAR
+  | KW_CONST
+  | KW_RETURN
+  | KW_IF
+  | KW_ELSE
+  | KW_FOR
+  | KW_GO
+  | KW_TRUE
+  | KW_FALSE
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | COMMA
+  | DOT
+  | DEFINE
+  | ASSIGN
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQ
+  | NE
+  | EOF
+
+let token_name = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT n -> Printf.sprintf "integer %d" n
+  | STRING s -> Printf.sprintf "string %S" s
+  | KW_PACKAGE -> "'package'"
+  | KW_IMPORT -> "'import'"
+  | KW_FUNC -> "'func'"
+  | KW_WITH -> "'with'"
+  | KW_VAR -> "'var'"
+  | KW_CONST -> "'const'"
+  | KW_RETURN -> "'return'"
+  | KW_IF -> "'if'"
+  | KW_ELSE -> "'else'"
+  | KW_FOR -> "'for'"
+  | KW_GO -> "'go'"
+  | KW_TRUE -> "'true'"
+  | KW_FALSE -> "'false'"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | COMMA -> "','"
+  | DOT -> "'.'"
+  | DEFINE -> "':='"
+  | ASSIGN -> "'='"
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | STAR -> "'*'"
+  | SLASH -> "'/'"
+  | PERCENT -> "'%'"
+  | LT -> "'<'"
+  | LE -> "'<='"
+  | GT -> "'>'"
+  | GE -> "'>='"
+  | EQ -> "'=='"
+  | NE -> "'!='"
+  | EOF -> "end of input"
+
+type located = { tok : token; line : int }
+
+exception Lex_error of { line : int; message : string }
+
+let keyword_of_string = function
+  | "package" -> Some KW_PACKAGE
+  | "import" -> Some KW_IMPORT
+  | "func" -> Some KW_FUNC
+  | "with" -> Some KW_WITH
+  | "var" -> Some KW_VAR
+  | "const" -> Some KW_CONST
+  | "return" -> Some KW_RETURN
+  | "if" -> Some KW_IF
+  | "else" -> Some KW_ELSE
+  | "for" -> Some KW_FOR
+  | "go" -> Some KW_GO
+  | "true" -> Some KW_TRUE
+  | "false" -> Some KW_FALSE
+  | _ -> None
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let line = ref 1 in
+  let toks = ref [] in
+  let emit tok = toks := { tok; line = !line } :: !toks in
+  let error message = raise (Lex_error { line = !line; message }) in
+  let rec go i =
+    if i >= n then emit EOF
+    else
+      match src.[i] with
+      | '\n' ->
+          incr line;
+          go (i + 1)
+      | ' ' | '\t' | '\r' -> go (i + 1)
+      | '/' when i + 1 < n && src.[i + 1] = '/' ->
+          let rec skip j = if j < n && src.[j] <> '\n' then skip (j + 1) else j in
+          go (skip i)
+      | '(' -> emit LPAREN; go (i + 1)
+      | ')' -> emit RPAREN; go (i + 1)
+      | '{' -> emit LBRACE; go (i + 1)
+      | '}' -> emit RBRACE; go (i + 1)
+      | ',' -> emit COMMA; go (i + 1)
+      | '.' -> emit DOT; go (i + 1)
+      | '+' -> emit PLUS; go (i + 1)
+      | '-' -> emit MINUS; go (i + 1)
+      | '*' -> emit STAR; go (i + 1)
+      | '/' -> emit SLASH; go (i + 1)
+      | '%' -> emit PERCENT; go (i + 1)
+      | ':' when i + 1 < n && src.[i + 1] = '=' -> emit DEFINE; go (i + 2)
+      | '=' when i + 1 < n && src.[i + 1] = '=' -> emit EQ; go (i + 2)
+      | '=' -> emit ASSIGN; go (i + 1)
+      | '!' when i + 1 < n && src.[i + 1] = '=' -> emit NE; go (i + 2)
+      | '<' when i + 1 < n && src.[i + 1] = '=' -> emit LE; go (i + 2)
+      | '<' -> emit LT; go (i + 1)
+      | '>' when i + 1 < n && src.[i + 1] = '=' -> emit GE; go (i + 2)
+      | '>' -> emit GT; go (i + 1)
+      | '"' ->
+          let buf = Buffer.create 16 in
+          let rec str j =
+            if j >= n then error "unterminated string literal"
+            else
+              match src.[j] with
+              | '"' -> j + 1
+              | '\n' -> error "newline in string literal"
+              | '\\' ->
+                  if j + 1 >= n then error "dangling escape";
+                  let c =
+                    match src.[j + 1] with
+                    | 'n' -> '\n'
+                    | 't' -> '\t'
+                    | '\\' -> '\\'
+                    | '"' -> '"'
+                    | c -> error (Printf.sprintf "unknown escape \\%c" c)
+                  in
+                  Buffer.add_char buf c;
+                  str (j + 2)
+              | c ->
+                  Buffer.add_char buf c;
+                  str (j + 1)
+          in
+          let next = str (i + 1) in
+          emit (STRING (Buffer.contents buf));
+          go next
+      | c when is_digit c ->
+          let rec num j = if j < n && is_digit src.[j] then num (j + 1) else j in
+          let stop = num i in
+          emit (INT (int_of_string (String.sub src i (stop - i))));
+          go stop
+      | c when is_ident_start c ->
+          let rec ident j = if j < n && is_ident_char src.[j] then ident (j + 1) else j in
+          let stop = ident i in
+          let word = String.sub src i (stop - i) in
+          (match keyword_of_string word with
+          | Some kw -> emit kw
+          | None -> emit (IDENT word));
+          go stop
+      | c -> error (Printf.sprintf "unexpected character %C" c)
+  in
+  go 0;
+  List.rev !toks

@@ -1,0 +1,50 @@
+(** Lexer for the mini-Go surface language (see {!Minigo}). *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | STRING of string
+  | KW_PACKAGE
+  | KW_IMPORT
+  | KW_FUNC
+  | KW_WITH  (** the paper's enclosure keyword (§2.2 / §5.1) *)
+  | KW_VAR
+  | KW_CONST
+  | KW_RETURN
+  | KW_IF
+  | KW_ELSE
+  | KW_FOR
+  | KW_GO
+  | KW_TRUE
+  | KW_FALSE
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | COMMA
+  | DOT
+  | DEFINE  (** [:=] *)
+  | ASSIGN  (** [=] *)
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQ  (** [==] *)
+  | NE
+  | EOF
+
+val token_name : token -> string
+
+type located = { tok : token; line : int }
+
+exception Lex_error of { line : int; message : string }
+
+val tokenize : string -> located list
+(** Line comments start with [//]; strings use double quotes with the
+    usual backslash escapes (n, t, backslash, quote). Raises {!Lex_error}
+    on bad input. *)

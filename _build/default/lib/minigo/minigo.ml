@@ -1,0 +1,73 @@
+module Runtime = Encl_golike.Runtime
+module Lb = Encl_litterbox.Litterbox
+
+type t = { ctx : Interp.ctx }
+
+let build ?(config = Runtime.with_backend Lb.Mpk) ~sources () =
+  match Parser.parse_program sources with
+  | Error e -> Error e
+  | Ok prog -> (
+      match Compile.compile prog with
+      | Error e -> Error e
+      | Ok compiled -> (
+          match
+            Runtime.boot config ~packages:compiled.Compile.c_pkgdefs ~entry:"main"
+          with
+          | Error e -> Error e
+          | Ok rt -> (
+              let ctx = Interp.create rt compiled in
+              (* Package init functions, dependencies first; tagged
+                 imports run their init inside the synthesized
+                 enclosure. *)
+              let run_init (plan : Compile.init_plan) =
+                let call () =
+                  ignore (Interp.call_function ctx ~pkg:plan.Compile.ip_pkg ~fn:"init" [])
+                in
+                match plan.Compile.ip_enclosure with
+                | None -> call ()
+                | Some enc -> Runtime.with_enclosure rt enc call
+              in
+              match List.iter run_init compiled.Compile.c_inits with
+              | () -> Ok { ctx }
+              | exception Interp.Runtime_error m ->
+                  Error ("init failed: " ^ m)
+              | exception Lb.Fault { reason; enclosure } ->
+                  Error
+                    (Printf.sprintf "init faulted%s: %s"
+                       (match enclosure with Some e -> " in " ^ e | None -> "")
+                       reason)
+              | exception Cpu.Fault fault ->
+                  Error (Format.asprintf "init faulted: %a" Cpu.pp_fault fault))))
+
+let protected t f =
+  match Runtime.lb (Interp.runtime t.ctx) with
+  | Some lb -> (
+      match Lb.run_protected lb f with
+      | Ok v -> Ok v
+      | Error e -> Error e
+      | exception Interp.Runtime_error m -> Error ("runtime error: " ^ m))
+  | None -> (
+      match f () with
+      | v -> Ok v
+      | exception Interp.Runtime_error m -> Error ("runtime error: " ^ m)
+      | exception Cpu.Fault fault -> Error (Format.asprintf "%a" Cpu.pp_fault fault))
+
+let run_main t =
+  let rt = Interp.runtime t.ctx in
+  match
+    protected t (fun () ->
+        Runtime.run_main rt (fun () ->
+            ignore (Interp.call_function t.ctx ~pkg:"main" ~fn:"main" [])))
+  with
+  | Ok _ -> Ok ()
+  | Error e -> Error e
+
+let call t ~pkg ~fn args = protected t (fun () -> Interp.call_function t.ctx ~pkg ~fn args)
+
+let output t = Interp.output t.ctx
+let runtime t = Interp.runtime t.ctx
+
+let enclosure_names t =
+  match Runtime.lb (Interp.runtime t.ctx) with
+  | Some lb -> Lb.enclosure_names lb
+  | None -> []

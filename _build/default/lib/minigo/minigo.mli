@@ -1,0 +1,47 @@
+(** Mini-Go: a small Go-like language with the paper's enclosure syntax.
+
+    The full §5.1 pipeline: parse (the [with] keyword, §2.2) →
+    compile (policy validation, enclosure-dependency inference via the
+    "type checker", one code object per package) → link (closure
+    isolation, [.pkgs]/[.rstrct]/[.verif]) → run on the Go-like runtime
+    under a LitterBox backend.
+
+    {[
+      let src = {|
+        package main
+        import libFx
+        import secrets
+
+        func main() {
+          img := secrets.load()
+          rcl := with "secrets:R; sys=none" func() {
+            return libFx.invert(img)
+          }
+          print(rcl())
+        }
+      |}
+    ]} *)
+
+type t
+
+val build :
+  ?config:Encl_golike.Runtime.config ->
+  sources:string list ->
+  unit ->
+  (t, string) result
+(** Parse, compile, link, and boot the program. Default configuration is
+    LB_MPK. Every error (lexical, syntactic, semantic, policy, link) is
+    reported as a message. *)
+
+val run_main : t -> (unit, string) result
+(** Run [main.main()]. Enclosure faults are reported as [Error]. *)
+
+val call : t -> pkg:string -> fn:string -> Interp.value list -> (Interp.value, string) result
+(** Invoke any declared function (tests use this). *)
+
+val output : t -> string
+(** Accumulated [print] output. *)
+
+val runtime : t -> Encl_golike.Runtime.t
+val enclosure_names : t -> string list
+(** The compiler-assigned enclosure identifiers, in declaration order. *)

@@ -1,0 +1,280 @@
+open Lexer
+
+exception Parse_error of { line : int; message : string }
+
+type state = { mutable toks : located list }
+
+let peek st = match st.toks with t :: _ -> t | [] -> assert false
+
+let error st message = raise (Parse_error { line = (peek st).line; message })
+
+let advance st =
+  match st.toks with
+  | _ :: ((_ :: _) as rest) -> st.toks <- rest
+  | _ -> ()
+
+let expect st tok =
+  let t = peek st in
+  if t.tok = tok then advance st
+  else
+    error st
+      (Printf.sprintf "expected %s, found %s" (token_name tok) (token_name t.tok))
+
+let expect_ident st =
+  match (peek st).tok with
+  | IDENT s ->
+      advance st;
+      s
+  | t -> error st (Printf.sprintf "expected an identifier, found %s" (token_name t))
+
+let expect_string st =
+  match (peek st).tok with
+  | STRING s ->
+      advance st;
+      s
+  | t -> error st (Printf.sprintf "expected a string literal, found %s" (token_name t))
+
+(* ------------------------------------------------------------------ *)
+(* Expressions: precedence climbing                                    *)
+
+let rec parse_expr st = parse_compare st
+
+and parse_compare st =
+  let lhs = parse_additive st in
+  match (peek st).tok with
+  | EQ -> advance st; Ast.Binop (Ast.Eq, lhs, parse_additive st)
+  | NE -> advance st; Ast.Binop (Ast.Ne, lhs, parse_additive st)
+  | LT -> advance st; Ast.Binop (Ast.Lt, lhs, parse_additive st)
+  | LE -> advance st; Ast.Binop (Ast.Le, lhs, parse_additive st)
+  | GT -> advance st; Ast.Binop (Ast.Gt, lhs, parse_additive st)
+  | GE -> advance st; Ast.Binop (Ast.Ge, lhs, parse_additive st)
+  | _ -> lhs
+
+and parse_additive st =
+  let rec loop lhs =
+    match (peek st).tok with
+    | PLUS -> advance st; loop (Ast.Binop (Ast.Add, lhs, parse_multiplicative st))
+    | MINUS -> advance st; loop (Ast.Binop (Ast.Sub, lhs, parse_multiplicative st))
+    | _ -> lhs
+  in
+  loop (parse_multiplicative st)
+
+and parse_multiplicative st =
+  let rec loop lhs =
+    match (peek st).tok with
+    | STAR -> advance st; loop (Ast.Binop (Ast.Mul, lhs, parse_primary st))
+    | SLASH -> advance st; loop (Ast.Binop (Ast.Div, lhs, parse_primary st))
+    | PERCENT -> advance st; loop (Ast.Binop (Ast.Mod, lhs, parse_primary st))
+    | _ -> lhs
+  in
+  loop (parse_primary st)
+
+and parse_args st =
+  expect st LPAREN;
+  if (peek st).tok = RPAREN then begin
+    advance st;
+    []
+  end
+  else begin
+    let rec loop acc =
+      let arg = parse_expr st in
+      match (peek st).tok with
+      | COMMA ->
+          advance st;
+          loop (arg :: acc)
+      | RPAREN ->
+          advance st;
+          List.rev (arg :: acc)
+      | t -> error st (Printf.sprintf "expected ',' or ')', found %s" (token_name t))
+    in
+    loop []
+  end
+
+and parse_primary st =
+  match (peek st).tok with
+  | INT n ->
+      advance st;
+      Ast.Int n
+  | STRING s ->
+      advance st;
+      Ast.Str s
+  | KW_TRUE ->
+      advance st;
+      Ast.Bool true
+  | KW_FALSE ->
+      advance st;
+      Ast.Bool false
+  | LPAREN ->
+      advance st;
+      let e = parse_expr st in
+      expect st RPAREN;
+      e
+  | KW_WITH ->
+      (* with "policy" func() { ... }  (paper §2.2) *)
+      advance st;
+      let policy = expect_string st in
+      expect st KW_FUNC;
+      expect st LPAREN;
+      expect st RPAREN;
+      let body = parse_block st in
+      Ast.Enclosure { Ast.policy; body; e_id = None }
+  | IDENT name -> (
+      advance st;
+      match (peek st).tok with
+      | LPAREN -> Ast.Call (name, parse_args st)
+      | DOT ->
+          advance st;
+          let fn = expect_ident st in
+          Ast.Pkg_call (name, fn, parse_args st)
+      | _ -> Ast.Var name)
+  | t -> error st (Printf.sprintf "expected an expression, found %s" (token_name t))
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+
+and parse_stmt st =
+  match (peek st).tok with
+  | KW_RETURN -> (
+      advance st;
+      match (peek st).tok with
+      | RBRACE -> Ast.Return None
+      | _ -> Ast.Return (Some (parse_expr st)))
+  | KW_IF ->
+      advance st;
+      let cond = parse_expr st in
+      let then_ = parse_block st in
+      if (peek st).tok = KW_ELSE then begin
+        advance st;
+        let else_ = parse_block st in
+        Ast.If (cond, then_, Some else_)
+      end
+      else Ast.If (cond, then_, None)
+  | KW_FOR ->
+      advance st;
+      let cond = parse_expr st in
+      let body = parse_block st in
+      Ast.For (cond, body)
+  | KW_GO -> (
+      advance st;
+      match parse_expr st with
+      | (Ast.Call _ | Ast.Pkg_call _) as call -> Ast.Go call
+      | _ -> error st "'go' must be followed by a function call")
+  | IDENT name -> (
+      (* Lookahead for := / = ; otherwise it is an expression statement. *)
+      match st.toks with
+      | _ :: { tok = DEFINE; _ } :: _ ->
+          advance st;
+          advance st;
+          Ast.Define (name, parse_expr st)
+      | _ :: { tok = ASSIGN; _ } :: _ ->
+          advance st;
+          advance st;
+          Ast.Assign (name, parse_expr st)
+      | _ -> Ast.Expr (parse_expr st))
+  | _ -> Ast.Expr (parse_expr st)
+
+and parse_block st =
+  expect st LBRACE;
+  let rec loop acc =
+    if (peek st).tok = RBRACE then begin
+      advance st;
+      List.rev acc
+    end
+    else loop (parse_stmt st :: acc)
+  in
+  loop []
+
+(* ------------------------------------------------------------------ *)
+(* Declarations                                                        *)
+
+let parse_file src =
+  let st = { toks = Lexer.tokenize src } in
+  expect st KW_PACKAGE;
+  let p_name = expect_ident st in
+  let imports = ref [] in
+  let import_policies = ref [] in
+  let consts = ref [] in
+  let vars = ref [] in
+  let funcs = ref [] in
+  let rec loop () =
+    match (peek st).tok with
+    | EOF -> ()
+    | KW_IMPORT ->
+        advance st;
+        let name = expect_ident st in
+        imports := name :: !imports;
+        (if (peek st).tok = KW_WITH then begin
+           advance st;
+           let policy = expect_string st in
+           import_policies := (name, policy) :: !import_policies
+         end);
+        loop ()
+    | KW_CONST ->
+        advance st;
+        let v_name = expect_ident st in
+        expect st ASSIGN;
+        consts := { Ast.v_name; v_init = parse_expr st } :: !consts;
+        loop ()
+    | KW_VAR ->
+        advance st;
+        let v_name = expect_ident st in
+        expect st ASSIGN;
+        vars := { Ast.v_name; v_init = parse_expr st } :: !vars;
+        loop ()
+    | KW_FUNC ->
+        advance st;
+        let fn_name = expect_ident st in
+        expect st LPAREN;
+        let rec params acc =
+          match (peek st).tok with
+          | RPAREN ->
+              advance st;
+              List.rev acc
+          | IDENT p -> (
+              advance st;
+              match (peek st).tok with
+              | COMMA ->
+                  advance st;
+                  params (p :: acc)
+              | RPAREN ->
+                  advance st;
+                  List.rev (p :: acc)
+              | t ->
+                  error st (Printf.sprintf "expected ',' or ')', found %s" (token_name t)))
+          | t -> error st (Printf.sprintf "expected a parameter, found %s" (token_name t))
+        in
+        let fn_params = params [] in
+        let fn_body = parse_block st in
+        funcs := { Ast.fn_name; fn_params; fn_body } :: !funcs;
+        loop ()
+    | t ->
+        error st
+          (Printf.sprintf "expected 'import', 'var', 'const' or 'func', found %s"
+             (token_name t))
+  in
+  loop ();
+  {
+    Ast.p_name;
+    p_imports = List.rev !imports;
+    p_import_policies = List.rev !import_policies;
+    p_consts = List.rev !consts;
+    p_vars = List.rev !vars;
+    p_funcs = List.rev !funcs;
+  }
+
+let parse_program files =
+  match List.map parse_file files with
+  | pkgs -> (
+      let names = List.map (fun p -> p.Ast.p_name) pkgs in
+      let dup =
+        List.find_opt
+          (fun n -> List.length (List.filter (( = ) n) names) > 1)
+          names
+      in
+      match dup with
+      | Some d -> Error (Printf.sprintf "duplicate package %s" d)
+      | None -> Ok pkgs)
+  | exception Lexer.Lex_error { line; message } ->
+      Error (Printf.sprintf "line %d: lexical error: %s" line message)
+  | exception Parse_error { line; message } ->
+      Error (Printf.sprintf "line %d: syntax error: %s" line message)

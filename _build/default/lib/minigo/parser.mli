@@ -1,0 +1,28 @@
+(** Recursive-descent parser for the mini-Go language.
+
+    Grammar (one package per source file; a program is several files):
+    {v
+      file    ::= 'package' IDENT import* decl*
+      import  ::= 'import' IDENT
+      decl    ::= 'var' IDENT '=' expr
+                | 'const' IDENT '=' expr
+                | 'func' IDENT '(' params ')' block
+      block   ::= '{' stmt* '}'
+      stmt    ::= IDENT ':=' expr | IDENT '=' expr | 'return' [expr]
+                | 'if' expr block ['else' block] | 'for' expr block | expr
+      expr    ::= comparison (('=='|'!='|'<'|'<='|'>'|'>=') comparison)?
+      ...
+      primary ::= INT | STRING | 'true' | 'false' | IDENT
+                | IDENT '(' args ')' | IDENT '.' IDENT '(' args ')'
+                | 'with' STRING 'func' '(' ')' block
+                | '(' expr ')'
+    v} *)
+
+exception Parse_error of { line : int; message : string }
+
+val parse_file : string -> Ast.pkg
+(** Parse one source file (one package). Raises {!Parse_error} or
+    {!Lexer.Lex_error}. *)
+
+val parse_program : string list -> (Ast.program, string) result
+(** Parse several files and check for duplicate package names. *)

@@ -1,0 +1,1 @@
+lib/pkg/graph.ml: Buffer Hashtbl List Option Printf Set String

@@ -1,0 +1,1 @@
+lib/pkg/graph.mli:

@@ -1,0 +1,1 @@
+lib/pylike/plot_experiment.ml: Array Bytes Char Clock Encl_kernel Encl_litterbox Format List Pyrt

@@ -1,0 +1,1 @@
+lib/pylike/plot_experiment.mli: Encl_litterbox Format Pyrt

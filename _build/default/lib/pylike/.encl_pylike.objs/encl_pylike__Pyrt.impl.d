@@ -1,0 +1,1 @@
+lib/pylike/pyrt.ml: Bytes Clock Costs Cpu Encl_elf Encl_kernel Encl_litterbox Fun Hashtbl Int64 List Option Printf Pte

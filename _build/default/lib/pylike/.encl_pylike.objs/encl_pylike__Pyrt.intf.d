@@ -1,0 +1,1 @@
+lib/pylike/pyrt.mli: Bytes Encl_litterbox

@@ -1,0 +1,26 @@
+(** The §6.4 Python experiment: a single enclosure encapsulating a
+    matplotlib-like module; secret data shared read-only; the closure
+    generates a plot from the data and writes the result to disk. *)
+
+type result = {
+  total_ns : int;  (** simulated wall time of the whole run *)
+  compute_ns : int;
+  switch_ns : int;  (** controlled-switch time (refcounting / GC) *)
+  init_ns : int;  (** delayed initialization (imports, views, KVM) *)
+  syscall_ns : int;
+  switches : int;  (** trusted-environment switches performed *)
+  plotted : int;  (** points consumed (sanity) *)
+  plot_on_disk : bool;
+}
+
+val run :
+  ?backend:Encl_litterbox.Litterbox.backend ->
+  mode:Pyrt.refcount_mode ->
+  points:int ->
+  unit ->
+  result
+(** [backend = None] is unmodified CPython (the baseline). The paper runs
+    with LB_VTX, [points] around 250_000 (≈1M switches in conservative
+    mode: incref + decref per point, two switches each). *)
+
+val pp : Format.formatter -> result -> unit

@@ -1,0 +1,379 @@
+module Lb = Encl_litterbox.Litterbox
+module Machine = Encl_litterbox.Machine
+module Types = Encl_litterbox.Types
+module K = Encl_kernel.Kernel
+module Mm = Encl_kernel.Mm
+module Objfile = Encl_elf.Objfile
+module Linker = Encl_elf.Linker
+module Section = Encl_elf.Section
+
+type refcount_mode = Conservative | Decoupled
+
+let header_bytes = 16
+let default_code_bytes = 16 * 1024
+let default_arena_bytes = 256 * 1024
+
+(* Costs (ns). *)
+let refcount_op_ns = 2
+let alloc_obj_ns = 20
+let gc_obj_ns = 30
+let localcopy_ns_per_byte = 1
+
+type modul = {
+  m_name : string;
+  m_code_addr : int;
+  m_arena_addr : int;
+  m_arena_len : int;
+  mutable m_arena_used : int;
+  mutable m_gc_head : int;  (** address of first tracked object, 0 = none *)
+  mutable m_gc_tail : int;
+}
+
+type t = {
+  machine : Machine.t;
+  lb : Lb.t option;
+  mode : refcount_mode;
+  gc_threshold : int option;
+  modules : (string, modul) Hashtbl.t;
+  mutable import_order : string list;
+  declared : (string, unit) Hashtbl.t;  (** registered enclosures *)
+  mutable switches : int;
+  young : (int, pyobj) Hashtbl.t;  (** generation 0, tracked by address *)
+  old : (int, pyobj) Hashtbl.t;  (** promoted survivors *)
+  side_refcounts : (int, int) Hashtbl.t;
+      (** Decoupled mode: reference counts live here, outside the
+          protected pages (the paper's proposed fix), so touching them
+          never needs an environment switch. *)
+  mutable allocs_since_gc : int;
+  mutable collections : int;
+}
+
+and pyobj = { o_addr : int; o_module : string; o_len : int }
+
+let machine t = t.machine
+let lb t = t.lb
+let mode t = t.mode
+
+let main_module = "__main__"
+
+let boot ?backend ?gc_threshold ~mode () =
+  let machine = Machine.create () in
+  let objfiles =
+    [ Objfile.make ~pkg:main_module ~functions:[ Objfile.sym "main" 256 ] () ]
+  in
+  match Linker.link ~objfiles ~entry:main_module with
+  | Error e -> Error (Linker.error_message e)
+  | Ok image -> (
+      let lb_result =
+        match backend with
+        | None -> (
+            match Encl_litterbox.Loader.load machine image with
+            | Ok () -> Ok None
+            | Error e -> Error e)
+        | Some backend -> (
+            match Lb.init ~machine ~backend ~image () with
+            | Ok lb -> Ok (Some lb)
+            | Error e -> Error e)
+      in
+      match lb_result with
+      | Error e -> Error e
+      | Ok lb ->
+          let t =
+            {
+              machine;
+              lb;
+              mode;
+              gc_threshold;
+              modules = Hashtbl.create 16;
+              import_order = [];
+              declared = Hashtbl.create 8;
+              switches = 0;
+              young = Hashtbl.create 4096;
+              old = Hashtbl.create 4096;
+              side_refcounts = Hashtbl.create 4096;
+              allocs_since_gc = 0;
+              collections = 0;
+            }
+          in
+          (* __main__'s own object arena. *)
+          let arena_addr =
+            Mm.map machine.Machine.mm ~len:default_arena_bytes
+              ~perms:{ Pte.r = true; w = true; x = false }
+          in
+          Hashtbl.replace t.modules main_module
+            {
+              m_name = main_module;
+              m_code_addr = 0;
+              m_arena_addr = arena_addr;
+              m_arena_len = default_arena_bytes;
+              m_arena_used = 0;
+              m_gc_head = 0;
+              m_gc_tail = 0;
+            };
+          (match lb with
+          | Some lb ->
+              let sec =
+                Section.make ~name:(main_module ^ ".objs") ~owner:main_module
+                  ~kind:Section.Arena ~addr:arena_addr ~size:default_arena_bytes
+              in
+              (* __main__ is already linked; only its dynamic arena needs
+                 ownership. *)
+              Lb.transfer lb ~addr:arena_addr ~len:default_arena_bytes
+                ~to_pkg:main_module ~site:"runtime.mallocgc";
+              ignore sec
+          | None -> ());
+          t.import_order <- [ main_module ];
+          Ok t)
+
+let is_imported t name = Hashtbl.mem t.modules name
+let modules t = List.rev t.import_order
+
+let import_module t ~name ?(imports = []) ?(arena_bytes = default_arena_bytes) ?body () =
+  if is_imported t name then Ok ()
+  else begin
+    match List.find_opt (fun i -> not (is_imported t i)) imports with
+    | Some missing ->
+        Error (Printf.sprintf "import %s: dependency %s not yet imported" name missing)
+    | None -> (
+        let m = t.machine in
+        (* The multi-segmented heap: separate code and object arenas so a
+           module mapped without execute rights still exposes its data. *)
+        let code_addr =
+          Mm.map m.Machine.mm ~len:default_code_bytes
+            ~perms:{ Pte.r = true; w = false; x = true }
+        in
+        let arena_addr =
+          Mm.map m.Machine.mm ~len:arena_bytes
+            ~perms:{ Pte.r = true; w = true; x = false }
+        in
+        let sections =
+          [
+            Section.make ~name:(name ^ ".code") ~owner:name ~kind:Section.Text
+              ~addr:code_addr ~size:default_code_bytes;
+            Section.make ~name:(name ^ ".objs") ~owner:name ~kind:Section.Arena
+              ~addr:arena_addr ~size:arena_bytes;
+          ]
+        in
+        let registered =
+          match t.lb with
+          | None -> Ok ()
+          | Some lb -> (
+              match Lb.register_package lb ~name ~imports ~sections with
+              | Error e -> Error e
+              | Ok () -> Lb.add_import lb ~importer:main_module ~imported:name)
+        in
+        match registered with
+        | Error e -> Error e
+        | Ok () ->
+            Hashtbl.replace t.modules name
+              {
+                m_name = name;
+                m_code_addr = code_addr;
+                m_arena_addr = arena_addr;
+                m_arena_len = arena_bytes;
+                m_arena_used = 0;
+                m_gc_head = 0;
+                m_gc_tail = 0;
+              };
+            t.import_order <- name :: t.import_order;
+            (match body with Some f -> f t | None -> ());
+            Ok ())
+  end
+
+let find_module t name =
+  match Hashtbl.find_opt t.modules name with
+  | Some m -> m
+  | None -> invalid_arg (Printf.sprintf "Pyrt: module %s not imported" name)
+
+let charge t cat ns = Clock.consume t.machine.Machine.clock cat ns
+
+(* Conservative mode keeps CPython's layout: the metadata write goes to
+   the object header in guest memory, and under an enclosure that sees
+   the page read-only it needs a controlled switch to the trusted
+   environment and back. Decoupled mode never calls this: its metadata
+   lives in {!t.side_refcounts}, outside the protected pages. *)
+let header_write t ~modul f =
+  charge t Clock.Gc refcount_op_ns;
+  match t.lb with
+  | None -> f ()
+  | Some lb -> (
+      match Lb.current_access lb modul with
+      | Some Types.R | Some Types.U ->
+          (* One controlled excursion = two switches (in and out). *)
+          t.switches <- t.switches + 2;
+          Lb.with_trusted lb f
+      | Some Types.RW | Some Types.RWX | None -> f ())
+
+let header_read t ~modul f =
+  match t.lb with
+  | None -> f ()
+  | Some lb -> (
+      match Lb.current_access lb modul with
+      | Some Types.U ->
+          t.switches <- t.switches + 2;
+          Lb.with_trusted lb f
+      | Some Types.R | Some Types.RW | Some Types.RWX | None -> f ())
+
+let cpu t = t.machine.Machine.cpu
+
+let side_rc t obj =
+  Option.value ~default:0 (Hashtbl.find_opt t.side_refcounts obj.o_addr)
+
+(* Generational collection. Scanning and unlinking touch the embedded
+   GC lists, so the whole pass runs with trusted access (paper 5.1/5.2).
+   Dead young objects are freed; survivors are promoted. *)
+let sweep t ~major =
+  let freed = ref 0 in
+  let rc_of obj =
+    match t.mode with
+    | Decoupled -> side_rc t obj
+    | Conservative -> Int64.to_int (Cpu.read64 (cpu t) obj.o_addr)
+  in
+  let scan_table table ~promote =
+    let dead = ref [] in
+    let survivors = ref [] in
+    Hashtbl.iter
+      (fun addr obj ->
+        charge t Clock.Gc gc_obj_ns;
+        let rc = rc_of obj in
+        if rc = 0 then begin
+          incr freed;
+          dead := addr :: !dead;
+          Hashtbl.remove t.side_refcounts addr
+        end
+        else if promote then survivors := (addr, obj) :: !survivors)
+      table;
+    List.iter (Hashtbl.remove table) !dead;
+    List.iter
+      (fun (addr, obj) ->
+        Hashtbl.remove table addr;
+        Hashtbl.replace t.old addr obj)
+      !survivors
+  in
+  t.collections <- t.collections + 1;
+  let work () =
+    scan_table t.young ~promote:true;
+    if major then scan_table t.old ~promote:false
+  in
+  (match (t.lb, t.mode) with
+  | None, _ -> work ()
+  | Some _, Decoupled ->
+      (* GC bookkeeping is outside the protected pages too. *)
+      work ()
+  | Some lb, Conservative ->
+      t.switches <- t.switches + 2;
+      Lb.with_trusted lb work);
+  !freed
+
+let collect t = sweep t ~major:true
+let collect_minor t = sweep t ~major:false
+
+let maybe_auto_collect t =
+  match t.gc_threshold with
+  | Some threshold when t.allocs_since_gc >= threshold ->
+      t.allocs_since_gc <- 0;
+      ignore (collect_minor t)
+  | Some _ | None -> ()
+
+let alloc_obj t ~modul ~len =
+  charge t Clock.Alloc alloc_obj_ns;
+  t.allocs_since_gc <- t.allocs_since_gc + 1;
+  maybe_auto_collect t;
+  let m = find_module t modul in
+  let total = header_bytes + ((len + 7) land lnot 7) in
+  if m.m_arena_used + total > m.m_arena_len then
+    failwith (Printf.sprintf "Pyrt: module %s object arena exhausted" modul);
+  let addr = m.m_arena_addr + m.m_arena_used in
+  m.m_arena_used <- m.m_arena_used + total;
+  let obj = { o_addr = addr; o_module = modul; o_len = len } in
+  (match t.mode with
+  | Conservative ->
+      (* Initialize the co-located header and link the object on the
+         module's embedded GC list. *)
+      header_write t ~modul (fun () ->
+          Cpu.write64 (cpu t) addr 1L;
+          Cpu.write64 (cpu t) (addr + 8) 0L;
+          if m.m_gc_tail <> 0 then
+            Cpu.write64 (cpu t) (m.m_gc_tail + 8) (Int64.of_int addr))
+  | Decoupled ->
+      charge t Clock.Gc refcount_op_ns;
+      Hashtbl.replace t.side_refcounts addr 1);
+  if m.m_gc_head = 0 then m.m_gc_head <- addr;
+  m.m_gc_tail <- addr;
+  Hashtbl.replace t.young addr obj;
+  obj
+
+let refcount t obj =
+  match t.mode with
+  | Decoupled -> side_rc t obj
+  | Conservative ->
+      header_read t ~modul:obj.o_module (fun () ->
+          Int64.to_int (Cpu.read64 (cpu t) obj.o_addr))
+
+let incref t obj =
+  match t.mode with
+  | Decoupled ->
+      charge t Clock.Gc refcount_op_ns;
+      Hashtbl.replace t.side_refcounts obj.o_addr (side_rc t obj + 1)
+  | Conservative ->
+      header_write t ~modul:obj.o_module (fun () ->
+          let v = Cpu.read64 (cpu t) obj.o_addr in
+          Cpu.write64 (cpu t) obj.o_addr (Int64.add v 1L))
+
+let decref t obj =
+  match t.mode with
+  | Decoupled ->
+      charge t Clock.Gc refcount_op_ns;
+      let v = side_rc t obj in
+      if v <= 0 then invalid_arg "Pyrt.decref: refcount underflow";
+      Hashtbl.replace t.side_refcounts obj.o_addr (v - 1)
+  | Conservative ->
+      header_write t ~modul:obj.o_module (fun () ->
+          let v = Cpu.read64 (cpu t) obj.o_addr in
+          if v <= 0L then invalid_arg "Pyrt.decref: refcount underflow";
+          Cpu.write64 (cpu t) obj.o_addr (Int64.sub v 1L))
+
+let write_payload t obj data =
+  if Bytes.length data > obj.o_len then invalid_arg "Pyrt.write_payload: too large";
+  Cpu.write_bytes (cpu t) ~addr:(obj.o_addr + header_bytes) data
+
+let read_payload t obj =
+  Cpu.read_bytes (cpu t) ~addr:(obj.o_addr + header_bytes) ~len:obj.o_len
+
+let localcopy t obj ~dst_module =
+  charge t Clock.Compute (localcopy_ns_per_byte * obj.o_len);
+  let data = read_payload t obj in
+  let copy = alloc_obj t ~modul:dst_module ~len:obj.o_len in
+  write_payload t copy data;
+  copy
+
+let live_objects t = Hashtbl.length t.young + Hashtbl.length t.old
+let young_objects t = Hashtbl.length t.young
+let old_objects t = Hashtbl.length t.old
+let collections t = t.collections
+
+let with_enclosure t ~name ~owner ~deps ~policy body =
+  match t.lb with
+  | None ->
+      charge t Clock.Compute t.machine.Machine.costs.Costs.closure_call;
+      Ok (body ())
+  | Some lb -> (
+      let registered =
+        if Hashtbl.mem t.declared name then Ok ()
+        else
+          match Lb.register_enclosure lb ~name ~owner ~deps ~policy ~closure_addr:0 with
+          | Ok () ->
+              Hashtbl.replace t.declared name ();
+              Ok ()
+          | Error e -> Error e
+      in
+      match registered with
+      | Error e -> Error e
+      | Ok () ->
+          charge t Clock.Compute t.machine.Machine.costs.Costs.closure_call;
+          let site = "enclosure:" ^ name in
+          Lb.run_protected lb (fun () ->
+              Lb.prolog lb ~name ~site;
+              Fun.protect ~finally:(fun () -> Lb.epilog lb ~site) body))
+
+let trusted_switches t = t.switches

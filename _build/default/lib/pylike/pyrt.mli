@@ -1,0 +1,111 @@
+(** The CPython-like frontend (paper §5.2, evaluated in §6.4).
+
+    Modelled CPython specifics:
+    - {b lazy imports}: modules are registered with LitterBox as they are
+      imported — multiple [Init] calls, each with partial knowledge;
+      LitterBox, not the compiler, computes transitive dependencies;
+    - {b per-module allocators}: a multi-segmented heap assigns each
+      module its own arenas, with functions (code) and objects (data)
+      segregated so a module mapped without execute rights still exposes
+      its data;
+    - {b co-located metadata}: every object carries its reference count
+      and the generational-GC link in its header. In [Conservative] mode,
+      touching the metadata of an object that is read-only in the current
+      enclosure performs a controlled switch to the trusted environment
+      and back — the §6.4 cost driver. [Decoupled] mode simulates the
+      proposed fix (metadata moved out of the protected pages): no
+      switches;
+    - {b localcopy}: an explicit deep copy of an object into the calling
+      module's arena (the paper's answer to Python's lack of explicit
+      allocation control). *)
+
+type refcount_mode = Conservative | Decoupled
+
+type t
+
+val boot :
+  ?backend:Encl_litterbox.Litterbox.backend ->
+  ?gc_threshold:int ->
+  mode:refcount_mode ->
+  unit ->
+  (t, string) result
+(** Create the interpreter with an initially empty module set (only
+    [__main__]). [backend = None] is unmodified CPython.
+    [gc_threshold], when given, enables CPython-style automatic minor
+    collections every that-many allocations (generation 0); by default
+    collections are explicit. *)
+
+val machine : t -> Encl_litterbox.Machine.t
+val lb : t -> Encl_litterbox.Litterbox.t option
+val mode : t -> refcount_mode
+
+val import_module :
+  t ->
+  name:string ->
+  ?imports:string list ->
+  ?arena_bytes:int ->
+  ?body:(t -> unit) ->
+  unit ->
+  (unit, string) result
+(** Lazy import: allocate the module's code and object arenas, register
+    it (and its direct dependencies) with LitterBox, then run the module
+    body. Importing an already-imported module is a cheap no-op. *)
+
+val is_imported : t -> string -> bool
+val modules : t -> string list
+
+(** {2 Objects} *)
+
+type pyobj = { o_addr : int; o_module : string; o_len : int }
+(** Header: 8 bytes of refcount, 8 bytes of GC link; payload follows. *)
+
+val header_bytes : int
+
+val alloc_obj : t -> modul:string -> len:int -> pyobj
+(** Allocate in the module's object arena with refcount 1, GC-tracked. *)
+
+val incref : t -> pyobj -> unit
+val decref : t -> pyobj -> unit
+val refcount : t -> pyobj -> int
+
+val write_payload : t -> pyobj -> Bytes.t -> unit
+val read_payload : t -> pyobj -> Bytes.t
+
+val localcopy : t -> pyobj -> dst_module:string -> pyobj
+(** Deep copy into another module's arena (like [copy.deepcopy] but with
+    an explicit destination). *)
+
+val collect : t -> int
+(** A full (major) collection over both generations; frees objects with
+    refcount 0, promotes young survivors, and returns how many were
+    freed. Runs with trusted access to the GC lists. *)
+
+val collect_minor : t -> int
+(** Scan only the young generation: dead objects are freed, survivors
+    are promoted to the old generation (CPython's generational
+    heuristic). *)
+
+val live_objects : t -> int
+val young_objects : t -> int
+val old_objects : t -> int
+val collections : t -> int
+(** Total collector passes (including automatic ones). *)
+
+(** {2 Enclosures} *)
+
+val with_enclosure :
+  t ->
+  name:string ->
+  owner:string ->
+  deps:string list ->
+  policy:string ->
+  (unit -> 'a) ->
+  ('a, string) result
+(** Declare (first use registers with LitterBox — another partial Init)
+    and immediately call an enclosure. Without a backend this is a
+    vanilla call. *)
+
+val trusted_switches : t -> int
+(** Environment switches performed for metadata updates so far (each
+    controlled excursion to the trusted environment counts twice: in and
+    out, as the paper counts them). *)

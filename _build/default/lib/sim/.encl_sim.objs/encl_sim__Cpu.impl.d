@@ -1,0 +1,1 @@
+lib/sim/cpu.ml: Bytes Clock Costs Format Int64 Mpk Option Pagetable Phys Printf Pte Tlb

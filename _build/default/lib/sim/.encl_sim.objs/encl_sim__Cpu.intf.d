@@ -1,0 +1,1 @@
+lib/sim/cpu.mli: Bytes Clock Costs Format Mpk Pagetable Phys Tlb

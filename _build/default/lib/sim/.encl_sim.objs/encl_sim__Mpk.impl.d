@@ -1,0 +1,1 @@
+lib/sim/mpk.ml: Array Encl_util Format Int32

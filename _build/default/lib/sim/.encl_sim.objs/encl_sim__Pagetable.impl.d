@@ -1,0 +1,1 @@
+lib/sim/pagetable.ml: Format Hashtbl List Printf Pte

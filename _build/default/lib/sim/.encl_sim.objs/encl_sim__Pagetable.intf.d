@@ -1,0 +1,1 @@
+lib/sim/pagetable.mli: Format Pte

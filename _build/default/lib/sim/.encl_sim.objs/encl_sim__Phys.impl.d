@@ -1,0 +1,1 @@
+lib/sim/phys.ml: Array Bytes Char Printf

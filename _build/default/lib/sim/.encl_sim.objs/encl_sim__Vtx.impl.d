@@ -1,0 +1,1 @@
+lib/sim/vtx.ml: Clock Costs Fun Pagetable

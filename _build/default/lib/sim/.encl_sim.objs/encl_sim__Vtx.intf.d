@@ -1,0 +1,1 @@
+lib/sim/vtx.mli: Clock Costs Pagetable

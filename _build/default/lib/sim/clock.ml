@@ -1,0 +1,65 @@
+type category =
+  | Switch
+  | Syscall
+  | Transfer
+  | Compute
+  | Alloc
+  | Gc
+  | Init
+  | Io
+  | Other
+
+let all_categories =
+  [ Switch; Syscall; Transfer; Compute; Alloc; Gc; Init; Io; Other ]
+
+let category_index = function
+  | Switch -> 0
+  | Syscall -> 1
+  | Transfer -> 2
+  | Compute -> 3
+  | Alloc -> 4
+  | Gc -> 5
+  | Init -> 6
+  | Io -> 7
+  | Other -> 8
+
+let category_name = function
+  | Switch -> "switch"
+  | Syscall -> "syscall"
+  | Transfer -> "transfer"
+  | Compute -> "compute"
+  | Alloc -> "alloc"
+  | Gc -> "gc"
+  | Init -> "init"
+  | Io -> "io"
+  | Other -> "other"
+
+type t = { mutable time : int; tallies : int array }
+type span = int
+
+let create () = { time = 0; tallies = Array.make 9 0 }
+let now t = t.time
+
+let consume t cat ns =
+  assert (ns >= 0);
+  t.time <- t.time + ns;
+  let i = category_index cat in
+  t.tallies.(i) <- t.tallies.(i) + ns
+
+let spent t cat = t.tallies.(category_index cat)
+
+let reset t =
+  t.time <- 0;
+  Array.fill t.tallies 0 (Array.length t.tallies) 0
+
+let start t = t.time
+let elapsed t span = t.time - span
+
+let pp_breakdown ppf t =
+  Format.fprintf ppf "@[<v>total: %d ns" t.time;
+  List.iter
+    (fun cat ->
+      let ns = spent t cat in
+      if ns > 0 then Format.fprintf ppf "@ %-10s %12d ns" (category_name cat) ns)
+    all_categories;
+  Format.fprintf ppf "@]"

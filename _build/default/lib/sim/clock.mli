@@ -1,0 +1,47 @@
+(** Simulated nanosecond clock with per-category accounting.
+
+    All simulated work advances a single clock. Costs are tallied per
+    {!category} so macrobenchmark reports can break a run down into
+    switches, system calls, transfers, compute, etc. *)
+
+type category =
+  | Switch  (** Prolog/Epilog/Execute environment transitions *)
+  | Syscall  (** trap, seccomp, kernel service, hypercalls *)
+  | Transfer  (** arena repartitioning *)
+  | Compute  (** workload computation *)
+  | Alloc  (** allocator bookkeeping *)
+  | Gc  (** garbage collection / refcounting *)
+  | Init  (** LitterBox / hardware initialization *)
+  | Io  (** simulated device / copy costs *)
+  | Other
+
+val all_categories : category list
+val category_name : category -> string
+
+type t
+
+val create : unit -> t
+(** A clock at time 0 with empty tallies. *)
+
+val now : t -> int
+(** Current simulated time in ns. *)
+
+val consume : t -> category -> int -> unit
+(** [consume t cat ns] advances the clock by [ns] (>= 0) and accounts the
+    cost to [cat]. *)
+
+val spent : t -> category -> int
+(** Total ns accounted to a category so far. *)
+
+val reset : t -> unit
+(** Reset time and tallies to zero. *)
+
+type span
+(** A measurement in progress, started by {!start}. *)
+
+val start : t -> span
+val elapsed : t -> span -> int
+(** Simulated ns since the span was started. *)
+
+val pp_breakdown : Format.formatter -> t -> unit
+(** Print the per-category tallies (non-zero categories only). *)

@@ -1,0 +1,60 @@
+type t = {
+  closure_call : int;
+  wrpkru : int;
+  rdpkru : int;
+  mpk_prolog : int;
+  mpk_epilog : int;
+  vtx_guest_syscall : int;
+  vtx_guest_sysret : int;
+  syscall_base : int;
+  seccomp_eval : int;
+  seccomp_fast : int;
+  vmexit_roundtrip : int;
+  pkey_mprotect_4p : int;
+  vtx_transfer_base : int;
+  vtx_transfer_page : int;
+  lwc_switch : int;
+  lwc_transfer_page : int;
+  page_map : int;
+  init_per_package : int;
+  init_per_enclosure : int;
+  kvm_setup : int;
+}
+
+(* Calibration notes.
+   - call: baseline 45; MPK 45 + 21 + 20 = 86; VTX 45 + 440 + 439 = 924.
+   - syscall: baseline 387; MPK 387 + 136 = 523; VTX 387 + 3739 = 4126.
+   - transfer (4 pages): MPK pkey_mprotect = 1002;
+     VTX 30 + 4 * 32 = 158. *)
+let default =
+  {
+    closure_call = 45;
+    wrpkru = 20;
+    rdpkru = 4;
+    mpk_prolog = 21;
+    mpk_epilog = 20;
+    vtx_guest_syscall = 440;
+    vtx_guest_sysret = 439;
+    syscall_base = 387;
+    seccomp_eval = 136;
+    seccomp_fast = 30;
+    vmexit_roundtrip = 3739;
+    pkey_mprotect_4p = 1002;
+    vtx_transfer_base = 30;
+    vtx_transfer_page = 32;
+    (* LWC switches are full kernel context switches (~1.4us in the
+       paper's own measurements on Linux). *)
+    lwc_switch = 1450;
+    lwc_transfer_page = 120;
+    page_map = 18;
+    init_per_package = 850;
+    init_per_enclosure = 2600;
+    kvm_setup = 9_500_000;
+  }
+
+let pp ppf c =
+  Format.fprintf ppf
+    "@[<v>closure_call=%dns wrpkru=%dns syscall_base=%dns seccomp=%dns@ \
+     vmexit=%dns pkey_mprotect(4p)=%dns vtx_transfer=%d+%d/page ns@]"
+    c.closure_call c.wrpkru c.syscall_base c.seccomp_eval c.vmexit_roundtrip
+    c.pkey_mprotect_4p c.vtx_transfer_base c.vtx_transfer_page

@@ -1,0 +1,46 @@
+(** Calibrated cost model for the simulated machine.
+
+    All costs are in simulated nanoseconds. The defaults are calibrated so
+    that the three microbenchmarks of the paper's Table 1 are reproduced by
+    construction; every macrobenchmark result then {e emerges} from the
+    number of operations a workload performs, as in the paper.
+
+    Paper reference (Table 1, ns):
+    {v
+                 Baseline   LB_MPK   LB_VTX
+      call           45        86      924
+      transfer        0      1002      158
+      syscall       387       523     4126
+    v} *)
+
+type t = {
+  closure_call : int;  (** plain (baseline) closure call + return *)
+  wrpkru : int;  (** user-mode write to the PKRU register *)
+  rdpkru : int;  (** user-mode read of the PKRU register *)
+  mpk_prolog : int;  (** LB_MPK switch-in: validation + PKRU write *)
+  mpk_epilog : int;  (** LB_MPK switch-out *)
+  vtx_guest_syscall : int;  (** specialized guest-OS syscall (CR3 switch) *)
+  vtx_guest_sysret : int;  (** return path of the switch (epilog) *)
+  syscall_base : int;  (** host syscall trap + return, no seccomp *)
+  seccomp_eval : int;  (** BPF filter evaluation, incl. PKRU lookup *)
+  seccomp_fast : int;
+      (** BPF evaluation that decides within a few instructions (the
+          trusted-PKRU branch sits first in the dispatch program) *)
+  vmexit_roundtrip : int;  (** VM EXIT + host work + VM RESUME *)
+  pkey_mprotect_4p : int;  (** pkey_mprotect on a 4-page section *)
+  vtx_transfer_base : int;  (** VTX transfer fixed cost *)
+  vtx_transfer_page : int;  (** VTX per-page present-bit toggle *)
+  lwc_switch : int;
+      (** light-weight-context switch (the [lwSwitch] system call of the
+          LWC OS abstraction — the hardware-free backend of paper §8) *)
+  lwc_transfer_page : int;  (** LWC per-page kernel view update *)
+  page_map : int;  (** mapping one page in a page table *)
+  init_per_package : int;  (** LitterBox Init work per package *)
+  init_per_enclosure : int;  (** LitterBox Init work per enclosure view *)
+  kvm_setup : int;  (** one-time KVM / VM creation cost (LB_VTX) *)
+}
+
+val default : t
+(** The calibrated default model (matches Table 1, see above). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,160 @@
+type access_kind = Read | Write | Exec
+
+let access_kind_name = function
+  | Read -> "read"
+  | Write -> "write"
+  | Exec -> "exec"
+
+type fault = { kind : access_kind; vaddr : int; env : string; reason : string }
+
+exception Fault of fault
+
+let pp_fault ppf f =
+  Format.fprintf ppf "FAULT[%s]: %s at %#x (%s)" f.env
+    (access_kind_name f.kind) f.vaddr f.reason
+
+type env = {
+  label : string;
+  pt : Pagetable.t;
+  pkru : Mpk.pkru;
+  exec_ok : (vpn:int -> bool) option;
+}
+
+let trusted_env pt =
+  { label = "trusted"; pt; pkru = Mpk.pkru_all_access; exec_ok = None }
+
+type t = {
+  phys : Phys.t;
+  clock : Clock.t;
+  costs : Costs.t;
+  tlb : Tlb.t;
+  mutable current : env;
+}
+
+let create ~phys ~clock ~costs env =
+  { phys; clock; costs; tlb = Tlb.create (); current = env }
+
+let phys t = t.phys
+let clock t = t.clock
+let costs t = t.costs
+let tlb t = t.tlb
+let env t = t.current
+
+let set_env t env =
+  (* A different page table means a CR3 move: no PCID, so the TLB is
+     flushed. PKRU-only changes (LB_MPK switches) keep it warm. *)
+  if not (Pagetable.name env.pt = Pagetable.name t.current.pt) then
+    Tlb.flush t.tlb;
+  t.current <- env
+let vpn_of_addr addr = addr / Phys.page_size
+let addr_of_vpn vpn = vpn * Phys.page_size
+
+let fault t kind vaddr reason =
+  raise (Fault { kind; vaddr; env = t.current.label; reason })
+
+(* Check one page; returns the PTE for data movement. *)
+let check_page t kind vaddr =
+  let vpn = vpn_of_addr vaddr in
+  ignore (Tlb.access t.tlb ~space:(Pagetable.name t.current.pt) ~vpn);
+  match Pagetable.walk t.current.pt ~vpn with
+  | None -> fault t kind vaddr "page not mapped"
+  | Some pte ->
+      if not pte.Pte.present then fault t kind vaddr "page not present";
+      (match kind with
+      | Read -> if not pte.Pte.perms.Pte.r then fault t kind vaddr "no read permission"
+      | Write -> if not pte.Pte.perms.Pte.w then fault t kind vaddr "no write permission"
+      | Exec ->
+          if not pte.Pte.perms.Pte.x then fault t kind vaddr "no exec permission";
+          (match t.current.exec_ok with
+          | Some ok when not (ok ~vpn) ->
+              fault t kind vaddr "package not executable in this environment"
+          | Some _ | None -> ()));
+      (* MPK polices data accesses only. *)
+      (match kind with
+      | Read | Write ->
+          let write = kind = Write in
+          if not (Mpk.allows t.current.pkru ~key:pte.Pte.pkey ~write) then
+            fault t kind vaddr
+              (Printf.sprintf "protection key %d denies %s" pte.Pte.pkey
+                 (access_kind_name kind))
+      | Exec -> ());
+      pte
+
+let check t kind ~addr ~len =
+  if len < 0 then invalid_arg "Cpu.check: negative length";
+  if len > 0 then begin
+    let first = vpn_of_addr addr and last = vpn_of_addr (addr + len - 1) in
+    for vpn = first to last do
+      ignore (check_page t kind (addr_of_vpn vpn))
+    done;
+    (* Re-check the exact start address for a precise fault report. *)
+    ignore (check_page t kind addr)
+  end
+
+let read8 t addr =
+  let pte = check_page t Read addr in
+  Phys.read8 t.phys ~ppn:pte.Pte.ppn ~off:(addr mod Phys.page_size)
+
+let write8 t addr v =
+  let pte = check_page t Write addr in
+  Phys.write8 t.phys ~ppn:pte.Pte.ppn ~off:(addr mod Phys.page_size) v
+
+let read64 t addr =
+  if addr mod Phys.page_size <= Phys.page_size - 8 then begin
+    let pte = check_page t Read addr in
+    ignore (check_page t Read (addr + 7));
+    Phys.read64 t.phys ~ppn:pte.Pte.ppn ~off:(addr mod Phys.page_size)
+  end
+  else begin
+    (* Crosses a page boundary: assemble byte by byte. *)
+    let v = ref 0L in
+    for i = 7 downto 0 do
+      v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (read8 t (addr + i)))
+    done;
+    !v
+  end
+
+let write64 t addr v =
+  if addr mod Phys.page_size <= Phys.page_size - 8 then begin
+    let pte = check_page t Write addr in
+    ignore (check_page t Write (addr + 7));
+    Phys.write64 t.phys ~ppn:pte.Pte.ppn ~off:(addr mod Phys.page_size) v
+  end
+  else
+    for i = 0 to 7 do
+      write8 t (addr + i)
+        (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xff)
+    done
+
+let read_bytes t ~addr ~len =
+  check t Read ~addr ~len;
+  let dst = Bytes.create len in
+  let rec copy src_addr dst_off remaining =
+    if remaining > 0 then begin
+      let off = src_addr mod Phys.page_size in
+      let chunk = min remaining (Phys.page_size - off) in
+      let vpn = vpn_of_addr src_addr in
+      let pte = Option.get (Pagetable.walk t.current.pt ~vpn) in
+      Phys.blit_to_bytes t.phys ~ppn:pte.Pte.ppn ~off dst dst_off chunk;
+      copy (src_addr + chunk) (dst_off + chunk) (remaining - chunk)
+    end
+  in
+  copy addr 0 len;
+  dst
+
+let write_bytes t ~addr src =
+  let len = Bytes.length src in
+  check t Write ~addr ~len;
+  let rec copy dst_addr src_off remaining =
+    if remaining > 0 then begin
+      let off = dst_addr mod Phys.page_size in
+      let chunk = min remaining (Phys.page_size - off) in
+      let vpn = vpn_of_addr dst_addr in
+      let pte = Option.get (Pagetable.walk t.current.pt ~vpn) in
+      Phys.blit_of_bytes t.phys ~ppn:pte.Pte.ppn ~off src src_off chunk;
+      copy (dst_addr + chunk) (src_off + chunk) (remaining - chunk)
+    end
+  in
+  copy addr 0 len
+
+let fetch t ~addr = ignore (check_page t Exec addr)

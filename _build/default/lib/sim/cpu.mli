@@ -1,0 +1,71 @@
+(** The simulated CPU: an MMU that enforces the current execution
+    environment on every guest memory access.
+
+    An {e execution environment} pairs a page table with a PKRU value (and,
+    in MPK mode, a software fetch check standing in for ERIM-style binary
+    scanning / call-gate verification, since real MPK does not police
+    instruction fetches). All simulated application memory traffic must go
+    through this module so that enclosure violations fault exactly where
+    hardware would fault. *)
+
+type access_kind = Read | Write | Exec
+
+val access_kind_name : access_kind -> string
+
+type fault = {
+  kind : access_kind;
+  vaddr : int;
+  env : string;  (** label of the faulting environment *)
+  reason : string;
+}
+
+exception Fault of fault
+(** Raised on any violation; the program is expected to abort (paper §2.2:
+    "a fault stops the execution of the closure and aborts the program"). *)
+
+val pp_fault : Format.formatter -> fault -> unit
+
+type env = {
+  label : string;
+  pt : Pagetable.t;
+  pkru : Mpk.pkru;
+  exec_ok : (vpn:int -> bool) option;
+      (** software fetch filter (MPK mode); [None] means PTE-only. *)
+}
+
+val trusted_env : Pagetable.t -> env
+(** Full-access environment over [pt] (PKRU all-access, no fetch filter). *)
+
+type t
+
+val create : phys:Phys.t -> clock:Clock.t -> costs:Costs.t -> env -> t
+val phys : t -> Phys.t
+val clock : t -> Clock.t
+val costs : t -> Costs.t
+
+val env : t -> env
+val set_env : t -> env -> unit
+(** Raw environment switch; costs are accounted by the caller
+    (LitterBox). Moving to a different page table flushes the TLB model
+    (a CR3 write); changing only the PKRU value does not. *)
+
+val tlb : t -> Tlb.t
+(** The CPU's translation cache (statistics only; see {!Tlb}). *)
+
+val check : t -> access_kind -> addr:int -> len:int -> unit
+(** Validate an access of [len] bytes at [addr] in the current environment;
+    raises {!Fault} on the first offending page. *)
+
+val read8 : t -> int -> int
+val write8 : t -> int -> int -> unit
+val read64 : t -> int -> int64
+val write64 : t -> int -> int64 -> unit
+
+val read_bytes : t -> addr:int -> len:int -> Bytes.t
+val write_bytes : t -> addr:int -> Bytes.t -> unit
+
+val fetch : t -> addr:int -> unit
+(** Instruction-fetch check at [addr] (entering a function). *)
+
+val vpn_of_addr : int -> int
+val addr_of_vpn : int -> int

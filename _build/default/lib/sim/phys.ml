@@ -1,0 +1,54 @@
+let page_size = 4096
+
+type t = {
+  mutable frames : Bytes.t option array;
+  mutable next : int;
+  mutable free : int list;
+  mutable live : int;
+}
+
+let create () = { frames = Array.make 64 None; next = 0; free = []; live = 0 }
+
+let grow t =
+  let frames = Array.make (2 * Array.length t.frames) None in
+  Array.blit t.frames 0 frames 0 (Array.length t.frames);
+  t.frames <- frames
+
+let alloc_page t =
+  t.live <- t.live + 1;
+  match t.free with
+  | ppn :: rest ->
+      t.free <- rest;
+      t.frames.(ppn) <- Some (Bytes.make page_size '\000');
+      ppn
+  | [] ->
+      if t.next >= Array.length t.frames then grow t;
+      let ppn = t.next in
+      t.next <- ppn + 1;
+      t.frames.(ppn) <- Some (Bytes.make page_size '\000');
+      ppn
+
+let frame t ppn =
+  if ppn < 0 || ppn >= t.next then
+    invalid_arg (Printf.sprintf "Phys: bad ppn %d" ppn);
+  match t.frames.(ppn) with
+  | Some b -> b
+  | None -> invalid_arg (Printf.sprintf "Phys: ppn %d is free" ppn)
+
+let free_page t ppn =
+  ignore (frame t ppn);
+  t.frames.(ppn) <- None;
+  t.free <- ppn :: t.free;
+  t.live <- t.live - 1
+
+let page_count t = t.live
+let read8 t ~ppn ~off = Char.code (Bytes.get (frame t ppn) off)
+let write8 t ~ppn ~off v = Bytes.set (frame t ppn) off (Char.chr (v land 0xff))
+let read64 t ~ppn ~off = Bytes.get_int64_le (frame t ppn) off
+let write64 t ~ppn ~off v = Bytes.set_int64_le (frame t ppn) off v
+
+let blit_to_bytes t ~ppn ~off dst dst_off len =
+  Bytes.blit (frame t ppn) off dst dst_off len
+
+let blit_of_bytes t ~ppn ~off src src_off len =
+  Bytes.blit src src_off (frame t ppn) off len

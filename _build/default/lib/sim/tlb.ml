@@ -1,0 +1,52 @@
+type t = {
+  capacity : int;
+  entries : (string * int, unit) Hashtbl.t;
+  fifo : (string * int) Queue.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable flushes : int;
+}
+
+let create ?(capacity = 1024) () =
+  if capacity <= 0 then invalid_arg "Tlb.create: capacity must be positive";
+  {
+    capacity;
+    entries = Hashtbl.create 2048;
+    fifo = Queue.create ();
+    hits = 0;
+    misses = 0;
+    flushes = 0;
+  }
+
+let access t ~space ~vpn =
+  let key = (space, vpn) in
+  if Hashtbl.mem t.entries key then begin
+    t.hits <- t.hits + 1;
+    true
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    if Hashtbl.length t.entries >= t.capacity then begin
+      let victim = Queue.pop t.fifo in
+      Hashtbl.remove t.entries victim
+    end;
+    Hashtbl.replace t.entries key ();
+    Queue.push key t.fifo;
+    false
+  end
+
+let flush t =
+  Hashtbl.reset t.entries;
+  Queue.clear t.fifo;
+  t.flushes <- t.flushes + 1
+
+let hits t = t.hits
+let misses t = t.misses
+let flushes t = t.flushes
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0;
+  t.flushes <- 0
+
+let occupancy t = Hashtbl.length t.entries

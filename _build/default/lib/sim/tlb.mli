@@ -1,0 +1,27 @@
+(** A translation-lookaside-buffer model (statistics only).
+
+    The TLB caches virtual-page translations per address space. LB_MPK
+    switches keep the same page table, so the TLB stays warm across
+    enclosure switches; LB_VTX moves CR3, which (without PCID) flushes
+    it — one of the structural reasons MPK switching is cheap. The model
+    tracks hits, misses, and flushes; it charges no simulated time (TLB
+    effects are already folded into the calibrated switch costs), but the
+    counters let benchmarks report locality. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** FIFO-evicting set of translations; default capacity 1024. *)
+
+val access : t -> space:string -> vpn:int -> bool
+(** Record an access; [true] on hit. [space] names the address space
+    (page-table identity). *)
+
+val flush : t -> unit
+(** Drop every cached translation (a CR3 move without PCID). *)
+
+val hits : t -> int
+val misses : t -> int
+val flushes : t -> int
+val reset_stats : t -> unit
+val occupancy : t -> int

@@ -1,0 +1,58 @@
+type mode = Root | Non_root
+
+type t = {
+  clock : Clock.t;
+  costs : Costs.t;
+  trusted_pt : Pagetable.t;
+  mutable mode : mode;
+  mutable cr3 : Pagetable.t;
+  mutable vmexits : int;
+  mutable guest_syscalls : int;
+}
+
+let create ~clock ~costs ~trusted_pt =
+  Clock.consume clock Clock.Init costs.Costs.kvm_setup;
+  {
+    clock;
+    costs;
+    trusted_pt;
+    mode = Root;
+    cr3 = trusted_pt;
+    vmexits = 0;
+    guest_syscalls = 0;
+  }
+
+let mode t = t.mode
+let cr3 t = t.cr3
+
+let enter_vm t =
+  t.mode <- Non_root;
+  t.cr3 <- t.trusted_pt
+
+let guest_syscall t ~validate ~target =
+  t.guest_syscalls <- t.guest_syscalls + 1;
+  Clock.consume t.clock Clock.Switch t.costs.Costs.vtx_guest_syscall;
+  if validate () then begin
+    t.cr3 <- target;
+    Ok ()
+  end
+  else Error "guest OS refused the transition (call-site verification failed)"
+
+let guest_sysret t ~validate ~target =
+  t.guest_syscalls <- t.guest_syscalls + 1;
+  Clock.consume t.clock Clock.Switch t.costs.Costs.vtx_guest_sysret;
+  if validate () then begin
+    t.cr3 <- target;
+    Ok ()
+  end
+  else Error "guest OS refused the transition (call-site verification failed)"
+
+let hypercall t f =
+  t.vmexits <- t.vmexits + 1;
+  Clock.consume t.clock Clock.Syscall t.costs.Costs.vmexit_roundtrip;
+  let saved = t.mode in
+  t.mode <- Root;
+  Fun.protect ~finally:(fun () -> t.mode <- saved) f
+
+let vmexits t = t.vmexits
+let guest_syscalls t = t.guest_syscalls

@@ -1,0 +1,21 @@
+let is_power_of_two v = v > 0 && v land (v - 1) = 0
+
+let align_up v a =
+  assert (is_power_of_two a);
+  (v + a - 1) land lnot (a - 1)
+
+let align_down v a =
+  assert (is_power_of_two a);
+  v land lnot (a - 1)
+
+let is_aligned v a = v land (a - 1) = 0
+
+let get_bits v ~lo ~width =
+  let mask = Int32.of_int ((1 lsl width) - 1) in
+  Int32.to_int (Int32.logand (Int32.shift_right_logical v lo) mask)
+
+let set_bits v ~lo ~width x =
+  let mask = Int32.shift_left (Int32.of_int ((1 lsl width) - 1)) lo in
+  let cleared = Int32.logand v (Int32.lognot mask) in
+  let inserted = Int32.logand (Int32.shift_left (Int32.of_int x) lo) mask in
+  Int32.logor cleared inserted

@@ -1,0 +1,21 @@
+(** Small bit-manipulation helpers shared by the simulated hardware. *)
+
+val align_up : int -> int -> int
+(** [align_up v a] rounds [v] up to the next multiple of [a].
+    [a] must be a power of two. *)
+
+val align_down : int -> int -> int
+(** [align_down v a] rounds [v] down to a multiple of [a].
+    [a] must be a power of two. *)
+
+val is_aligned : int -> int -> bool
+(** [is_aligned v a] is [true] iff [v] is a multiple of [a]. *)
+
+val is_power_of_two : int -> bool
+(** [is_power_of_two v] for strictly positive [v]. *)
+
+val get_bits : int32 -> lo:int -> width:int -> int
+(** [get_bits v ~lo ~width] extracts bits [lo .. lo+width-1] of [v]. *)
+
+val set_bits : int32 -> lo:int -> width:int -> int -> int32
+(** [set_bits v ~lo ~width x] overwrites bits [lo .. lo+width-1] with [x]. *)

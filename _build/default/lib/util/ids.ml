@@ -1,0 +1,11 @@
+type t = { mutable counter : int }
+
+let make () = { counter = 0 }
+
+let next g =
+  let id = g.counter in
+  g.counter <- id + 1;
+  id
+
+let peek g = g.counter
+let reset g = g.counter <- 0

@@ -1,0 +1,22 @@
+(** Monotonic integer identifier generators.
+
+    Each generator hands out distinct non-negative integers starting at 0.
+    Generators are independent: two [make] calls share no state. *)
+
+type t
+(** A generator of fresh identifiers. *)
+
+val make : unit -> t
+(** [make ()] is a fresh generator whose first identifier is [0]. *)
+
+val next : t -> int
+(** [next g] returns the next identifier and advances [g]. *)
+
+val peek : t -> int
+(** [peek g] is the identifier that the next [next g] will return,
+    without advancing [g]. *)
+
+val reset : t -> unit
+(** [reset g] rewinds [g] so that the next identifier is [0] again.
+    Only meant for tests; never reset a generator whose identifiers
+    are still live. *)

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Bytes Cpu Encl_apps Encl_elf Encl_golike Encl_kernel Encl_litterbox Encl_pkg List Option Printf QCheck QCheck_alcotest Result String

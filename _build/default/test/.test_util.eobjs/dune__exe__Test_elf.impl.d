@@ -1,0 +1,1 @@
+test/test_elf.ml: Alcotest Bytes Cpu Encl_elf Encl_litterbox Fixtures Hashtbl List Option Phys Printf Pte QCheck QCheck_alcotest Result

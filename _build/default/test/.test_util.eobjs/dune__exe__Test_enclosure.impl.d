@@ -1,0 +1,1 @@
+test/test_enclosure.ml: Alcotest Encl_elf Encl_enclosure Encl_kernel Encl_litterbox Result

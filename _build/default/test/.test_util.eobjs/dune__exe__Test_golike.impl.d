@@ -1,0 +1,1 @@
+test/test_golike.ml: Alcotest Bytes Clock Cpu Encl_elf Encl_golike Encl_kernel Encl_litterbox Encl_util Int64 List Option QCheck QCheck_alcotest Result String

@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Bytes Char Clock Cpu Encl_kernel Encl_litterbox List Mpk Option Pagetable Phys Pte QCheck QCheck_alcotest Result

@@ -1,0 +1,1 @@
+test/test_litterbox.ml: Alcotest Bytes Char Clock Costs Cpu Encl_elf Encl_kernel Encl_litterbox Fixtures Format List Option Phys Pte QCheck QCheck_alcotest Result String

@@ -1,0 +1,1 @@
+test/test_minigo.ml: Alcotest Encl_golike Encl_litterbox Encl_minigo List Option Result String

@@ -1,0 +1,1 @@
+test/test_pkg.ml: Alcotest Encl_pkg Hashtbl List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_pylike.ml: Alcotest Bytes Encl_litterbox Encl_pylike List Result

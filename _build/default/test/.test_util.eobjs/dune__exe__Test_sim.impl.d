@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Bytes Char Clock Costs Cpu Format List Mpk Option Pagetable Phys Pte QCheck QCheck_alcotest Result Tlb Vtx

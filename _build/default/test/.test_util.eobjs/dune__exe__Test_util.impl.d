@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Encl_util Int64 QCheck QCheck_alcotest

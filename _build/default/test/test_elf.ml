@@ -1,0 +1,257 @@
+(* Tests for the object format, linker, and loader. *)
+
+module Objfile = Encl_elf.Objfile
+module Linker = Encl_elf.Linker
+module Image = Encl_elf.Image
+module Section = Encl_elf.Section
+module Machine = Encl_litterbox.Machine
+module Loader = Encl_litterbox.Loader
+
+let section_tests =
+  [
+    Alcotest.test_case "alignment enforced" `Quick (fun () ->
+        match Section.make ~name:"s" ~owner:"p" ~kind:Section.Text ~addr:100 ~size:10 with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "unaligned section accepted");
+    Alcotest.test_case "pages and containment" `Quick (fun () ->
+        let s = Section.make ~name:"s" ~owner:"p" ~kind:Section.Data ~addr:8192 ~size:5000 in
+        Alcotest.(check int) "2 pages" 2 (Section.pages s);
+        Alcotest.(check bool) "start" true (Section.contains s 8192);
+        Alcotest.(check bool) "into second page" true (Section.contains s 12000);
+        Alcotest.(check bool) "past end" false (Section.contains s 16384));
+    Alcotest.test_case "overlap detection" `Quick (fun () ->
+        let a = Section.make ~name:"a" ~owner:"p" ~kind:Section.Data ~addr:0 ~size:8192 in
+        let b = Section.make ~name:"b" ~owner:"q" ~kind:Section.Data ~addr:8192 ~size:4096 in
+        let c = Section.make ~name:"c" ~owner:"r" ~kind:Section.Data ~addr:4096 ~size:4096 in
+        Alcotest.(check bool) "adjacent fine" false (Section.overlaps a b);
+        Alcotest.(check bool) "overlap found" true (Section.overlaps a c));
+    Alcotest.test_case "default perms per kind" `Quick (fun () ->
+        Alcotest.(check bool) "text x" true (Section.default_perms Section.Text).Pte.x;
+        Alcotest.(check bool) "rodata not w" false (Section.default_perms Section.Rodata).Pte.w;
+        Alcotest.(check bool) "data w" true (Section.default_perms Section.Data).Pte.w);
+  ]
+
+let objfile_tests =
+  [
+    Alcotest.test_case "duplicate symbols rejected" `Quick (fun () ->
+        match
+          Objfile.make ~pkg:"p"
+            ~functions:[ Objfile.sym "f" 8 ]
+            ~globals:[ Objfile.sym "f" 8 ]
+            ()
+        with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "duplicate accepted");
+    Alcotest.test_case "enclosure closure must exist" `Quick (fun () ->
+        match
+          Objfile.make ~pkg:"p"
+            ~functions:[ Objfile.sym "f" 8 ]
+            ~enclosures:
+              [ { Objfile.enc_name = "e"; enc_policy = ""; enc_closure = "ghost"; enc_deps = [] } ]
+            ()
+        with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "ghost closure accepted");
+    Alcotest.test_case "enclosure deps must be imports" `Quick (fun () ->
+        match
+          Objfile.make ~pkg:"p" ~imports:[ "a" ]
+            ~functions:[ Objfile.sym "f" 8 ]
+            ~enclosures:
+              [ { Objfile.enc_name = "e"; enc_policy = ""; enc_closure = "f"; enc_deps = [ "b" ] } ]
+            ()
+        with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "unimported dep accepted");
+    Alcotest.test_case "init larger than size rejected" `Quick (fun () ->
+        match Objfile.sym ~init:(Bytes.make 10 'x') "g" 4 with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "oversized init accepted");
+  ]
+
+let link_errors =
+  [
+    Alcotest.test_case "duplicate package" `Quick (fun () ->
+        let o = Objfile.make ~pkg:"p" () in
+        match Linker.link ~objfiles:[ o; o ] ~entry:"p" with
+        | Error (Linker.Duplicate_package "p") -> ()
+        | _ -> Alcotest.fail "expected duplicate error");
+    Alcotest.test_case "missing import" `Quick (fun () ->
+        let o = Objfile.make ~pkg:"p" ~imports:[ "ghost" ] () in
+        match Linker.link ~objfiles:[ o ] ~entry:"p" with
+        | Error (Linker.Missing_import _) -> ()
+        | _ -> Alcotest.fail "expected missing import");
+    Alcotest.test_case "import cycle" `Quick (fun () ->
+        let a = Objfile.make ~pkg:"a" ~imports:[ "b" ] () in
+        let b = Objfile.make ~pkg:"b" ~imports:[ "a" ] () in
+        match Linker.link ~objfiles:[ a; b ] ~entry:"a" with
+        | Error (Linker.Import_cycle _) -> ()
+        | _ -> Alcotest.fail "expected cycle");
+    Alcotest.test_case "unknown entry" `Quick (fun () ->
+        let o = Objfile.make ~pkg:"p" () in
+        match Linker.link ~objfiles:[ o ] ~entry:"main" with
+        | Error (Linker.Unknown_entry _) -> ()
+        | _ -> Alcotest.fail "expected unknown entry");
+    Alcotest.test_case "duplicate enclosure name" `Quick (fun () ->
+        let mk pkg =
+          Objfile.make ~pkg
+            ~functions:[ Objfile.sym "f" 8 ]
+            ~enclosures:
+              [ { Objfile.enc_name = "same"; enc_policy = ""; enc_closure = "f"; enc_deps = [] } ]
+            ()
+        in
+        match Linker.link ~objfiles:[ mk "a"; mk "b" ] ~entry:"a" with
+        | Error (Linker.Duplicate_enclosure "same") -> ()
+        | _ -> Alcotest.fail "expected duplicate enclosure");
+  ]
+
+let image_tests =
+  [
+    Alcotest.test_case "figure-1 layout invariants" `Quick (fun () ->
+        let image = Fixtures.figure1_image () in
+        (* No two sections overlap. *)
+        let rec pairs = function
+          | [] -> ()
+          | s :: rest ->
+              List.iter
+                (fun s2 ->
+                  if Section.overlaps s s2 then
+                    Alcotest.failf "sections %s and %s overlap" s.Section.name
+                      s2.Section.name)
+                rest;
+              pairs rest
+        in
+        pairs image.Image.sections;
+        (* No two packages share a page. *)
+        let page_owner = Hashtbl.create 64 in
+        List.iter
+          (fun (s : Section.t) ->
+            for vpn = s.Section.addr / Phys.page_size
+                to (Section.end_addr s - 1) / Phys.page_size do
+              match Hashtbl.find_opt page_owner vpn with
+              | Some owner when owner <> s.Section.owner ->
+                  Alcotest.failf "page %d shared by %s and %s" vpn owner s.Section.owner
+              | _ -> Hashtbl.replace page_owner vpn s.Section.owner
+            done)
+          image.Image.sections;
+        (* Closure isolated into its own section. *)
+        let rcl_sec =
+          List.find_opt (fun (s : Section.t) -> s.Section.name = "main.rcl.text")
+            image.Image.sections
+        in
+        Alcotest.(check bool) "closure section" true (rcl_sec <> None));
+    Alcotest.test_case "symbols live inside their sections" `Quick (fun () ->
+        let image = Fixtures.figure1_image () in
+        List.iter
+          (fun (sym : Image.placed_sym) ->
+            match Image.section_at image sym.Image.ps_addr with
+            | None -> Alcotest.failf "symbol %s not in any section" sym.Image.ps_name
+            | Some s ->
+                Alcotest.(check string)
+                  ("owner of " ^ sym.Image.ps_name)
+                  sym.Image.ps_pkg s.Section.owner)
+          image.Image.symbols);
+    Alcotest.test_case "marked packages cover enclosure reach" `Quick (fun () ->
+        let image = Fixtures.figure1_image () in
+        List.iter
+          (fun p ->
+            Alcotest.(check bool) (p ^ " marked") true (List.mem p image.Image.marked))
+          [ "libFx"; "img"; "secrets"; "main" ]);
+    Alcotest.test_case "verif list has enclosure sites + runtime hooks" `Quick
+      (fun () ->
+        let image = Fixtures.figure1_image () in
+        Alcotest.(check bool) "rcl prolog" true
+          (Image.verif_allows image ~site:"enclosure:rcl" Image.Prolog);
+        Alcotest.(check bool) "rcl epilog" true
+          (Image.verif_allows image ~site:"enclosure:rcl" Image.Epilog);
+        Alcotest.(check bool) "mallocgc transfer" true
+          (Image.verif_allows image ~site:"runtime.mallocgc" Image.Transfer);
+        Alcotest.(check bool) "scheduler execute" true
+          (Image.verif_allows image ~site:"runtime.scheduler" Image.Execute);
+        Alcotest.(check bool) "random site refused" false
+          (Image.verif_allows image ~site:"evil" Image.Prolog));
+    Alcotest.test_case "enclosure descriptor carries deps and addr" `Quick (fun () ->
+        let image = Fixtures.figure1_image () in
+        let e = Option.get (Image.enclosure_named image "rcl") in
+        Alcotest.(check (list string)) "deps" [ "libFx" ] e.Image.ed_direct_deps;
+        let sym = Option.get (Image.find_symbol image ~pkg:"main" "rcl_body") in
+        Alcotest.(check int) "closure addr" sym.Image.ps_addr e.Image.ed_closure_addr);
+    Alcotest.test_case "init order respects dependencies" `Quick (fun () ->
+        let a = Objfile.make ~pkg:"a" ~imports:[ "b" ] ~has_init:true () in
+        let b = Objfile.make ~pkg:"b" ~has_init:true () in
+        let image = Result.get_ok (Linker.link ~objfiles:[ a; b ] ~entry:"a") in
+        Alcotest.(check (list string)) "deps first" [ "b"; "a" ] image.Image.init_order);
+  ]
+
+let loader_tests =
+  [
+    Alcotest.test_case "initialised symbols are loaded" `Quick (fun () ->
+        let machine = Machine.create () in
+        let image = Fixtures.figure1_image () in
+        Alcotest.(check bool) "load" true (Result.is_ok (Loader.load machine image));
+        let addr = Fixtures.sym_addr image ~pkg:"secrets" "original" in
+        let data = Cpu.read_bytes machine.Machine.cpu ~addr ~len:19 in
+        Alcotest.(check string) "init bytes" "original-image-bits" (Bytes.to_string data));
+    Alcotest.test_case "rodata is loaded but not writable" `Quick (fun () ->
+        let machine = Machine.create () in
+        let image = Fixtures.figure1_image () in
+        ignore (Loader.load machine image);
+        let addr = Fixtures.sym_addr image ~pkg:"img" "magic" in
+        Alcotest.(check string) "magic" "PNG!"
+          (Bytes.to_string (Cpu.read_bytes machine.Machine.cpu ~addr ~len:4));
+        match Cpu.write8 machine.Machine.cpu addr 0 with
+        | exception Cpu.Fault _ -> ()
+        | () -> Alcotest.fail "rodata writable");
+  ]
+
+(* Property: linking any set of well-formed packages produces page-disjoint
+   per-package sections. *)
+let linker_props =
+  let gen =
+    QCheck.make
+      QCheck.Gen.(
+        let* n = int_range 1 8 in
+        let* sizes = list_repeat n (int_range 1 9000) in
+        return sizes)
+  in
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"linked packages never share pages" ~count:100 gen
+         (fun sizes ->
+           let objfiles =
+             List.mapi
+               (fun i size ->
+                 Objfile.make
+                   ~pkg:(Printf.sprintf "p%d" i)
+                   ~functions:[ Objfile.sym "f" size ]
+                   ~globals:[ Objfile.sym "g" (size / 2) ]
+                   ~constants:[ Objfile.sym "c" 16 ]
+                   ())
+               sizes
+           in
+           match Linker.link ~objfiles ~entry:"p0" with
+           | Error _ -> false
+           | Ok image ->
+               let owners = Hashtbl.create 64 in
+               List.for_all
+                 (fun (s : Section.t) ->
+                   let ok = ref true in
+                   for vpn = s.Section.addr / Phys.page_size
+                       to (Section.end_addr s - 1) / Phys.page_size do
+                     match Hashtbl.find_opt owners vpn with
+                     | Some o when o <> s.Section.owner -> ok := false
+                     | _ -> Hashtbl.replace owners vpn s.Section.owner
+                   done;
+                   !ok)
+                 image.Image.sections));
+  ]
+
+let () =
+  Alcotest.run "elf"
+    [
+      ("section", section_tests);
+      ("objfile", objfile_tests);
+      ("link-errors", link_errors);
+      ("image", image_tests);
+      ("loader", loader_tests);
+      ("props", linker_props);
+    ]

@@ -1,0 +1,140 @@
+(* Tests for the enclosure construct and nesting semantics. *)
+
+module Lb = Encl_litterbox.Litterbox
+module Machine = Encl_litterbox.Machine
+module Enclosure = Encl_enclosure.Enclosure
+module Objfile = Encl_elf.Objfile
+module Linker = Encl_elf.Linker
+module K = Encl_kernel.Kernel
+
+(* A program with nestable enclosures:
+   outer: deps [libFx] (+ img transitively), sys=io,file
+   inner_ok: deps [img], sys=none          (strictly more restrictive)
+   inner_bad: deps [libFx] + secrets:R     (extends the view: escalation)
+   inner_bad_sys: deps [img], sys=net      (new syscall rights: escalation) *)
+let nesting_objfiles () =
+  [
+    Objfile.make ~pkg:"img" ~functions:[ Objfile.sym "decode" 64 ] ();
+    Objfile.make ~pkg:"libFx" ~imports:[ "img" ] ~functions:[ Objfile.sym "fx" 64 ] ();
+    Objfile.make ~pkg:"secrets" ~globals:[ Objfile.sym "key" 32 ] ();
+    Objfile.make ~pkg:"main"
+      ~imports:[ "libFx"; "secrets" ]
+      ~functions:
+        [
+          Objfile.sym "main" 64;
+          Objfile.sym "outer_body" 32;
+          Objfile.sym "inner_ok_body" 32;
+          Objfile.sym "inner_bad_body" 32;
+          Objfile.sym "inner_bad_sys_body" 32;
+        ]
+      ~enclosures:
+        [
+          { Objfile.enc_name = "outer"; enc_policy = "; sys=io,file";
+            enc_closure = "outer_body"; enc_deps = [ "libFx" ] };
+          { Objfile.enc_name = "inner_ok"; enc_policy = "; sys=none";
+            enc_closure = "inner_ok_body"; enc_deps = [ "libFx" ] };
+          { Objfile.enc_name = "inner_bad"; enc_policy = "secrets:R; sys=none";
+            enc_closure = "inner_bad_body"; enc_deps = [ "libFx" ] };
+          { Objfile.enc_name = "inner_bad_sys"; enc_policy = "; sys=net";
+            enc_closure = "inner_bad_sys_body"; enc_deps = [ "libFx" ] };
+        ]
+      ()
+  ]
+
+let boot backend =
+  let machine = Machine.create () in
+  let image =
+    match Linker.link ~objfiles:(nesting_objfiles ()) ~entry:"main" with
+    | Ok image -> image
+    | Error e -> failwith (Linker.error_message e)
+  in
+  match Lb.init ~machine ~backend ~image () with
+  | Ok lb -> (machine, lb)
+  | Error e -> failwith e
+
+let nesting_tests backend tag =
+  let tc name f = Alcotest.test_case (tag ^ ": " ^ name) `Quick f in
+  [
+    tc "nesting into a more restrictive enclosure succeeds" (fun () ->
+        let _, lb = boot backend in
+        let inner = Enclosure.declare lb ~name:"inner_ok" (fun () -> 21 * 2) in
+        let outer = Enclosure.declare lb ~name:"outer" (fun () -> Enclosure.call inner) in
+        Alcotest.(check int) "result" 42 (Enclosure.call outer);
+        Alcotest.(check bool) "back to trusted" true (Lb.in_enclosure lb = None));
+    tc "nesting that extends the memory view faults" (fun () ->
+        let _, lb = boot backend in
+        let inner = Enclosure.declare lb ~name:"inner_bad" (fun () -> ()) in
+        let outer = Enclosure.declare lb ~name:"outer" (fun () -> Enclosure.call inner) in
+        (match Enclosure.call outer with
+        | exception Lb.Fault _ -> ()
+        | () -> Alcotest.fail "escalation allowed");
+        Alcotest.(check bool) "environment restored" true (Lb.in_enclosure lb = None));
+    tc "nesting that widens the syscall filter faults" (fun () ->
+        let _, lb = boot backend in
+        let inner = Enclosure.declare lb ~name:"inner_bad_sys" (fun () -> ()) in
+        let outer = Enclosure.declare lb ~name:"outer" (fun () -> Enclosure.call inner) in
+        match Enclosure.call outer with
+        | exception Lb.Fault _ -> ()
+        | () -> Alcotest.fail "filter escalation allowed");
+    tc "closure is reusable across calls" (fun () ->
+        let _, lb = boot backend in
+        let count = ref 0 in
+        let enc = Enclosure.declare lb ~name:"inner_ok" (fun () -> incr count) in
+        Enclosure.call enc;
+        Enclosure.call enc;
+        Enclosure.call enc;
+        Alcotest.(check int) "three runs" 3 !count);
+    tc "exception in body restores environment" (fun () ->
+        let _, lb = boot backend in
+        let enc = Enclosure.declare lb ~name:"inner_ok" (fun () -> failwith "boom") in
+        (match Enclosure.call enc with
+        | exception Failure _ -> ()
+        | () -> Alcotest.fail "expected exception");
+        Alcotest.(check bool) "trusted again" true (Lb.in_enclosure lb = None));
+    tc "syscall filter applies to the innermost enclosure" (fun () ->
+        let _, lb = boot backend in
+        (* outer permits io; inner_ok permits nothing. *)
+        let inner =
+          Enclosure.declare lb ~name:"inner_ok" (fun () -> Lb.syscall lb K.Getuid)
+        in
+        let outer = Enclosure.declare lb ~name:"outer" (fun () -> Enclosure.call inner) in
+        match Enclosure.call outer with
+        | exception Lb.Fault _ -> ()
+        | exception K.Syscall_killed _ -> ()
+        | _ -> Alcotest.fail "inner filter not applied");
+  ]
+
+let construct_tests =
+  [
+    Alcotest.test_case "check_policy accepts and rejects" `Quick (fun () ->
+        Alcotest.(check bool) "good" true (Enclosure.check_policy "a:R; sys=net" = Ok ());
+        Alcotest.(check bool) "bad" true (Result.is_error (Enclosure.check_policy "a:R; sys=lasers")));
+    Alcotest.test_case "unknown enclosure name faults at call" `Quick (fun () ->
+        let _, lb = boot Lb.Mpk in
+        let enc = Enclosure.declare lb ~name:"ghost" (fun () -> ()) in
+        match Enclosure.call enc with
+        | exception Lb.Fault _ -> ()
+        | () -> Alcotest.fail "unknown enclosure ran");
+    Alcotest.test_case "declare_dynamic registers and runs" `Quick (fun () ->
+        let _, lb = boot Lb.Vtx in
+        match
+          Enclosure.declare_dynamic lb ~name:"dyn" ~owner:"main" ~deps:[ "img" ]
+            ~policy:"; sys=none" (fun () -> "ran")
+        with
+        | Error e -> Alcotest.fail e
+        | Ok enc -> Alcotest.(check string) "result" "ran" (Enclosure.call enc));
+    Alcotest.test_case "declare_dynamic rejects bad policy" `Quick (fun () ->
+        let _, lb = boot Lb.Vtx in
+        Alcotest.(check bool) "rejected" true
+          (Result.is_error
+             (Enclosure.declare_dynamic lb ~name:"dyn2" ~owner:"main" ~deps:[]
+                ~policy:"nonsense garbage" (fun () -> ()))));
+  ]
+
+let () =
+  Alcotest.run "enclosure"
+    [
+      ("nesting-mpk", nesting_tests Lb.Mpk "mpk");
+      ("nesting-vtx", nesting_tests Lb.Vtx "vtx");
+      ("construct", construct_tests);
+    ]

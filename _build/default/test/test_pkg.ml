@@ -1,0 +1,145 @@
+(* Tests for the package-dependence graph. *)
+
+module Graph = Encl_pkg.Graph
+
+let build edges =
+  let g = Graph.create () in
+  List.iter (fun (a, b) -> Graph.add_import g ~importer:a ~imported:b) edges;
+  g
+
+let unit_tests =
+  [
+    Alcotest.test_case "direct and natural deps" `Quick (fun () ->
+        (* Figure 1's graph: main -> libFx -> img; main -> secrets, os. *)
+        let g =
+          build
+            [
+              ("main", "libFx"); ("main", "secrets"); ("main", "os"); ("libFx", "img");
+            ]
+        in
+        Alcotest.(check (list string)) "direct" [ "libFx"; "os"; "secrets" ]
+          (Graph.direct_deps g "main");
+        Alcotest.(check (list string)) "natural" [ "img"; "libFx"; "os"; "secrets" ]
+          (Graph.natural_deps g "main");
+        Alcotest.(check (list string)) "libFx natural" [ "img" ]
+          (Graph.natural_deps g "libFx"));
+    Alcotest.test_case "foreignness" `Quick (fun () ->
+        let g = build [ ("main", "libFx"); ("libFx", "img"); ("main", "secrets") ] in
+        Alcotest.(check bool) "img not foreign to main" false
+          (Graph.is_foreign g ~of_:"main" "img");
+        Alcotest.(check bool) "secrets foreign to libFx" true
+          (Graph.is_foreign g ~of_:"libFx" "secrets");
+        Alcotest.(check bool) "self not foreign" false
+          (Graph.is_foreign g ~of_:"main" "main"));
+    Alcotest.test_case "self import rejected" `Quick (fun () ->
+        let g = Graph.create () in
+        match Graph.add_import g ~importer:"a" ~imported:"a" with
+        | exception Invalid_argument _ -> ()
+        | () -> Alcotest.fail "self import accepted");
+    Alcotest.test_case "cycle detection" `Quick (fun () ->
+        let g = build [ ("a", "b"); ("b", "c"); ("c", "a") ] in
+        Alcotest.(check bool) "cycle found" true (Graph.has_cycle g <> None);
+        let acyclic = build [ ("a", "b"); ("b", "c"); ("a", "c") ] in
+        Alcotest.(check bool) "no cycle" true (Graph.has_cycle acyclic = None));
+    Alcotest.test_case "topological order respects edges" `Quick (fun () ->
+        let g = build [ ("a", "b"); ("b", "c"); ("a", "d") ] in
+        match Graph.topological_order g with
+        | Error _ -> Alcotest.fail "unexpected cycle"
+        | Ok order ->
+            let pos x =
+              let rec go i = function
+                | [] -> -1
+                | y :: _ when y = x -> i
+                | _ :: r -> go (i + 1) r
+              in
+              go 0 order
+            in
+            Alcotest.(check bool) "c before b" true (pos "c" < pos "b");
+            Alcotest.(check bool) "b before a" true (pos "b" < pos "a");
+            Alcotest.(check bool) "d before a" true (pos "d" < pos "a"));
+    Alcotest.test_case "reverse deps" `Quick (fun () ->
+        let g = build [ ("a", "c"); ("b", "c") ] in
+        Alcotest.(check (list string)) "importers of c" [ "a"; "b" ]
+          (Graph.reverse_deps g "c"));
+    Alcotest.test_case "dot export mentions all nodes" `Quick (fun () ->
+        let contains haystack needle =
+          let n = String.length needle and h = String.length haystack in
+          let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+          go 0
+        in
+        let g = build [ ("a", "b") ] in
+        let dot = Graph.to_dot g in
+        Alcotest.(check bool) "node a" true (contains dot "\"a\"");
+        Alcotest.(check bool) "edge" true (contains dot "\"a\" -> \"b\""));
+  ]
+
+(* Random-DAG generator: edges only from higher to lower indices, so the
+   graph is acyclic by construction. *)
+let dag_gen =
+  QCheck.make
+    ~print:(fun edges ->
+      String.concat ";" (List.map (fun (a, b) -> Printf.sprintf "%d->%d" a b) edges))
+    QCheck.Gen.(
+      let* n = int_range 2 10 in
+      let* density = int_range 1 3 in
+      let edges = ref [] in
+      for i = 1 to n - 1 do
+        for j = 0 to i - 1 do
+          if (i * 7) + (j * 13) mod (4 - density) = 0 || j = i - 1 then
+            edges := (i, j) :: !edges
+        done
+      done;
+      return !edges)
+
+let pkg_name i = Printf.sprintf "p%d" i
+
+let graph_props =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"random DAGs are acyclic and topo-sortable" ~count:100
+         dag_gen
+         (fun edges ->
+           let g = Graph.create () in
+           List.iter
+             (fun (a, b) -> Graph.add_import g ~importer:(pkg_name a) ~imported:(pkg_name b))
+             edges;
+           match Graph.topological_order g with
+           | Error _ -> false
+           | Ok order ->
+               let pos = Hashtbl.create 16 in
+               List.iteri (fun i p -> Hashtbl.replace pos p i) order;
+               List.for_all
+                 (fun (a, b) ->
+                   Hashtbl.find pos (pkg_name b) < Hashtbl.find pos (pkg_name a))
+                 edges));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"natural deps are transitively closed" ~count:100 dag_gen
+         (fun edges ->
+           let g = Graph.create () in
+           List.iter
+             (fun (a, b) -> Graph.add_import g ~importer:(pkg_name a) ~imported:(pkg_name b))
+             edges;
+           List.for_all
+             (fun p ->
+               let nat = Graph.natural_deps g p in
+               List.for_all
+                 (fun d ->
+                   List.for_all (fun dd -> List.mem dd nat) (Graph.natural_deps g d))
+                 nat)
+             (Graph.packages g)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"direct deps are a subset of natural deps" ~count:100
+         dag_gen
+         (fun edges ->
+           let g = Graph.create () in
+           List.iter
+             (fun (a, b) -> Graph.add_import g ~importer:(pkg_name a) ~imported:(pkg_name b))
+             edges;
+           List.for_all
+             (fun p ->
+               let nat = Graph.natural_deps g p in
+               List.for_all (fun d -> List.mem d nat) (Graph.direct_deps g p))
+             (Graph.packages g)));
+  ]
+
+let () = Alcotest.run "pkg" [ ("graph", unit_tests); ("props", graph_props) ]

@@ -1,0 +1,112 @@
+(* Unit and property tests for the util library. *)
+
+module Ids = Encl_util.Ids
+module Rng = Encl_util.Rng
+module Bitops = Encl_util.Bitops
+
+let ids_tests =
+  [
+    Alcotest.test_case "fresh generator starts at 0" `Quick (fun () ->
+        let g = Ids.make () in
+        Alcotest.(check int) "first" 0 (Ids.next g);
+        Alcotest.(check int) "second" 1 (Ids.next g));
+    Alcotest.test_case "peek does not advance" `Quick (fun () ->
+        let g = Ids.make () in
+        Alcotest.(check int) "peek" 0 (Ids.peek g);
+        Alcotest.(check int) "peek again" 0 (Ids.peek g);
+        Alcotest.(check int) "next" 0 (Ids.next g));
+    Alcotest.test_case "generators are independent" `Quick (fun () ->
+        let a = Ids.make () and b = Ids.make () in
+        ignore (Ids.next a);
+        ignore (Ids.next a);
+        Alcotest.(check int) "b untouched" 0 (Ids.next b));
+    Alcotest.test_case "reset rewinds" `Quick (fun () ->
+        let g = Ids.make () in
+        ignore (Ids.next g);
+        Ids.reset g;
+        Alcotest.(check int) "back to 0" 0 (Ids.next g));
+  ]
+
+let rng_tests =
+  [
+    Alcotest.test_case "deterministic for a seed" `Quick (fun () ->
+        let a = Rng.make ~seed:42L and b = Rng.make ~seed:42L in
+        for _ = 1 to 100 do
+          Alcotest.(check int64) "same stream" (Rng.next64 a) (Rng.next64 b)
+        done);
+    Alcotest.test_case "different seeds differ" `Quick (fun () ->
+        let a = Rng.make ~seed:1L and b = Rng.make ~seed:2L in
+        Alcotest.(check bool) "differ" true (Rng.next64 a <> Rng.next64 b));
+    Alcotest.test_case "split is independent" `Quick (fun () ->
+        let a = Rng.make ~seed:7L in
+        let b = Rng.split a in
+        let va = Rng.next64 a and vb = Rng.next64 b in
+        Alcotest.(check bool) "streams differ" true (va <> vb));
+  ]
+
+let rng_props =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"int stays in bounds" ~count:500
+         QCheck.(pair small_int (int_range 1 10_000))
+         (fun (seed, bound) ->
+           let g = Rng.make ~seed:(Int64.of_int seed) in
+           let v = Rng.int g bound in
+           v >= 0 && v < bound));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"float stays in bounds" ~count:500
+         QCheck.(pair small_int (float_range 0.001 1000.0))
+         (fun (seed, bound) ->
+           let g = Rng.make ~seed:(Int64.of_int seed) in
+           let v = Rng.float g bound in
+           v >= 0.0 && v < bound));
+  ]
+
+let bitops_tests =
+  [
+    Alcotest.test_case "align_up basics" `Quick (fun () ->
+        Alcotest.(check int) "0" 0 (Bitops.align_up 0 4096);
+        Alcotest.(check int) "1" 4096 (Bitops.align_up 1 4096);
+        Alcotest.(check int) "4096" 4096 (Bitops.align_up 4096 4096);
+        Alcotest.(check int) "4097" 8192 (Bitops.align_up 4097 4096));
+    Alcotest.test_case "align_down basics" `Quick (fun () ->
+        Alcotest.(check int) "4097" 4096 (Bitops.align_down 4097 4096);
+        Alcotest.(check int) "4095" 0 (Bitops.align_down 4095 4096));
+    Alcotest.test_case "is_power_of_two" `Quick (fun () ->
+        Alcotest.(check bool) "1" true (Bitops.is_power_of_two 1);
+        Alcotest.(check bool) "4096" true (Bitops.is_power_of_two 4096);
+        Alcotest.(check bool) "0" false (Bitops.is_power_of_two 0);
+        Alcotest.(check bool) "3" false (Bitops.is_power_of_two 3));
+    Alcotest.test_case "get/set bits" `Quick (fun () ->
+        let v = Bitops.set_bits 0l ~lo:4 ~width:4 0xA in
+        Alcotest.(check int) "read back" 0xA (Bitops.get_bits v ~lo:4 ~width:4);
+        Alcotest.(check int) "below untouched" 0 (Bitops.get_bits v ~lo:0 ~width:4);
+        Alcotest.(check int) "above untouched" 0 (Bitops.get_bits v ~lo:8 ~width:4));
+  ]
+
+let bitops_props =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"align_up result is aligned and >= v" ~count:500
+         QCheck.(pair (int_range 0 1_000_000) (int_range 0 12))
+         (fun (v, shift) ->
+           let a = 1 lsl shift in
+           let r = Bitops.align_up v a in
+           r >= v && Bitops.is_aligned r a && r - v < a));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"set_bits/get_bits roundtrip" ~count:500
+         QCheck.(triple (int_range 0 30) (int_range 1 8) (int_range 0 255))
+         (fun (lo, width, x) ->
+           QCheck.assume (lo + width <= 32);
+           let x = x land ((1 lsl width) - 1) in
+           let v = Bitops.set_bits 0xDEADBEEFl ~lo ~width x in
+           Bitops.get_bits v ~lo ~width = x));
+  ]
+
+let () =
+  Alcotest.run "util"
+    [
+      ("ids", ids_tests);
+      ("rng", rng_tests @ rng_props);
+      ("bitops", bitops_tests @ bitops_props);
+    ]
