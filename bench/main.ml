@@ -24,6 +24,45 @@ let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable results (BENCH_results.json)                       *)
+
+module Json = Encl_obs.Export.Json
+
+let results : Json.t list ref = ref []
+
+(* One row per (workload, backend, metric); [paper] is the value the
+   paper reports for that cell, when it reports one. *)
+let add_result ~workload ~backend ~metric ?paper value =
+  results :=
+    Json.Obj
+      [
+        ("workload", Json.String workload);
+        ("backend", Json.String backend);
+        ("metric", Json.String metric);
+        ("value", Json.Float value);
+        ("paper", match paper with Some p -> Json.Float p | None -> Json.Null);
+      ]
+    :: !results
+
+let add_row ~workload ~metric ?(papers = []) values =
+  List.iteri
+    (fun i (config, value) ->
+      add_result ~workload ~backend:(Scenarios.config_name config) ~metric
+        ?paper:(List.nth_opt papers i) value)
+    values
+
+let write_results () =
+  let doc =
+    Json.Obj
+      [ ("quick", Json.Bool quick); ("rows", Json.List (List.rev !results)) ]
+  in
+  let oc = open_out "BENCH_results.json" in
+  output_string oc (Json.to_string doc);
+  close_out oc;
+  Printf.printf "wrote BENCH_results.json (%d rows)\n"
+    (List.length !results)
+
+(* ------------------------------------------------------------------ *)
 (* Micro-benchmark program (Table 1)                                   *)
 
 let micro_packages () =
@@ -127,15 +166,17 @@ let table1 () =
   section "Table 1: Microbenchmarks (ns, median)";
   let rows =
     [
-      ("call", micro_call);
-      ("transfer", micro_transfer);
-      ("syscall", micro_syscall);
+      ("call", micro_call, [ 45.; 86.; 924. ]);
+      ("transfer", micro_transfer, [ 0.; 1002.; 158. ]);
+      ("syscall", micro_syscall, [ 387.; 523.; 4126. ]);
     ]
   in
   Printf.printf "%-10s %10s %10s %10s\n" "" "Baseline" "LB_MPK" "LB_VTX";
   List.iter
-    (fun (name, f) ->
+    (fun (name, f, papers) ->
       let values = List.map f configs in
+      add_row ~workload:"table1" ~metric:(name ^ "_ns") ~papers
+        (List.combine configs (List.map float_of_int values));
       match values with
       | [ b; m; v ] -> Printf.printf "%-10s %10d %10d %10d\n%!" name b m v
       | _ -> assert false)
@@ -155,7 +196,13 @@ let table2 () =
   let bild_res =
     List.map (fun c -> Scenarios.bild c ~width:dim ~height:dim ~iters:bild_iters ()) configs
   in
-  (match List.map (fun r -> float_of_int r.Scenarios.b_ns_per_invert /. 1e6) bild_res with
+  let ms_res =
+    List.map (fun r -> float_of_int r.Scenarios.b_ns_per_invert /. 1e6) bild_res
+  in
+  add_row ~workload:"bild" ~metric:"ms_per_invert"
+    ~papers:[ 13.25; 13.25 *. 1.12; 13.25 *. 1.05 ]
+    (List.combine configs ms_res);
+  (match ms_res with
   | [ b; m; v ] ->
       Printf.printf
         "bild       %8.2fms  %8.2fms (%.2fx)  %8.2fms (%.2fx)   [paper: 13.25 / 1.12x / 1.05x]\n%!"
@@ -163,7 +210,11 @@ let table2 () =
   | _ -> assert false);
   (* HTTP *)
   let http_res = List.map (fun c -> Scenarios.http c ~requests ()) configs in
-  (match List.map (fun r -> r.Scenarios.h_req_per_sec) http_res with
+  let http_rps = List.map (fun r -> r.Scenarios.h_req_per_sec) http_res in
+  add_row ~workload:"http" ~metric:"req_per_sec"
+    ~papers:[ 16991.; 16991. /. 1.02; 16991. /. 1.77 ]
+    (List.combine configs http_rps);
+  (match http_rps with
   | [ b; m; v ] ->
       Printf.printf
         "HTTP       %7.0freq/s %7.0freq/s (%.2fx) %7.0freq/s (%.2fx) [paper: 16991 / 1.02x / 1.77x]\n%!"
@@ -171,7 +222,11 @@ let table2 () =
   | _ -> assert false);
   (* FastHTTP *)
   let fast_res = List.map (fun c -> Scenarios.fasthttp c ~requests ()) configs in
-  (match List.map (fun r -> r.Scenarios.h_req_per_sec) fast_res with
+  let fast_rps = List.map (fun r -> r.Scenarios.h_req_per_sec) fast_res in
+  add_row ~workload:"fasthttp" ~metric:"req_per_sec"
+    ~papers:[ 22867.; 22867. /. 1.04; 22867. /. 2.01 ]
+    (List.combine configs fast_rps);
+  (match fast_rps with
   | [ b; m; v ] ->
       Printf.printf
         "FastHTTP   %7.0freq/s %7.0freq/s (%.2fx) %7.0freq/s (%.2fx) [paper: 22867 / 1.04x / 2.01x]\n%!"
@@ -195,7 +250,9 @@ let figure5 () =
   section "Figure 5: wiki-like web application (mux + pq + Postgres)";
   let requests = if quick then 120 else 1000 in
   let res = List.map (fun c -> Scenarios.wiki c ~requests ()) configs in
-  (match List.map (fun r -> r.Scenarios.h_req_per_sec) res with
+  let rps = List.map (fun r -> r.Scenarios.h_req_per_sec) res in
+  add_row ~workload:"wiki" ~metric:"req_per_sec" (List.combine configs rps);
+  (match rps with
   | [ b; m; v ] ->
       Printf.printf
         "wiki       %7.0freq/s %7.0freq/s (%.2fx) %7.0freq/s (%.2fx)\n\
@@ -220,6 +277,10 @@ let python () =
   let dec = Plot.run ~backend:Lb.Vtx ~mode:Pyrt.Decoupled ~points () in
   let ms ns = float_of_int ns /. 1e6 in
   let slow r = float_of_int r.Plot.total_ns /. float_of_int base.Plot.total_ns in
+  add_result ~workload:"python" ~backend:"LB_VTX"
+    ~metric:"conservative_slowdown" ~paper:18.0 (slow cons);
+  add_result ~workload:"python" ~backend:"LB_VTX" ~metric:"decoupled_slowdown"
+    ~paper:1.4 (slow dec);
   Printf.printf "%-22s %10s %10s %10s %12s\n" "" "total" "switch" "init" "switches";
   Printf.printf "%-22s %8.1fms %8.1fms %8.1fms %12d\n" "CPython baseline"
     (ms base.Plot.total_ns) (ms base.Plot.switch_ns) (ms base.Plot.init_ns)
@@ -482,4 +543,5 @@ let () =
   lwc_extension ();
   ablations ();
   run_bechamel ();
+  write_results ();
   print_newline ()

@@ -1,0 +1,22 @@
+#!/bin/sh
+# CI smoke: build, run the test suite, run the quick benchmark sweep,
+# and check that every machine-readable artifact parses back as JSON.
+# Run from the repository root:  sh bin/ci.sh
+set -eu
+
+dune build
+dune runtest
+
+ENCL_BENCH_QUICK=1 dune exec bench/main.exe
+
+if [ ! -f BENCH_results.json ]; then
+  echo "ci: BENCH_results.json was not written" >&2
+  exit 1
+fi
+dune exec bin/trace_dump.exe -- validate BENCH_results.json
+
+dune exec bin/trace_dump.exe -- wiki --requests 200
+dune exec bin/trace_dump.exe -- validate trace.json
+dune exec bin/trace_dump.exe -- validate metrics.json
+
+echo "ci: ok"

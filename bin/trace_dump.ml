@@ -1,0 +1,149 @@
+(* trace-dump: run a named scenario with observability enabled and write
+   the machine's event ring and metric registry to disk.
+
+   Usage:
+     dune exec bin/trace_dump.exe -- wiki
+     dune exec bin/trace_dump.exe -- fasthttp --backend vtx --requests 400
+     dune exec bin/trace_dump.exe -- bild --summary
+     dune exec bin/trace_dump.exe -- validate trace.json
+
+   trace.json is Chrome trace_event format (load it in chrome://tracing
+   or Perfetto); metrics.json is a flat per-enclosure dump. Both carry
+   simulated-clock timestamps, so reruns produce identical files. *)
+
+module Runtime = Encl_golike.Runtime
+module Machine = Encl_litterbox.Machine
+module Lb = Encl_litterbox.Litterbox
+module Scenarios = Encl_apps.Scenarios
+module Obs = Encl_obs.Obs
+module Metrics = Encl_obs.Metrics
+module Export = Encl_obs.Export
+open Cmdliner
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc contents)
+
+(* The acceptance invariant: the sink's cross-scope totals must agree
+   exactly with LitterBox's own counters. *)
+let cross_check lb obs =
+  let check name total lb_count =
+    if total <> lb_count then
+      Some
+        (Printf.sprintf "%s mismatch: obs total %d, litterbox %d" name total
+           lb_count)
+    else None
+  in
+  let m = Obs.metrics obs in
+  List.filter_map Fun.id
+    [
+      check "switch" (Metrics.total m "switch") (Lb.switch_count lb);
+      check "fault" (Metrics.total m "fault") (Lb.fault_count lb);
+      check "transfer" (Metrics.total m "transfer") (Lb.transfer_count lb);
+    ]
+
+let run name backend requests out_dir summary =
+  Obs.default_enabled := true;
+  match Scenarios.run_named name backend ?requests () with
+  | Error e ->
+      prerr_endline ("trace-dump: " ^ e);
+      1
+  | Ok (rt, result_line) -> (
+      let obs = (Runtime.machine rt).Machine.obs in
+      let trace_path = Filename.concat out_dir "trace.json" in
+      let metrics_path = Filename.concat out_dir "metrics.json" in
+      write_file trace_path (Export.trace_json obs);
+      write_file metrics_path (Export.metrics_json obs);
+      Printf.printf "%s under %s: %s\n" name
+        (Scenarios.config_name backend)
+        result_line;
+      Printf.printf "%d events (%d dropped) -> %s, %s\n" (Obs.total_events obs)
+        (Obs.dropped_events obs) trace_path metrics_path;
+      if summary then print_string (Export.summary obs);
+      match Runtime.lb rt with
+      | None -> 0
+      | Some lb -> (
+          match cross_check lb obs with
+          | [] ->
+              Printf.printf
+                "counters reconcile: switches=%d transfers=%d faults=%d\n"
+                (Lb.switch_count lb) (Lb.transfer_count lb) (Lb.fault_count lb);
+              0
+          | problems ->
+              List.iter (fun p -> prerr_endline ("trace-dump: " ^ p)) problems;
+              1))
+
+let validate path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error e ->
+      prerr_endline ("trace-dump: " ^ e);
+      1
+  | contents -> (
+      match Export.Json.parse contents with
+      | Ok _ ->
+          Printf.printf "%s: valid JSON (%d bytes)\n" path
+            (String.length contents);
+          0
+      | Error e ->
+          prerr_endline (Printf.sprintf "trace-dump: %s: %s" path e);
+          1)
+
+(* ------------------------------------------------------------------ *)
+(* Cmdliner wiring *)
+
+let backend_arg =
+  let parse = function
+    | "baseline" -> Ok None
+    | "mpk" -> Ok (Some Lb.Mpk)
+    | "vtx" -> Ok (Some Lb.Vtx)
+    | "lwc" -> Ok (Some Lb.Lwc)
+    | s -> Error (`Msg ("unknown backend " ^ s))
+  in
+  let print ppf c = Format.pp_print_string ppf (Scenarios.config_name c) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) (Some Lb.Mpk)
+    & info [ "backend" ] ~docv:"BACKEND" ~doc:"baseline, mpk, vtx or lwc.")
+
+let requests_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "requests" ] ~docv:"N"
+        ~doc:"Request count for the HTTP-style scenarios.")
+
+let out_dir_arg =
+  Arg.(
+    value
+    & opt string "."
+    & info [ "out-dir" ] ~docv:"DIR"
+        ~doc:"Directory receiving trace.json and metrics.json.")
+
+let summary_arg =
+  Arg.(
+    value & flag
+    & info [ "s"; "summary" ] ~doc:"Also print the aligned-text summary.")
+
+let scenario_cmd sc =
+  Cmd.v
+    (Cmd.info sc ~doc:("Run the " ^ sc ^ " scenario and export its trace."))
+    Term.(
+      const (run sc) $ backend_arg $ requests_arg $ out_dir_arg $ summary_arg)
+
+let validate_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE")
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:"Check that FILE parses as JSON (used by bin/ci.sh).")
+    Term.(const validate $ file_arg)
+
+let () =
+  let info =
+    Cmd.info "trace-dump" ~version:"1.0"
+      ~doc:"Run a scenario and export its trace and metrics"
+  in
+  let cmds = List.map scenario_cmd Scenarios.scenario_names @ [ validate_cmd ] in
+  exit (Cmd.eval' (Cmd.group info cmds))

@@ -33,7 +33,7 @@ type bild_result = {
   b_checksum : int;
 }
 
-let bild config ?rcfg ?(width = 1024) ?(height = 1024) ?(iters = 3) () =
+let bild_rt config ?rcfg ?(width = 1024) ?(height = 1024) ?(iters = 3) () =
   let secrets =
     Runtime.package "secrets" ~functions:[ ("load_image", 256) ] ()
   in
@@ -83,11 +83,15 @@ let bild config ?rcfg ?(width = 1024) ?(height = 1024) ?(iters = 3) () =
     (match Runtime.lb rt with Some lb -> Lb.transfer_count lb | None -> 0)
     - transfers0
   in
-  {
-    b_ns_per_invert = elapsed / iters;
-    b_transfers = transfers / max 1 iters;
-    b_checksum = !checksum;
-  }
+  ( rt,
+    {
+      b_ns_per_invert = elapsed / iters;
+      b_transfers = transfers / max 1 iters;
+      b_checksum = !checksum;
+    } )
+
+let bild config ?rcfg ?width ?height ?iters () =
+  snd (bild_rt config ?rcfg ?width ?height ?iters ())
 
 (* ------------------------------------------------------------------ *)
 (* HTTP servers                                                        *)
@@ -146,7 +150,7 @@ let drive rt ~port ~requests ~conns ~served =
     h_syscalls_per_req = float_of_int syscalls /. float_of_int handled;
   }
 
-let http config ?rcfg ?(requests = 2000) ?(conns = 8) () =
+let http_rt config ?rcfg ?(requests = 2000) ?(conns = 8) () =
   let main =
     Runtime.package "main"
       ~imports:[ Httpd.pkg; "assets" ]
@@ -174,9 +178,12 @@ let http config ?rcfg ?(requests = 2000) ?(conns = 8) () =
         page)
   in
   Runtime.run_main rt (fun () -> Httpd.serve rt ~port:8080 ~handler);
-  drive rt ~port:8080 ~requests ~conns ~served:Httpd.requests_served
+  (rt, drive rt ~port:8080 ~requests ~conns ~served:Httpd.requests_served)
 
-let fasthttp config ?rcfg ?(requests = 2000) ?(conns = 8) () =
+let http config ?rcfg ?requests ?conns () =
+  snd (http_rt config ?rcfg ?requests ?conns ())
+
+let fasthttp_rt config ?rcfg ?(requests = 2000) ?(conns = 8) () =
   let main =
     Runtime.package "main"
       ~imports:[ Fasthttp.pkg; "assets" ]
@@ -206,7 +213,10 @@ let fasthttp config ?rcfg ?(requests = 2000) ?(conns = 8) () =
   let enclosure = match config with None -> None | Some _ -> Some "fasthttp_srv" in
   Runtime.run_main rt (fun () ->
       Fasthttp.serve_enclosed rt ~port:8081 ~enclosure ~handler);
-  drive rt ~port:8081 ~requests ~conns ~served:Fasthttp.requests_served
+  (rt, drive rt ~port:8081 ~requests ~conns ~served:Fasthttp.requests_served)
+
+let fasthttp config ?rcfg ?requests ?conns () =
+  snd (fasthttp_rt config ?rcfg ?requests ?conns ())
 
 (* ------------------------------------------------------------------ *)
 (* Wiki (Figure 5)                                                     *)
@@ -220,9 +230,43 @@ let wiki_boot config =
       Wiki.start rt ~port:8090 ~enclosed:(config <> None));
   rt
 
-let wiki config ?(requests = 1000) ?(conns = 4) () =
+let wiki_rt config ?(requests = 1000) ?(conns = 4) () =
   let rt = wiki_boot config in
-  drive rt ~port:8090 ~requests ~conns ~served:Wiki.requests_served
+  (rt, drive rt ~port:8090 ~requests ~conns ~served:Wiki.requests_served)
+
+let wiki config ?requests ?conns () = snd (wiki_rt config ?requests ?conns ())
+
+(* ------------------------------------------------------------------ *)
+(* Named dispatch (trace_dump, CI)                                     *)
+
+let scenario_names = [ "bild"; "http"; "fasthttp"; "wiki" ]
+
+let pp_http_result r =
+  Printf.sprintf "%d requests, %.0f req/s, %.2f syscalls/req" r.h_requests
+    r.h_req_per_sec r.h_syscalls_per_req
+
+let run_named name config ?requests () =
+  match name with
+  | "bild" ->
+      (* [requests] does not apply: bild is iteration-driven. *)
+      let rt, r = bild_rt config () in
+      Ok
+        ( rt,
+          Printf.sprintf "%d ns/invert, %d transfers/invert" r.b_ns_per_invert
+            r.b_transfers )
+  | "http" ->
+      let rt, r = http_rt config ?requests () in
+      Ok (rt, pp_http_result r)
+  | "fasthttp" ->
+      let rt, r = fasthttp_rt config ?requests () in
+      Ok (rt, pp_http_result r)
+  | "wiki" ->
+      let rt, r = wiki_rt config ?requests () in
+      Ok (rt, pp_http_result r)
+  | _ ->
+      Error
+        (Printf.sprintf "unknown scenario %s (choose from: %s)" name
+           (String.concat ", " scenario_names))
 
 let wiki_check config =
   let rt = wiki_boot config in

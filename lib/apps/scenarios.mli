@@ -52,3 +52,36 @@ val wiki : config -> ?requests:int -> ?conns:int -> unit -> http_result
 val wiki_check : config -> (string, string) result
 (** Functional check: create a page over POST, read it back over GET;
     returns the page body seen by the client. *)
+
+(** {2 Runtime-returning variants}
+
+    The [_rt] functions additionally return the booted runtime so
+    callers (the trace dumper, tests) can inspect the machine —
+    observability sink, LitterBox counters — after the workload. *)
+
+val bild_rt :
+  config -> ?rcfg:Encl_golike.Runtime.config -> ?width:int -> ?height:int ->
+  ?iters:int -> unit -> Encl_golike.Runtime.t * bild_result
+
+val http_rt :
+  config -> ?rcfg:Encl_golike.Runtime.config -> ?requests:int -> ?conns:int ->
+  unit -> Encl_golike.Runtime.t * http_result
+
+val fasthttp_rt :
+  config -> ?rcfg:Encl_golike.Runtime.config -> ?requests:int -> ?conns:int ->
+  unit -> Encl_golike.Runtime.t * http_result
+
+val wiki_rt :
+  config -> ?requests:int -> ?conns:int -> unit ->
+  Encl_golike.Runtime.t * http_result
+
+val scenario_names : string list
+(** Names accepted by {!run_named}: currently
+    ["bild"; "http"; "fasthttp"; "wiki"]. *)
+
+val run_named :
+  string -> config -> ?requests:int -> unit ->
+  (Encl_golike.Runtime.t * string, string) result
+(** Run a scenario by name with default sizing ([?requests] applies to the
+    HTTP-style scenarios; [bild] is iteration-driven and ignores it).
+    Returns the runtime and a one-line human-readable result. *)

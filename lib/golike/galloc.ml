@@ -56,6 +56,11 @@ let assign_span t ~pkg addr =
   | Some lb ->
       t.transfers <- t.transfers + 1;
       Lb.transfer lb ~addr ~len:span_bytes ~to_pkg:pkg ~site:transfer_site);
+  let obs = t.machine.Machine.obs in
+  if Encl_obs.Obs.enabled obs then begin
+    Encl_obs.Obs.incr obs ~scope:pkg "alloc_span";
+    Encl_obs.Obs.emit obs (Encl_obs.Event.Alloc_span { pkg; bytes = span_bytes })
+  end;
   addr
 
 (* Take one span from the free list or the current chunk, refilling the

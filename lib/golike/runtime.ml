@@ -174,10 +174,18 @@ let gc t =
       0
       (Encl_pkg.Graph.packages t.image.Image.graph)
   in
+  let obs = t.machine.Machine.obs in
+  let t0 = Clock.now t.machine.Machine.clock in
   let work () =
     Clock.consume t.machine.Machine.clock Clock.Gc (gc_span_ns * max 1 spans)
   in
-  match t.lb with None -> work () | Some lb -> Lb.with_trusted lb work
+  (match t.lb with None -> work () | Some lb -> Lb.with_trusted lb work);
+  if Encl_obs.Obs.enabled obs then begin
+    let dur = Clock.now t.machine.Machine.clock - t0 in
+    Encl_obs.Obs.incr obs ~scope:"trusted" "gc";
+    Encl_obs.Obs.observe obs ~scope:"trusted" "gc_ns" dur;
+    Encl_obs.Obs.emit obs ~dur (Encl_obs.Event.Gc { spans })
+  end
 
 let stats t =
   let k = t.machine.Machine.kernel in

@@ -147,9 +147,10 @@ type t = {
   rng : Encl_util.Rng.t;
   counts : (Sysno.t, int) Hashtbl.t;
   mutable total : int;
+  obs : Encl_obs.Obs.t;
 }
 
-let create ~clock ~costs ~cpu ~trusted_env ~vfs ~net ~mm =
+let create ~clock ~costs ~cpu ~trusted_env ~vfs ~net ~mm ~obs =
   {
     clock;
     costs;
@@ -165,6 +166,7 @@ let create ~clock ~costs ~cpu ~trusted_env ~vfs ~net ~mm =
     rng = Encl_util.Rng.make ~seed:0x5eccf11eL;
     counts = Hashtbl.create 64;
     total = 0;
+    obs;
   }
 
 let vfs t = t.vfs
@@ -465,9 +467,29 @@ let record t nr =
   t.total <- t.total + 1;
   Hashtbl.replace t.counts nr (1 + Option.value ~default:0 (Hashtbl.find_opt t.counts nr))
 
+(* Stamp the syscall's verdict into the machine's observability sink:
+   verdict counters, a per-category counter, the latency histogram, and a
+   ring event covering [t0, now]. All no-ops when the sink is disabled. *)
+let obs_syscall t nr ~t0 ~verdict =
+  let module Obs = Encl_obs.Obs in
+  if Obs.enabled t.obs then begin
+    let category = Sysno.category nr in
+    (match verdict with
+    | Encl_obs.Event.Allowed ->
+        Obs.incr t.obs "syscall.allowed";
+        Obs.incr t.obs ("syscall." ^ Sysno.category_name category)
+    | Encl_obs.Event.Denied -> Obs.incr t.obs "syscall.denied");
+    let dur = Clock.now t.clock - t0 in
+    Obs.observe t.obs "syscall_ns" dur;
+    Obs.emit t.obs ~dur
+      (Encl_obs.Event.Syscall
+         { name = Sysno.name nr; category = Sysno.category_name category; verdict })
+  end
+
 let syscall t call =
   let nr = sysno_of_call call in
   record t nr;
+  let t0 = Clock.now t.clock in
   Clock.consume t.clock Clock.Syscall t.costs.Costs.syscall_base;
   (* seccomp check (LB_MPK configuration). *)
   if Seccomp.installed t.seccomp then begin
@@ -480,11 +502,15 @@ let syscall t call =
       (if steps <= 4 then t.costs.Costs.seccomp_fast else t.costs.Costs.seccomp_eval);
     match action with
     | Bpf.Allow -> ()
-    | Bpf.Kill | Bpf.Trap -> raise (Syscall_killed { nr; env = env.Cpu.label })
+    | Bpf.Kill | Bpf.Trap ->
+        obs_syscall t nr ~t0 ~verdict:Encl_obs.Event.Denied;
+        raise (Syscall_killed { nr; env = env.Cpu.label })
     | Bpf.Errno _ -> ()
   end;
   Clock.consume t.clock Clock.Syscall (service_cost call);
-  execute t call
+  let result = execute t call in
+  obs_syscall t nr ~t0 ~verdict:Encl_obs.Event.Allowed;
+  result
 
 let exit_program t code =
   record t Sysno.Exit;

@@ -90,7 +90,11 @@ val create :
   vfs:Vfs.t ->
   net:Net.t ->
   mm:Mm.t ->
+  obs:Encl_obs.Obs.t ->
   t
+(** [obs] receives a counter, a latency observation, and a ring event per
+    system call (verdict [Allowed] or, on a seccomp kill, [Denied]) when
+    enabled; when disabled the dispatch path does not touch it. *)
 
 val vfs : t -> Vfs.t
 val net : t -> Net.t

@@ -4,6 +4,8 @@ module Seccomp = Encl_kernel.Seccomp
 module Mm = Encl_kernel.Mm
 module Image = Encl_elf.Image
 module Section = Encl_elf.Section
+module Obs = Encl_obs.Obs
+module Event = Encl_obs.Event
 
 type backend = Mpk | Vtx | Lwc
 
@@ -56,6 +58,33 @@ type t = {
 let machine t = t.machine
 let backend t = t.backend
 let graph t = t.graph
+let obs t = t.machine.Machine.obs
+
+(* Observability taps. Counter increments must track t.switches/t.faults
+   exactly — one Obs increment per mutation, at the same program point —
+   so the per-scope totals reconcile with switch_count/fault_count even
+   when an operation aborts mid-switch. All are no-ops when disabled. *)
+
+let note_fault t reason =
+  let o = obs t in
+  if Obs.enabled o then begin
+    Obs.incr o "fault";
+    Obs.emit o (Event.Fault { reason })
+  end
+
+let note_switch t scope =
+  let o = obs t in
+  if Obs.enabled o then Obs.incr o ~scope "switch"
+
+let emit_switch t ~t0 kind =
+  let o = obs t in
+  if Obs.enabled o then begin
+    let dur = Clock.now t.machine.Machine.clock - t0 in
+    Obs.observe o "switch_ns" dur;
+    Obs.emit o ~dur kind
+  end
+
+let scope_name = function [] -> "trusted" | enc :: _ -> enc.e_name
 
 let fault t ?enclosure reason =
   t.faults <- t.faults + 1;
@@ -66,6 +95,7 @@ let fault t ?enclosure reason =
   in
   t.fault_log <- trace :: t.fault_log;
   Log.err (fun m -> m "%s" trace);
+  note_fault t reason;
   raise (Fault { reason; enclosure })
 
 (* ------------------------------------------------------------------ *)
@@ -398,6 +428,7 @@ let init ~machine ~backend ~image ?(binary_scan = []) ?(clustering = true) () =
           fault_log = [];
         }
       in
+      Obs.set_backend machine.Machine.obs (backend_name backend);
       List.iter (register_section t) image.Image.sections;
       List.iter
         (fun (v : Image.verif_entry) ->
@@ -581,12 +612,20 @@ let env_of_stack t = function
   | [] -> t.app_trusted
   | enc :: _ -> Option.get enc.e_env
 
+(* Single point through which the enclosure stack changes: keeps the
+   hardware environment and the observability context in lockstep. *)
+let set_stack t stack =
+  t.stack <- stack;
+  Obs.set_context (obs t)
+    (match stack with [] -> None | enc :: _ -> Some enc.e_name);
+  set_hw_env t (env_of_stack t stack)
+
 let prolog t ~name ~site =
   Log.debug (fun m -> m "prolog %s (site %s)" name site);
   check_site t site Image.Prolog;
   match Hashtbl.find_opt t.encs name with
   | None -> fault t (Printf.sprintf "unknown enclosure %s" name)
-  | Some enc -> (
+  | Some enc ->
       (match t.stack with
       | [] -> ()
       | top :: _ ->
@@ -603,18 +642,16 @@ let prolog t ~name ~site =
                   may only restrict)"
                  name));
       t.switches <- t.switches + 1;
+      note_switch t enc.e_name;
+      let t0 = Clock.now t.machine.Machine.clock in
       let c = t.machine.Machine.costs in
-      match t.backend with
+      (match t.backend with
       | Mpk ->
-          Clock.consume t.machine.Machine.clock Clock.Switch c.Costs.mpk_prolog;
-          t.stack <- enc :: t.stack;
-          set_hw_env t (env_of_stack t t.stack)
+          Clock.consume t.machine.Machine.clock Clock.Switch c.Costs.mpk_prolog
       | Lwc ->
           (* lwSwitch: an ordinary system call that installs the
              context's memory view. *)
-          Clock.consume t.machine.Machine.clock Clock.Switch c.Costs.lwc_switch;
-          t.stack <- enc :: t.stack;
-          set_hw_env t (env_of_stack t t.stack)
+          Clock.consume t.machine.Machine.clock Clock.Switch c.Costs.lwc_switch
       | Vtx -> (
           let vtx = Option.get t.vtx in
           match
@@ -622,27 +659,25 @@ let prolog t ~name ~site =
               ~validate:(fun () -> true)
               ~target:(Option.get enc.e_pt)
           with
-          | Ok () ->
-              t.stack <- enc :: t.stack;
-              set_hw_env t (env_of_stack t t.stack)
-          | Error e -> fault t ~enclosure:name e))
+          | Ok () -> ()
+          | Error e -> fault t ~enclosure:name e));
+      set_stack t (enc :: t.stack);
+      emit_switch t ~t0 (Event.Prolog { enclosure = name; site })
 
 let epilog t ~site =
   check_site t site Image.Epilog;
   match t.stack with
   | [] -> fault t "epilog with no active enclosure"
-  | _ :: rest -> (
+  | top :: rest ->
       t.switches <- t.switches + 1;
+      note_switch t top.e_name;
+      let t0 = Clock.now t.machine.Machine.clock in
       let c = t.machine.Machine.costs in
-      match t.backend with
+      (match t.backend with
       | Mpk ->
-          Clock.consume t.machine.Machine.clock Clock.Switch c.Costs.mpk_epilog;
-          t.stack <- rest;
-          set_hw_env t (env_of_stack t rest)
+          Clock.consume t.machine.Machine.clock Clock.Switch c.Costs.mpk_epilog
       | Lwc ->
-          Clock.consume t.machine.Machine.clock Clock.Switch c.Costs.lwc_switch;
-          t.stack <- rest;
-          set_hw_env t (env_of_stack t rest)
+          Clock.consume t.machine.Machine.clock Clock.Switch c.Costs.lwc_switch
       | Vtx -> (
           let vtx = Option.get t.vtx in
           let target =
@@ -651,10 +686,10 @@ let epilog t ~site =
             | enc :: _ -> Option.get enc.e_pt
           in
           match Vtx.guest_sysret vtx ~validate:(fun () -> true) ~target with
-          | Ok () ->
-              t.stack <- rest;
-              set_hw_env t (env_of_stack t rest)
-          | Error e -> fault t e))
+          | Ok () -> ()
+          | Error e -> fault t e));
+      set_stack t rest;
+      emit_switch t ~t0 (Event.Epilog { site })
 
 let in_enclosure t = match t.stack with [] -> None | e :: _ -> Some e.e_name
 
@@ -666,6 +701,22 @@ let filter_allows_call (f : Policy.sys_filter) (call : K.call) =
   | K.Connect { ip; _ } -> Policy.filter_allows_connect f ~ip
   | _ -> Policy.filter_allows_cat f (Sysno.category (K.sysno_of_call call))
 
+(* Guest-side denial (LB_VTX / LB_LWC): the call never reaches the
+   kernel, so the kernel's tap can't see it — record it here. *)
+let note_denied t call =
+  let o = obs t in
+  if Obs.enabled o then begin
+    let nr = K.sysno_of_call call in
+    Obs.incr o "syscall.denied";
+    Obs.emit o
+      (Event.Syscall
+         {
+           name = Sysno.name nr;
+           category = Sysno.category_name (Sysno.category nr);
+           verdict = Event.Denied;
+         })
+  end
+
 let syscall t call =
   match t.backend with
   | Lwc -> (
@@ -673,6 +724,7 @@ let syscall t call =
          syscall path, no extra crossing. *)
       match t.stack with
       | top :: _ when not (filter_allows_call top.e_policy.Policy.filter call) ->
+          note_denied t call;
           fault t ~enclosure:top.e_name
             (Printf.sprintf "system call %s denied by the context's filter"
                (Sysno.name (K.sysno_of_call call)))
@@ -681,17 +733,16 @@ let syscall t call =
       try K.syscall t.machine.Machine.kernel call
       with K.Syscall_killed { nr; env } ->
         t.faults <- t.faults + 1;
-        raise
-          (Fault
-             {
-               reason =
-                 Printf.sprintf "seccomp killed system call %s in %s"
-                   (Sysno.name nr) env;
-               enclosure = in_enclosure t;
-             }))
+        let reason =
+          Printf.sprintf "seccomp killed system call %s in %s" (Sysno.name nr)
+            env
+        in
+        note_fault t reason;
+        raise (Fault { reason; enclosure = in_enclosure t }))
   | Vtx -> (
       match t.stack with
       | top :: _ when not (filter_allows_call top.e_policy.Policy.filter call) ->
+          note_denied t call;
           fault t ~enclosure:top.e_name
             (Printf.sprintf "system call %s denied by enclosure filter"
                (Sysno.name (K.sysno_of_call call)))
@@ -708,6 +759,8 @@ let transfer t ~addr ~len ~to_pkg ~site =
   if not (Encl_pkg.Graph.mem t.graph to_pkg) then
     fault t (Printf.sprintf "transfer to unknown package %s" to_pkg);
   t.transfers <- t.transfers + 1;
+  (if Obs.enabled (obs t) then Obs.incr (obs t) "transfer");
+  let t0 = Clock.now t.machine.Machine.clock in
   let pages = (max len 1 + Phys.page_size - 1) / Phys.page_size in
   let sec =
     Section.make
@@ -723,7 +776,7 @@ let transfer t ~addr ~len ~to_pkg ~site =
       | None -> ())
   | Some _ | None -> ());
   register_section t sec;
-  match t.backend with
+  (match t.backend with
   | Mpk -> (
       let key =
         match Cluster.cluster_of t.clusters to_pkg with
@@ -766,7 +819,13 @@ let transfer t ~addr ~len ~to_pkg ~site =
         (ordered_encs t);
       Mm.protect t.machine.Machine.mm ~pt:t.machine.Machine.trusted_pt ~addr
         ~len:bytes
-        { Pte.r = true; w = true; x = false }
+        { Pte.r = true; w = true; x = false });
+  let o = obs t in
+  if Obs.enabled o then begin
+    let dur = Clock.now t.machine.Machine.clock - t0 in
+    Obs.observe o "transfer_ns" dur;
+    Obs.emit o ~dur (Event.Transfer { to_pkg; pages })
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Execute (scheduler switches) and trusted excursions                 *)
@@ -781,6 +840,8 @@ let env_matches t env_ref =
 let execute t env_ref ~site =
   check_site t site Image.Execute;
   t.switches <- t.switches + 1;
+  note_switch t (scope_name env_ref);
+  let t0 = Clock.now t.machine.Machine.clock in
   let c = t.machine.Machine.costs in
   (match t.backend with
   | Mpk -> Clock.consume t.machine.Machine.clock Clock.Switch c.Costs.wrpkru
@@ -795,11 +856,16 @@ let execute t env_ref ~site =
       match Vtx.guest_syscall vtx ~validate:(fun () -> true) ~target with
       | Ok () -> ()
       | Error e -> fault t e));
-  t.stack <- env_ref;
-  set_hw_env t (env_of_stack t env_ref)
+  set_stack t env_ref;
+  emit_switch t ~t0
+    (Event.Execute
+       {
+         target = (match env_ref with [] -> None | enc :: _ -> Some enc.e_name);
+       })
 
 let with_trusted t f =
   let saved = t.stack in
+  let scope = scope_name saved in
   let c = t.machine.Machine.costs in
   let switch_cost =
     match t.backend with
@@ -809,8 +875,8 @@ let with_trusted t f =
   in
   Clock.consume t.machine.Machine.clock Clock.Switch switch_cost;
   t.switches <- t.switches + 1;
-  t.stack <- [];
-  set_hw_env t t.app_trusted;
+  note_switch t scope;
+  set_stack t [];
   Fun.protect
     ~finally:(fun () ->
       let return_cost =
@@ -821,8 +887,8 @@ let with_trusted t f =
       in
       Clock.consume t.machine.Machine.clock Clock.Switch return_cost;
       t.switches <- t.switches + 1;
-      t.stack <- saved;
-      set_hw_env t (env_of_stack t saved))
+      note_switch t scope;
+      set_stack t saved)
     f
 
 (* ------------------------------------------------------------------ *)
@@ -866,7 +932,12 @@ let run_protected t f =
       let trace = Format.asprintf "%a%s" Cpu.pp_fault info owner in
       t.fault_log <- trace :: t.fault_log;
       Log.err (fun m -> m "%s" trace);
+      note_fault t trace;
       Error trace
   | exception K.Syscall_killed { nr; env } ->
       t.faults <- t.faults + 1;
-      Error (Printf.sprintf "seccomp killed system call %s in %s" (Sysno.name nr) env)
+      let reason =
+        Printf.sprintf "seccomp killed system call %s in %s" (Sysno.name nr) env
+      in
+      note_fault t reason;
+      Error reason

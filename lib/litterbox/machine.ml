@@ -9,6 +9,7 @@ type t = {
   vfs : Encl_kernel.Vfs.t;
   net : Encl_kernel.Net.t;
   kernel : Encl_kernel.Kernel.t;
+  obs : Encl_obs.Obs.t;
 }
 
 let create ?(costs = Costs.default) () =
@@ -21,10 +22,11 @@ let create ?(costs = Costs.default) () =
   Encl_kernel.Mm.add_pt mm trusted_pt;
   let vfs = Encl_kernel.Vfs.create () in
   let net = Encl_kernel.Net.create () in
+  let obs = Encl_obs.Obs.create ~now:(fun () -> Clock.now clock) () in
   let kernel =
-    Encl_kernel.Kernel.create ~clock ~costs ~cpu ~trusted_env ~vfs ~net ~mm
+    Encl_kernel.Kernel.create ~clock ~costs ~cpu ~trusted_env ~vfs ~net ~mm ~obs
   in
-  { phys; clock; costs; trusted_pt; trusted_env; cpu; mm; vfs; net; kernel }
+  { phys; clock; costs; trusted_pt; trusted_env; cpu; mm; vfs; net; kernel; obs }
 
 let with_trusted t f =
   let saved = Cpu.env t.cpu in

@@ -16,6 +16,9 @@ type t = {
   vfs : Encl_kernel.Vfs.t;
   net : Encl_kernel.Net.t;
   kernel : Encl_kernel.Kernel.t;
+  obs : Encl_obs.Obs.t;
+      (** Observability sink reading the simulated clock; disabled by
+          default ({!Encl_obs.Obs.default_enabled}). *)
 }
 
 val create : ?costs:Costs.t -> unit -> t

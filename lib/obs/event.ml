@@ -1,0 +1,60 @@
+type verdict = Allowed | Denied
+
+type kind =
+  | Prolog of { enclosure : string; site : string }
+  | Epilog of { site : string }
+  | Execute of { target : string option }
+  | Transfer of { to_pkg : string; pages : int }
+  | Syscall of { name : string; category : string; verdict : verdict }
+  | Fault of { reason : string }
+  | Gc of { spans : int }
+  | Alloc_span of { pkg : string; bytes : int }
+
+type t = {
+  ts : int;
+  dur : int;
+  backend : string;
+  enclosure : string option;
+  kind : kind;
+}
+
+let verdict_name = function Allowed -> "allowed" | Denied -> "denied"
+
+let kind_name = function
+  | Prolog { enclosure; _ } -> "prolog:" ^ enclosure
+  | Epilog _ -> "epilog"
+  | Execute { target = Some t } -> "execute:" ^ t
+  | Execute { target = None } -> "execute:trusted"
+  | Transfer { to_pkg; _ } -> "transfer:" ^ to_pkg
+  | Syscall { name; _ } -> "syscall:" ^ name
+  | Fault _ -> "fault"
+  | Gc _ -> "gc"
+  | Alloc_span { pkg; _ } -> "alloc_span:" ^ pkg
+
+let kind_category = function
+  | Prolog _ | Epilog _ | Execute _ -> "switch"
+  | Transfer _ -> "transfer"
+  | Syscall _ -> "syscall"
+  | Fault _ -> "fault"
+  | Gc _ -> "gc"
+  | Alloc_span _ -> "alloc"
+
+let args = function
+  | Prolog { enclosure; site } -> [ ("enclosure", enclosure); ("site", site) ]
+  | Epilog { site } -> [ ("site", site) ]
+  | Execute { target } ->
+      [ ("target", match target with Some t -> t | None -> "trusted") ]
+  | Transfer { to_pkg; pages } ->
+      [ ("to_pkg", to_pkg); ("pages", string_of_int pages) ]
+  | Syscall { name; category; verdict } ->
+      [ ("syscall", name); ("category", category); ("verdict", verdict_name verdict) ]
+  | Fault { reason } -> [ ("reason", reason) ]
+  | Gc { spans } -> [ ("spans", string_of_int spans) ]
+  | Alloc_span { pkg; bytes } ->
+      [ ("pkg", pkg); ("bytes", string_of_int bytes) ]
+
+let pp ppf t =
+  Format.fprintf ppf "[%d+%dns %s%s] %s" t.ts t.dur t.backend
+    (match t.enclosure with Some e -> " in " ^ e | None -> "")
+    (kind_name t.kind);
+  List.iter (fun (k, v) -> Format.fprintf ppf " %s=%s" k v) (args t.kind)

@@ -1,0 +1,425 @@
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape buf s =
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"'
+
+  let float_repr f =
+    if Float.is_integer f && Float.abs f < 1e15 then
+      Printf.sprintf "%.1f" f
+    else Printf.sprintf "%.12g" f
+
+  let rec write buf = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f -> Buffer.add_string buf (float_repr f)
+    | String s -> escape buf s
+    | List items ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_char buf ',';
+            write buf item)
+          items;
+        Buffer.add_char buf ']'
+    | Obj fields ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char buf ',';
+            escape buf k;
+            Buffer.add_char buf ':';
+            write buf v)
+          fields;
+        Buffer.add_char buf '}'
+
+  let to_string t =
+    let buf = Buffer.create 4096 in
+    write buf t;
+    Buffer.contents buf
+
+  exception Bad of int * string
+
+  let parse s =
+    let len = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < len then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let fail msg = raise (Bad (!pos, msg)) in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+          advance ();
+          skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> fail (Printf.sprintf "expected %c" c)
+    in
+    let literal word value =
+      let n = String.length word in
+      if !pos + n <= len && String.sub s !pos n = word then begin
+        pos := !pos + n;
+        value
+      end
+      else fail ("expected " ^ word)
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec loop () =
+        match peek () with
+        | None -> fail "unterminated string"
+        | Some '"' -> advance ()
+        | Some '\\' -> (
+            advance ();
+            match peek () with
+            | None -> fail "unterminated escape"
+            | Some c ->
+                advance ();
+                (match c with
+                | '"' -> Buffer.add_char buf '"'
+                | '\\' -> Buffer.add_char buf '\\'
+                | '/' -> Buffer.add_char buf '/'
+                | 'b' -> Buffer.add_char buf '\b'
+                | 'f' -> Buffer.add_char buf '\012'
+                | 'n' -> Buffer.add_char buf '\n'
+                | 'r' -> Buffer.add_char buf '\r'
+                | 't' -> Buffer.add_char buf '\t'
+                | 'u' ->
+                    if !pos + 4 > len then fail "truncated \\u escape";
+                    let hex = String.sub s !pos 4 in
+                    pos := !pos + 4;
+                    let code =
+                      try int_of_string ("0x" ^ hex)
+                      with _ -> fail "bad \\u escape"
+                    in
+                    (* Encode the BMP code point as UTF-8. *)
+                    if code < 0x80 then Buffer.add_char buf (Char.chr code)
+                    else if code < 0x800 then begin
+                      Buffer.add_char buf (Char.chr (0xc0 lor (code lsr 6)));
+                      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
+                    end
+                    else begin
+                      Buffer.add_char buf (Char.chr (0xe0 lor (code lsr 12)));
+                      Buffer.add_char buf
+                        (Char.chr (0x80 lor ((code lsr 6) land 0x3f)));
+                      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
+                    end
+                | _ -> fail "unknown escape");
+                loop ())
+        | Some c ->
+            advance ();
+            Buffer.add_char buf c;
+            loop ()
+      in
+      loop ();
+      Buffer.contents buf
+    in
+    let parse_number () =
+      let start = !pos in
+      let is_num_char = function
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while match peek () with Some c when is_num_char c -> true | _ -> false do
+        advance ()
+      done;
+      let text = String.sub s start (!pos - start) in
+      match int_of_string_opt text with
+      | Some i -> Int i
+      | None -> (
+          match float_of_string_opt text with
+          | Some f -> Float f
+          | None -> fail ("bad number " ^ text))
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some '}' then begin
+            advance ();
+            Obj []
+          end
+          else begin
+            let rec fields acc =
+              skip_ws ();
+              let key = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  fields ((key, v) :: acc)
+              | Some '}' ->
+                  advance ();
+                  List.rev ((key, v) :: acc)
+              | _ -> fail "expected , or } in object"
+            in
+            Obj (fields [])
+          end
+      | Some '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some ']' then begin
+            advance ();
+            List []
+          end
+          else begin
+            let rec items acc =
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  items (v :: acc)
+              | Some ']' ->
+                  advance ();
+                  List.rev (v :: acc)
+              | _ -> fail "expected , or ] in array"
+            in
+            List (items [])
+          end
+      | Some '"' -> String (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some ('-' | '0' .. '9') -> parse_number ()
+      | Some c -> fail (Printf.sprintf "unexpected character %c" c)
+    in
+    match
+      let v = parse_value () in
+      skip_ws ();
+      if !pos <> len then fail "trailing garbage";
+      v
+    with
+    | v -> Ok v
+    | exception Bad (at, msg) ->
+        Error (Printf.sprintf "JSON parse error at byte %d: %s" at msg)
+
+  let member key = function
+    | Obj fields -> List.assoc_opt key fields
+    | _ -> None
+
+  let to_int = function
+    | Int i -> Some i
+    | Float f when Float.is_integer f -> Some (int_of_float f)
+    | _ -> None
+
+  let to_float = function
+    | Float f -> Some f
+    | Int i -> Some (float_of_int i)
+    | _ -> None
+
+  let to_list = function List l -> Some l | _ -> None
+  let to_string_opt = function String s -> Some s | _ -> None
+end
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace_event                                                  *)
+
+let trusted_scope = "trusted"
+
+let us ns = float_of_int ns /. 1000.0
+
+let trace_json obs =
+  let open Json in
+  let tids = Hashtbl.create 8 in
+  let order = ref [] in
+  let tid_of scope =
+    match Hashtbl.find_opt tids scope with
+    | Some i -> i
+    | None ->
+        let i = Hashtbl.length tids in
+        Hashtbl.replace tids scope i;
+        order := (scope, i) :: !order;
+        i
+  in
+  ignore (tid_of trusted_scope);
+  let event_json (e : Event.t) =
+    let scope =
+      match e.Event.enclosure with Some s -> s | None -> trusted_scope
+    in
+    let tid = tid_of scope in
+    let phase =
+      if e.Event.dur > 0 then
+        [ ("ph", String "X"); ("dur", Float (us e.Event.dur)) ]
+      else [ ("ph", String "i"); ("s", String "t") ]
+    in
+    Obj
+      ([
+         ("name", String (Event.kind_name e.Event.kind));
+         ("cat", String (Event.kind_category e.Event.kind));
+         ("pid", Int 1);
+         ("tid", Int tid);
+         ("ts", Float (us e.Event.ts));
+       ]
+      @ phase
+      @ [
+          ( "args",
+            Obj
+              (("backend", String e.Event.backend)
+              :: List.map
+                   (fun (k, v) -> (k, String v))
+                   (Event.args e.Event.kind)) );
+        ])
+  in
+  let events = List.map event_json (Obs.events obs) in
+  let metadata =
+    List.rev_map
+      (fun (scope, tid) ->
+        Obj
+          [
+            ("name", String "thread_name");
+            ("ph", String "M");
+            ("pid", Int 1);
+            ("tid", Int tid);
+            ("args", Obj [ ("name", String scope) ]);
+          ])
+      !order
+  in
+  to_string
+    (Obj
+       [
+         ("traceEvents", List (metadata @ events));
+         ("displayTimeUnit", String "ms");
+         ( "otherData",
+           Obj
+             [
+               ("backend", String (Obs.backend obs));
+               ("clock", String "simulated-ns");
+               ("total_events", Int (Obs.total_events obs));
+               ("dropped_events", Int (Obs.dropped_events obs));
+             ] );
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* Flat metrics dump                                                   *)
+
+let hist_json h =
+  let open Json in
+  Obj
+    [
+      ("count", Int (Hist.count h));
+      ("sum", Int (Hist.sum h));
+      ("min", Int (Hist.min_value h));
+      ("max", Int (Hist.max_value h));
+      ("mean", Float (Hist.mean h));
+      ("p50", Int (Hist.quantile h 0.5));
+      ("p99", Int (Hist.quantile h 0.99));
+      ( "buckets",
+        List
+          (List.map
+             (fun (lo, hi, c) -> List [ Int lo; Int hi; Int c ])
+             (Hist.buckets h)) );
+    ]
+
+let metrics_json obs =
+  let open Json in
+  let m = Obs.metrics obs in
+  let scope_json scope =
+    ( scope,
+      Obj
+        [
+          ( "counters",
+            Obj (List.map (fun (n, v) -> (n, Int v)) (Metrics.counters m ~scope))
+          );
+          ( "histograms",
+            Obj
+              (List.map (fun (n, h) -> (n, hist_json h)) (Metrics.hists m ~scope))
+          );
+        ] )
+  in
+  let totals =
+    List.map (fun n -> (n, Int (Metrics.total m n))) (Metrics.counter_names m)
+  in
+  to_string
+    (Obj
+       [
+         ("backend", String (Obs.backend obs));
+         ( "events",
+           Obj
+             [
+               ("total", Int (Obs.total_events obs));
+               ("dropped", Int (Obs.dropped_events obs));
+               ("capacity", Int (Obs.capacity obs));
+             ] );
+         ("scopes", Obj (List.map scope_json (Metrics.scopes m)));
+         ("totals", Obj totals);
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* Text summary                                                        *)
+
+let summary obs =
+  let buf = Buffer.create 1024 in
+  let m = Obs.metrics obs in
+  Buffer.add_string buf
+    (Printf.sprintf "observability: backend=%s events=%d dropped=%d\n"
+       (Obs.backend obs) (Obs.total_events obs) (Obs.dropped_events obs));
+  let names = Metrics.counter_names m in
+  if names <> [] then begin
+    let scope_w =
+      List.fold_left
+        (fun acc s -> max acc (String.length s))
+        (String.length "scope") (Metrics.scopes m)
+    in
+    Buffer.add_string buf (Printf.sprintf "%-*s" scope_w "scope");
+    List.iter
+      (fun n -> Buffer.add_string buf (Printf.sprintf " %*s" (max 8 (String.length n)) n))
+      names;
+    Buffer.add_char buf '\n';
+    let row scope lookup =
+      Buffer.add_string buf (Printf.sprintf "%-*s" scope_w scope);
+      List.iter
+        (fun n ->
+          Buffer.add_string buf
+            (Printf.sprintf " %*d" (max 8 (String.length n)) (lookup n)))
+        names;
+      Buffer.add_char buf '\n'
+    in
+    List.iter
+      (fun scope -> row scope (fun n -> Metrics.counter m ~scope n))
+      (Metrics.scopes m);
+    row "TOTAL" (fun n -> Metrics.total m n)
+  end;
+  List.iter
+    (fun scope ->
+      List.iter
+        (fun (name, h) ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "hist %s/%s: n=%d min=%dns p50<=%dns p99<=%dns max=%dns mean=%.0fns\n"
+               scope name (Hist.count h) (Hist.min_value h) (Hist.quantile h 0.5)
+               (Hist.quantile h 0.99) (Hist.max_value h) (Hist.mean h)))
+        (Metrics.hists m ~scope))
+    (Metrics.scopes m);
+  Buffer.contents buf

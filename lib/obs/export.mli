@@ -1,0 +1,47 @@
+(** Exporters: Chrome [trace_event] JSON, a flat metrics dump, and an
+    aligned-text summary — plus the minimal JSON value type they emit,
+    with a parser so tests and CI can check well-formedness without an
+    external JSON dependency. *)
+
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+  (** Compact serialization (valid JSON; strings escaped). *)
+
+  val parse : string -> (t, string) result
+  (** Strict parser for the subset above (numbers without a fraction or
+      exponent come back as [Int]). The error names the byte offset. *)
+
+  val member : string -> t -> t option
+  (** Object field lookup; [None] on missing field or non-object. *)
+
+  val to_int : t -> int option
+  (** [Int] directly; integral [Float]s are truncated. *)
+
+  val to_float : t -> float option
+  val to_list : t -> t list option
+  val to_string_opt : t -> string option
+end
+
+val trace_json : Obs.t -> string
+(** Chrome [chrome://tracing] / Perfetto-loadable trace: one JSON object
+    with a [traceEvents] array. Durations become ["X"] (complete)
+    events, instants become ["i"]; each scope (enclosure or trusted)
+    gets its own named thread. Timestamps are simulated microseconds. *)
+
+val metrics_json : Obs.t -> string
+(** Flat metrics dump: backend, event accounting, per-scope counters and
+    histograms, and cross-scope [totals] (so
+    [totals.switch]/[totals.fault] can be compared with
+    [Litterbox.switch_count]/[fault_count] exactly). *)
+
+val summary : Obs.t -> string
+(** Aligned-text report for terminals. *)

@@ -1,0 +1,67 @@
+let nr_buckets = 63
+
+type t = {
+  counts : int array;
+  mutable n : int;
+  mutable sum : int;
+  mutable vmin : int;
+  mutable vmax : int;
+}
+
+let create () =
+  { counts = Array.make (nr_buckets + 1) 0; n = 0; sum = 0; vmin = 0; vmax = 0 }
+
+(* bucket 0 = {0}; bucket k = [2^(k-1), 2^k - 1] *)
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let rec bits v acc = if v = 0 then acc else bits (v lsr 1) (acc + 1) in
+    min nr_buckets (bits v 0)
+  end
+
+let bounds_of k = if k = 0 then (0, 0) else (1 lsl (k - 1), (1 lsl k) - 1)
+
+let record t v =
+  let v = max v 0 in
+  let k = bucket_of v in
+  t.counts.(k) <- t.counts.(k) + 1;
+  t.sum <- t.sum + v;
+  if t.n = 0 || v < t.vmin then t.vmin <- v;
+  if t.n = 0 || v > t.vmax then t.vmax <- v;
+  t.n <- t.n + 1
+
+let count t = t.n
+let sum t = t.sum
+let min_value t = if t.n = 0 then 0 else t.vmin
+let max_value t = if t.n = 0 then 0 else t.vmax
+let mean t = if t.n = 0 then 0.0 else float_of_int t.sum /. float_of_int t.n
+
+let quantile t q =
+  if t.n = 0 then 0
+  else begin
+    let target = max 1 (int_of_float (ceil (q *. float_of_int t.n))) in
+    let rec walk k acc =
+      if k > nr_buckets then snd (bounds_of nr_buckets)
+      else
+        let acc = acc + t.counts.(k) in
+        if acc >= target then snd (bounds_of k) else walk (k + 1) acc
+    in
+    walk 0 0
+  end
+
+let buckets t =
+  let rec collect k acc =
+    if k < 0 then acc
+    else if t.counts.(k) = 0 then collect (k - 1) acc
+    else
+      let lo, hi = bounds_of k in
+      collect (k - 1) ((lo, hi, t.counts.(k)) :: acc)
+  in
+  collect nr_buckets []
+
+let pp ppf t =
+  Format.fprintf ppf "n=%d sum=%d min=%d max=%d mean=%.1f" t.n t.sum
+    (min_value t) (max_value t) (mean t);
+  List.iter
+    (fun (lo, hi, c) -> Format.fprintf ppf "@ [%d,%d]: %d" lo hi c)
+    (buckets t)

@@ -1,0 +1,32 @@
+(** Log-scale latency histogram (power-of-two buckets).
+
+    Bucket 0 holds the value 0; bucket [k >= 1] holds values in
+    [[2^(k-1), 2^k - 1]]. This matches how switch and syscall costs
+    spread over three orders of magnitude between LB_MPK (tens of ns)
+    and LB_VTX (microseconds). *)
+
+type t
+
+val create : unit -> t
+val record : t -> int -> unit
+(** Negative values are clamped to 0. *)
+
+val count : t -> int
+val sum : t -> int
+val min_value : t -> int
+(** 0 when empty. *)
+
+val max_value : t -> int
+(** 0 when empty. *)
+
+val mean : t -> float
+(** 0.0 when empty. *)
+
+val quantile : t -> float -> int
+(** Upper bound of the bucket containing the q-quantile (0 when empty).
+    [quantile t 0.5] is the median's bucket ceiling. *)
+
+val buckets : t -> (int * int * int) list
+(** Non-empty buckets as [(lo, hi, count)], ascending. *)
+
+val pp : Format.formatter -> t -> unit

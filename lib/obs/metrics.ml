@@ -1,0 +1,80 @@
+type scope_data = {
+  counters : (string, int ref) Hashtbl.t;
+  hists : (string, Hist.t) Hashtbl.t;
+}
+
+type t = {
+  by_scope : (string, scope_data) Hashtbl.t;
+  mutable order : string list;  (** first-use order, reversed *)
+}
+
+let create () = { by_scope = Hashtbl.create 16; order = [] }
+
+let scope_data t scope =
+  match Hashtbl.find_opt t.by_scope scope with
+  | Some d -> d
+  | None ->
+      let d = { counters = Hashtbl.create 16; hists = Hashtbl.create 8 } in
+      Hashtbl.replace t.by_scope scope d;
+      t.order <- scope :: t.order;
+      d
+
+let incr t ~scope ?(by = 1) name =
+  let d = scope_data t scope in
+  match Hashtbl.find_opt d.counters name with
+  | Some r -> r := !r + by
+  | None -> Hashtbl.replace d.counters name (ref by)
+
+let counter t ~scope name =
+  match Hashtbl.find_opt t.by_scope scope with
+  | None -> 0
+  | Some d ->
+      Option.value ~default:0
+        (Option.map ( ! ) (Hashtbl.find_opt d.counters name))
+
+let observe t ~scope name v =
+  let d = scope_data t scope in
+  let h =
+    match Hashtbl.find_opt d.hists name with
+    | Some h -> h
+    | None ->
+        let h = Hist.create () in
+        Hashtbl.replace d.hists name h;
+        h
+  in
+  Hist.record h v
+
+let hist t ~scope name =
+  Option.bind (Hashtbl.find_opt t.by_scope scope) (fun d ->
+      Hashtbl.find_opt d.hists name)
+
+let scopes t = List.rev t.order
+
+let total t name =
+  List.fold_left (fun acc scope -> acc + counter t ~scope name) 0 (scopes t)
+
+let sorted_bindings tbl value =
+  Hashtbl.fold (fun k v acc -> (k, value v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let counters t ~scope =
+  match Hashtbl.find_opt t.by_scope scope with
+  | None -> []
+  | Some d -> sorted_bindings d.counters ( ! )
+
+let hists t ~scope =
+  match Hashtbl.find_opt t.by_scope scope with
+  | None -> []
+  | Some d -> sorted_bindings d.hists Fun.id
+
+let counter_names t =
+  let names = Hashtbl.create 16 in
+  List.iter
+    (fun scope ->
+      List.iter (fun (n, _) -> Hashtbl.replace names n ()) (counters t ~scope))
+    (scopes t);
+  Hashtbl.fold (fun n () acc -> n :: acc) names [] |> List.sort compare
+
+let clear t =
+  Hashtbl.reset t.by_scope;
+  t.order <- []

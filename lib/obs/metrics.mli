@@ -1,0 +1,36 @@
+(** Per-scope metric registry: named counters and latency histograms.
+
+    A {e scope} is the name of the enclosure a metric is attributed to,
+    or ["trusted"] for work done outside any enclosure. Scopes and
+    metrics are created on first use; enumeration order is first-use
+    order, so reports are deterministic. *)
+
+type t
+
+val create : unit -> t
+
+val incr : t -> scope:string -> ?by:int -> string -> unit
+val counter : t -> scope:string -> string -> int
+(** 0 when never incremented. *)
+
+val observe : t -> scope:string -> string -> int -> unit
+(** Record a latency sample (ns) into the scope's named histogram. *)
+
+val hist : t -> scope:string -> string -> Hist.t option
+
+val total : t -> string -> int
+(** Sum of the named counter across every scope. *)
+
+val scopes : t -> string list
+(** First-use order. *)
+
+val counters : t -> scope:string -> (string * int) list
+(** Sorted by name. *)
+
+val hists : t -> scope:string -> (string * Hist.t) list
+(** Sorted by name. *)
+
+val counter_names : t -> string list
+(** Union of counter names across scopes, sorted. *)
+
+val clear : t -> unit

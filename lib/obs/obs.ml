@@ -1,0 +1,62 @@
+type t = {
+  now : unit -> int;
+  ring : Event.t Ring.t;
+  metrics : Metrics.t;
+  mutable enabled : bool;
+  mutable backend : string;
+  mutable context : string option;
+}
+
+let default_capacity = 65_536
+let default_enabled = ref false
+
+let create ?(capacity = default_capacity) ?enabled ~now () =
+  {
+    now;
+    ring = Ring.create ~capacity;
+    metrics = Metrics.create ();
+    enabled = (match enabled with Some e -> e | None -> !default_enabled);
+    backend = "baseline";
+    context = None;
+  }
+
+let enabled t = t.enabled
+let enable t = t.enabled <- true
+let disable t = t.enabled <- false
+let set_backend t b = t.backend <- b
+let backend t = t.backend
+let set_context t ctx = t.context <- ctx
+let context t = t.context
+
+let trusted_scope = "trusted"
+
+let scope_of t = function
+  | Some s -> s
+  | None -> ( match t.context with Some e -> e | None -> trusted_scope)
+
+let emit t ?(dur = 0) kind =
+  if t.enabled then
+    Ring.push t.ring
+      {
+        Event.ts = t.now () - dur;
+        dur;
+        backend = t.backend;
+        enclosure = t.context;
+        kind;
+      }
+
+let incr t ?scope ?by name =
+  if t.enabled then Metrics.incr t.metrics ~scope:(scope_of t scope) ?by name
+
+let observe t ?scope name v =
+  if t.enabled then Metrics.observe t.metrics ~scope:(scope_of t scope) name v
+
+let events t = Ring.to_list t.ring
+let metrics t = t.metrics
+let total_events t = Ring.pushed t.ring
+let dropped_events t = Ring.dropped t.ring
+let capacity t = Ring.capacity t.ring
+
+let reset t =
+  Ring.clear t.ring;
+  Metrics.clear t.metrics

@@ -1,0 +1,65 @@
+(** The observability sink: one per simulated machine.
+
+    Always compiled in, {e disabled by default}: every emission point
+    checks {!enabled} first and does nothing (no clock cost, no
+    allocation) when the sink is off, so benchmark numbers with
+    observability disabled are identical to a build without it.
+
+    Timestamps come from the caller-supplied [now] closure, which reads
+    the {e simulated} clock — traces of deterministic workloads are
+    byte-for-byte reproducible (DESIGN.md, "Telemetry"). *)
+
+type t
+
+val default_capacity : int
+
+val default_enabled : bool ref
+(** Consulted once, when a machine creates its sink. Tools that want a
+    trace (e.g. [bin/trace_dump.exe]) set this before booting a
+    runtime; the library default is [false]. *)
+
+val create : ?capacity:int -> ?enabled:bool -> now:(unit -> int) -> unit -> t
+(** [enabled] defaults to [!default_enabled]. *)
+
+val enabled : t -> bool
+val enable : t -> unit
+val disable : t -> unit
+
+val set_backend : t -> string -> unit
+(** Stamp subsequent events with a backend name (default ["baseline"];
+    LitterBox sets this at init). *)
+
+val backend : t -> string
+
+val set_context : t -> string option -> unit
+(** The innermost active enclosure; maintained by LitterBox on every
+    environment switch, stamped onto events and used as the default
+    metric scope. *)
+
+val context : t -> string option
+
+(** {2 Emission (no-ops while disabled)} *)
+
+val emit : t -> ?dur:int -> Event.kind -> unit
+(** Record an event that {e ended} now and took [dur] simulated ns
+    (default 0: an instant event). *)
+
+val incr : t -> ?scope:string -> ?by:int -> string -> unit
+(** Bump a counter. [scope] defaults to the current context, or
+    ["trusted"] outside any enclosure. *)
+
+val observe : t -> ?scope:string -> string -> int -> unit
+(** Record a latency sample into a per-scope histogram. *)
+
+(** {2 Introspection} *)
+
+val events : t -> Event.t list
+(** Retained events, oldest first. *)
+
+val metrics : t -> Metrics.t
+val total_events : t -> int
+val dropped_events : t -> int
+val capacity : t -> int
+
+val reset : t -> unit
+(** Drop all events and metrics; keeps enabled/backend/context. *)

@@ -1,0 +1,35 @@
+type 'a t = {
+  cap : int;
+  slots : 'a option array;
+  mutable head : int;  (** next write position *)
+  mutable pushed : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Ring.create: capacity must be positive";
+  { cap = capacity; slots = Array.make capacity None; head = 0; pushed = 0 }
+
+let capacity t = t.cap
+let length t = min t.pushed t.cap
+let pushed t = t.pushed
+let dropped t = max 0 (t.pushed - t.cap)
+
+let push t v =
+  t.slots.(t.head) <- Some v;
+  t.head <- (t.head + 1) mod t.cap;
+  t.pushed <- t.pushed + 1
+
+let to_list t =
+  let n = length t in
+  let oldest = ((t.head - n) mod t.cap + t.cap) mod t.cap in
+  List.init n (fun i ->
+      match t.slots.((oldest + i) mod t.cap) with
+      | Some v -> v
+      | None -> assert false)
+
+let iter f t = List.iter f (to_list t)
+
+let clear t =
+  Array.fill t.slots 0 t.cap None;
+  t.head <- 0;
+  t.pushed <- 0

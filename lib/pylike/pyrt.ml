@@ -192,6 +192,10 @@ let charge t cat ns = Clock.consume t.machine.Machine.clock cat ns
    the page read-only it needs a controlled switch to the trusted
    environment and back. Decoupled mode never calls this: its metadata
    lives in {!t.side_refcounts}, outside the protected pages. *)
+let note_excursion t ~modul name =
+  let obs = t.machine.Machine.obs in
+  if Encl_obs.Obs.enabled obs then Encl_obs.Obs.incr obs ~scope:modul name
+
 let header_write t ~modul f =
   charge t Clock.Gc refcount_op_ns;
   match t.lb with
@@ -201,6 +205,7 @@ let header_write t ~modul f =
       | Some Types.R | Some Types.U ->
           (* One controlled excursion = two switches (in and out). *)
           t.switches <- t.switches + 2;
+          note_excursion t ~modul "refcount_excursion";
           Lb.with_trusted lb f
       | Some Types.RW | Some Types.RWX | None -> f ())
 
@@ -211,6 +216,7 @@ let header_read t ~modul f =
       match Lb.current_access lb modul with
       | Some Types.U ->
           t.switches <- t.switches + 2;
+          note_excursion t ~modul "refcount_excursion";
           Lb.with_trusted lb f
       | Some Types.R | Some Types.RW | Some Types.RWX | None -> f ())
 
@@ -262,6 +268,7 @@ let sweep t ~major =
       work ()
   | Some lb, Conservative ->
       t.switches <- t.switches + 2;
+      note_excursion t ~modul:"trusted" "gc_excursion";
       Lb.with_trusted lb work);
   !freed
 
