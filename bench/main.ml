@@ -531,6 +531,37 @@ let run_bechamel () =
     (bechamel_tests ())
 
 (* ------------------------------------------------------------------ *)
+(* Resilience (availability under the chaos harness)                   *)
+
+let resilience () =
+  section "Resilience: availability under deterministic fault injection";
+  let requests = if quick then 200 else 500 in
+  List.iter
+    (fun config ->
+      match config with
+      | None -> () (* no enclosures to fault in the baseline *)
+      | Some _ ->
+          let _rt, r = Scenarios.chaos_http config ~requests () in
+          let backend = Scenarios.config_name config in
+          Printf.printf "%-8s chaos http  %s\n" backend
+            (Scenarios.pp_chaos_result r);
+          add_result ~workload:"resilience_http" ~backend ~metric:"availability"
+            r.Scenarios.c_availability;
+          add_result ~workload:"resilience_http" ~backend ~metric:"injected"
+            (float_of_int r.Scenarios.c_injected);
+          add_result ~workload:"resilience_http" ~backend ~metric:"conns_failed"
+            (float_of_int r.Scenarios.c_conns_failed))
+    configs;
+  let _rt, r =
+    Scenarios.chaos_wiki (Some Lb.Mpk) ~requests:(if quick then 150 else 400) ()
+  in
+  Printf.printf "%-8s chaos wiki  %s\n" "LB_MPK" (Scenarios.pp_chaos_result r);
+  add_result ~workload:"resilience_wiki" ~backend:"LB_MPK" ~metric:"availability"
+    r.Scenarios.c_availability;
+  add_result ~workload:"resilience_wiki" ~backend:"LB_MPK" ~metric:"reconnects"
+    (float_of_int r.Scenarios.c_reconnects)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Printf.printf "Enclosure/LitterBox reproduction benchmarks%s\n"
@@ -542,6 +573,7 @@ let () =
   security ();
   lwc_extension ();
   ablations ();
+  resilience ();
   run_bechamel ();
   write_results ();
   print_newline ()

@@ -19,4 +19,18 @@ dune exec bin/trace_dump.exe -- wiki --requests 200
 dune exec bin/trace_dump.exe -- validate trace.json
 dune exec bin/trace_dump.exe -- validate metrics.json
 
+# Chaos smoke: the server must stay up under fault injection (exit 1
+# below 90% availability), and the run must be deterministic — two runs
+# with the same seed produce byte-identical output.
+dune exec bin/chaos.exe -- http --seed 42 > chaos_run_a.txt
+dune exec bin/chaos.exe -- http --seed 42 > chaos_run_b.txt
+if ! cmp -s chaos_run_a.txt chaos_run_b.txt; then
+  echo "ci: chaos runs with the same seed diverged" >&2
+  diff chaos_run_a.txt chaos_run_b.txt >&2 || true
+  rm -f chaos_run_a.txt chaos_run_b.txt
+  exit 1
+fi
+rm -f chaos_run_a.txt chaos_run_b.txt
+dune exec bin/chaos.exe -- wiki --seed 42
+
 echo "ci: ok"

@@ -30,8 +30,13 @@ let packages () =
 type request = { meth : string; path : string }
 
 let served = ref 0
+let conns_failed = ref 0
 let requests_served () = !served
-let reset_counters () = served := 0
+let connections_failed () = !conns_failed
+
+let reset_counters () =
+  served := 0;
+  conns_failed := 0
 
 let charge rt cat ns = Clock.consume (Runtime.clock rt) cat ns
 
@@ -41,8 +46,10 @@ type conn_state = { fd : int; reqbuf : Gbuf.t; respbuf : Gbuf.t }
 let handle_one rt state ~req_chan ~resp_chan =
   let m = Runtime.machine rt in
   match
-    Runtime.syscall rt
-      (K.Recv { fd = state.fd; buf = state.reqbuf.Gbuf.addr; len = state.reqbuf.Gbuf.len })
+    Retry.with_backoff rt ~op:"fasthttp.recv" (fun () ->
+        Runtime.syscall rt
+          (K.Recv
+             { fd = state.fd; buf = state.reqbuf.Gbuf.addr; len = state.reqbuf.Gbuf.len }))
   with
   | Error _ | Ok 0 -> false
   | Ok n ->
@@ -74,11 +81,13 @@ let handle_one rt state ~req_chan ~resp_chan =
         ~dst:(Gbuf.sub resp ~pos:(String.length headers) ~len:body.Gbuf.len);
       charge rt Clock.Io (assembly_ns_per_kb * (total / 1024));
       let first = min 8192 total in
-      ignore (Runtime.syscall rt (K.Send { fd = state.fd; buf = resp.Gbuf.addr; len = first }));
+      ignore
+        (Retry.send_all rt ~op:"fasthttp.send" ~fd:state.fd ~buf:resp.Gbuf.addr
+           ~len:first);
       if total > first then
         ignore
-          (Runtime.syscall rt
-             (K.Send { fd = state.fd; buf = resp.Gbuf.addr + first; len = total - first }));
+          (Retry.send_all rt ~op:"fasthttp.send" ~fd:state.fd
+             ~buf:(resp.Gbuf.addr + first) ~len:(total - first));
       charge rt Clock.Compute bookkeeping_ns;
       incr served;
       true
@@ -108,10 +117,19 @@ let conn_loop rt ~conn_fd ~req_chan () =
   in
   let rec loop () =
     Sched.wait_until (Runtime.sched rt) (fun () -> K.fd_readable kernel conn_fd);
-    if handle_one rt state ~req_chan ~resp_chan then loop ()
+    match handle_one rt state ~req_chan ~resp_chan with
+    | true -> loop ()
     (* close(2) is in the [file] category, which the net-only enclosure
        filter denies: dead fds are swept by trusted code at shutdown. *)
-    else ()
+    | false -> ()
+    | exception e -> (
+        (* Contain a faulting request to this connection. The fiber runs
+           inside the enclosure environment (inherited at spawn), so
+           ending the fiber — not closing the fd — is the recovery; the
+           scheduler restores the trusted environment on fiber exit. *)
+        match Runtime.absorb_fault rt e with
+        | Some _reason -> incr conns_failed
+        | None -> raise e)
   in
   loop ()
 
@@ -127,7 +145,7 @@ let server_loop rt ~port ~req_chan () =
     | Ok conn_fd ->
         Runtime.go rt (conn_loop rt ~conn_fd ~req_chan);
         accept_loop ()
-    | Error K.Eagain -> accept_loop ()
+    | Error e when Retry.transient e -> accept_loop ()
     | Error e -> failwith ("fasthttp accept: " ^ K.errno_name e)
   in
   accept_loop ()

@@ -36,4 +36,9 @@ val serve_enclosed :
     goroutine either way. *)
 
 val requests_served : unit -> int
+
+val connections_failed : unit -> int
+(** Connections whose serving fiber absorbed an enclosure fault
+    (contained per connection; the accept loop keeps running). *)
+
 val reset_counters : unit -> unit

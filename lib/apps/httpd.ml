@@ -29,8 +29,13 @@ let packages () =
   ]
 
 let served = ref 0
+let conns_failed = ref 0
 let requests_served () = !served
-let reset_counters () = served := 0
+let connections_failed () = !conns_failed
+
+let reset_counters () =
+  served := 0;
+  conns_failed := 0
 
 let charge rt cat ns = Clock.consume (Runtime.clock rt) cat ns
 
@@ -41,7 +46,10 @@ let handle_one rt ~conn_fd ~handler =
   ignore (Runtime.syscall rt K.Epoll_wait);
   (* net/http allocates a fresh request buffer per request. *)
   let reqbuf = Runtime.alloc_in rt ~pkg 1024 in
-  match Runtime.syscall rt (K.Recv { fd = conn_fd; buf = reqbuf.Gbuf.addr; len = 1024 }) with
+  match
+    Retry.with_backoff rt ~op:"httpd.recv" (fun () ->
+        Runtime.syscall rt (K.Recv { fd = conn_fd; buf = reqbuf.Gbuf.addr; len = 1024 }))
+  with
   | Error _ -> false
   | Ok 0 -> false
   | Ok n ->
@@ -72,12 +80,12 @@ let handle_one rt ~conn_fd ~handler =
         ~dst:(Gbuf.sub bufio ~pos:hlen ~len:prefix);
       charge rt Clock.Io (assembly_ns_per_kb * ((hlen + prefix) / 1024));
       ignore
-        (Runtime.syscall rt (K.Send { fd = conn_fd; buf = bufio.Gbuf.addr; len = hlen + prefix }));
+        (Retry.send_all rt ~op:"httpd.send" ~fd:conn_fd ~buf:bufio.Gbuf.addr
+           ~len:(hlen + prefix));
       if body.Gbuf.len > prefix then
         ignore
-          (Runtime.syscall rt
-             (K.Send
-                { fd = conn_fd; buf = body.Gbuf.addr + prefix; len = body.Gbuf.len - prefix }));
+          (Retry.send_all rt ~op:"httpd.send" ~fd:conn_fd
+             ~buf:(body.Gbuf.addr + prefix) ~len:(body.Gbuf.len - prefix));
       ignore (Runtime.syscall rt (K.Epoll_ctl conn_fd));
       ignore (Runtime.syscall rt K.Futex);
       ignore (Runtime.syscall rt K.Futex);
@@ -91,8 +99,19 @@ let conn_loop rt ~conn_fd ~handler () =
   let kernel = (Runtime.machine rt).Machine.kernel in
   let rec loop () =
     Sched.wait_until (Runtime.sched rt) (fun () -> K.fd_readable kernel conn_fd);
-    if handle_one rt ~conn_fd ~handler then loop ()
-    else ignore (Runtime.syscall rt (K.Close conn_fd))
+    match handle_one rt ~conn_fd ~handler with
+    | true -> loop ()
+    | false -> ignore (Runtime.syscall rt (K.Close conn_fd))
+    | exception e -> (
+        (* A faulting handler (an enclosure violation, a seccomp kill)
+           costs this connection, not the server. Enclosure.call already
+           ran Epilog on unwind, so the trusted environment is back and
+           close(2) is permitted. *)
+        match Runtime.absorb_fault rt e with
+        | Some _reason ->
+            incr conns_failed;
+            ignore (Runtime.syscall rt (K.Close conn_fd))
+        | None -> raise e)
   in
   loop ()
 
@@ -109,7 +128,7 @@ let serve rt ~port ~handler =
         | Ok conn_fd ->
             Runtime.go rt (conn_loop rt ~conn_fd ~handler);
             accept_loop ()
-        | Error K.Eagain -> accept_loop ()
+        | Error e when Retry.transient e -> accept_loop ()
         | Error e -> failwith ("accept: " ^ K.errno_name e)
       in
       accept_loop ())

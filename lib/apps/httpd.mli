@@ -21,10 +21,18 @@ val serve :
   unit
 (** Bind, listen, and spawn the accept goroutine. The handler returns the
     response body (e.g. a static 13 KB page); the serving loop formats
-    headers and writes the response. *)
+    headers and writes the response.
+
+    Per-connection fault containment: a handler that faults (enclosure
+    violation, seccomp kill, quarantine) closes that connection only;
+    the accept loop and every other connection keep serving. Transient
+    network errnos are retried with capped backoff ({!Retry}). *)
 
 val requests_served : unit -> int
 (** Global counter (reset by {!reset_counters}); benchmarks read it. *)
+
+val connections_failed : unit -> int
+(** Connections torn down because their handler faulted. *)
 
 val reset_counters : unit -> unit
 

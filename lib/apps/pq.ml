@@ -19,36 +19,83 @@ let packages () =
     ()
   :: deps
 
-type conn = { fd : int; buf : Gbuf.t }
+type conn = { mutable fd : int; buf : Gbuf.t; ip : int; port : int }
+
+let reconnects = ref 0
+let reconnect_count () = !reconnects
+let reset_counters () = reconnects := 0
 
 let connect rt ~ip ~port =
   Runtime.in_function rt ~pkg ~fn:"connect" @@ fun () ->
   let fd = Runtime.syscall_exn rt K.Socket in
   ignore (Runtime.syscall_exn rt (K.Connect { fd; ip; port }));
-  { fd; buf = Runtime.alloc_in rt ~pkg 8192 }
+  { fd; buf = Runtime.alloc_in rt ~pkg 8192; ip; port }
+
+(* Re-dial after the server dropped the connection. The dead fd is not
+   closed here: close(2) is file-category and denied under the db-proxy's
+   net-only filter; trusted code sweeps it. connect(2) to the recorded
+   address stays within the connect(ip) policy. *)
+let reconnect rt conn =
+  incr reconnects;
+  match Runtime.syscall rt K.Socket with
+  | Error e -> Error e
+  | Ok fd -> (
+      match Runtime.syscall rt (K.Connect { fd; ip = conn.ip; port = conn.port }) with
+      | Error e -> Error e
+      | Ok _ ->
+          conn.fd <- fd;
+          Ok ())
 
 let query rt conn sql =
   Runtime.in_function rt ~pkg ~fn:"query" @@ fun () ->
   let m = Runtime.machine rt in
+  let kernel = m.Machine.kernel in
   Clock.consume (Runtime.clock rt) Clock.Compute query_overhead_ns;
   let req = Minidb.encode_request sql in
   Gbuf.write_bytes m (Gbuf.sub conn.buf ~pos:0 ~len:(Bytes.length req)) req;
-  (match
-     Runtime.syscall rt
-       (K.Send { fd = conn.fd; buf = conn.buf.Gbuf.addr; len = Bytes.length req })
-   with
-  | Ok _ -> ()
-  | Error e -> failwith ("pq: send failed: " ^ K.errno_name e));
-  let kernel = m.Machine.kernel in
-  Sched.wait_until (Runtime.sched rt) (fun () -> K.fd_readable kernel conn.fd);
-  match
-    Runtime.syscall rt
-      (K.Recv { fd = conn.fd; buf = conn.buf.Gbuf.addr; len = conn.buf.Gbuf.len })
-  with
-  | Error e -> Error ("recv failed: " ^ K.errno_name e)
-  | Ok n ->
-      let data = Cpu.read_bytes m.Machine.cpu ~addr:conn.buf.Gbuf.addr ~len:n in
-      Minidb.decode_response data
+  let send () =
+    Retry.send_all rt ~op:"pq.send" ~fd:conn.fd ~buf:conn.buf.Gbuf.addr
+      ~len:(Bytes.length req)
+  in
+  (* Responses are NUL-terminated; a short read (an injected partial
+     delivery) means more bytes are pending — keep reading. *)
+  let recv_response () =
+    let acc = Buffer.create 256 in
+    let rec go () =
+      Sched.wait_until (Runtime.sched rt) (fun () -> K.fd_readable kernel conn.fd);
+      match
+        Retry.with_backoff rt ~op:"pq.recv" (fun () ->
+            Runtime.syscall rt
+              (K.Recv { fd = conn.fd; buf = conn.buf.Gbuf.addr; len = conn.buf.Gbuf.len }))
+      with
+      | Error e -> Error ("recv failed: " ^ K.errno_name e)
+      | Ok 0 -> Error "connection closed by server"
+      | Ok n ->
+          let data = Cpu.read_bytes m.Machine.cpu ~addr:conn.buf.Gbuf.addr ~len:n in
+          Buffer.add_bytes acc data;
+          if Bytes.get data (n - 1) = '\000' then Ok (Buffer.to_bytes acc) else go ()
+    in
+    go ()
+  in
+  (* One round trip; [allow_retry] permits a single reconnect-and-replay
+     when the connection turns out to be dead (send fails, or recv hits
+     EOF before any reply). *)
+  let rec round ~allow_retry =
+    let replay err =
+      if not allow_retry then Error err
+      else
+        match reconnect rt conn with
+        | Error e -> Error ("reconnect failed: " ^ K.errno_name e)
+        | Ok () -> round ~allow_retry:false
+    in
+    match send () with
+    | Error e -> replay ("send failed: " ^ K.errno_name e)
+    | Ok _ -> (
+        match recv_response () with
+        | Error e -> replay e
+        | Ok data -> Minidb.decode_response data)
+  in
+  round ~allow_retry:true
 
 let close rt conn =
   Runtime.in_function rt ~pkg ~fn:"close" @@ fun () ->

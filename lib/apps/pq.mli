@@ -20,6 +20,14 @@ val connect : Encl_golike.Runtime.t -> ip:int -> port:int -> conn
 
 val query :
   Encl_golike.Runtime.t -> conn -> string -> (string list list, string) result
-(** Send one statement and read the reply. *)
+(** Send one statement and read the reply. Transient errnos are retried
+    with capped backoff; short reads accumulate until the NUL response
+    terminator; a dead connection triggers one reconnect-and-replay
+    (see {!reconnect_count}). *)
+
+val reconnect_count : unit -> int
+(** Times any connection was re-dialed after the server dropped it. *)
+
+val reset_counters : unit -> unit
 
 val close : Encl_golike.Runtime.t -> conn -> unit

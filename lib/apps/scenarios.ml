@@ -237,6 +237,183 @@ let wiki_rt config ?(requests = 1000) ?(conns = 4) () =
 let wiki config ?requests ?conns () = snd (wiki_rt config ?requests ?conns ())
 
 (* ------------------------------------------------------------------ *)
+(* Chaos: workloads under deterministic fault injection                *)
+
+module Fault = Encl_fault.Fault
+module Sched = Encl_golike.Sched
+
+type chaos_result = {
+  c_sent : int;
+  c_served : int;
+  c_availability : float;
+  c_injected : int;
+  c_faults : int;
+  c_kills : int;
+  c_conns_failed : int;
+  c_quarantined : bool;
+  c_reconnects : int;
+}
+
+(* A fault-tolerant client driver: every request counts as sent; a
+   connection the server tore down (or the injector dropped) is
+   re-dialed and the lost request stays unserved. Success is counted on
+   the client side — the attempt saw response bytes — so one attempt can
+   never score more than once (an injected short read can split one
+   request into two server-side handle cycles, which would inflate a
+   server-side counter). *)
+let chaos_drive rt ~port ~requests ~conns =
+  let net = (Runtime.machine rt).Machine.net in
+  Runtime.kick rt;
+  let connect () =
+    match Net.client_connect net ~port with
+    | Ok ep -> ep
+    | Error e -> failwith ("chaos client_connect: " ^ e)
+  in
+  let eps = Array.init conns (fun _ -> connect ()) in
+  Runtime.kick rt;
+  let answered = ref 0 in
+  let req = Bytes.of_string "GET /page/home HTTP/1.1\r\nHost: sim\r\n\r\n" in
+  for i = 0 to requests - 1 do
+    let idx = i mod conns in
+    (* Like any real client fetching an idempotent GET: one retry on a
+       fresh connection when the first try died under the request. *)
+    let rec attempt tries =
+      if Net.ep_closed eps.(idx) then eps.(idx) <- connect ();
+      match Net.send net eps.(idx) req with
+      | Ok _ ->
+          Runtime.kick rt;
+          let got = ref false in
+          let rec drain () =
+            match Net.recv net eps.(idx) 65536 with
+            | Net.Data _ ->
+                got := true;
+                drain ()
+            | Net.Would_block | Net.Eof -> ()
+          in
+          drain ();
+          if !got then true
+          else if tries > 0 then begin
+            eps.(idx) <- connect ();
+            attempt (tries - 1)
+          end
+          else false
+      | Error _ ->
+          eps.(idx) <- connect ();
+          if tries > 0 then attempt (tries - 1) else false
+    in
+    if attempt 1 then incr answered
+  done;
+  Runtime.kick rt;
+  (requests, !answered)
+
+let chaos_result rt ~sent ~served ~conns_failed ~enclosure ~reconnects =
+  let inject = (Runtime.machine rt).Machine.inject in
+  let lb = Runtime.lb rt in
+  {
+    c_sent = sent;
+    c_served = served;
+    c_availability = float_of_int served /. float_of_int (max 1 sent);
+    c_injected = Fault.total_fired inject;
+    c_faults = (match lb with Some lb -> Lb.fault_count lb | None -> 0);
+    c_kills = Sched.kill_count (Runtime.sched rt);
+    c_conns_failed = conns_failed;
+    c_quarantined =
+      (match (lb, enclosure) with
+      | Some lb, Some enc -> Lb.quarantined lb enc
+      | _ -> false);
+    c_reconnects = reconnects;
+  }
+
+let pp_chaos_result r =
+  Printf.sprintf
+    "sent=%d served=%d availability=%.3f injected=%d faults=%d kills=%d \
+     conns_failed=%d quarantined=%b reconnects=%d"
+    r.c_sent r.c_served r.c_availability r.c_injected r.c_faults r.c_kills
+    r.c_conns_failed r.c_quarantined r.c_reconnects
+
+(* The HTTP chaos scenario: spurious page faults inside the request
+   handler's enclosure. Containment shows up at three levels — the
+   faulting request's connection is closed (not the server), the
+   enclosure is quarantined once it exhausts its fault budget, and the
+   handler then degrades to a trusted fallback page so availability
+   recovers. *)
+let chaos_http config ?(seed = 42L) ?(rate = 0.10) ?(budget = 5)
+    ?(requests = 500) ?(conns = 8) () =
+  let main =
+    Runtime.package "main"
+      ~imports:[ Httpd.pkg; "assets" ]
+      ~functions:[ ("main", 512); ("handler_body", 256) ]
+      ~enclosures:
+        [
+          {
+            Encl_elf.Objfile.enc_name = "handler_enc";
+            enc_policy = "assets:R; sys=none";
+            enc_closure = "handler_body";
+            enc_deps = [];
+          };
+        ]
+      ()
+  in
+  let packages = main :: assets_package () :: Httpd.packages () in
+  let rt = boot_exn config ~packages ~entry:"main" in
+  Httpd.reset_counters ();
+  let m = Runtime.machine rt in
+  let page = Runtime.global rt ~pkg:"assets" "index_html" in
+  (* Trusted fallback body, staged in the server's own arena so the
+     serving loop can read it once the enclosure is off-line. *)
+  let fallback = Runtime.alloc_in rt ~pkg:Httpd.pkg 512 in
+  Gbuf.fill m fallback 0x66;
+  let handler ~meth:_ ~path:_ =
+    match
+      Runtime.with_enclosure rt "handler_enc" (fun () ->
+          ignore (Gbuf.get m page 0);
+          page)
+    with
+    | body -> body
+    | exception Lb.Quarantined _ -> fallback
+  in
+  let inject = m.Machine.inject in
+  Fault.set_seed inject seed;
+  Fault.arm inject
+    (Fault.rule ~prob:rate ~env_prefix:"enc:" "cpu.spurious_fault");
+  (match Runtime.lb rt with
+  | Some lb -> Lb.set_fault_budget lb budget
+  | None -> ());
+  Runtime.run_main rt (fun () -> Httpd.serve rt ~port:8080 ~handler);
+  let sent, served = chaos_drive rt ~port:8080 ~requests ~conns in
+  Fault.disarm_all inject;
+  ( rt,
+    chaos_result rt ~sent ~served ~conns_failed:(Httpd.connections_failed ())
+      ~enclosure:(Some "handler_enc") ~reconnects:0 )
+
+(* The wiki chaos scenario: network-level failures (dropped connections,
+   short reads/writes, transient errnos) across the whole stack,
+   exercising the retry helpers and the pq -> minidb reconnect. *)
+let chaos_wiki config ?(seed = 42L) ?(rate = 0.05) ?(budget = 5)
+    ?(requests = 400) ?(conns = 4) () =
+  let rt = wiki_boot config in
+  Pq.reset_counters ();
+  let m = Runtime.machine rt in
+  let inject = m.Machine.inject in
+  Fault.set_seed inject seed;
+  Fault.arm_plan inject
+    [
+      Fault.rule ~prob:rate "net.conn_drop";
+      Fault.rule ~prob:rate "net.partial_read";
+      Fault.rule ~prob:rate "net.partial_write";
+      Fault.rule ~prob:rate "kernel.transient_eintr";
+      Fault.rule ~prob:rate "kernel.transient_eagain";
+    ];
+  (match Runtime.lb rt with
+  | Some lb -> Lb.set_fault_budget lb budget
+  | None -> ());
+  let sent, served = chaos_drive rt ~port:8090 ~requests ~conns in
+  Fault.disarm_all inject;
+  ( rt,
+    chaos_result rt ~sent ~served ~conns_failed:(Wiki.connections_failed ())
+      ~enclosure:None ~reconnects:(Pq.reconnect_count ()) )
+
+(* ------------------------------------------------------------------ *)
 (* Named dispatch (trace_dump, CI)                                     *)
 
 let scenario_names = [ "bild"; "http"; "fasthttp"; "wiki" ]

@@ -53,6 +53,39 @@ val wiki_check : config -> (string, string) result
 (** Functional check: create a page over POST, read it back over GET;
     returns the page body seen by the client. *)
 
+(** {2 Chaos scenarios (deterministic fault injection)} *)
+
+type chaos_result = {
+  c_sent : int;  (** client request attempts *)
+  c_served : int;  (** attempts the client saw a response for *)
+  c_availability : float;  (** served / sent *)
+  c_injected : int;  (** fault-injector fires *)
+  c_faults : int;  (** LitterBox-accounted enclosure faults *)
+  c_kills : int;  (** fibers killed and reaped by the scheduler *)
+  c_conns_failed : int;  (** connections torn down by a contained fault *)
+  c_quarantined : bool;  (** the targeted enclosure exhausted its budget *)
+  c_reconnects : int;  (** pq re-dials (wiki scenario) *)
+}
+
+val chaos_http :
+  config -> ?seed:int64 -> ?rate:float -> ?budget:int -> ?requests:int ->
+  ?conns:int -> unit -> Encl_golike.Runtime.t * chaos_result
+(** Spurious page faults injected into the request-handler enclosure at
+    [rate] per consultation. Each fault costs one connection; after
+    [budget] faults the enclosure is quarantined and the handler serves a
+    trusted fallback page, so availability recovers. Fully deterministic
+    under [seed]. *)
+
+val chaos_wiki :
+  config -> ?seed:int64 -> ?rate:float -> ?budget:int -> ?requests:int ->
+  ?conns:int -> unit -> Encl_golike.Runtime.t * chaos_result
+(** Network chaos over the wiki: dropped connections, short reads and
+    writes, transient [EINTR]/[EAGAIN] — exercising the retry helpers
+    and the pq -> minidb reconnect path. *)
+
+val pp_chaos_result : chaos_result -> string
+(** One deterministic [key=value] line (the chaos tool's output). *)
+
 (** {2 Runtime-returning variants}
 
     The [_rt] functions additionally return the booted runtime so

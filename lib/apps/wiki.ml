@@ -68,8 +68,13 @@ let setup_remote_db rt =
   db
 
 let served = ref 0
+let conns_failed = ref 0
 let requests_served () = !served
-let reset_counters () = served := 0
+let connections_failed () = !conns_failed
+
+let reset_counters () =
+  served := 0;
+  conns_failed := 0
 
 type action = View of string | Create of string * string | Not_found
 
@@ -89,7 +94,19 @@ let db_proxy_loop rt ~db_req ~db_resp () =
       | Insert (title, body) ->
           Printf.sprintf "INSERT INTO pages VALUES ('%s', '%s')" title body
     in
-    Channel.send db_resp (Pq.query rt conn sql);
+    (* The proxy must always answer: a fault here would otherwise leave
+       the glue goroutine blocked on [db_resp] forever (the deadlock
+       detector would flag it). Pq reconnects on dropped connections;
+       an enclosure fault degrades to a database-error reply. *)
+    let resp =
+      match Pq.query rt conn sql with
+      | r -> r
+      | exception e -> (
+          match Runtime.absorb_fault rt e with
+          | Some reason -> Error ("proxy fault: " ^ reason)
+          | None -> raise e)
+    in
+    Channel.send db_resp resp;
     loop ()
   in
   loop ()
@@ -162,7 +179,9 @@ let http_conn_loop rt ~conn_fd ~router ~http_req () =
   let rec loop () =
     Sched.wait_until (Runtime.sched rt) (fun () -> K.fd_readable kernel conn_fd);
     match
-      Runtime.syscall rt (K.Recv { fd = conn_fd; buf = reqbuf.Gbuf.addr; len = 4096 })
+      Retry.with_backoff rt ~op:"wiki.recv" (fun () ->
+          Runtime.syscall rt
+            (K.Recv { fd = conn_fd; buf = reqbuf.Gbuf.addr; len = 4096 }))
     with
     | Error _ | Ok 0 -> ()
     | Ok n ->
@@ -197,12 +216,21 @@ let http_conn_loop rt ~conn_fd ~router ~http_req () =
         Gbuf.blit m ~src:page
           ~dst:(Gbuf.sub resp ~pos:(String.length headers) ~len:page.Gbuf.len);
         charge rt Clock.Io (assembly_ns_per_kb * (total / 1024));
-        ignore (Runtime.syscall rt (K.Send { fd = conn_fd; buf = resp.Gbuf.addr; len = total }));
+        ignore
+          (Retry.send_all rt ~op:"wiki.send" ~fd:conn_fd ~buf:resp.Gbuf.addr ~len:total);
         charge rt Clock.Compute bookkeeping_ns;
         incr served;
         loop ()
   in
-  loop ()
+  (* Per-connection containment: a faulting request ends this connection's
+     fiber (which runs inside the http_srv enclosure environment); the
+     accept loop and other connections keep serving. *)
+  match loop () with
+  | () -> ()
+  | exception e -> (
+      match Runtime.absorb_fault rt e with
+      | Some _reason -> incr conns_failed
+      | None -> raise e)
 
 let page_title path =
   match String.split_on_char '/' path with
@@ -225,7 +253,7 @@ let http_srv_loop rt ~port ~http_req () =
     | Ok conn_fd ->
         Runtime.go rt (http_conn_loop rt ~conn_fd ~router ~http_req);
         accept_loop ()
-    | Error K.Eagain -> accept_loop ()
+    | Error e when Retry.transient e -> accept_loop ()
     | Error e -> failwith ("wiki accept: " ^ K.errno_name e)
   in
   accept_loop ()

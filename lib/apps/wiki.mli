@@ -33,4 +33,9 @@ val start : Encl_golike.Runtime.t -> port:int -> enclosed:bool -> unit
     goroutines. [enclosed:false] is the baseline (vanilla closures). *)
 
 val requests_served : unit -> int
+
+val connections_failed : unit -> int
+(** Connections whose serving fiber absorbed an enclosure fault
+    (contained per connection; the server keeps accepting). *)
+
 val reset_counters : unit -> unit

@@ -15,12 +15,12 @@ let charge c =
    after waking (classic blocking-queue loop). *)
 let rec send c v =
   charge c;
-  Sched.wait_until c.sched (fun () -> Queue.length c.q < c.cap);
+  Sched.wait_until ~internal:true c.sched (fun () -> Queue.length c.q < c.cap);
   if Queue.length c.q < c.cap then Queue.push v c.q else send c v
 
 let rec recv c =
   charge c;
-  Sched.wait_until c.sched (fun () -> not (Queue.is_empty c.q));
+  Sched.wait_until ~internal:true c.sched (fun () -> not (Queue.is_empty c.q));
   match Queue.take_opt c.q with Some v -> v | None -> recv c
 
 let try_recv c = Queue.take_opt c.q
@@ -45,5 +45,5 @@ let rec select sched ?default cases =
       match default with
       | Some f -> f ()
       | None ->
-          Sched.wait_until sched (fun () -> List.exists ready cases);
+          Sched.wait_until ~internal:true sched (fun () -> List.exists ready cases);
           select sched ?default cases)

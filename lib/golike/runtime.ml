@@ -160,9 +160,23 @@ let with_enclosure t name body =
   | Some lb -> Enclosure.call (Enclosure.declare lb ~name body)
 
 let go t f = Sched.go t.sched f
+let go_supervised t f = Sched.spawn_supervised t.sched f
+let fiber_result t fid = Sched.result t.sched fid
 let yield t = Sched.yield t.sched
 let run_main t f = Sched.main t.sched f
 let kick t = Sched.kick t.sched
+
+let absorb_fault t e =
+  match t.lb with
+  | Some lb -> Lb.absorb_fault lb e
+  | None -> (
+      match e with
+      | Cpu.Fault info -> Some (Format.asprintf "%a" Cpu.pp_fault info)
+      | K.Syscall_killed { nr; env } ->
+          Some
+            (Printf.sprintf "seccomp killed system call %s in %s"
+               (Encl_kernel.Sysno.name nr) env)
+      | _ -> None)
 
 (* GC pass cost per live span, ns. *)
 let gc_span_ns = 210

@@ -86,6 +86,19 @@ val yield : t -> unit
 val run_main : t -> (unit -> unit) -> unit
 val kick : t -> unit
 
+val go_supervised : t -> (unit -> unit) -> int
+(** Spawn a panic/recover-style goroutine: any exception kills only this
+    fiber; query the outcome with {!fiber_result} using the returned id.
+    See {!Sched.spawn_supervised}. *)
+
+val fiber_result : t -> int -> Sched.exit_status option
+
+val absorb_fault : t -> exn -> string option
+(** [Some message] when the exception is an enclosure fault (accounting
+    it if not yet accounted), [None] otherwise — app-level handlers use
+    this to contain a faulting request without guessing exception
+    shapes. Delegates to {!Lb.absorb_fault} when a backend is active. *)
+
 val gc : t -> unit
 (** A stop-the-world collection pass: runs with full access to program
     resources in a trusted execution environment (paper §5.1); cost

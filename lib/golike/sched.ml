@@ -1,12 +1,17 @@
 module Lb = Encl_litterbox.Litterbox
 module Machine = Encl_litterbox.Machine
+module K = Encl_kernel.Kernel
+module Obs = Encl_obs.Obs
 
-type _ Effect.t += Yield : unit Effect.t | Wait : (unit -> bool) -> unit Effect.t
+type _ Effect.t +=
+  | Yield : unit Effect.t
+  | Wait : { pred : unit -> bool; internal : bool } -> unit Effect.t
 
 type step_result =
   | Done
   | Yielded of (unit, step_result) Effect.Deep.continuation
-  | Waiting of (unit -> bool) * (unit, step_result) Effect.Deep.continuation
+  | Waiting of
+      (unit -> bool) * bool * (unit, step_result) Effect.Deep.continuation
 
 type state =
   | Start of (unit -> unit)
@@ -14,19 +19,30 @@ type state =
 
 type fiber = {
   fid : int;
+  root : bool;  (** the initial fiber of {!main}: faults abort, Go-style *)
+  supervised : bool;
   mutable env : Lb.env_ref option;  (** [None] in baseline mode *)
   mutable state : state option;
   mutable pred : (unit -> bool) option;
+  mutable internal_wait : bool;
+      (** the pending wait can only be satisfied by another fiber
+          (channel, mutex, waitgroup), never by the outside world *)
 }
+
+type exit_status = Finished | Killed of string
+
+exception Deadlock of { fiber_ids : int list }
 
 type t = {
   machine : Machine.t;
   lb : Lb.t option;
   runq : fiber Queue.t;
-  mutable blocked : fiber list;
+  blocked : fiber Queue.t;
   mutable current : fiber option;
   ids : Encl_util.Ids.t;
   mutable exec_switches : int;
+  results : (int, exit_status) Hashtbl.t;
+  mutable kill_count : int;
 }
 
 let create ~machine ~lb () =
@@ -34,10 +50,12 @@ let create ~machine ~lb () =
     machine;
     lb;
     runq = Queue.create ();
-    blocked = [];
+    blocked = Queue.create ();
     current = None;
     ids = Encl_util.Ids.make ();
     exec_switches = 0;
+    results = Hashtbl.create 16;
+    kill_count = 0;
   }
 
 let in_fiber t = t.current <> None
@@ -45,22 +63,30 @@ let in_fiber t = t.current <> None
 let capture_current_env t =
   match t.lb with None -> None | Some lb -> Some (Lb.capture_env lb)
 
-let go t f =
+let spawn t ?(root = false) ~supervised f =
   let fiber =
     {
       fid = Encl_util.Ids.next t.ids;
+      root;
+      supervised;
       env = capture_current_env t;
       state = Some (Start f);
       pred = None;
+      internal_wait = false;
     }
   in
-  Queue.push fiber t.runq
+  Queue.push fiber t.runq;
+  fiber.fid
+
+let go t f = ignore (spawn t ~supervised:false f)
+let spawn_supervised t f = spawn t ~supervised:true f
+let result t fid = Hashtbl.find_opt t.results fid
 
 let yield t = if in_fiber t then Effect.perform Yield
 
-let wait_until t pred =
+let wait_until ?(internal = false) t pred =
   if not (in_fiber t) then invalid_arg "Sched.wait_until: not inside a goroutine";
-  if not (pred ()) then Effect.perform (Wait pred)
+  if not (pred ()) then Effect.perform (Wait { pred; internal })
 
 (* Restore a fiber's environment via the Execute hook, skipping redundant
    switches. *)
@@ -79,6 +105,55 @@ let save_env t fiber =
   | None -> ()
   | Some lb -> fiber.env <- Some (Lb.capture_env lb)
 
+(* A dead fiber must not leave its enclosure environment installed: pull
+   the machine back to trusted before running anyone else. (The
+   enclosure *stack* already unwound — Enclosure.call runs Epilog on
+   unwind — but a fiber spawned inside an enclosure environment never
+   ran a Prolog of its own, so the captured environment may still be
+   installed here.) *)
+let restore_trusted t =
+  match t.lb with
+  | None -> ()
+  | Some lb ->
+      let trusted = Lb.trusted_env_ref lb in
+      if not (Lb.env_matches lb trusted) then begin
+        t.exec_switches <- t.exec_switches + 1;
+        Lb.execute lb trusted ~site:"runtime.scheduler"
+      end
+
+let is_fault_exn = function
+  | Lb.Fault _ | Lb.Quarantined _ | Cpu.Fault _ | K.Syscall_killed _ -> true
+  | _ -> false
+
+(* Map a fiber-killing exception to a reason string, accounting the
+   fault with LitterBox when one is attached. Only called on the kill
+   path, so a fault escaping via re-raise is not double-counted by the
+   eventual [run_protected]. *)
+let kill_reason t e =
+  let described =
+    match t.lb with
+    | Some lb -> Lb.absorb_fault lb e
+    | None -> (
+        match e with
+        | Cpu.Fault info -> Some (Format.asprintf "%a" Cpu.pp_fault info)
+        | K.Syscall_killed { nr; env } ->
+            Some
+              (Printf.sprintf "seccomp killed system call %s in %s"
+                 (Encl_kernel.Sysno.name nr) env)
+        | _ -> None)
+  in
+  match described with Some r -> r | None -> Printexc.to_string e
+
+let note_kill t fiber reason =
+  Hashtbl.replace t.results fiber.fid (Killed reason);
+  t.kill_count <- t.kill_count + 1;
+  let obs = t.machine.Machine.obs in
+  if Obs.enabled obs then begin
+    Obs.incr obs "fiber.kill";
+    Obs.emit obs (Encl_obs.Event.Fiber_kill { fid = fiber.fid; reason })
+  end;
+  restore_trusted t
+
 let run_step (_ : t) fiber =
   let open Effect.Deep in
   let handler =
@@ -90,8 +165,10 @@ let run_step (_ : t) fiber =
           match eff with
           | Yield ->
               Some (fun (k : (a, step_result) continuation) -> Yielded k)
-          | Wait p ->
-              Some (fun (k : (a, step_result) continuation) -> Waiting (p, k))
+          | Wait { pred; internal } ->
+              Some
+                (fun (k : (a, step_result) continuation) ->
+                  Waiting (pred, internal, k))
           | _ -> None);
     }
   in
@@ -105,53 +182,77 @@ let run_step (_ : t) fiber =
       continue k ()
 
 let promote_unblocked t =
-  let still_blocked =
-    List.filter
-      (fun fiber ->
-        match fiber.pred with
-        | Some p when p () ->
-            fiber.pred <- None;
-            Queue.push fiber t.runq;
-            false
-        | Some _ -> true
-        | None ->
-            Queue.push fiber t.runq;
-            false)
-      t.blocked
-  in
-  t.blocked <- still_blocked
+  let n = Queue.length t.blocked in
+  for _ = 1 to n do
+    let fiber = Queue.pop t.blocked in
+    match fiber.pred with
+    | Some p when p () ->
+        fiber.pred <- None;
+        fiber.internal_wait <- false;
+        Queue.push fiber t.runq
+    | Some _ -> Queue.push fiber t.blocked
+    | None -> Queue.push fiber t.runq
+  done
+
+(* Every remaining fiber waits on a predicate only another fiber could
+   satisfy, and no fiber is runnable: nothing can ever fire. (Any
+   externally-satisfiable wait — an fd, a listener — keeps the check
+   quiet, since a later kick may deliver the event.) *)
+let check_deadlock t =
+  if
+    (not (Queue.is_empty t.blocked))
+    && Queue.fold (fun acc f -> acc && f.internal_wait) true t.blocked
+  then begin
+    let fiber_ids =
+      Queue.fold (fun acc f -> f.fid :: acc) [] t.blocked |> List.rev
+    in
+    raise (Deadlock { fiber_ids })
+  end
 
 let rec schedule t =
   if Queue.is_empty t.runq then begin
     promote_unblocked t;
-    if not (Queue.is_empty t.runq) then schedule t
+    if not (Queue.is_empty t.runq) then schedule t else check_deadlock t
   end
   else begin
     let fiber = Queue.pop t.runq in
     switch_env t fiber;
     let saved = t.current in
     t.current <- Some fiber;
-    let result = run_step t fiber in
+    let outcome =
+      match run_step t fiber with
+      | r -> Ok r
+      | exception (K.Exited _ as e) -> Error (`Reraise e)
+      | exception e ->
+          if fiber.supervised || (is_fault_exn e && not fiber.root) then
+            Error (`Kill (kill_reason t e))
+          else Error (`Reraise e)
+    in
     t.current <- saved;
-    (match result with
-    | Done -> ()
-    | Yielded k ->
+    (match outcome with
+    | Error (`Reraise e) -> raise e
+    | Error (`Kill reason) -> note_kill t fiber reason
+    | Ok Done ->
+        if fiber.supervised then Hashtbl.replace t.results fiber.fid Finished
+    | Ok (Yielded k) ->
         save_env t fiber;
         fiber.state <- Some (Cont k);
         Queue.push fiber t.runq
-    | Waiting (p, k) ->
+    | Ok (Waiting (p, internal, k)) ->
         save_env t fiber;
         fiber.state <- Some (Cont k);
         fiber.pred <- Some p;
-        t.blocked <- t.blocked @ [ fiber ]);
+        fiber.internal_wait <- internal;
+        Queue.push fiber t.blocked);
     schedule t
   end
 
 let main t f =
-  go t f;
+  ignore (spawn t ~root:true ~supervised:false f);
   schedule t
 
 let kick t = schedule t
-let blocked_count t = List.length t.blocked
+let blocked_count t = Queue.length t.blocked
+let kill_count t = t.kill_count
 let machine t = t.machine
 let switch_count t = t.exec_switches

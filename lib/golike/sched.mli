@@ -10,6 +10,16 @@
 
 type t
 
+type exit_status = Finished | Killed of string
+
+exception Deadlock of { fiber_ids : int list }
+(** Raised by the scheduler when every remaining blocked fiber waits on
+    a predicate only another fiber could satisfy (a channel, mutex or
+    waitgroup) and no fiber is runnable: nothing can ever fire. Fibers
+    blocked on externally-satisfiable predicates (fd readiness) keep the
+    scheduler returning normally, since a later {!kick} may deliver the
+    event. *)
+
 val create :
   machine:Encl_litterbox.Machine.t ->
   lb:Encl_litterbox.Litterbox.t option ->
@@ -18,19 +28,46 @@ val create :
 
 val go : t -> (unit -> unit) -> unit
 (** Spawn a goroutine inheriting the current execution environment. May
-    be called from inside or outside a fiber. *)
+    be called from inside or outside a fiber.
+
+    {b Fault containment}: a fiber that dies of an enclosure fault
+    ([Litterbox.Fault], [Litterbox.Quarantined], [Cpu.Fault], a seccomp
+    kill) is killed and reaped — the fault is accounted with LitterBox,
+    the trusted environment restored, the exit recorded — and the
+    scheduler carries on with the remaining fibers. Any other exception
+    still tears the scheduler down (a runtime bug, not a contained
+    fault). *)
+
+val spawn_supervised : t -> (unit -> unit) -> int
+(** Like {!go}, but panic/recover-style: {e any} exception (except the
+    program-exit one) kills only this fiber, and its outcome is
+    available via {!result} under the returned fiber id. *)
+
+val result : t -> int -> exit_status option
+(** Exit status of a reaped or finished fiber: [Killed reason] for any
+    killed fiber, [Finished] for supervised fibers that completed.
+    [None] while still running/blocked (or for an unsupervised fiber
+    that finished normally). *)
+
+val kill_count : t -> int
+(** Fibers killed and reaped so far. *)
 
 val yield : t -> unit
 (** Cooperatively yield the current fiber. No-op outside fibers. *)
 
-val wait_until : t -> (unit -> bool) -> unit
+val wait_until : ?internal:bool -> t -> (unit -> bool) -> unit
 (** Block the current fiber until the predicate holds. The predicate is
-    re-evaluated every scheduling round. Must be called from a fiber. *)
+    re-evaluated every scheduling round. Must be called from a fiber.
+    [internal] (default [false]) marks the wait as satisfiable only by
+    another fiber — the deadlock detector's input; leave it [false] for
+    anything the outside world can trigger. *)
 
 val main : t -> (unit -> unit) -> unit
 (** Run [f] as the initial goroutine and schedule until no fiber is
     runnable. Blocked fibers (e.g. servers waiting for connections)
-    survive across calls: a later {!kick} resumes scheduling. *)
+    survive across calls: a later {!kick} resumes scheduling. The
+    initial fiber is the {e root}: a fault it raises propagates out
+    (aborts the program, per the paper) instead of being contained. *)
 
 val kick : t -> unit
 (** Re-enter the scheduler: promote fibers whose wait predicates have

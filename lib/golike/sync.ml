@@ -4,7 +4,7 @@ module Mutex = struct
   let create sched = { sched; locked = false }
 
   let rec lock t =
-    Sched.wait_until t.sched (fun () -> not t.locked);
+    Sched.wait_until ~internal:true t.sched (fun () -> not t.locked);
     (* Another waiter may have grabbed it between wake-up and here. *)
     if t.locked then lock t else t.locked <- true
 
@@ -32,7 +32,7 @@ module Waitgroup = struct
     if t.count <= 0 then invalid_arg "Waitgroup.finish: counter underflow";
     t.count <- t.count - 1
 
-  let wait t = Sched.wait_until t.sched (fun () -> t.count = 0)
+  let wait t = Sched.wait_until ~internal:true t.sched (fun () -> t.count = 0)
   let count t = t.count
 end
 

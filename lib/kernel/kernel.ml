@@ -12,6 +12,7 @@ type errno =
   | Econnrefused
   | Epipe
   | Enosys
+  | Eintr
 
 let errno_name = function
   | Eperm -> "EPERM"
@@ -27,6 +28,7 @@ let errno_name = function
   | Econnrefused -> "ECONNREFUSED"
   | Epipe -> "EPIPE"
   | Enosys -> "ENOSYS"
+  | Eintr -> "EINTR"
 
 let errno_of_vfs = function
   | Vfs.Enoent -> Enoent
@@ -148,6 +150,7 @@ type t = {
   counts : (Sysno.t, int) Hashtbl.t;
   mutable total : int;
   obs : Encl_obs.Obs.t;
+  mutable inject : Encl_fault.Fault.t option;
 }
 
 let create ~clock ~costs ~cpu ~trusted_env ~vfs ~net ~mm ~obs =
@@ -167,7 +170,24 @@ let create ~clock ~costs ~cpu ~trusted_env ~vfs ~net ~mm ~obs =
     counts = Hashtbl.create 64;
     total = 0;
     obs;
+    inject = None;
   }
+
+let set_injector t inj =
+  Encl_fault.Fault.register inj ~point:"kernel.transient_eintr"
+    ~doc:"blocking network syscall returns EINTR instead of executing";
+  Encl_fault.Fault.register inj ~point:"kernel.transient_eagain"
+    ~doc:"blocking network syscall returns EAGAIN instead of executing";
+  Encl_fault.Fault.register inj ~point:"kernel.seccomp_delay"
+    ~doc:"seccomp verdict delayed, as if the BPF cache went cold";
+  t.inject <- Some inj
+
+let injected t point =
+  match t.inject with
+  | None -> false
+  | Some inj ->
+      Encl_fault.Fault.active inj
+      && Encl_fault.Fault.fires inj ~env:(Cpu.env t.cpu).Cpu.label point
 
 let vfs t = t.vfs
 let net t = t.net
@@ -500,6 +520,9 @@ let syscall t call =
     let action, steps = Seccomp.check_counted t.seccomp data in
     Clock.consume t.clock Clock.Syscall
       (if steps <= 4 then t.costs.Costs.seccomp_fast else t.costs.Costs.seccomp_eval);
+    if injected t "kernel.seccomp_delay" then
+      (* Verdict unchanged, just late: a cold BPF JIT cache. *)
+      Clock.consume t.clock Clock.Syscall (10 * t.costs.Costs.seccomp_eval);
     match action with
     | Bpf.Allow -> ()
     | Bpf.Kill | Bpf.Trap ->
@@ -508,7 +531,19 @@ let syscall t call =
     | Bpf.Errno _ -> ()
   end;
   Clock.consume t.clock Clock.Syscall (service_cost call);
-  let result = execute t call in
+  (* Chaos: blocking network calls may fail transiently before touching
+     the fd — the classic retry surface. *)
+  let transient =
+    match call with
+    | Recv _ | Send _ | Accept _ ->
+        if injected t "kernel.transient_eintr" then Some Eintr
+        else if injected t "kernel.transient_eagain" then Some Eagain
+        else None
+    | _ -> None
+  in
+  let result =
+    match transient with Some e -> Error e | None -> execute t call
+  in
   obs_syscall t nr ~t0 ~verdict:Encl_obs.Event.Allowed;
   result
 

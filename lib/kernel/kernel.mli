@@ -24,6 +24,7 @@ type errno =
   | Econnrefused
   | Epipe
   | Enosys
+  | Eintr
 
 val errno_name : errno -> string
 
@@ -105,6 +106,14 @@ val install_seccomp : t -> Bpf.program -> (unit, string) result
 val seccomp_installed : t -> bool
 
 val pkey_allocator : t -> Mpk.allocator
+
+val set_injector : t -> Encl_fault.Fault.t -> unit
+(** Attach a chaos injector and register the kernel's hook points:
+    [kernel.transient_eintr] / [kernel.transient_eagain] (a blocking
+    network call — [Recv], [Send], [Accept] — returns the errno without
+    executing; the operation succeeds when retried) and
+    [kernel.seccomp_delay] (the verdict stands but arrives late).
+    Consultations carry the CPU's current environment label. *)
 
 val syscall : t -> call -> (int, errno) result
 (** Full dispatch: trap cost, seccomp (PKRU read from the CPU's current

@@ -46,9 +46,26 @@ type listener = { port : int; backlog : ep Queue.t }
 type t = {
   listeners : (int, listener) Hashtbl.t;
   remotes : (int * int, remote) Hashtbl.t;
+  mutable inject : Encl_fault.Fault.t option;
 }
 
-let create () = { listeners = Hashtbl.create 8; remotes = Hashtbl.create 8 }
+let create () =
+  { listeners = Hashtbl.create 8; remotes = Hashtbl.create 8; inject = None }
+
+let set_injector t inj =
+  Encl_fault.Fault.register inj ~point:"net.conn_drop"
+    ~doc:"connection torn down mid-operation (both endpoints closed)";
+  Encl_fault.Fault.register inj ~point:"net.partial_read"
+    ~doc:"recv returns only half the available bytes";
+  Encl_fault.Fault.register inj ~point:"net.partial_write"
+    ~doc:"send delivers only a prefix of the payload";
+  t.inject <- Some inj
+
+let injected t point =
+  match t.inject with
+  | None -> false
+  | Some inj ->
+      Encl_fault.Fault.active inj && Encl_fault.Fault.fires inj ~env:"net" point
 
 let loopback = 0x7f000001
 
@@ -73,13 +90,30 @@ let pair () =
   b.peer <- Peer_ep a;
   (a, b)
 
-let send _t ep data =
+let drop_conn ep =
+  (match ep.peer with Peer_ep other -> other.closed <- true | _ -> ());
+  ep.closed <- true
+
+let send t ep data =
   if ep.closed then Error "send on closed socket"
+  else if injected t "net.conn_drop" then begin
+    drop_conn ep;
+    Error "connection dropped"
+  end
   else
     match ep.peer with
     | Peer_none -> Error "socket not connected"
     | Peer_ep other ->
         if other.closed then Error "peer closed (EPIPE)"
+        else if
+          injected t "net.partial_write" && Bytes.length data > 1
+        then begin
+          (* Deliver a prefix; the caller sees a short count and must
+             resend the rest, as with a full socket buffer. *)
+          let n = Bytes.length data / 2 in
+          Bytebuf.push other.inbox (Bytes.sub data 0 n);
+          Ok n
+        end
         else begin
           Bytebuf.push other.inbox data;
           Ok (Bytes.length data)
@@ -99,8 +133,14 @@ let readable _t ep =
      | Peer_none -> true
      | Peer_remote _ -> false)
 
-let recv _t ep n =
-  if Bytebuf.size ep.inbox > 0 then Data (Bytebuf.pop ep.inbox n)
+let recv t ep n =
+  if Bytebuf.size ep.inbox > 0 then begin
+    let n =
+      if injected t "net.partial_read" then max 1 (min n (Bytebuf.size ep.inbox) / 2)
+      else n
+    in
+    Data (Bytebuf.pop ep.inbox n)
+  end
   else if ep.closed then Eof
   else
     match ep.peer with

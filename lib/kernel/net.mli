@@ -11,6 +11,13 @@ type t
 
 val create : unit -> t
 
+val set_injector : t -> Encl_fault.Fault.t -> unit
+(** Attach a chaos injector and register the network's hook points:
+    [net.conn_drop] (both endpoints closed mid-send), [net.partial_read]
+    (recv returns half the buffered bytes) and [net.partial_write] (send
+    delivers only a prefix and reports the short count). Consultations
+    carry the environment label ["net"]. *)
+
 (** {2 Addresses} *)
 
 val loopback : int

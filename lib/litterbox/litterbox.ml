@@ -12,6 +12,7 @@ type backend = Mpk | Vtx | Lwc
 let backend_name = function Mpk -> "LB_MPK" | Vtx -> "LB_VTX" | Lwc -> "LB_LWC"
 
 exception Fault of { reason : string; enclosure : string option }
+exception Quarantined of { enclosure : string; faults : int }
 
 let log_src = Logs.Src.create "litterbox" ~doc:"LitterBox enclosure backend"
 
@@ -30,6 +31,8 @@ type enc_rt = {
   mutable e_pkru : Mpk.pkru;
   mutable e_pt : Pagetable.t option;
   mutable e_env : Cpu.env option;
+  mutable e_faults : int;
+  mutable e_quarantined : bool;
 }
 
 type env_ref = enc_rt list
@@ -53,6 +56,7 @@ type t = {
   mutable transfers : int;
   mutable faults : int;
   mutable fault_log : string list;
+  mutable fault_budget : int;  (** per-enclosure; [max_int] = no quarantine *)
 }
 
 let machine t = t.machine
@@ -86,16 +90,45 @@ let emit_switch t ~t0 kind =
 
 let scope_name = function [] -> "trusted" | enc :: _ -> enc.e_name
 
-let fault t ?enclosure reason =
+(* Which enclosure does an environment label ("enc:<name>") belong to? *)
+let enc_of_env_label label =
+  if String.length label > 4 && String.sub label 0 4 = "enc:" then
+    Some (String.sub label 4 (String.length label - 4))
+  else None
+
+(* The single fault-accounting point: every fault — raised by [fault],
+   caught from the CPU or from seccomp — flows through here exactly
+   once, keeping t.faults, t.fault_log, the obs "fault" counter and the
+   per-enclosure quarantine budget in lockstep. [trace] is the log-book
+   entry; [reason] is what the obs event carries. *)
+let record_fault t ?enclosure ~trace reason =
   t.faults <- t.faults + 1;
+  t.fault_log <- trace :: t.fault_log;
+  Log.err (fun m -> m "%s" trace);
+  note_fault t reason;
+  match Option.bind enclosure (Hashtbl.find_opt t.encs) with
+  | None -> ()
+  | Some enc ->
+      enc.e_faults <- enc.e_faults + 1;
+      if (not enc.e_quarantined) && enc.e_faults >= t.fault_budget then begin
+        enc.e_quarantined <- true;
+        Log.warn (fun m ->
+            m "enclosure %s quarantined after %d faults" enc.e_name enc.e_faults);
+        let o = obs t in
+        if Obs.enabled o then begin
+          Obs.incr o "quarantine";
+          Obs.emit o
+            (Event.Quarantine { enclosure = enc.e_name; faults = enc.e_faults })
+        end
+      end
+
+let fault t ?enclosure reason =
   let trace =
     Printf.sprintf "fault%s: %s"
       (match enclosure with Some e -> " in " ^ e | None -> "")
       reason
   in
-  t.fault_log <- trace :: t.fault_log;
-  Log.err (fun m -> m "%s" trace);
-  note_fault t reason;
+  record_fault t ?enclosure ~trace reason;
   raise (Fault { reason; enclosure })
 
 (* ------------------------------------------------------------------ *)
@@ -400,6 +433,8 @@ let make_enc t ~name ~owner ~deps ~policy ~closure_addr =
               e_pkru = Mpk.pkru_all_access;
               e_pt = None;
               e_env = None;
+              e_faults = 0;
+              e_quarantined = false;
             })
 
 let init ~machine ~backend ~image ?(binary_scan = []) ?(clustering = true) () =
@@ -426,6 +461,7 @@ let init ~machine ~backend ~image ?(binary_scan = []) ?(clustering = true) () =
           transfers = 0;
           faults = 0;
           fault_log = [];
+          fault_budget = max_int;
         }
       in
       Obs.set_backend machine.Machine.obs (backend_name backend);
@@ -626,6 +662,11 @@ let prolog t ~name ~site =
   match Hashtbl.find_opt t.encs name with
   | None -> fault t (Printf.sprintf "unknown enclosure %s" name)
   | Some enc ->
+      (* Fail-closed degradation: a quarantined enclosure can no longer
+         be entered — refuse before charging any switch cost. Not a new
+         fault (the budget-crossing fault was already recorded). *)
+      if enc.e_quarantined then
+        raise (Quarantined { enclosure = name; faults = enc.e_faults });
       (match t.stack with
       | [] -> ()
       | top :: _ ->
@@ -732,13 +773,13 @@ let syscall t call =
   | Mpk -> (
       try K.syscall t.machine.Machine.kernel call
       with K.Syscall_killed { nr; env } ->
-        t.faults <- t.faults + 1;
         let reason =
           Printf.sprintf "seccomp killed system call %s in %s" (Sysno.name nr)
             env
         in
-        note_fault t reason;
-        raise (Fault { reason; enclosure = in_enclosure t }))
+        let enclosure = in_enclosure t in
+        record_fault t ?enclosure ~trace:reason reason;
+        raise (Fault { reason; enclosure }))
   | Vtx -> (
       match t.stack with
       | top :: _ when not (filter_allows_call top.e_policy.Policy.filter call) ->
@@ -913,16 +954,51 @@ let transfer_count t = t.transfers
 let fault_count t = t.faults
 let fault_log t = t.fault_log
 
-let run_protected t f =
-  match f () with
-  | v -> Ok v
-  | exception Fault { reason; enclosure } ->
-      Error
+(* ------------------------------------------------------------------ *)
+(* Quarantine control                                                  *)
+
+let set_fault_budget t n =
+  if n < 1 then invalid_arg "Litterbox.set_fault_budget: budget must be >= 1";
+  t.fault_budget <- n
+
+let fault_budget t = t.fault_budget
+
+let quarantined t name =
+  match Hashtbl.find_opt t.encs name with
+  | Some enc -> enc.e_quarantined
+  | None -> false
+
+let enclosure_fault_count t name =
+  match Hashtbl.find_opt t.encs name with Some enc -> enc.e_faults | None -> 0
+
+let unquarantine t name =
+  match Hashtbl.find_opt t.encs name with
+  | None -> Error (Printf.sprintf "unknown enclosure %s" name)
+  | Some enc ->
+      enc.e_quarantined <- false;
+      enc.e_faults <- 0;
+      Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* Fault absorption                                                    *)
+
+(* Turn a fault-family exception into a description, accounting it if
+   (and only if) it has not been accounted yet: [Fault] and
+   [Quarantined] were recorded at the raise site; a [Cpu.Fault] or
+   [K.Syscall_killed] escaped the lower layers uncounted and is charged
+   here, attributed to the enclosure named by the faulting environment's
+   label. Non-fault exceptions yield [None]. *)
+let absorb_fault t = function
+  | Fault { reason; enclosure } ->
+      Some
         (Printf.sprintf "enclosure fault%s: %s"
            (match enclosure with Some e -> " in " ^ e | None -> "")
            reason)
-  | exception Cpu.Fault info ->
-      t.faults <- t.faults + 1;
+  | Quarantined { enclosure; faults } ->
+      Some
+        (Printf.sprintf "enclosure %s is quarantined (%d faults)" enclosure
+           faults)
+  | Cpu.Fault info ->
       (* Root-cause trace: name the package that owns the address. *)
       let owner =
         match owner_of t ~addr:info.Cpu.vaddr with
@@ -930,14 +1006,20 @@ let run_protected t f =
         | None -> " (address is outside any package section)"
       in
       let trace = Format.asprintf "%a%s" Cpu.pp_fault info owner in
-      t.fault_log <- trace :: t.fault_log;
-      Log.err (fun m -> m "%s" trace);
-      note_fault t trace;
-      Error trace
-  | exception K.Syscall_killed { nr; env } ->
-      t.faults <- t.faults + 1;
+      record_fault t
+        ?enclosure:(enc_of_env_label info.Cpu.env)
+        ~trace trace;
+      Some trace
+  | K.Syscall_killed { nr; env } ->
       let reason =
         Printf.sprintf "seccomp killed system call %s in %s" (Sysno.name nr) env
       in
-      note_fault t reason;
-      Error reason
+      record_fault t ?enclosure:(enc_of_env_label env) ~trace:reason reason;
+      Some reason
+  | _ -> None
+
+let run_protected t f =
+  match f () with
+  | v -> Ok v
+  | exception e -> (
+      match absorb_fault t e with Some msg -> Error msg | None -> raise e)

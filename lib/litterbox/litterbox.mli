@@ -29,6 +29,12 @@ exception Fault of { reason : string; enclosure : string option }
 (** An enclosure violated its policy, or a switch was rejected. "A fault
     stops the execution of the closure and aborts the program." *)
 
+exception Quarantined of { enclosure : string; faults : int }
+(** Raised by {!prolog} when the target enclosure has exhausted its fault
+    budget: fail-closed degradation — the enclosure can no longer be
+    entered (no cost is charged, no new fault recorded) until a trusted
+    caller {!unquarantine}s it. *)
+
 type t
 
 (** {2 Initialization} *)
@@ -162,9 +168,45 @@ val fault_count : t -> int
 val fault_log : t -> string list
 (** Root-cause traces of the faults seen so far, most recent first (the
     paper's LB_VTX "prints a trace of the root-cause"). Memory faults are
-    annotated with the owning package of the offending address. *)
+    annotated with the owning package of the offending address. Every
+    fault — raised, CPU, or seccomp kill — contributes exactly one
+    entry, matching {!fault_count} and the obs ["fault"] total. *)
+
+(** {2 Quarantine}
+
+    Each enclosure carries a fault counter; when it reaches the
+    LitterBox-wide budget the enclosure is {e quarantined} and further
+    {!prolog} calls raise {!Quarantined} without entering it. The budget
+    defaults to [max_int] (quarantine disabled). *)
+
+val set_fault_budget : t -> int -> unit
+(** Set the per-enclosure fault budget (>= 1, else [Invalid_argument]).
+    Applies to faults recorded from then on. *)
+
+val fault_budget : t -> int
+val quarantined : t -> string -> bool
+
+val enclosure_fault_count : t -> string -> int
+(** Faults attributed to the named enclosure so far. *)
+
+val unquarantine : t -> string -> (unit, string) result
+(** Trusted reset: clear the enclosure's quarantine flag and its fault
+    counter. Errors on an unknown enclosure name. *)
+
+(** {2 Fault absorption} *)
+
+val absorb_fault : t -> exn -> string option
+(** [absorb_fault t e] is [Some message] when [e] belongs to the fault
+    family ({!Fault}, {!Quarantined}, {!Cpu.Fault},
+    {!Encl_kernel.Kernel.Syscall_killed}) and [None] otherwise. A
+    {!Cpu.Fault} or seccomp kill that escaped the lower layers uncounted
+    is recorded here (counter, log, obs, quarantine budget), attributed
+    to the enclosure named by the faulting environment label; [Fault]
+    and [Quarantined] were already accounted at their raise site. The
+    supervisor layers (scheduler, [run_protected]) are its callers. *)
 
 val run_protected : t -> (unit -> 'a) -> ('a, string) result
-(** Run [f], mapping enclosure faults ({!Fault}, {!Cpu.Fault},
-    seccomp kills) to [Error message]. The paper aborts the program; a
-    library embedding reports the fault to its caller instead. *)
+(** Run [f], mapping enclosure faults ({!Fault}, {!Quarantined},
+    {!Cpu.Fault}, seccomp kills) to [Error message]. The paper aborts
+    the program; a library embedding reports the fault to its caller
+    instead. *)

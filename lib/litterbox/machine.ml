@@ -10,6 +10,7 @@ type t = {
   net : Encl_kernel.Net.t;
   kernel : Encl_kernel.Kernel.t;
   obs : Encl_obs.Obs.t;
+  inject : Encl_fault.Fault.t;
 }
 
 let create ?(costs = Costs.default) () =
@@ -26,7 +27,32 @@ let create ?(costs = Costs.default) () =
   let kernel =
     Encl_kernel.Kernel.create ~clock ~costs ~cpu ~trusted_env ~vfs ~net ~mm ~obs
   in
-  { phys; clock; costs; trusted_pt; trusted_env; cpu; mm; vfs; net; kernel; obs }
+  (* One injector spans the whole machine: every component registers its
+     hook points here, and every firing lands in the obs sink. Inert
+     (nothing armed, `active` false) unless a chaos plan arms it. *)
+  let inject = Encl_fault.Fault.create () in
+  Cpu.set_injector cpu inject;
+  Encl_kernel.Kernel.set_injector kernel inject;
+  Encl_kernel.Net.set_injector net inject;
+  Encl_fault.Fault.on_fire inject (fun ~point ~env:_ ->
+      if Encl_obs.Obs.enabled obs then begin
+        Encl_obs.Obs.incr obs "inject";
+        Encl_obs.Obs.emit obs (Encl_obs.Event.Inject { point })
+      end);
+  {
+    phys;
+    clock;
+    costs;
+    trusted_pt;
+    trusted_env;
+    cpu;
+    mm;
+    vfs;
+    net;
+    kernel;
+    obs;
+    inject;
+  }
 
 let with_trusted t f =
   let saved = Cpu.env t.cpu in

@@ -19,6 +19,11 @@ type t = {
   obs : Encl_obs.Obs.t;
       (** Observability sink reading the simulated clock; disabled by
           default ({!Encl_obs.Obs.default_enabled}). *)
+  inject : Encl_fault.Fault.t;
+      (** The machine-wide chaos injector. CPU, kernel and network hook
+          points are registered at creation; inert until a plan is armed.
+          Firings are mirrored into [obs] (counter ["inject"], event
+          [Inject]) when the sink is enabled. *)
 }
 
 val create : ?costs:Costs.t -> unit -> t

@@ -9,6 +9,10 @@ type kind =
   | Fault of { reason : string }
   | Gc of { spans : int }
   | Alloc_span of { pkg : string; bytes : int }
+  | Inject of { point : string }
+  | Fiber_kill of { fid : int; reason : string }
+  | Quarantine of { enclosure : string; faults : int }
+  | Retry of { op : string; attempt : int }
 
 type t = {
   ts : int;
@@ -30,6 +34,10 @@ let kind_name = function
   | Fault _ -> "fault"
   | Gc _ -> "gc"
   | Alloc_span { pkg; _ } -> "alloc_span:" ^ pkg
+  | Inject { point } -> "inject:" ^ point
+  | Fiber_kill { fid; _ } -> "fiber_kill:" ^ string_of_int fid
+  | Quarantine { enclosure; _ } -> "quarantine:" ^ enclosure
+  | Retry { op; _ } -> "retry:" ^ op
 
 let kind_category = function
   | Prolog _ | Epilog _ | Execute _ -> "switch"
@@ -38,6 +46,10 @@ let kind_category = function
   | Fault _ -> "fault"
   | Gc _ -> "gc"
   | Alloc_span _ -> "alloc"
+  | Inject _ -> "inject"
+  | Fiber_kill _ -> "fiber_kill"
+  | Quarantine _ -> "quarantine"
+  | Retry _ -> "retry"
 
 let args = function
   | Prolog { enclosure; site } -> [ ("enclosure", enclosure); ("site", site) ]
@@ -52,6 +64,12 @@ let args = function
   | Gc { spans } -> [ ("spans", string_of_int spans) ]
   | Alloc_span { pkg; bytes } ->
       [ ("pkg", pkg); ("bytes", string_of_int bytes) ]
+  | Inject { point } -> [ ("point", point) ]
+  | Fiber_kill { fid; reason } ->
+      [ ("fid", string_of_int fid); ("reason", reason) ]
+  | Quarantine { enclosure; faults } ->
+      [ ("enclosure", enclosure); ("faults", string_of_int faults) ]
+  | Retry { op; attempt } -> [ ("op", op); ("attempt", string_of_int attempt) ]
 
 let pp ppf t =
   Format.fprintf ppf "[%d+%dns %s%s] %s" t.ts t.dur t.backend

@@ -25,6 +25,14 @@ type kind =
       (** A stop-the-world collection pass over [spans] live spans. *)
   | Alloc_span of { pkg : string; bytes : int }
       (** A fresh allocator span assigned to a package's arena. *)
+  | Inject of { point : string }
+      (** The chaos injector fired at a hook point. *)
+  | Fiber_kill of { fid : int; reason : string }
+      (** The scheduler reaped a faulting fiber. *)
+  | Quarantine of { enclosure : string; faults : int }
+      (** An enclosure crossed its fault budget; Prolog now fails fast. *)
+  | Retry of { op : string; attempt : int }
+      (** An app-level retry of a transiently-failing operation. *)
 
 type t = {
   ts : int;  (** simulated ns at which the operation started *)

@@ -29,10 +29,18 @@ type t = {
   costs : Costs.t;
   tlb : Tlb.t;
   mutable current : env;
+  mutable inject : Encl_fault.Fault.t option;
 }
 
 let create ~phys ~clock ~costs env =
-  { phys; clock; costs; tlb = Tlb.create (); current = env }
+  { phys; clock; costs; tlb = Tlb.create (); current = env; inject = None }
+
+let set_injector t inj =
+  Encl_fault.Fault.register inj ~point:"cpu.spurious_fault"
+    ~doc:"page fault raised before the walk, as if the TLB lied";
+  Encl_fault.Fault.register inj ~point:"cpu.pte_perm_flip"
+    ~doc:"transient permission denial on an otherwise-valid PTE";
+  t.inject <- Some inj
 
 let phys t = t.phys
 let clock t = t.clock
@@ -52,9 +60,21 @@ let addr_of_vpn vpn = vpn * Phys.page_size
 let fault t kind vaddr reason =
   raise (Fault { kind; vaddr; env = t.current.label; reason })
 
+(* Chaos hook: consult the injector at [point], charging the fault to
+   the current environment. Transient by construction — nothing in the
+   page tables is mutated, so the retry after recovery succeeds. *)
+let injected t point =
+  match t.inject with
+  | None -> false
+  | Some inj ->
+      Encl_fault.Fault.active inj
+      && Encl_fault.Fault.fires inj ~env:t.current.label point
+
 (* Check one page; returns the PTE for data movement. *)
 let check_page t kind vaddr =
   let vpn = vpn_of_addr vaddr in
+  if injected t "cpu.spurious_fault" then
+    fault t kind vaddr "injected spurious page fault";
   ignore (Tlb.access t.tlb ~space:(Pagetable.name t.current.pt) ~vpn);
   match Pagetable.walk t.current.pt ~vpn with
   | None -> fault t kind vaddr "page not mapped"
@@ -78,6 +98,8 @@ let check_page t kind vaddr =
               (Printf.sprintf "protection key %d denies %s" pte.Pte.pkey
                  (access_kind_name kind))
       | Exec -> ());
+      if injected t "cpu.pte_perm_flip" then
+        fault t kind vaddr "injected transient PTE permission flip";
       pte
 
 let check t kind ~addr ~len =

@@ -52,6 +52,13 @@ val set_env : t -> env -> unit
 val tlb : t -> Tlb.t
 (** The CPU's translation cache (statistics only; see {!Tlb}). *)
 
+val set_injector : t -> Encl_fault.Fault.t -> unit
+(** Attach a chaos injector and register the CPU's hook points
+    ([cpu.spurious_fault], [cpu.pte_perm_flip]). Both inject {e
+    transient} faults: the page tables are never mutated, so a retried
+    access succeeds. Consultations carry the current environment label,
+    letting plans target only enclosure code (prefix ["enc:"]). *)
+
 val check : t -> access_kind -> addr:int -> len:int -> unit
 (** Validate an access of [len] bytes at [addr] in the current environment;
     raises {!Fault} on the first offending page. *)

@@ -599,9 +599,19 @@ func sneak() { getuid() }
         in
         let liba = "package libA\nfunc noop() { return 0 }" in
         let t = build [ src; liba ] in
-        match Minigo.run_main t with
-        | Error _ -> ()
-        | Ok () -> Alcotest.fail "inherited environment did not filter the syscall");
+        (match Minigo.run_main t with
+        | Ok () -> ()
+        | Error e -> Alcotest.fail ("main should survive the killed goroutine: " ^ e));
+        (* The spawned goroutine inherited the enclosure environment, so
+           its getuid() was filtered: the fault is recorded and the
+           fiber reaped — without taking the program down. *)
+        let rt = Minigo.runtime t in
+        let lb = Option.get (Encl_golike.Runtime.lb rt) in
+        Alcotest.(check bool)
+          "syscall was filtered (fault recorded)" true
+          (Encl_litterbox.Litterbox.fault_count lb > 0);
+        Alcotest.(check int) "sneak fiber reaped" 1
+          (Encl_golike.Sched.kill_count (Encl_golike.Runtime.sched rt)));
   ]
 
 
