@@ -1,8 +1,15 @@
 #!/bin/sh
 # CI smoke: build, run the test suite, run the quick benchmark sweep,
-# and check that every machine-readable artifact parses back as JSON.
+# check that every machine-readable artifact parses back as JSON,
+# profile a workload under both isolation backends, and hold fresh
+# bench numbers to the committed baseline.
 # Run from the repository root:  sh bin/ci.sh
 set -eu
+
+# Scratch space for everything CI writes besides the bench artifacts;
+# cleaned up even when a step fails.
+tmp=$(mktemp -d "${TMPDIR:-/tmp}/encl-ci.XXXXXX")
+trap 'rm -rf "$tmp"' EXIT INT TERM
 
 dune build
 dune runtest
@@ -15,22 +22,42 @@ if [ ! -f BENCH_results.json ]; then
 fi
 dune exec bin/trace_dump.exe -- validate BENCH_results.json
 
+# Bench regression gate: fresh quick-mode rows must stay within each
+# metric's tolerance of bench/baseline.json (exit 1 on regression).
+dune exec bin/profile.exe -- gate
+
 dune exec bin/trace_dump.exe -- wiki --requests 200
 dune exec bin/trace_dump.exe -- validate trace.json
 dune exec bin/trace_dump.exe -- validate metrics.json
 
+# Profiler smoke: attribution must conserve every simulated nanosecond
+# under both backends, the emitted profiles must parse, and two runs of
+# the same workload must produce byte-identical artifacts.
+dune exec bin/profile.exe -- http --backend mpk --out-dir "$tmp"
+dune exec bin/profile.exe -- http --backend vtx --out-dir "$tmp"
+dune exec bin/trace_dump.exe -- validate "$tmp/profile.speedscope.json"
+mkdir "$tmp/rerun"
+dune exec bin/profile.exe -- http --backend vtx --out-dir "$tmp/rerun" > /dev/null
+if ! cmp -s "$tmp/flamegraph.folded" "$tmp/rerun/flamegraph.folded" ||
+   ! cmp -s "$tmp/profile.speedscope.json" "$tmp/rerun/profile.speedscope.json"; then
+  echo "ci: profile runs of the same workload diverged" >&2
+  exit 1
+fi
+
+# The paper's Table 1 ordering must hold: VT-x spends a larger share of
+# wall time switching than MPK does.
+dune exec bin/profile.exe -- overhead
+
 # Chaos smoke: the server must stay up under fault injection (exit 1
 # below 90% availability), and the run must be deterministic — two runs
 # with the same seed produce byte-identical output.
-dune exec bin/chaos.exe -- http --seed 42 > chaos_run_a.txt
-dune exec bin/chaos.exe -- http --seed 42 > chaos_run_b.txt
-if ! cmp -s chaos_run_a.txt chaos_run_b.txt; then
+dune exec bin/chaos.exe -- http --seed 42 > "$tmp/chaos_run_a.txt"
+dune exec bin/chaos.exe -- http --seed 42 > "$tmp/chaos_run_b.txt"
+if ! cmp -s "$tmp/chaos_run_a.txt" "$tmp/chaos_run_b.txt"; then
   echo "ci: chaos runs with the same seed diverged" >&2
-  diff chaos_run_a.txt chaos_run_b.txt >&2 || true
-  rm -f chaos_run_a.txt chaos_run_b.txt
+  diff "$tmp/chaos_run_a.txt" "$tmp/chaos_run_b.txt" >&2 || true
   exit 1
 fi
-rm -f chaos_run_a.txt chaos_run_b.txt
 dune exec bin/chaos.exe -- wiki --seed 42
 
 echo "ci: ok"

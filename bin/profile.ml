@@ -1,0 +1,306 @@
+(* profile: causal-span profiler for the simulated machine.
+
+   Runs a named scenario with observability enabled and answers "where
+   did every simulated nanosecond go?" — the attribution ledger charges
+   each clock tick to the innermost open span's (enclosure x category)
+   cell, so the breakdown is exact (conservation is checked, not
+   assumed) and byte-identical across runs.
+
+   Usage:
+     dune exec bin/profile.exe -- http --backend mpk
+     dune exec bin/profile.exe -- wiki --backend vtx --top 20
+     dune exec bin/profile.exe -- overhead            # MPK vs VT-x shares
+     dune exec bin/profile.exe -- gate                # bench regression gate
+
+   Scenario runs write flamegraph.folded (collapsed stacks, feed to
+   flamegraph.pl) and profile.speedscope.json (load at speedscope.app)
+   into --out-dir. *)
+
+module Runtime = Encl_golike.Runtime
+module Machine = Encl_litterbox.Machine
+module Lb = Encl_litterbox.Litterbox
+module Scenarios = Encl_apps.Scenarios
+module Obs = Encl_obs.Obs
+module Span = Encl_obs.Span
+module Attrib = Encl_obs.Attrib
+module Export = Encl_obs.Export
+module Gate = Encl_obs.Gate
+open Cmdliner
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc contents)
+
+let run_scenario name backend requests =
+  Obs.default_enabled := true;
+  Scenarios.run_named name backend ?requests ()
+
+(* Exit non-zero if any simulated nanosecond went missing: the ledger
+   must account for exactly the elapsed clock. *)
+let conservation_problems obs =
+  let a = Obs.attribution obs in
+  if Attrib.conserved a then []
+  else
+    [
+      Printf.sprintf "conservation violated: attributed %dns of %dns elapsed"
+        (Attrib.total a) (Attrib.elapsed a);
+    ]
+
+let span_drop_warning obs =
+  let spans = Obs.spans obs in
+  if Span.dropped spans > 0 then
+    Printf.eprintf
+      "profile: warning: span ring overflowed, %d of %d spans evicted \
+       (attribution and close counts remain exact)\n"
+      (Span.dropped spans) (Span.total spans)
+
+(* ------------------------------------------------------------------ *)
+(* Scenario subcommands *)
+
+let run name backend requests out_dir top =
+  match run_scenario name backend requests with
+  | Error e ->
+      prerr_endline ("profile: " ^ e);
+      1
+  | Ok (rt, result_line) -> (
+      let obs = (Runtime.machine rt).Machine.obs in
+      Printf.printf "%s under %s: %s\n" name
+        (Scenarios.config_name backend)
+        result_line;
+      print_string (Export.attrib_table ~top obs);
+      let folded_path = Filename.concat out_dir "flamegraph.folded" in
+      let speedscope_path =
+        Filename.concat out_dir "profile.speedscope.json"
+      in
+      write_file folded_path (Export.flamegraph_folded obs);
+      write_file speedscope_path (Export.speedscope_json obs);
+      let spans = Obs.spans obs in
+      Printf.printf "%d spans (%d dropped from ring) -> %s, %s\n"
+        (Span.total spans) (Span.dropped spans) folded_path speedscope_path;
+      span_drop_warning obs;
+      match conservation_problems obs with
+      | [] -> 0
+      | problems ->
+          List.iter (fun p -> prerr_endline ("profile: " ^ p)) problems;
+          1)
+
+(* ------------------------------------------------------------------ *)
+(* overhead: MPK vs VT-x switch shares on the same workload *)
+
+type breakdown = {
+  b_name : string;
+  elapsed : int;
+  switch_ns : int;  (** prolog + epilog cells *)
+  syscall_ns : int;  (** trap + service + hypercall round-trips *)
+  user_ns : int;
+  mean_prolog : float;
+  mean_epilog : float;
+  conserved : bool;
+}
+
+let breakdown_of name obs =
+  let a = Obs.attribution obs in
+  let spans = Obs.spans obs in
+  let cat c = Attrib.category_total a (Span.category_name c) in
+  let mean c =
+    let n = Span.close_count spans c in
+    if n = 0 then 0.0 else float_of_int (cat c) /. float_of_int n
+  in
+  {
+    b_name = name;
+    elapsed = Attrib.elapsed a;
+    switch_ns = cat Span.Prolog + cat Span.Epilog;
+    syscall_ns = cat Span.Syscall + cat Span.Seccomp;
+    user_ns = Attrib.category_total a "user";
+    mean_prolog = mean Span.Prolog;
+    mean_epilog = mean Span.Epilog;
+    conserved = Attrib.conserved a;
+  }
+
+let share part total =
+  if total = 0 then 0.0 else 100.0 *. float_of_int part /. float_of_int total
+
+(* The paper's Table 1 one-way enclosure call costs (ns): the simulated
+   switch pair should keep VT-x an order of magnitude above MPK. *)
+let paper_call_mpk = 86.0
+let paper_call_vtx = 924.0
+
+let overhead scenario requests =
+  let run_one backend =
+    match run_scenario scenario (Some backend) requests with
+    | Error e -> Error e
+    | Ok (rt, result_line) ->
+        let obs = (Runtime.machine rt).Machine.obs in
+        let name = Scenarios.config_name (Some backend) in
+        Printf.printf "%s under %s: %s\n" scenario name result_line;
+        Ok (breakdown_of name obs)
+  in
+  match (run_one Lb.Mpk, run_one Lb.Vtx) with
+  | Error e, _ | _, Error e ->
+      prerr_endline ("profile: " ^ e);
+      1
+  | Ok mpk, Ok vtx ->
+      Printf.printf "\n%s wall-time breakdown (simulated ns)\n" scenario;
+      Printf.printf "%-8s %12s %18s %18s %18s %10s %10s\n" "backend" "elapsed"
+        "switch" "syscall" "user" "prolog/op" "epilog/op";
+      List.iter
+        (fun b ->
+          Printf.printf "%-8s %12d %11d %5.1f%% %11d %5.1f%% %11d %5.1f%% %10.1f %10.1f\n"
+            b.b_name b.elapsed b.switch_ns
+            (share b.switch_ns b.elapsed)
+            b.syscall_ns
+            (share b.syscall_ns b.elapsed)
+            b.user_ns
+            (share b.user_ns b.elapsed)
+            b.mean_prolog b.mean_epilog)
+        [ mpk; vtx ];
+      let mpk_share = share mpk.switch_ns mpk.elapsed in
+      let vtx_share = share vtx.switch_ns vtx.elapsed in
+      let pair_ratio =
+        if mpk.mean_prolog +. mpk.mean_epilog > 0.0 then
+          (vtx.mean_prolog +. vtx.mean_epilog)
+          /. (mpk.mean_prolog +. mpk.mean_epilog)
+        else 0.0
+      in
+      Printf.printf
+        "switch share: MPK %.2f%%, VT-x %.2f%%; per-pair cost ratio %.1fx \
+         (paper Table 1 call ratio %.1fx)\n"
+        mpk_share vtx_share pair_ratio (paper_call_vtx /. paper_call_mpk);
+      let problems =
+        List.concat
+          [
+            (if not mpk.conserved then [ "MPK run lost nanoseconds" ] else []);
+            (if not vtx.conserved then [ "VT-x run lost nanoseconds" ] else []);
+            (if vtx_share <= mpk_share then
+               [
+                 Printf.sprintf
+                   "VT-x switch share (%.2f%%) not above MPK (%.2f%%) — \
+                    contradicts paper Table 1"
+                   vtx_share mpk_share;
+               ]
+             else []);
+          ]
+      in
+      if problems = [] then begin
+        print_endline "overhead: consistent with paper Table 1 ordering";
+        0
+      end
+      else begin
+        List.iter (fun p -> prerr_endline ("profile: " ^ p)) problems;
+        1
+      end
+
+(* ------------------------------------------------------------------ *)
+(* gate: diff fresh bench results against the committed baseline *)
+
+let read_doc label path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error e -> Error (label ^ ": " ^ e)
+  | contents -> (
+      match Gate.parse_doc contents with
+      | Ok doc -> Ok doc
+      | Error e -> Error (Printf.sprintf "%s (%s): %s" label path e))
+
+let gate baseline_path results_path =
+  match
+    (read_doc "baseline" baseline_path, read_doc "results" results_path)
+  with
+  | Error e, _ | _, Error e ->
+      prerr_endline ("profile: " ^ e);
+      1
+  | Ok baseline, Ok fresh ->
+      let report = Gate.compare_docs ~baseline ~fresh in
+      print_string (Gate.render report);
+      if Gate.failed report then 1 else 0
+
+(* ------------------------------------------------------------------ *)
+(* Cmdliner wiring *)
+
+let backend_arg =
+  let parse = function
+    | "baseline" -> Ok None
+    | "mpk" -> Ok (Some Lb.Mpk)
+    | "vtx" -> Ok (Some Lb.Vtx)
+    | "lwc" -> Ok (Some Lb.Lwc)
+    | s -> Error (`Msg ("unknown backend " ^ s))
+  in
+  let print ppf c = Format.pp_print_string ppf (Scenarios.config_name c) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) (Some Lb.Mpk)
+    & info [ "backend" ] ~docv:"BACKEND" ~doc:"baseline, mpk, vtx or lwc.")
+
+let requests_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "requests" ] ~docv:"N"
+        ~doc:"Request count for the HTTP-style scenarios.")
+
+let out_dir_arg =
+  Arg.(
+    value
+    & opt string "."
+    & info [ "out-dir" ] ~docv:"DIR"
+        ~doc:
+          "Directory receiving flamegraph.folded and \
+           profile.speedscope.json.")
+
+let top_arg =
+  Arg.(
+    value
+    & opt int 12
+    & info [ "top" ] ~docv:"N"
+        ~doc:"Attribution cells to print before folding the rest.")
+
+let scenario_cmd sc =
+  Cmd.v
+    (Cmd.info sc
+       ~doc:("Profile the " ^ sc ^ " scenario: attribution table + stacks."))
+    Term.(const (run sc) $ backend_arg $ requests_arg $ out_dir_arg $ top_arg)
+
+let overhead_cmd =
+  let scenario_arg =
+    Arg.(
+      value
+      & opt string "http"
+      & info [ "scenario" ] ~docv:"NAME" ~doc:"Scenario to compare backends on.")
+  in
+  Cmd.v
+    (Cmd.info "overhead"
+       ~doc:
+         "Compare the MPK and VT-x switch shares of one workload's wall \
+          time against the paper's Table 1 ordering.")
+    Term.(const overhead $ scenario_arg $ requests_arg)
+
+let gate_cmd =
+  let baseline_arg =
+    Arg.(
+      value
+      & opt string "bench/baseline.json"
+      & info [ "baseline" ] ~docv:"FILE" ~doc:"Committed baseline rows.")
+  in
+  let results_arg =
+    Arg.(
+      value
+      & opt string "BENCH_results.json"
+      & info [ "results" ] ~docv:"FILE" ~doc:"Fresh bench results to judge.")
+  in
+  Cmd.v
+    (Cmd.info "gate"
+       ~doc:
+         "Diff fresh BENCH_results.json rows against bench/baseline.json \
+          with per-metric tolerances; exit 1 on regression.")
+    Term.(const gate $ baseline_arg $ results_arg)
+
+let () =
+  let info =
+    Cmd.info "profile" ~version:"1.0"
+      ~doc:"Attribute every simulated nanosecond to (enclosure x category)"
+  in
+  let cmds =
+    List.map scenario_cmd Scenarios.scenario_names
+    @ [ overhead_cmd; gate_cmd ]
+  in
+  exit (Cmd.eval' (Cmd.group info cmds))

@@ -60,6 +60,13 @@ let run name backend requests out_dir summary =
         result_line;
       Printf.printf "%d events (%d dropped) -> %s, %s\n" (Obs.total_events obs)
         (Obs.dropped_events obs) trace_path metrics_path;
+      if Obs.dropped_events obs > 0 then
+        Printf.eprintf
+          "trace-dump: warning: event ring overflowed, %d of %d events \
+           evicted — the trace is truncated (metric totals remain exact); \
+           raise the ring capacity or shrink the workload\n"
+          (Obs.dropped_events obs)
+          (Obs.total_events obs);
       if summary then print_string (Export.summary obs);
       match Runtime.lb rt with
       | None -> 0

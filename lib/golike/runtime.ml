@@ -191,7 +191,17 @@ let gc t =
   let obs = t.machine.Machine.obs in
   let t0 = Clock.now t.machine.Machine.clock in
   let work () =
-    Clock.consume t.machine.Machine.clock Clock.Gc (gc_span_ns * max 1 spans)
+    (* The collection itself is a Gc span in the trusted lane; the
+       excursion's switch costs stay with the requesting enclosure
+       (spanned inside [Lb.with_trusted]). *)
+    let sp =
+      if Encl_obs.Obs.enabled obs then
+        Encl_obs.Obs.span_enter obs ~lane:"trusted" ~name:"gc"
+          ~category:Encl_obs.Span.Gc ()
+      else -1
+    in
+    Clock.consume t.machine.Machine.clock Clock.Gc (gc_span_ns * max 1 spans);
+    Encl_obs.Obs.span_exit obs sp
   in
   (match t.lb with None -> work () | Some lb -> Lb.with_trusted lb work);
   if Encl_obs.Obs.enabled obs then begin

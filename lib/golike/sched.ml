@@ -150,7 +150,10 @@ let note_kill t fiber reason =
   let obs = t.machine.Machine.obs in
   if Obs.enabled obs then begin
     Obs.incr obs "fiber.kill";
-    Obs.emit obs (Encl_obs.Event.Fiber_kill { fid = fiber.fid; reason })
+    Obs.emit obs (Encl_obs.Event.Fiber_kill { fid = fiber.fid; reason });
+    Obs.span_mark obs
+      ~name:(Printf.sprintf "fiber_kill:%d" fiber.fid)
+      ~category:Encl_obs.Span.Sched ()
   end;
   restore_trusted t
 
@@ -219,6 +222,23 @@ let rec schedule t =
     switch_env t fiber;
     let saved = t.current in
     t.current <- Some fiber;
+    (* One User span per run slice, in the fiber's environment lane: all
+       simulated time the slice spends outside an enforcement span is
+       the workload's own. Closed when the slice yields, waits, finishes
+       or dies — spans never straddle a suspension. *)
+    let obs = t.machine.Machine.obs in
+    let slice =
+      if Obs.enabled obs then
+        let lane =
+          match fiber.env with
+          | Some env when t.lb <> None -> Lb.env_scope env
+          | _ -> "trusted"
+        in
+        Obs.span_enter obs ~lane
+          ~name:(Printf.sprintf "fiber:%d" fiber.fid)
+          ~category:Encl_obs.Span.User ()
+      else -1
+    in
     let outcome =
       match run_step t fiber with
       | r -> Ok r
@@ -228,6 +248,7 @@ let rec schedule t =
             Error (`Kill (kill_reason t e))
           else Error (`Reraise e)
     in
+    Obs.span_exit obs slice;
     t.current <- saved;
     (match outcome with
     | Error (`Reraise e) -> raise e

@@ -506,9 +506,9 @@ let obs_syscall t nr ~t0 ~verdict =
          { name = Sysno.name nr; category = Sysno.category_name category; verdict })
   end
 
-let syscall t call =
-  let nr = sysno_of_call call in
-  record t nr;
+(* The trap + seccomp + service portion, bracketed by the caller's span. *)
+let syscall_body t call nr =
+  let module Obs = Encl_obs.Obs in
   let t0 = Clock.now t.clock in
   Clock.consume t.clock Clock.Syscall t.costs.Costs.syscall_base;
   (* seccomp check (LB_MPK configuration). *)
@@ -517,12 +517,21 @@ let syscall t call =
     let data =
       Bpf.make_data ~nr:(Sysno.number nr) ~args:(bpf_args call) ~pkru:env.Cpu.pkru ()
     in
+    (* The filter evaluation gets its own child span: the MPK backend's
+       per-syscall overhead is exactly this region. Nothing inside
+       raises, so no exception bracket is needed. *)
+    let ssp =
+      if Obs.enabled t.obs then
+        Obs.span_enter t.obs ~name:"seccomp" ~category:Encl_obs.Span.Seccomp ()
+      else -1
+    in
     let action, steps = Seccomp.check_counted t.seccomp data in
     Clock.consume t.clock Clock.Syscall
       (if steps <= 4 then t.costs.Costs.seccomp_fast else t.costs.Costs.seccomp_eval);
     if injected t "kernel.seccomp_delay" then
       (* Verdict unchanged, just late: a cold BPF JIT cache. *)
       Clock.consume t.clock Clock.Syscall (10 * t.costs.Costs.seccomp_eval);
+    Obs.span_exit t.obs ssp;
     match action with
     | Bpf.Allow -> ()
     | Bpf.Kill | Bpf.Trap ->
@@ -547,9 +556,35 @@ let syscall t call =
   obs_syscall t nr ~t0 ~verdict:Encl_obs.Event.Allowed;
   result
 
+let syscall t call =
+  let nr = sysno_of_call call in
+  record t nr;
+  let module Obs = Encl_obs.Obs in
+  let sp =
+    if Obs.enabled t.obs then
+      Obs.span_enter t.obs ~name:("syscall:" ^ Sysno.name nr)
+        ~category:Encl_obs.Span.Syscall ()
+    else -1
+  in
+  match syscall_body t call nr with
+  | r ->
+      Obs.span_exit t.obs sp;
+      r
+  | exception e ->
+      Obs.span_exit t.obs sp;
+      raise e
+
 let exit_program t code =
   record t Sysno.Exit;
+  let module Obs = Encl_obs.Obs in
+  let sp =
+    if Obs.enabled t.obs then
+      Obs.span_enter t.obs ~name:"syscall:exit"
+        ~category:Encl_obs.Span.Syscall ()
+    else -1
+  in
   Clock.consume t.clock Clock.Syscall t.costs.Costs.syscall_base;
+  Obs.span_exit t.obs sp;
   raise (Exited code)
 
 let fd_readable t fd =

@@ -6,6 +6,7 @@ module Image = Encl_elf.Image
 module Section = Encl_elf.Section
 module Obs = Encl_obs.Obs
 module Event = Encl_obs.Event
+module Span = Encl_obs.Span
 
 type backend = Mpk | Vtx | Lwc
 
@@ -89,6 +90,7 @@ let emit_switch t ~t0 kind =
   end
 
 let scope_name = function [] -> "trusted" | enc :: _ -> enc.e_name
+let env_scope = scope_name
 
 (* Which enclosure does an environment label ("enc:<name>") belong to? *)
 let enc_of_env_label label =
@@ -684,26 +686,42 @@ let prolog t ~name ~site =
                  name));
       t.switches <- t.switches + 1;
       note_switch t enc.e_name;
+      let o = obs t in
+      let sp =
+        if Obs.enabled o then
+          Obs.span_enter o ~lane:name ~name:("prolog:" ^ name)
+            ~category:Span.Prolog ()
+        else -1
+      in
       let t0 = Clock.now t.machine.Machine.clock in
       let c = t.machine.Machine.costs in
-      (match t.backend with
-      | Mpk ->
-          Clock.consume t.machine.Machine.clock Clock.Switch c.Costs.mpk_prolog
-      | Lwc ->
-          (* lwSwitch: an ordinary system call that installs the
-             context's memory view. *)
-          Clock.consume t.machine.Machine.clock Clock.Switch c.Costs.lwc_switch
-      | Vtx -> (
-          let vtx = Option.get t.vtx in
-          match
-            Vtx.guest_syscall vtx
-              ~validate:(fun () -> true)
-              ~target:(Option.get enc.e_pt)
-          with
-          | Ok () -> ()
-          | Error e -> fault t ~enclosure:name e));
-      set_stack t (enc :: t.stack);
-      emit_switch t ~t0 (Event.Prolog { enclosure = name; site })
+      (match
+         match t.backend with
+         | Mpk ->
+             Clock.consume t.machine.Machine.clock Clock.Switch
+               c.Costs.mpk_prolog
+         | Lwc ->
+             (* lwSwitch: an ordinary system call that installs the
+                context's memory view. *)
+             Clock.consume t.machine.Machine.clock Clock.Switch
+               c.Costs.lwc_switch
+         | Vtx -> (
+             let vtx = Option.get t.vtx in
+             match
+               Vtx.guest_syscall vtx
+                 ~validate:(fun () -> true)
+                 ~target:(Option.get enc.e_pt)
+             with
+             | Ok () -> ()
+             | Error e -> fault t ~enclosure:name e)
+       with
+      | () ->
+          set_stack t (enc :: t.stack);
+          emit_switch t ~t0 (Event.Prolog { enclosure = name; site });
+          Obs.span_exit o sp
+      | exception e ->
+          Obs.span_exit o sp;
+          raise e)
 
 let epilog t ~site =
   check_site t site Image.Epilog;
@@ -712,25 +730,41 @@ let epilog t ~site =
   | top :: rest ->
       t.switches <- t.switches + 1;
       note_switch t top.e_name;
+      let o = obs t in
+      let sp =
+        if Obs.enabled o then
+          Obs.span_enter o ~lane:top.e_name ~name:("epilog:" ^ top.e_name)
+            ~category:Span.Epilog ()
+        else -1
+      in
       let t0 = Clock.now t.machine.Machine.clock in
       let c = t.machine.Machine.costs in
-      (match t.backend with
-      | Mpk ->
-          Clock.consume t.machine.Machine.clock Clock.Switch c.Costs.mpk_epilog
-      | Lwc ->
-          Clock.consume t.machine.Machine.clock Clock.Switch c.Costs.lwc_switch
-      | Vtx -> (
-          let vtx = Option.get t.vtx in
-          let target =
-            match rest with
-            | [] -> t.machine.Machine.trusted_pt
-            | enc :: _ -> Option.get enc.e_pt
-          in
-          match Vtx.guest_sysret vtx ~validate:(fun () -> true) ~target with
-          | Ok () -> ()
-          | Error e -> fault t e));
-      set_stack t rest;
-      emit_switch t ~t0 (Event.Epilog { site })
+      (match
+         match t.backend with
+         | Mpk ->
+             Clock.consume t.machine.Machine.clock Clock.Switch
+               c.Costs.mpk_epilog
+         | Lwc ->
+             Clock.consume t.machine.Machine.clock Clock.Switch
+               c.Costs.lwc_switch
+         | Vtx -> (
+             let vtx = Option.get t.vtx in
+             let target =
+               match rest with
+               | [] -> t.machine.Machine.trusted_pt
+               | enc :: _ -> Option.get enc.e_pt
+             in
+             match Vtx.guest_sysret vtx ~validate:(fun () -> true) ~target with
+             | Ok () -> ()
+             | Error e -> fault t e)
+       with
+      | () ->
+          set_stack t rest;
+          emit_switch t ~t0 (Event.Epilog { site });
+          Obs.span_exit o sp
+      | exception e ->
+          Obs.span_exit o sp;
+          raise e)
 
 let in_enclosure t = match t.stack with [] -> None | e :: _ -> Some e.e_name
 
@@ -787,9 +821,28 @@ let syscall t call =
           fault t ~enclosure:top.e_name
             (Printf.sprintf "system call %s denied by enclosure filter"
                (Sysno.name (K.sysno_of_call call)))
-      | _ ->
+      | _ -> (
           let vtx = Option.get t.vtx in
-          Vtx.hypercall vtx (fun () -> K.syscall t.machine.Machine.kernel call))
+          let o = obs t in
+          (* The VM-exit round-trip is paid here, outside the kernel's
+             own syscall span: bracket it so the exit cost lands in the
+             syscall category rather than in the caller's cell. *)
+          let sp =
+            if Obs.enabled o then
+              Obs.span_enter o
+                ~name:("hypercall:" ^ Sysno.name (K.sysno_of_call call))
+                ~category:Span.Syscall ()
+            else -1
+          in
+          match
+            Vtx.hypercall vtx (fun () -> K.syscall t.machine.Machine.kernel call)
+          with
+          | r ->
+              Obs.span_exit o sp;
+              r
+          | exception e ->
+              Obs.span_exit o sp;
+              raise e))
 
 (* ------------------------------------------------------------------ *)
 (* Transfer                                                            *)
@@ -801,6 +854,13 @@ let transfer t ~addr ~len ~to_pkg ~site =
     fault t (Printf.sprintf "transfer to unknown package %s" to_pkg);
   t.transfers <- t.transfers + 1;
   (if Obs.enabled (obs t) then Obs.incr (obs t) "transfer");
+  let sp =
+    let o = obs t in
+    if Obs.enabled o then
+      Obs.span_enter o ~name:("transfer:" ^ to_pkg) ~category:Span.Transfer ()
+    else -1
+  in
+  Fun.protect ~finally:(fun () -> Obs.span_exit (obs t) sp) @@ fun () ->
   let t0 = Clock.now t.machine.Machine.clock in
   let pages = (max len 1 + Phys.page_size - 1) / Phys.page_size in
   let sec =
@@ -881,32 +941,51 @@ let env_matches t env_ref =
 let execute t env_ref ~site =
   check_site t site Image.Execute;
   t.switches <- t.switches + 1;
-  note_switch t (scope_name env_ref);
+  let target_scope = scope_name env_ref in
+  note_switch t target_scope;
+  let o = obs t in
+  let sp =
+    if Obs.enabled o then
+      Obs.span_enter o ~lane:target_scope ~name:("execute:" ^ target_scope)
+        ~category:Span.Sched ()
+    else -1
+  in
   let t0 = Clock.now t.machine.Machine.clock in
   let c = t.machine.Machine.costs in
-  (match t.backend with
-  | Mpk -> Clock.consume t.machine.Machine.clock Clock.Switch c.Costs.wrpkru
-  | Lwc -> Clock.consume t.machine.Machine.clock Clock.Switch c.Costs.lwc_switch
-  | Vtx -> (
-      let vtx = Option.get t.vtx in
-      let target =
-        match env_ref with
-        | [] -> t.machine.Machine.trusted_pt
-        | enc :: _ -> Option.get enc.e_pt
-      in
-      match Vtx.guest_syscall vtx ~validate:(fun () -> true) ~target with
-      | Ok () -> ()
-      | Error e -> fault t e));
-  set_stack t env_ref;
-  emit_switch t ~t0
-    (Event.Execute
-       {
-         target = (match env_ref with [] -> None | enc :: _ -> Some enc.e_name);
-       })
+  (match
+     match t.backend with
+     | Mpk ->
+         Clock.consume t.machine.Machine.clock Clock.Switch c.Costs.wrpkru
+     | Lwc ->
+         Clock.consume t.machine.Machine.clock Clock.Switch c.Costs.lwc_switch
+     | Vtx -> (
+         let vtx = Option.get t.vtx in
+         let target =
+           match env_ref with
+           | [] -> t.machine.Machine.trusted_pt
+           | enc :: _ -> Option.get enc.e_pt
+         in
+         match Vtx.guest_syscall vtx ~validate:(fun () -> true) ~target with
+         | Ok () -> ()
+         | Error e -> fault t e)
+   with
+  | () ->
+      set_stack t env_ref;
+      emit_switch t ~t0
+        (Event.Execute
+           {
+             target =
+               (match env_ref with [] -> None | enc :: _ -> Some enc.e_name);
+           });
+      Obs.span_exit o sp
+  | exception e ->
+      Obs.span_exit o sp;
+      raise e)
 
 let with_trusted t f =
   let saved = t.stack in
   let scope = scope_name saved in
+  let o = obs t in
   let c = t.machine.Machine.costs in
   let switch_cost =
     match t.backend with
@@ -914,7 +993,17 @@ let with_trusted t f =
     | Lwc -> c.Costs.lwc_switch
     | Vtx -> c.Costs.vtx_guest_syscall
   in
+  (* The excursion's switch costs are attributed to the enclosure that
+     requested it (two short spans); the work inside [f] stays in the
+     caller's cell — usually gc, which opens its own span. *)
+  let sp =
+    if Obs.enabled o then
+      Obs.span_enter o ~lane:scope ~name:"excursion:enter"
+        ~category:Span.Prolog ()
+    else -1
+  in
   Clock.consume t.machine.Machine.clock Clock.Switch switch_cost;
+  Obs.span_exit o sp;
   t.switches <- t.switches + 1;
   note_switch t scope;
   set_stack t [];
@@ -926,7 +1015,14 @@ let with_trusted t f =
         | Lwc -> c.Costs.lwc_switch
         | Vtx -> c.Costs.vtx_guest_sysret
       in
+      let sp =
+        if Obs.enabled o then
+          Obs.span_enter o ~lane:scope ~name:"excursion:exit"
+            ~category:Span.Epilog ()
+        else -1
+      in
       Clock.consume t.machine.Machine.clock Clock.Switch return_cost;
+      Obs.span_exit o sp;
       t.switches <- t.switches + 1;
       note_switch t scope;
       set_stack t saved)
@@ -1019,7 +1115,16 @@ let absorb_fault t = function
   | _ -> None
 
 let run_protected t f =
+  let o = obs t in
+  let sp =
+    if Obs.enabled o then
+      Obs.span_enter o ~name:"run_protected" ~category:Span.User ()
+    else -1
+  in
   match f () with
-  | v -> Ok v
+  | v ->
+      Obs.span_exit o sp;
+      Ok v
   | exception e -> (
+      Obs.span_exit o sp;
       match absorb_fault t e with Some msg -> Error msg | None -> raise e)

@@ -129,6 +129,10 @@ type env_ref
 val capture_env : t -> env_ref
 val trusted_env_ref : t -> env_ref
 
+val env_scope : env_ref -> string
+(** Innermost enclosure name of a captured environment, or ["trusted"] —
+    the attribution lane a fiber carrying it runs in. *)
+
 val env_matches : t -> env_ref -> bool
 (** Whether the current environment stack already equals the captured one
     (schedulers use this to skip redundant [execute] switches). *)

@@ -39,6 +39,26 @@ let create ?(costs = Costs.default) () =
         Encl_obs.Obs.incr obs "inject";
         Encl_obs.Obs.emit obs (Encl_obs.Event.Inject { point })
       end);
+  (* Attribution hooks, attached only when the sink is enabled at
+     creation: the clock feeds every tick into the ledger, and CPU fault
+     delivery leaves an instant span. Disabled machines keep both hooks
+     [None], so the hot paths cost one comparison. *)
+  if Encl_obs.Obs.enabled obs then begin
+    Clock.set_observer clock
+      (Some (fun _cat ns -> Encl_obs.Obs.clock_tick obs ns));
+    Cpu.set_fault_hook cpu
+      (Some
+         (fun (f : Cpu.fault) ->
+           let lane =
+             let label = f.Cpu.env in
+             if String.length label > 4 && String.sub label 0 4 = "enc:" then
+               String.sub label 4 (String.length label - 4)
+             else "trusted"
+           in
+           Encl_obs.Obs.span_mark obs ~lane
+             ~name:("cpu_fault:" ^ Cpu.access_kind_name f.Cpu.kind)
+             ~category:Encl_obs.Span.Fault ()))
+  end;
   {
     phys;
     clock;

@@ -1,0 +1,55 @@
+type t = {
+  now : unit -> int;
+  mutable epoch : int;
+  cells : (string * string, int ref) Hashtbl.t;
+  stacks : (string, int ref) Hashtbl.t;
+  mutable total : int;
+}
+
+let create ~now () =
+  { now; epoch = now (); cells = Hashtbl.create 64; stacks = Hashtbl.create 256; total = 0 }
+
+let bump tbl key ns =
+  match Hashtbl.find_opt tbl key with
+  | Some r -> r := !r + ns
+  | None -> Hashtbl.replace tbl key (ref ns)
+
+let charge t ~scope ~category ~stack ns =
+  if ns > 0 then begin
+    bump t.cells (scope, category) ns;
+    bump t.stacks stack ns;
+    t.total <- t.total + ns
+  end
+
+let total t = t.total
+let elapsed t = t.now () - t.epoch
+let conserved t = t.total = elapsed t
+
+(* Deterministic on read: insertion order of a Hashtbl is not stable
+   across OCaml versions, so every exporter sorts. *)
+let cells t =
+  Hashtbl.fold (fun (s, c) r acc -> (s, c, !r) :: acc) t.cells []
+  |> List.sort (fun (s1, c1, n1) (s2, c2, n2) ->
+         match compare n2 n1 with
+         | 0 -> compare (s1, c1) (s2, c2)
+         | d -> d)
+
+let stacks t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.stacks []
+  |> List.sort (fun (k1, _) (k2, _) -> compare k1 k2)
+
+let scope_total t scope =
+  Hashtbl.fold
+    (fun (s, _) r acc -> if s = scope then acc + !r else acc)
+    t.cells 0
+
+let category_total t category =
+  Hashtbl.fold
+    (fun (_, c) r acc -> if c = category then acc + !r else acc)
+    t.cells 0
+
+let clear t =
+  Hashtbl.reset t.cells;
+  Hashtbl.reset t.stacks;
+  t.total <- 0;
+  t.epoch <- t.now ()

@@ -1,0 +1,43 @@
+(** The attribution ledger: every simulated nanosecond lands in exactly
+    one (scope × category) cell and one collapsed-stack bucket.
+
+    Fed from the clock's observer hook — the single point all simulated
+    time flows through — so the conservation invariant
+    [total = elapsed] holds {e exactly}, not approximately: there is no
+    sampling and no unattributed remainder. Cells are keyed by the
+    enclosure scope (or ["trusted"]) and the {!Span.category} name of
+    the innermost open span at the instant the cost was charged; ticks
+    with no open span fall into the scope's ["user"] cell. *)
+
+type t
+
+val create : now:(unit -> int) -> unit -> t
+(** The epoch is the clock value at creation; {!elapsed} measures from
+    there. *)
+
+val charge : t -> scope:string -> category:string -> stack:string -> int -> unit
+(** Account [ns] to [(scope, category)] and to the collapsed-stack
+    bucket [stack]. Zero-ns charges are dropped. *)
+
+val total : t -> int
+(** Sum of every cell — and of every stack bucket. *)
+
+val elapsed : t -> int
+(** Simulated ns since the epoch. *)
+
+val conserved : t -> bool
+(** [total t = elapsed t]: no nanosecond lost, none double-counted. *)
+
+val cells : t -> (string * string * int) list
+(** [(scope, category, ns)], largest first (ties broken by name) —
+    deterministic regardless of hash order. *)
+
+val stacks : t -> (string * int) list
+(** Collapsed-stack buckets (["lane;frame;...;frame"], ns), sorted by
+    stack string: the flamegraph.folded content. *)
+
+val scope_total : t -> string -> int
+val category_total : t -> string -> int
+
+val clear : t -> unit
+(** Empty the ledger and re-epoch at the current clock value. *)

@@ -264,13 +264,19 @@ let trace_json obs =
         i
   in
   ignore (tid_of trusted_scope);
+  let spans = Span.closed (Obs.spans obs) in
+  let have_spans = spans <> [] in
   let event_json (e : Event.t) =
     let scope =
       match e.Event.enclosure with Some s -> s | None -> trusted_scope
     in
     let tid = tid_of scope in
     let phase =
-      if e.Event.dur > 0 then
+      (* With spans present, the nesting bars come from the span stream;
+         duration events would paint the same interval twice on the same
+         lane, so they degrade to instants (the count stays invariant —
+         one trace event per ring event either way). *)
+      if e.Event.dur > 0 && not have_spans then
         [ ("ph", String "X"); ("dur", Float (us e.Event.dur)) ]
       else [ ("ph", String "i"); ("s", String "t") ]
     in
@@ -292,7 +298,38 @@ let trace_json obs =
                    (Event.args e.Event.kind)) );
         ])
   in
+  (* Spans render as complete ("X") events on the lane of the enclosure
+     that pays for them, sorted by start (ties: id) so Perfetto nests
+     them without a sort pass. *)
+  let span_json (s : Span.span) =
+    let tid = tid_of s.Span.lane in
+    Obj
+      [
+        ("name", String s.Span.name);
+        ("cat", String ("span:" ^ Span.category_name s.Span.category));
+        ("ph", String "X");
+        ("pid", Int 1);
+        ("tid", Int tid);
+        ("ts", Float (us s.Span.start));
+        ("dur", Float (us (s.Span.stop - s.Span.start)));
+        ( "args",
+          Obj
+            ([ ("id", Int s.Span.id) ]
+            @ (match s.Span.parent with
+              | Some p -> [ ("parent", Int p) ]
+              | None -> [])) );
+      ]
+  in
   let events = List.map event_json (Obs.events obs) in
+  let span_events =
+    List.stable_sort
+      (fun (a : Span.span) b ->
+        match compare a.Span.start b.Span.start with
+        | 0 -> compare a.Span.id b.Span.id
+        | d -> d)
+      spans
+    |> List.map span_json
+  in
   let metadata =
     List.rev_map
       (fun (scope, tid) ->
@@ -309,7 +346,7 @@ let trace_json obs =
   to_string
     (Obj
        [
-         ("traceEvents", List (metadata @ events));
+         ("traceEvents", List (metadata @ span_events @ events));
          ("displayTimeUnit", String "ms");
          ( "otherData",
            Obj
@@ -318,6 +355,8 @@ let trace_json obs =
                ("clock", String "simulated-ns");
                ("total_events", Int (Obs.total_events obs));
                ("dropped_events", Int (Obs.dropped_events obs));
+               ("total_spans", Int (Span.total (Obs.spans obs)));
+               ("dropped_spans", Int (Span.dropped (Obs.spans obs)));
              ] );
        ])
 
@@ -361,6 +400,8 @@ let metrics_json obs =
   let totals =
     List.map (fun n -> (n, Int (Metrics.total m n))) (Metrics.counter_names m)
   in
+  let spans = Obs.spans obs in
+  let attrib = Obs.attribution obs in
   to_string
     (Obj
        [
@@ -372,8 +413,149 @@ let metrics_json obs =
                ("dropped", Int (Obs.dropped_events obs));
                ("capacity", Int (Obs.capacity obs));
              ] );
+         ( "spans",
+           Obj
+             ([
+                ("total", Int (Span.total spans));
+                ("dropped", Int (Span.dropped spans));
+                ("capacity", Int (Span.capacity spans));
+                ("open", Int (Span.depth spans));
+              ]
+             @ List.filter_map
+                 (fun cat ->
+                   let n = Span.close_count spans cat in
+                   if n = 0 then None
+                   else Some ("closed." ^ Span.category_name cat, Int n))
+                 Span.all_categories) );
+         ( "attribution",
+           Obj
+             [
+               ("elapsed_ns", Int (Attrib.elapsed attrib));
+               ("attributed_ns", Int (Attrib.total attrib));
+               ("conserved", Bool (Attrib.conserved attrib));
+               ( "cells",
+                 List
+                   (List.map
+                      (fun (scope, cat, ns) ->
+                        Obj
+                          [
+                            ("scope", String scope);
+                            ("category", String cat);
+                            ("ns", Int ns);
+                          ])
+                      (Attrib.cells attrib)) );
+             ] );
          ("scopes", Obj (List.map scope_json (Metrics.scopes m)));
          ("totals", Obj totals);
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* Attribution: table, collapsed stacks, speedscope                    *)
+
+let attrib_table ?(top = 12) obs =
+  let attrib = Obs.attribution obs in
+  let elapsed = Attrib.elapsed attrib in
+  let cells = Attrib.cells attrib in
+  let shown = List.filteri (fun i _ -> i < top) cells in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "attribution (%s): elapsed=%dns attributed=%dns conserved=%b\n"
+       (Obs.backend obs) elapsed (Attrib.total attrib)
+       (Attrib.conserved attrib));
+  let scope_w =
+    List.fold_left
+      (fun acc (s, _, _) -> max acc (String.length s))
+      (String.length "scope") shown
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "%-*s %-9s %14s %7s\n" scope_w "scope" "category" "ns"
+       "share");
+  List.iter
+    (fun (scope, cat, ns) ->
+      let share =
+        if elapsed = 0 then 0.0
+        else 100.0 *. float_of_int ns /. float_of_int elapsed
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%-*s %-9s %14d %6.2f%%\n" scope_w scope cat ns share))
+    shown;
+  let rest = List.filteri (fun i _ -> i >= top) cells in
+  if rest <> [] then begin
+    let ns = List.fold_left (fun acc (_, _, n) -> acc + n) 0 rest in
+    Buffer.add_string buf
+      (Printf.sprintf "%-*s %-9s %14d %6.2f%%\n" scope_w
+         (Printf.sprintf "(%d more)" (List.length rest))
+         "-" ns
+         (if elapsed = 0 then 0.0
+          else 100.0 *. float_of_int ns /. float_of_int elapsed))
+  end;
+  Buffer.contents buf
+
+let flamegraph_folded obs =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (stack, ns) ->
+      Buffer.add_string buf stack;
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (string_of_int ns);
+      Buffer.add_char buf '\n')
+    (Attrib.stacks (Obs.attribution obs));
+  Buffer.contents buf
+
+(* Speedscope's "sampled" profile maps 1:1 onto the folded table: one
+   sample (a frame-index stack) per bucket, weighted by its ns. The sum
+   of weights equals the attributed total, so the profile conserves time
+   exactly like the ledger it came from. *)
+let speedscope_json obs =
+  let open Json in
+  let stacks = Attrib.stacks (Obs.attribution obs) in
+  let frames = Hashtbl.create 64 in
+  let frame_order = ref [] in
+  let frame_idx name =
+    match Hashtbl.find_opt frames name with
+    | Some i -> i
+    | None ->
+        let i = Hashtbl.length frames in
+        Hashtbl.replace frames name i;
+        frame_order := name :: !frame_order;
+        i
+  in
+  let samples, weights =
+    List.map
+      (fun (stack, ns) ->
+        let idxs = List.map frame_idx (String.split_on_char ';' stack) in
+        (List (List.map (fun i -> Int i) idxs), Int ns))
+      stacks
+    |> List.split
+  in
+  let frame_objs =
+    List.rev_map (fun name -> Obj [ ("name", String name) ]) !frame_order
+  in
+  let total = Attrib.total (Obs.attribution obs) in
+  to_string
+    (Obj
+       [
+         ( "$schema",
+           String "https://www.speedscope.app/file-format-schema.json" );
+         ("exporter", String "enclosure-profile");
+         ("name", String (Obs.backend obs ^ " attribution"));
+         ("activeProfileIndex", Int 0);
+         ("shared", Obj [ ("frames", List frame_objs) ]);
+         ( "profiles",
+           List
+             [
+               Obj
+                 [
+                   ("type", String "sampled");
+                   ("name", String (Obs.backend obs));
+                   ("unit", String "nanoseconds");
+                   ("startValue", Int 0);
+                   ("endValue", Int total);
+                   ("samples", List samples);
+                   ("weights", List weights);
+                 ];
+             ] );
        ])
 
 (* ------------------------------------------------------------------ *)

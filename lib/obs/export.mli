@@ -33,15 +33,35 @@ end
 
 val trace_json : Obs.t -> string
 (** Chrome [chrome://tracing] / Perfetto-loadable trace: one JSON object
-    with a [traceEvents] array. Durations become ["X"] (complete)
-    events, instants become ["i"]; each scope (enclosure or trusted)
-    gets its own named thread. Timestamps are simulated microseconds. *)
+    with a [traceEvents] array. Causal spans render as ["X"] (complete)
+    events — [cat] prefixed with ["span:"], nested per enclosure lane,
+    parent ids in [args]; ring events render as instants when spans are
+    present (the spans already paint the intervals) and as ["X"]/["i"]
+    by duration otherwise. Each scope (enclosure or trusted) gets its
+    own named thread. Timestamps are simulated microseconds. *)
 
 val metrics_json : Obs.t -> string
-(** Flat metrics dump: backend, event accounting, per-scope counters and
-    histograms, and cross-scope [totals] (so
-    [totals.switch]/[totals.fault] can be compared with
-    [Litterbox.switch_count]/[fault_count] exactly). *)
+(** Flat metrics dump: backend, event accounting (including [dropped]),
+    span accounting (totals, drops, per-category close counts), the
+    attribution ledger (elapsed vs attributed ns, conservation verdict,
+    per-cell breakdown), per-scope counters and histograms, and
+    cross-scope [totals] (so [totals.switch]/[totals.fault] can be
+    compared with [Litterbox.switch_count]/[fault_count] exactly). *)
+
+val attrib_table : ?top:int -> Obs.t -> string
+(** Aligned text: the [top] (default 12) largest (scope × category)
+    cells with their share of elapsed simulated time, headed by the
+    conservation verdict; remaining cells are folded into one row. *)
+
+val flamegraph_folded : Obs.t -> string
+(** Collapsed-stack format (one ["lane;frame;...;frame ns"] line per
+    bucket, sorted by stack) — feed to [flamegraph.pl] or speedscope.
+    Line weights sum to the attributed total exactly. *)
+
+val speedscope_json : Obs.t -> string
+(** A speedscope "sampled" profile of the same buckets (unit:
+    nanoseconds, one weighted sample per collapsed stack). Parses back
+    via {!Json.parse}; weights sum to the attributed total. *)
 
 val summary : Obs.t -> string
 (** Aligned-text report for terminals. *)

@@ -1,0 +1,175 @@
+(* Bench regression gate: diff a fresh BENCH_results.json against the
+   committed bench/baseline.json row-by-row, with a per-metric direction
+   and relative tolerance. The comparison is a library (rather than
+   living in bin/profile.ml) so tests can drive it directly — e.g. the
+   "inflate a cost 2x and the gate fires" check. *)
+
+module Json = Export.Json
+
+type direction = Higher_better | Lower_better | Informational
+
+type rule = { direction : direction; tolerance : float }
+
+(* Metric families produced by bench/main.ml.  Timings and slowdowns
+   regress upward; throughput and availability regress downward.  Event
+   counts (injected faults, reconnects, failed connections) are
+   recorded for information only: their "good" direction depends on the
+   scenario, so the gate never fails on them. *)
+let rule_for metric =
+  match metric with
+  | "req_per_sec" -> { direction = Higher_better; tolerance = 0.10 }
+  | "availability" -> { direction = Higher_better; tolerance = 0.05 }
+  | "ms_per_invert" -> { direction = Lower_better; tolerance = 0.10 }
+  | "conservative_slowdown" | "decoupled_slowdown" ->
+      { direction = Lower_better; tolerance = 0.15 }
+  | m when String.length m > 3 && Filename.check_suffix m "_ns" ->
+      { direction = Lower_better; tolerance = 0.10 }
+  | _ -> { direction = Informational; tolerance = 0.0 }
+
+type row = {
+  workload : string;
+  backend : string;
+  metric : string;
+  value : float;
+}
+
+let key r = r.workload ^ "/" ^ r.backend ^ "/" ^ r.metric
+
+type doc = { quick : bool; rows : row list }
+
+let parse_row j =
+  let str f = Option.bind (Json.member f j) Json.to_string_opt in
+  let num f = Option.bind (Json.member f j) Json.to_float in
+  match (str "workload", str "backend", str "metric", num "value") with
+  | Some workload, Some backend, Some metric, Some value ->
+      Ok { workload; backend; metric; value }
+  | _ -> Error ("malformed row: " ^ Json.to_string j)
+
+let parse_doc contents =
+  match Json.parse contents with
+  | Error e -> Error e
+  | Ok j -> (
+      let quick =
+        match Json.member "quick" j with Some (Json.Bool b) -> b | _ -> false
+      in
+      match Option.bind (Json.member "rows" j) Json.to_list with
+      | None -> Error "missing \"rows\" array"
+      | Some rows -> (
+          let parsed = List.map parse_row rows in
+          match
+            List.find_map (function Error e -> Some e | Ok _ -> None) parsed
+          with
+          | Some e -> Error e
+          | None ->
+              Ok
+                {
+                  quick;
+                  rows =
+                    List.filter_map
+                      (function Ok r -> Some r | Error _ -> None)
+                      parsed;
+                }))
+
+type verdict =
+  | Pass of float  (** relative delta, within tolerance *)
+  | Improved of float
+  | Regressed of float
+  | Info of float
+  | Missing  (** baseline row absent from the fresh results *)
+
+type finding = { row : row; fresh : float option; verdict : verdict }
+
+type report = {
+  findings : finding list;
+  new_rows : row list;  (** fresh rows with no baseline — warn only *)
+  quick_mismatch : bool;
+}
+
+(* Relative delta, signed so that positive always means "worse" for the
+   metric's direction.  A zero baseline cannot support a relative
+   comparison; treat any change as informational there. *)
+let judge rule ~base ~fresh =
+  if Float.abs base < 1e-9 then Info (fresh -. base)
+  else
+    let delta = (fresh -. base) /. Float.abs base in
+    match rule.direction with
+    | Informational -> Info delta
+    | Higher_better ->
+        if delta < -.rule.tolerance then Regressed delta
+        else if delta > rule.tolerance then Improved delta
+        else Pass delta
+    | Lower_better ->
+        if delta > rule.tolerance then Regressed delta
+        else if delta < -.rule.tolerance then Improved delta
+        else Pass delta
+
+let compare_docs ~baseline ~fresh =
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun r -> Hashtbl.replace tbl (key r) r) fresh.rows;
+  let findings =
+    List.map
+      (fun base_row ->
+        match Hashtbl.find_opt tbl (key base_row) with
+        | None -> { row = base_row; fresh = None; verdict = Missing }
+        | Some f ->
+            Hashtbl.remove tbl (key base_row);
+            {
+              row = base_row;
+              fresh = Some f.value;
+              verdict =
+                judge (rule_for base_row.metric) ~base:base_row.value
+                  ~fresh:f.value;
+            })
+      baseline.rows
+  in
+  let new_rows =
+    List.filter (fun r -> Hashtbl.mem tbl (key r)) fresh.rows
+  in
+  { findings; new_rows; quick_mismatch = baseline.quick <> fresh.quick }
+
+let failed report =
+  report.quick_mismatch
+  || List.exists
+       (fun f -> match f.verdict with Regressed _ | Missing -> true | _ -> false)
+       report.findings
+
+let pct d = Printf.sprintf "%+.1f%%" (100.0 *. d)
+
+let render report =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  if report.quick_mismatch then
+    line "FAIL  quick flags differ between baseline and fresh results";
+  let counts = Hashtbl.create 8 in
+  let bump k = Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k)) in
+  List.iter
+    (fun f ->
+      let k = key f.row in
+      match f.verdict with
+      | Missing ->
+          bump "missing";
+          line "FAIL  %-40s baseline %.3f, missing from fresh results" k
+            f.row.value
+      | Regressed d ->
+          bump "regressed";
+          line "FAIL  %-40s %.3f -> %.3f (%s, tolerance %.0f%%)" k f.row.value
+            (Option.get f.fresh) (pct d)
+            (100.0 *. (rule_for f.row.metric).tolerance)
+      | Improved d ->
+          bump "improved";
+          line "  ok  %-40s %.3f -> %.3f (%s, improved)" k f.row.value
+            (Option.get f.fresh) (pct d)
+      | Pass _ -> bump "pass"
+      | Info _ -> bump "info")
+    report.findings;
+  List.iter
+    (fun r ->
+      line "warn  %-40s %.3f (no baseline row; add one?)" (key r) r.value)
+    report.new_rows;
+  let count k = Option.value ~default:0 (Hashtbl.find_opt counts k) in
+  line "gate: %d rows: %d pass, %d improved, %d informational, %d regressed, %d missing, %d unbaselined"
+    (List.length report.findings) (count "pass") (count "improved")
+    (count "info") (count "regressed") (count "missing")
+    (List.length report.new_rows);
+  line "gate: %s" (if failed report then "FAIL" else "PASS");
+  Buffer.contents b

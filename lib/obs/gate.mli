@@ -1,0 +1,57 @@
+(** Bench regression gate: compare a fresh [BENCH_results.json] against
+    the committed [bench/baseline.json], row by row, with per-metric
+    directions and relative tolerances.  [bin/profile.exe gate] is a
+    thin shell over this module; tests drive it directly. *)
+
+type direction =
+  | Higher_better  (** throughput, availability: a drop regresses *)
+  | Lower_better  (** timings, slowdowns: a rise regresses *)
+  | Informational  (** counts with no inherent direction: never fail *)
+
+type rule = { direction : direction; tolerance : float }
+
+val rule_for : string -> rule
+(** Rule for a metric name: [req_per_sec] and [availability] are
+    higher-better; [ms_per_invert], the slowdown factors, and any
+    [*_ns] timing are lower-better; everything else informational. *)
+
+type row = {
+  workload : string;
+  backend : string;
+  metric : string;
+  value : float;
+}
+
+val key : row -> string
+(** ["workload/backend/metric"] — row identity for the diff. *)
+
+type doc = { quick : bool; rows : row list }
+
+val parse_doc : string -> (doc, string) result
+(** Parse a [BENCH_results.json]-shaped document (the [paper] field is
+    ignored).  Errors name the first malformed row. *)
+
+type verdict =
+  | Pass of float  (** relative delta, within tolerance *)
+  | Improved of float
+  | Regressed of float
+  | Info of float
+  | Missing  (** baseline row absent from the fresh results *)
+
+type finding = { row : row; fresh : float option; verdict : verdict }
+
+type report = {
+  findings : finding list;  (** one per baseline row, in baseline order *)
+  new_rows : row list;  (** fresh rows with no baseline — warn only *)
+  quick_mismatch : bool;  (** quick-mode flag differs between the docs *)
+}
+
+val compare_docs : baseline:doc -> fresh:doc -> report
+
+val failed : report -> bool
+(** True iff any row [Regressed] or went [Missing], or the quick flags
+    disagree.  New unbaselined rows only warn. *)
+
+val render : report -> string
+(** Human-readable verdict lines (FAIL/ok/warn) plus a summary count
+    and a final ["gate: PASS"]/["gate: FAIL"] line. *)

@@ -51,6 +51,31 @@ val incr : t -> ?scope:string -> ?by:int -> string -> unit
 val observe : t -> ?scope:string -> string -> int -> unit
 (** Record a latency sample into a per-scope histogram. *)
 
+(** {2 Spans and attribution} *)
+
+val span_enter :
+  t -> ?lane:string -> name:string -> category:Span.category -> unit -> int
+(** Open a causal span ({!Span.enter}); [lane] defaults to the current
+    context scope. Returns [-1] when the sink is disabled — callers pass
+    the id straight to {!span_exit} on every exit path without checking. *)
+
+val span_exit : t -> int -> unit
+(** Close a span opened by {!span_enter}. No-op on [-1] or when
+    disabled. *)
+
+val span_mark :
+  t -> ?lane:string -> name:string -> category:Span.category -> unit -> unit
+(** Record an instant span (fault delivery, fiber kill). *)
+
+val clock_tick : t -> int -> unit
+(** Feed one clock advance into the attribution ledger, charged to the
+    innermost open span (or the current scope's ["user"] cell). Wired as
+    the simulated clock's observer when the sink is enabled at machine
+    creation; never call it from anywhere else or conservation breaks. *)
+
+val spans : t -> Span.t
+val attribution : t -> Attrib.t
+
 (** {2 Introspection} *)
 
 val events : t -> Event.t list
@@ -62,4 +87,6 @@ val dropped_events : t -> int
 val capacity : t -> int
 
 val reset : t -> unit
-(** Drop all events and metrics; keeps enabled/backend/context. *)
+(** Drop all events, metrics, spans, and attribution (the ledger
+    re-epochs at the current clock value); keeps
+    enabled/backend/context. *)

@@ -34,17 +34,26 @@ let category_name = function
   | Io -> "io"
   | Other -> "other"
 
-type t = { mutable time : int; tallies : int array }
+type t = {
+  mutable time : int;
+  tallies : int array;
+  mutable observer : (category -> int -> unit) option;
+}
+
 type span = int
 
-let create () = { time = 0; tallies = Array.make 9 0 }
+let create () = { time = 0; tallies = Array.make 9 0; observer = None }
 let now t = t.time
+let set_observer t f = t.observer <- f
 
 let consume t cat ns =
   assert (ns >= 0);
   t.time <- t.time + ns;
   let i = category_index cat in
-  t.tallies.(i) <- t.tallies.(i) + ns
+  t.tallies.(i) <- t.tallies.(i) + ns;
+  match t.observer with
+  | None -> ()
+  | Some f -> if ns > 0 then f cat ns
 
 let spent t cat = t.tallies.(category_index cat)
 

@@ -30,6 +30,13 @@ val consume : t -> category -> int -> unit
 (** [consume t cat ns] advances the clock by [ns] (>= 0) and accounts the
     cost to [cat]. *)
 
+val set_observer : t -> (category -> int -> unit) option -> unit
+(** Install (or clear) a hook called after every non-zero [consume] —
+    the single point all simulated time flows through, which is what
+    makes exact cycle attribution possible. The machine wires this to
+    the observability sink's ledger when tracing is enabled; it stays
+    [None] otherwise, so the hot path pays one comparison. *)
+
 val spent : t -> category -> int
 (** Total ns accounted to a category so far. *)
 

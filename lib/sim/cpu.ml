@@ -30,10 +30,21 @@ type t = {
   tlb : Tlb.t;
   mutable current : env;
   mutable inject : Encl_fault.Fault.t option;
+  mutable on_fault : (fault -> unit) option;
 }
 
 let create ~phys ~clock ~costs env =
-  { phys; clock; costs; tlb = Tlb.create (); current = env; inject = None }
+  {
+    phys;
+    clock;
+    costs;
+    tlb = Tlb.create ();
+    current = env;
+    inject = None;
+    on_fault = None;
+  }
+
+let set_fault_hook t f = t.on_fault <- f
 
 let set_injector t inj =
   Encl_fault.Fault.register inj ~point:"cpu.spurious_fault"
@@ -58,7 +69,9 @@ let vpn_of_addr addr = addr / Phys.page_size
 let addr_of_vpn vpn = vpn * Phys.page_size
 
 let fault t kind vaddr reason =
-  raise (Fault { kind; vaddr; env = t.current.label; reason })
+  let f = { kind; vaddr; env = t.current.label; reason } in
+  (match t.on_fault with None -> () | Some hook -> hook f);
+  raise (Fault f)
 
 (* Chaos hook: consult the injector at [point], charging the fault to
    the current environment. Transient by construction — nothing in the

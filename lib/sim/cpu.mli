@@ -59,6 +59,11 @@ val set_injector : t -> Encl_fault.Fault.t -> unit
     access succeeds. Consultations carry the current environment label,
     letting plans target only enclosure code (prefix ["enc:"]). *)
 
+val set_fault_hook : t -> (fault -> unit) option -> unit
+(** Observer called just before a {!Fault} is raised (telemetry: the
+    machine marks an instant span so fault delivery shows up in traces).
+    The hook must not raise; it runs inside the faulting access. *)
+
 val check : t -> access_kind -> addr:int -> len:int -> unit
 (** Validate an access of [len] bytes at [addr] in the current environment;
     raises {!Fault} on the first offending page. *)

@@ -164,14 +164,29 @@ let exporter_tests =
                     Alcotest.(check bool) "event fields" true
                       (has "name" && has "ph" && has "pid" && has "tid"))
                   events;
-                (* Every non-metadata event count matches the ring. *)
+                (* Every non-metadata, non-span event count matches the
+                   ring; span events ("span:<cat>") match the span store. *)
+                let is_span e =
+                  match
+                    Option.bind (Json.member "cat" e) Json.to_string_opt
+                  with
+                  | Some c ->
+                      String.length c > 5 && String.sub c 0 5 = "span:"
+                  | None -> false
+                in
                 let data =
                   List.filter
-                    (fun e -> Json.member "ph" e <> Some (Json.String "M"))
+                    (fun e ->
+                      Json.member "ph" e <> Some (Json.String "M")
+                      && not (is_span e))
                     events
                 in
                 Alcotest.(check int) "event count" (Obs.total_events obs)
-                  (List.length data)));
+                  (List.length data);
+                let span_events = List.filter is_span events in
+                Alcotest.(check int) "span count"
+                  (Encl_obs.Span.total (Obs.spans obs))
+                  (List.length span_events)));
     Alcotest.test_case "metrics_json reconciles with litterbox" `Quick (fun () ->
         let machine, _image, lb = boot_obs Lb.Vtx in
         drive_figure1 lb;
