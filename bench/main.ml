@@ -531,6 +531,48 @@ let run_bechamel () =
     (bechamel_tests ())
 
 (* ------------------------------------------------------------------ *)
+(* Fast path: switch elision + seccomp verdict cache                   *)
+
+let fastpath () =
+  section "Fast path: switch elision and the seccomp verdict cache";
+  let requests = if quick then 200 else 2000 in
+  let run_http backend flag =
+    Fastpath.with_flag flag (fun () ->
+        Scenarios.http_rt (Some backend) ~requests ())
+  in
+  List.iter
+    (fun backend ->
+      let rt_on, on = run_http backend true in
+      let _rt_off, off = run_http backend false in
+      let lb = Option.get (Runtime.lb rt_on) in
+      let name = Scenarios.config_name (Some backend) in
+      Printf.printf
+        "%-8s http  on %8.0f req/s  off %8.0f req/s  (%d/%d switches elided)\n%!"
+        name on.Scenarios.h_req_per_sec off.Scenarios.h_req_per_sec
+        (Lb.switch_elided_count lb) (Lb.switch_count lb);
+      add_result ~workload:"switch_elision_http" ~backend:name
+        ~metric:"req_per_sec" on.Scenarios.h_req_per_sec;
+      add_result ~workload:"switch_elision_http" ~backend:name
+        ~metric:"elided_switches"
+        (float_of_int (Lb.switch_elided_count lb));
+      if backend = Lb.Mpk then begin
+        let hits, misses =
+          K.seccomp_cache_stats (Runtime.machine rt_on).Machine.kernel
+        in
+        let rate =
+          if hits + misses = 0 then 0.0
+          else float_of_int hits /. float_of_int (hits + misses)
+        in
+        Printf.printf
+          "%-8s http  seccomp verdict cache: %d hits / %d evaluations \
+           (%.3f hit rate)\n%!"
+          name hits (hits + misses) rate;
+        add_result ~workload:"seccomp_cache_hit_rate" ~backend:name
+          ~metric:"hit_rate" rate
+      end)
+    [ Lb.Mpk; Lb.Vtx ]
+
+(* ------------------------------------------------------------------ *)
 (* Resilience (availability under the chaos harness)                   *)
 
 let resilience () =
@@ -573,6 +615,7 @@ let () =
   security ();
   lwc_extension ();
   ablations ();
+  fastpath ();
   resilience ();
   run_bechamel ();
   write_results ();

@@ -1,63 +1,120 @@
 #!/bin/sh
-# CI smoke: build, run the test suite, run the quick benchmark sweep,
+# CI pipeline: build, run the test suite, run the quick benchmark sweep,
 # check that every machine-readable artifact parses back as JSON,
-# profile a workload under both isolation backends, and hold fresh
-# bench numbers to the committed baseline.
-# Run from the repository root:  sh bin/ci.sh
+# profile a workload under both isolation backends, verify the fast
+# paths shrink the switch+seccomp share, and hold fresh bench numbers
+# to the committed baseline.
+#
+# Run from the repository root:
+#   sh bin/ci.sh            full pipeline (the CI default)
+#   sh bin/ci.sh --quick    skip the chaos and profile smokes
 set -eu
+
+quick=0
+for arg in "$@"; do
+  case "$arg" in
+    --quick) quick=1 ;;
+    *)
+      echo "usage: sh bin/ci.sh [--quick]" >&2
+      exit 2
+      ;;
+  esac
+done
 
 # Scratch space for everything CI writes besides the bench artifacts;
 # cleaned up even when a step fails.
 tmp=$(mktemp -d "${TMPDIR:-/tmp}/encl-ci.XXXXXX")
 trap 'rm -rf "$tmp"' EXIT INT TERM
 
+start=$(date +%s)
+stage_start=$start
+stages=""
+current=""
+
+# stage <name>: print a banner for the next stage and record the
+# elapsed time of the one it closes.
+stage() {
+  now=$(date +%s)
+  if [ -n "$current" ]; then
+    echo "ci: === $current done ($((now - stage_start))s) ==="
+    stages="$stages\n  $current: $((now - stage_start))s"
+  fi
+  current="$1"
+  stage_start=$now
+  echo "ci: === $current ==="
+}
+
+stage "build"
 dune build
+
+stage "tests"
 dune runtest
 
+stage "bench (quick sweep + artifact validation)"
 ENCL_BENCH_QUICK=1 dune exec bench/main.exe
-
 if [ ! -f BENCH_results.json ]; then
   echo "ci: BENCH_results.json was not written" >&2
   exit 1
 fi
 dune exec bin/trace_dump.exe -- validate BENCH_results.json
 
-# Bench regression gate: fresh quick-mode rows must stay within each
-# metric's tolerance of bench/baseline.json (exit 1 on regression).
+stage "bench regression gate"
+# Fresh quick-mode rows must stay within each metric's tolerance of
+# bench/baseline.json, and every fresh row must have a baseline entry
+# (exit 1 on regression or unbaselined row; regenerate deliberately
+# with `dune exec bin/profile.exe -- gate --write-baseline`).
 dune exec bin/profile.exe -- gate
 
-dune exec bin/trace_dump.exe -- wiki --requests 200
-dune exec bin/trace_dump.exe -- validate trace.json
-dune exec bin/trace_dump.exe -- validate metrics.json
+stage "trace artifacts"
+dune exec bin/trace_dump.exe -- wiki --requests 200 --out-dir "$tmp"
+dune exec bin/trace_dump.exe -- validate "$tmp/trace.json"
+dune exec bin/trace_dump.exe -- validate "$tmp/metrics.json"
 
-# Profiler smoke: attribution must conserve every simulated nanosecond
-# under both backends, the emitted profiles must parse, and two runs of
-# the same workload must produce byte-identical artifacts.
-dune exec bin/profile.exe -- http --backend mpk --out-dir "$tmp"
-dune exec bin/profile.exe -- http --backend vtx --out-dir "$tmp"
-dune exec bin/trace_dump.exe -- validate "$tmp/profile.speedscope.json"
-mkdir "$tmp/rerun"
-dune exec bin/profile.exe -- http --backend vtx --out-dir "$tmp/rerun" > /dev/null
-if ! cmp -s "$tmp/flamegraph.folded" "$tmp/rerun/flamegraph.folded" ||
-   ! cmp -s "$tmp/profile.speedscope.json" "$tmp/rerun/profile.speedscope.json"; then
-  echo "ci: profile runs of the same workload diverged" >&2
-  exit 1
+if [ "$quick" = 0 ]; then
+  stage "profile smoke (attribution + determinism)"
+  # Attribution must conserve every simulated nanosecond under both
+  # backends, the emitted profiles must parse, and two runs of the same
+  # workload must produce byte-identical artifacts.
+  dune exec bin/profile.exe -- http --backend mpk --out-dir "$tmp"
+  dune exec bin/profile.exe -- http --backend vtx --out-dir "$tmp"
+  dune exec bin/trace_dump.exe -- validate "$tmp/profile.speedscope.json"
+  mkdir "$tmp/rerun"
+  dune exec bin/profile.exe -- http --backend vtx --out-dir "$tmp/rerun" > /dev/null
+  if ! cmp -s "$tmp/flamegraph.folded" "$tmp/rerun/flamegraph.folded" ||
+     ! cmp -s "$tmp/profile.speedscope.json" "$tmp/rerun/profile.speedscope.json"; then
+    echo "ci: profile runs of the same workload diverged" >&2
+    exit 1
+  fi
+
+  stage "overhead ordering"
+  # The paper's Table 1 ordering must hold: VT-x spends a larger share
+  # of wall time switching than MPK does.
+  dune exec bin/profile.exe -- overhead
+
+  stage "fast-path differential"
+  # With ENCL_FASTPATH on, the switch+seccomp share of wall time must
+  # shrink strictly on both backends while enforcement outcomes and
+  # fault counts stay identical.
+  dune exec bin/profile.exe -- fastpath
+
+  stage "chaos smoke (availability + determinism)"
+  # The server must stay up under fault injection (exit 1 below 90%
+  # availability), and the run must be deterministic — two runs with
+  # the same seed produce byte-identical output.
+  dune exec bin/chaos.exe -- http --seed 42 > "$tmp/chaos_run_a.txt"
+  dune exec bin/chaos.exe -- http --seed 42 > "$tmp/chaos_run_b.txt"
+  if ! cmp -s "$tmp/chaos_run_a.txt" "$tmp/chaos_run_b.txt"; then
+    echo "ci: chaos runs with the same seed diverged" >&2
+    diff "$tmp/chaos_run_a.txt" "$tmp/chaos_run_b.txt" >&2 || true
+    exit 1
+  fi
+  dune exec bin/chaos.exe -- wiki --seed 42
+else
+  echo "ci: --quick: skipping profile, overhead, fastpath, and chaos smokes"
 fi
 
-# The paper's Table 1 ordering must hold: VT-x spends a larger share of
-# wall time switching than MPK does.
-dune exec bin/profile.exe -- overhead
-
-# Chaos smoke: the server must stay up under fault injection (exit 1
-# below 90% availability), and the run must be deterministic — two runs
-# with the same seed produce byte-identical output.
-dune exec bin/chaos.exe -- http --seed 42 > "$tmp/chaos_run_a.txt"
-dune exec bin/chaos.exe -- http --seed 42 > "$tmp/chaos_run_b.txt"
-if ! cmp -s "$tmp/chaos_run_a.txt" "$tmp/chaos_run_b.txt"; then
-  echo "ci: chaos runs with the same seed diverged" >&2
-  diff "$tmp/chaos_run_a.txt" "$tmp/chaos_run_b.txt" >&2 || true
-  exit 1
-fi
-dune exec bin/chaos.exe -- wiki --seed 42
-
+now=$(date +%s)
+stages="$stages\n  $current: $((now - stage_start))s"
+echo "ci: === $current done ($((now - stage_start))s) ==="
+printf 'ci: summary (total %ss):%b\n' "$((now - start))" "$stages"
 echo "ci: ok"

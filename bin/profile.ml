@@ -10,7 +10,9 @@
      dune exec bin/profile.exe -- http --backend mpk
      dune exec bin/profile.exe -- wiki --backend vtx --top 20
      dune exec bin/profile.exe -- overhead            # MPK vs VT-x shares
+     dune exec bin/profile.exe -- fastpath            # fast path on vs off
      dune exec bin/profile.exe -- gate                # bench regression gate
+     dune exec bin/profile.exe -- gate --write-baseline
 
    Scenario runs write flamegraph.folded (collapsed stacks, feed to
    flamegraph.pl) and profile.speedscope.json (load at speedscope.app)
@@ -19,6 +21,7 @@
 module Runtime = Encl_golike.Runtime
 module Machine = Encl_litterbox.Machine
 module Lb = Encl_litterbox.Litterbox
+module K = Encl_kernel.Kernel
 module Scenarios = Encl_apps.Scenarios
 module Obs = Encl_obs.Obs
 module Span = Encl_obs.Span
@@ -69,6 +72,18 @@ let run name backend requests out_dir top =
         (Scenarios.config_name backend)
         result_line;
       print_string (Export.attrib_table ~top obs);
+      (match Runtime.lb rt with
+      | Some lb when Fastpath.enabled () ->
+          let hits, misses =
+            K.seccomp_cache_stats (Runtime.machine rt).Machine.kernel
+          in
+          Printf.printf
+            "fast path: %d/%d switches elided, %d/%d transfers coalesced, \
+             seccomp cache %d/%d hits\n"
+            (Lb.switch_elided_count lb) (Lb.switch_count lb)
+            (Lb.transfer_coalesced_count lb)
+            (Lb.transfer_count lb) hits (hits + misses)
+      | Some _ | None -> ());
       let folded_path = Filename.concat out_dir "flamegraph.folded" in
       let speedscope_path =
         Filename.concat out_dir "profile.speedscope.json"
@@ -92,6 +107,7 @@ type breakdown = {
   b_name : string;
   elapsed : int;
   switch_ns : int;  (** prolog + epilog cells *)
+  seccomp_ns : int;  (** BPF filter evaluation alone *)
   syscall_ns : int;  (** trap + service + hypercall round-trips *)
   user_ns : int;
   mean_prolog : float;
@@ -111,6 +127,7 @@ let breakdown_of name obs =
     b_name = name;
     elapsed = Attrib.elapsed a;
     switch_ns = cat Span.Prolog + cat Span.Epilog;
+    seccomp_ns = cat Span.Seccomp;
     syscall_ns = cat Span.Syscall + cat Span.Seccomp;
     user_ns = Attrib.category_total a "user";
     mean_prolog = mean Span.Prolog;
@@ -192,6 +209,76 @@ let overhead scenario requests =
       end
 
 (* ------------------------------------------------------------------ *)
+(* fastpath: enforcement share with the fast path on vs off *)
+
+(* The fast path's acceptance check: on the same workload, switch +
+   seccomp must take a strictly smaller share of wall time with
+   ENCL_FASTPATH on than off, on both isolation backends — while the
+   enforcement outcome (fault count) stays identical. *)
+let fastpath scenario requests =
+  let enf b = b.switch_ns + b.seccomp_ns in
+  let run_one backend flag =
+    Fastpath.with_flag flag @@ fun () ->
+    match run_scenario scenario (Some backend) requests with
+    | Error e -> Error e
+    | Ok (rt, _) ->
+        let obs = (Runtime.machine rt).Machine.obs in
+        let name = Scenarios.config_name (Some backend) in
+        let lb = Option.get (Runtime.lb rt) in
+        let hits, misses =
+          K.seccomp_cache_stats (Runtime.machine rt).Machine.kernel
+        in
+        Ok
+          ( breakdown_of name obs,
+            Lb.switch_elided_count lb,
+            Lb.fault_count lb,
+            (hits, misses) )
+  in
+  let check backend =
+    match (run_one backend true, run_one backend false) with
+    | Error e, _ | _, Error e -> Error e
+    | Ok (on, elided, faults_on, (hits, misses)), Ok (off, _, faults_off, _)
+      ->
+        let share_on = share (enf on) on.elapsed in
+        let share_off = share (enf off) off.elapsed in
+        let hit_rate =
+          if hits + misses = 0 then 0.0
+          else 100.0 *. float_of_int hits /. float_of_int (hits + misses)
+        in
+        Printf.printf
+          "%-8s on:  elapsed %12d  switch+seccomp %10d (%5.2f%%)  elided %d  \
+           cache %d/%d (%.1f%% hits)\n"
+          on.b_name on.elapsed (enf on) share_on elided hits (hits + misses)
+          hit_rate;
+        Printf.printf
+          "%-8s off: elapsed %12d  switch+seccomp %10d (%5.2f%%)\n" off.b_name
+          off.elapsed (enf off) share_off;
+        let fail msg = Error (Printf.sprintf "%s: %s" on.b_name msg) in
+        if not (on.conserved && off.conserved) then
+          fail "a run lost nanoseconds"
+        else if faults_on <> faults_off then
+          fail
+            (Printf.sprintf "fault counts diverged (on %d, off %d)" faults_on
+               faults_off)
+        else if share_on >= share_off then
+          fail
+            (Printf.sprintf
+               "switch+seccomp share did not shrink (on %.2f%%, off %.2f%%)"
+               share_on share_off)
+        else Ok ()
+  in
+  Printf.printf "fast-path check on %s (%s requests)\n" scenario
+    (match requests with Some n -> string_of_int n | None -> "default");
+  match (check Lb.Mpk, check Lb.Vtx) with
+  | Ok (), Ok () ->
+      print_endline
+        "fastpath: switch+seccomp share strictly smaller on both backends";
+      0
+  | (Error e, _ | _, Error e) ->
+      prerr_endline ("profile: fastpath: " ^ e);
+      1
+
+(* ------------------------------------------------------------------ *)
 (* gate: diff fresh bench results against the committed baseline *)
 
 let read_doc label path =
@@ -202,17 +289,44 @@ let read_doc label path =
       | Ok doc -> Ok doc
       | Error e -> Error (Printf.sprintf "%s (%s): %s" label path e))
 
-let gate baseline_path results_path =
-  match
-    (read_doc "baseline" baseline_path, read_doc "results" results_path)
-  with
-  | Error e, _ | _, Error e ->
-      prerr_endline ("profile: " ^ e);
+(* --write-baseline: promote the fresh results to be the committed
+   baseline. Deliberately the only way to bless new or changed rows —
+   the gate fails on any unbaselined row, so adding a bench row means
+   rerunning the bench and regenerating the baseline here. The fresh
+   file is parsed first (a malformed baseline would wedge every later
+   gate run) and copied verbatim. *)
+let write_baseline baseline_path results_path =
+  match In_channel.with_open_bin results_path In_channel.input_all with
+  | exception Sys_error e ->
+      prerr_endline ("profile: results: " ^ e);
       1
-  | Ok baseline, Ok fresh ->
-      let report = Gate.compare_docs ~baseline ~fresh in
-      print_string (Gate.render report);
-      if Gate.failed report then 1 else 0
+  | contents -> (
+      match Gate.parse_doc contents with
+      | Error e ->
+          prerr_endline
+            (Printf.sprintf "profile: results (%s): %s" results_path e);
+          1
+      | Ok doc ->
+          write_file baseline_path contents;
+          Printf.printf "gate: wrote %s (%d rows, quick=%b) from %s\n"
+            baseline_path
+            (List.length doc.Gate.rows)
+            doc.Gate.quick results_path;
+          0)
+
+let gate baseline_path results_path write =
+  if write then write_baseline baseline_path results_path
+  else
+    match
+      (read_doc "baseline" baseline_path, read_doc "results" results_path)
+    with
+    | Error e, _ | _, Error e ->
+        prerr_endline ("profile: " ^ e);
+        1
+    | Ok baseline, Ok fresh ->
+        let report = Gate.compare_docs ~baseline ~fresh in
+        print_string (Gate.render report);
+        if Gate.failed report then 1 else 0
 
 (* ------------------------------------------------------------------ *)
 (* Cmdliner wiring *)
@@ -274,6 +388,21 @@ let overhead_cmd =
           time against the paper's Table 1 ordering.")
     Term.(const overhead $ scenario_arg $ requests_arg)
 
+let fastpath_cmd =
+  let scenario_arg =
+    Arg.(
+      value
+      & opt string "http"
+      & info [ "scenario" ] ~docv:"NAME" ~doc:"Scenario to compare on.")
+  in
+  Cmd.v
+    (Cmd.info "fastpath"
+       ~doc:
+         "Run one workload with the fast path on and off, on both MPK and \
+          VT-x; exit 1 unless the switch+seccomp share is strictly smaller \
+          with the fast path on (enforcement outcomes identical).")
+    Term.(const fastpath $ scenario_arg $ requests_arg)
+
 let gate_cmd =
   let baseline_arg =
     Arg.(
@@ -287,12 +416,22 @@ let gate_cmd =
       & opt string "BENCH_results.json"
       & info [ "results" ] ~docv:"FILE" ~doc:"Fresh bench results to judge.")
   in
+  let write_arg =
+    Arg.(
+      value & flag
+      & info [ "write-baseline" ]
+          ~doc:
+            "Instead of judging, promote the fresh results file to be the \
+             committed baseline (the deliberate way to bless new or changed \
+             bench rows).")
+  in
   Cmd.v
     (Cmd.info "gate"
        ~doc:
          "Diff fresh BENCH_results.json rows against bench/baseline.json \
-          with per-metric tolerances; exit 1 on regression.")
-    Term.(const gate $ baseline_arg $ results_arg)
+          with per-metric tolerances; exit 1 on regression, on a vanished \
+          row, or on a fresh row with no baseline entry.")
+    Term.(const gate $ baseline_arg $ results_arg $ write_arg)
 
 let () =
   let info =
@@ -301,6 +440,6 @@ let () =
   in
   let cmds =
     List.map scenario_cmd Scenarios.scenario_names
-    @ [ overhead_cmd; gate_cmd ]
+    @ [ overhead_cmd; fastpath_cmd; gate_cmd ]
   in
   exit (Cmd.eval' (Cmd.group info cmds))

@@ -39,8 +39,14 @@ let cross_check lb obs =
   List.filter_map Fun.id
     [
       check "switch" (Metrics.total m "switch") (Lb.switch_count lb);
+      check "switch_elided"
+        (Metrics.total m "switch_elided")
+        (Lb.switch_elided_count lb);
       check "fault" (Metrics.total m "fault") (Lb.fault_count lb);
       check "transfer" (Metrics.total m "transfer") (Lb.transfer_count lb);
+      check "transfer_coalesced"
+        (Metrics.total m "transfer_coalesced")
+        (Lb.transfer_coalesced_count lb);
     ]
 
 let run name backend requests out_dir summary =
@@ -51,6 +57,13 @@ let run name backend requests out_dir summary =
       1
   | Ok (rt, result_line) -> (
       let obs = (Runtime.machine rt).Machine.obs in
+      let rec mkdir_p dir =
+        if not (Sys.file_exists dir) then begin
+          mkdir_p (Filename.dirname dir);
+          Sys.mkdir dir 0o755
+        end
+      in
+      mkdir_p out_dir;
       let trace_path = Filename.concat out_dir "trace.json" in
       let metrics_path = Filename.concat out_dir "metrics.json" in
       write_file trace_path (Export.trace_json obs);
@@ -74,8 +87,13 @@ let run name backend requests out_dir summary =
           match cross_check lb obs with
           | [] ->
               Printf.printf
-                "counters reconcile: switches=%d transfers=%d faults=%d\n"
-                (Lb.switch_count lb) (Lb.transfer_count lb) (Lb.fault_count lb);
+                "counters reconcile: switches=%d (%d elided) transfers=%d \
+                 (%d coalesced) faults=%d\n"
+                (Lb.switch_count lb)
+                (Lb.switch_elided_count lb)
+                (Lb.transfer_count lb)
+                (Lb.transfer_coalesced_count lb)
+                (Lb.fault_count lb);
               0
           | problems ->
               List.iter (fun p -> prerr_endline ("trace-dump: " ^ p)) problems;
@@ -121,11 +139,14 @@ let requests_arg =
         ~doc:"Request count for the HTTP-style scenarios.")
 
 let out_dir_arg =
+  (* Default under _build so casual runs never litter the work tree with
+     trace.json/metrics.json (they used to land in the repo root). *)
   Arg.(
     value
-    & opt string "."
+    & opt string "_build/trace"
     & info [ "out-dir" ] ~docv:"DIR"
-        ~doc:"Directory receiving trace.json and metrics.json.")
+        ~doc:"Directory receiving trace.json and metrics.json (created if \
+              missing).")
 
 let summary_arg =
   Arg.(

@@ -50,18 +50,36 @@ let mmap t len =
   | Ok addr -> addr
   | Error e -> failwith ("mallocgc: mmap failed: " ^ K.errno_name e)
 
+let note_alloc_span t ~pkg =
+  let obs = t.machine.Machine.obs in
+  if Encl_obs.Obs.enabled obs then begin
+    Encl_obs.Obs.incr obs ~scope:pkg "alloc_span";
+    Encl_obs.Obs.emit obs (Encl_obs.Event.Alloc_span { pkg; bytes = span_bytes })
+  end
+
 let assign_span t ~pkg addr =
   (match t.lb with
   | None -> ()
   | Some lb ->
       t.transfers <- t.transfers + 1;
       Lb.transfer lb ~addr ~len:span_bytes ~to_pkg:pkg ~site:transfer_site);
-  let obs = t.machine.Machine.obs in
-  if Encl_obs.Obs.enabled obs then begin
-    Encl_obs.Obs.incr obs ~scope:pkg "alloc_span";
-    Encl_obs.Obs.emit obs (Encl_obs.Event.Alloc_span { pkg; bytes = span_bytes })
-  end;
+  note_alloc_span t ~pkg;
   addr
+
+(* Hand [nspans] adjacent spans at [base] to [pkg] in one go: the fast
+   path coalesces the per-span Transfer calls into a single batched
+   hardware update (see [Litterbox.transfer_range]); per-span accounting
+   — allocator transfer counts, obs alloc_span notes — is unchanged. *)
+let assign_span_run t ~pkg ~base ~nspans =
+  (match t.lb with
+  | None -> ()
+  | Some lb ->
+      t.transfers <- t.transfers + nspans;
+      Lb.transfer_range lb ~addr:base ~len:(nspans * span_bytes)
+        ~chunk:span_bytes ~to_pkg:pkg ~site:transfer_site);
+  for _ = 1 to nspans do
+    note_alloc_span t ~pkg
+  done
 
 (* Take one span from the free list or the current chunk, refilling the
    chunk from the OS if needed. *)
@@ -105,10 +123,9 @@ let alloc t ~pkg size =
     let nspans = (size + span_bytes - 1) / span_bytes in
     t.chunks <- t.chunks + 1;
     let base = mmap t (nspans * span_bytes) in
+    assign_span_run t ~pkg ~base ~nspans;
     for i = 0 to nspans - 1 do
-      let addr = base + (i * span_bytes) in
-      ignore (assign_span t ~pkg addr);
-      a.spans <- addr :: a.spans
+      a.spans <- (base + (i * span_bytes)) :: a.spans
     done;
     base
   end

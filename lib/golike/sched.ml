@@ -41,6 +41,8 @@ type t = {
   mutable current : fiber option;
   ids : Encl_util.Ids.t;
   mutable exec_switches : int;
+  mutable affinity_hits : int;
+  mutable affinity_streak : int;  (** consecutive out-of-FIFO-order picks *)
   results : (int, exit_status) Hashtbl.t;
   mutable kill_count : int;
 }
@@ -54,6 +56,8 @@ let create ~machine ~lb () =
     current = None;
     ids = Encl_util.Ids.make ();
     exec_switches = 0;
+    affinity_hits = 0;
+    affinity_streak = 0;
     results = Hashtbl.create 16;
     kill_count = 0;
   }
@@ -212,13 +216,67 @@ let check_deadlock t =
     raise (Deadlock { fiber_ids })
   end
 
+(* Enclosure-affinity pick (fast path): among runnable fibers, prefer
+   the first whose captured environment is already installed on the
+   machine — running it needs no Execute switch at all. Bounded and
+   fair: each out-of-FIFO-order pick grows [affinity_streak], and once
+   it reaches [affinity_budget] the FIFO head runs regardless, so a
+   fiber is overtaken at most [affinity_budget] times in a row. When the
+   head itself matches (the common single-environment case) the queue is
+   popped exactly as before — existing workloads execute in unchanged
+   order. Off (fast path disabled, no LitterBox, or a single runnable
+   fiber): plain FIFO. *)
+let affinity_budget = 8
+
+let fiber_matches lb fiber =
+  let target =
+    match fiber.env with Some e -> e | None -> Lb.trusted_env_ref lb
+  in
+  Lb.env_matches lb target
+
+let pick_next t =
+  match t.lb with
+  | Some lb
+    when Fastpath.enabled ()
+         && Queue.length t.runq > 1
+         && t.affinity_streak < affinity_budget -> (
+      if fiber_matches lb (Queue.peek t.runq) then begin
+        t.affinity_streak <- 0;
+        Queue.pop t.runq
+      end
+      else begin
+        let chosen = ref None in
+        let rest = Queue.create () in
+        Queue.iter
+          (fun f ->
+            if Option.is_none !chosen && fiber_matches lb f then
+              chosen := Some f
+            else Queue.push f rest)
+          t.runq;
+        Queue.clear t.runq;
+        Queue.transfer rest t.runq;
+        match !chosen with
+        | Some f ->
+            t.affinity_streak <- t.affinity_streak + 1;
+            t.affinity_hits <- t.affinity_hits + 1;
+            let obs = t.machine.Machine.obs in
+            if Obs.enabled obs then Obs.incr obs "sched.affinity_hit";
+            f
+        | None ->
+            t.affinity_streak <- 0;
+            Queue.pop t.runq
+      end)
+  | _ ->
+      t.affinity_streak <- 0;
+      Queue.pop t.runq
+
 let rec schedule t =
   if Queue.is_empty t.runq then begin
     promote_unblocked t;
     if not (Queue.is_empty t.runq) then schedule t else check_deadlock t
   end
   else begin
-    let fiber = Queue.pop t.runq in
+    let fiber = pick_next t in
     switch_env t fiber;
     let saved = t.current in
     t.current <- Some fiber;
@@ -277,3 +335,4 @@ let blocked_count t = Queue.length t.blocked
 let kill_count t = t.kill_count
 let machine t = t.machine
 let switch_count t = t.exec_switches
+let affinity_hit_count t = t.affinity_hits

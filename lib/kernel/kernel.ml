@@ -195,6 +195,8 @@ let mm t = t.mm
 let clock t = t.clock
 let install_seccomp t prog = Seccomp.install t.seccomp prog
 let seccomp_installed t = Seccomp.installed t.seccomp
+let seccomp_invalidate t = Seccomp.invalidate t.seccomp
+let seccomp_cache_stats t = Seccomp.cache_stats t.seccomp
 let pkey_allocator t = t.pkeys
 
 let with_trusted t f =
@@ -525,9 +527,16 @@ let syscall_body t call nr =
         Obs.span_enter t.obs ~name:"seccomp" ~category:Encl_obs.Span.Seccomp ()
       else -1
     in
-    let action, steps = Seccomp.check_counted t.seccomp data in
-    Clock.consume t.clock Clock.Syscall
-      (if steps <= 4 then t.costs.Costs.seccomp_fast else t.costs.Costs.seccomp_eval);
+    let action, outcome = Seccomp.check_memo t.seccomp data in
+    (match outcome with
+    | Seccomp.Hit ->
+        Clock.consume t.clock Clock.Syscall t.costs.Costs.seccomp_cached;
+        if Obs.enabled t.obs then Obs.incr t.obs "seccomp.cache_hit"
+    | Seccomp.Evaluated steps ->
+        Clock.consume t.clock Clock.Syscall
+          (if steps <= 4 then t.costs.Costs.seccomp_fast else t.costs.Costs.seccomp_eval);
+        if Obs.enabled t.obs && Fastpath.enabled () then
+          Obs.incr t.obs "seccomp.cache_miss");
     if injected t "kernel.seccomp_delay" then
       (* Verdict unchanged, just late: a cold BPF JIT cache. *)
       Clock.consume t.clock Clock.Syscall (10 * t.costs.Costs.seccomp_eval);

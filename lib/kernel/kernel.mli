@@ -103,7 +103,18 @@ val mm : t -> Mm.t
 val clock : t -> Clock.t
 
 val install_seccomp : t -> Bpf.program -> (unit, string) result
+(** Installing a program also flushes the seccomp verdict cache. *)
+
 val seccomp_installed : t -> bool
+
+val seccomp_invalidate : t -> unit
+(** Flush the seccomp verdict cache. LitterBox calls this on any transfer
+    that changes a meta-package's rights vector (the PKRU no longer means
+    what the cached verdicts assumed). *)
+
+val seccomp_cache_stats : t -> int * int
+(** [(hits, misses)] of the verdict cache; both zero with the fast path
+    disabled. *)
 
 val pkey_allocator : t -> Mpk.allocator
 

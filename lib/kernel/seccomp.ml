@@ -100,14 +100,43 @@ let compile ~trusted_pkrus envs =
   Bpf.validate prog;
   prog
 
-type t = { mutable prog : Bpf.program option }
+(* Verdict cache: (PKRU, nr, arg0) -> action. The compiled dispatch
+   programs only ever load F_pkru, F_nr and F_arg 0, so a key over those
+   three fields is sound for any program [compile] can produce — keying
+   on arg0 is what keeps per-IP connect rules correct. The cache is
+   flushed on every [install] (the program changed, so may every
+   verdict) and by [invalidate] (LitterBox calls it when a transfer
+   changes a meta-package's rights vector). *)
+type vkey = { vk_pkru : int; vk_nr : int; vk_arg0 : int }
 
-let create () = { prog = None }
+type outcome = Hit | Evaluated of int
+
+type t = {
+  mutable prog : Bpf.program option;
+  cache : (vkey, Bpf.action) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable invalidations : int;
+}
+
+let create () =
+  {
+    prog = None;
+    cache = Hashtbl.create 128;
+    hits = 0;
+    misses = 0;
+    invalidations = 0;
+  }
+
+let invalidate t =
+  if Hashtbl.length t.cache > 0 then Hashtbl.reset t.cache;
+  t.invalidations <- t.invalidations + 1
 
 let install t prog =
   match Bpf.validate prog with
   | () ->
       t.prog <- Some prog;
+      invalidate t;
       Ok ()
   | exception Bpf.Bad_program msg -> Error msg
 
@@ -118,3 +147,32 @@ let check t data =
 
 let check_counted t data =
   match t.prog with None -> (Bpf.Allow, 0) | Some prog -> Bpf.run_count prog data
+
+let key_of_data (data : Bpf.data) =
+  {
+    vk_pkru = pkru_key data.Bpf.pkru;
+    vk_nr = data.Bpf.nr;
+    vk_arg0 = data.Bpf.args.(0);
+  }
+
+let check_memo t data =
+  match t.prog with
+  | None -> (Bpf.Allow, Evaluated 0)
+  | Some prog ->
+      if not (Fastpath.enabled ()) then
+        let action, steps = Bpf.run_count prog data in
+        (action, Evaluated steps)
+      else
+        let key = key_of_data data in
+        (match Hashtbl.find_opt t.cache key with
+        | Some action ->
+            t.hits <- t.hits + 1;
+            (action, Hit)
+        | None ->
+            t.misses <- t.misses + 1;
+            let action, steps = Bpf.run_count prog data in
+            Hashtbl.replace t.cache key action;
+            (action, Evaluated steps))
+
+let cache_stats t = (t.hits, t.misses)
+let invalidation_count t = t.invalidations

@@ -40,6 +40,33 @@ val check : t -> Bpf.data -> Bpf.action
 val check_counted : t -> Bpf.data -> Bpf.action * int
 (** Also returns how many BPF instructions ran (0 with no filter). *)
 
+(** {2 Verdict cache (fast path)}
+
+    Memoizes [(PKRU, nr, arg0) -> action]. The key covers every field a
+    program built by {!compile} can load, so a hit is always the verdict
+    a full evaluation would return — including the per-IP [connect]
+    rules, which dispatch on argument 0. The cache is flushed whenever
+    the installed program changes ({!install}) and on explicit
+    {!invalidate} (rights-vector changes). Inactive while
+    {!Encl_sim.Fastpath.enabled} is false: {!check_memo} then always
+    evaluates and records no hits or misses. *)
+
+type outcome =
+  | Hit  (** verdict came from the cache *)
+  | Evaluated of int  (** full evaluation; payload is BPF steps run *)
+
+val check_memo : t -> Bpf.data -> Bpf.action * outcome
+(** Like {!check_counted} but consulting the verdict cache first when
+    the fast path is enabled. No filter installed: [(Allow, Evaluated 0)]. *)
+
+val invalidate : t -> unit
+(** Drop every cached verdict (counted in {!invalidation_count}). *)
+
+val cache_stats : t -> int * int
+(** [(hits, misses)] accumulated since creation. *)
+
+val invalidation_count : t -> int
+
 (** {2 Label-resolving assembler}
 
     Helper used by [compile]; exposed for tests and for hand-written

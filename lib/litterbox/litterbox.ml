@@ -54,7 +54,9 @@ type t = {
   mutable app_trusted : Cpu.env;
   mutable stack : enc_rt list;
   mutable switches : int;
+  mutable switch_elided : int;  (** subset of [switches] served by elision *)
   mutable transfers : int;
+  mutable coalesced : int;  (** subset of [transfers] batched by {!transfer_range} *)
   mutable faults : int;
   mutable fault_log : string list;
   mutable fault_budget : int;  (** per-enclosure; [max_int] = no quarantine *)
@@ -460,7 +462,9 @@ let init ~machine ~backend ~image ?(binary_scan = []) ?(clustering = true) () =
           app_trusted = machine.Machine.trusted_env;
           stack = [];
           switches = 0;
+          switch_elided = 0;
           transfers = 0;
+          coalesced = 0;
           faults = 0;
           fault_log = [];
           fault_budget = max_int;
@@ -658,6 +662,29 @@ let set_stack t stack =
     (match stack with [] -> None | enc :: _ -> Some enc.e_name);
   set_hw_env t (env_of_stack t stack)
 
+(* Switch elision (fast path). A switch whose target hardware
+   environment is bit-identical to the installed one — same PKRU, same
+   page-table root — does not need the paid PKRU/CR3 write: the check
+   below is the rdpkru-class comparison the real runtime would do, and
+   when it holds the switch charges [switch_elided] instead of the
+   backend's switch cost. Everything else is unchanged: the stack still
+   moves through [set_stack] (obs context, env install — a no-op write),
+   the switch still counts in [switches] and the obs "switch" metric (so
+   trace cross-checks reconcile), and validation/quarantine checks ran
+   before we got here. Only the cost differs, which is what
+   "semantics-preserving" means for this path. *)
+let hw_env_equal t (target : Cpu.env) =
+  let cur = Cpu.env t.machine.Machine.cpu in
+  Int32.equal cur.Cpu.pkru target.Cpu.pkru
+  && String.equal (Pagetable.name cur.Cpu.pt) (Pagetable.name target.Cpu.pt)
+
+let can_elide t stack = Fastpath.enabled () && hw_env_equal t (env_of_stack t stack)
+
+let note_elision t scope =
+  t.switch_elided <- t.switch_elided + 1;
+  let o = obs t in
+  if Obs.enabled o then Obs.incr o ~scope "switch_elided"
+
 let prolog t ~name ~site =
   Log.debug (fun m -> m "prolog %s (site %s)" name site);
   check_site t site Image.Prolog;
@@ -696,24 +723,30 @@ let prolog t ~name ~site =
       let t0 = Clock.now t.machine.Machine.clock in
       let c = t.machine.Machine.costs in
       (match
-         match t.backend with
-         | Mpk ->
-             Clock.consume t.machine.Machine.clock Clock.Switch
-               c.Costs.mpk_prolog
-         | Lwc ->
-             (* lwSwitch: an ordinary system call that installs the
-                context's memory view. *)
-             Clock.consume t.machine.Machine.clock Clock.Switch
-               c.Costs.lwc_switch
-         | Vtx -> (
-             let vtx = Option.get t.vtx in
-             match
-               Vtx.guest_syscall vtx
-                 ~validate:(fun () -> true)
-                 ~target:(Option.get enc.e_pt)
-             with
-             | Ok () -> ()
-             | Error e -> fault t ~enclosure:name e)
+         if can_elide t (enc :: t.stack) then begin
+           Clock.consume t.machine.Machine.clock Clock.Switch
+             c.Costs.switch_elided;
+           note_elision t enc.e_name
+         end
+         else
+           match t.backend with
+           | Mpk ->
+               Clock.consume t.machine.Machine.clock Clock.Switch
+                 c.Costs.mpk_prolog
+           | Lwc ->
+               (* lwSwitch: an ordinary system call that installs the
+                  context's memory view. *)
+               Clock.consume t.machine.Machine.clock Clock.Switch
+                 c.Costs.lwc_switch
+           | Vtx -> (
+               let vtx = Option.get t.vtx in
+               match
+                 Vtx.guest_syscall vtx
+                   ~validate:(fun () -> true)
+                   ~target:(Option.get enc.e_pt)
+               with
+               | Ok () -> ()
+               | Error e -> fault t ~enclosure:name e)
        with
       | () ->
           set_stack t (enc :: t.stack);
@@ -740,23 +773,29 @@ let epilog t ~site =
       let t0 = Clock.now t.machine.Machine.clock in
       let c = t.machine.Machine.costs in
       (match
-         match t.backend with
-         | Mpk ->
-             Clock.consume t.machine.Machine.clock Clock.Switch
-               c.Costs.mpk_epilog
-         | Lwc ->
-             Clock.consume t.machine.Machine.clock Clock.Switch
-               c.Costs.lwc_switch
-         | Vtx -> (
-             let vtx = Option.get t.vtx in
-             let target =
-               match rest with
-               | [] -> t.machine.Machine.trusted_pt
-               | enc :: _ -> Option.get enc.e_pt
-             in
-             match Vtx.guest_sysret vtx ~validate:(fun () -> true) ~target with
-             | Ok () -> ()
-             | Error e -> fault t e)
+         if can_elide t rest then begin
+           Clock.consume t.machine.Machine.clock Clock.Switch
+             c.Costs.switch_elided;
+           note_elision t top.e_name
+         end
+         else
+           match t.backend with
+           | Mpk ->
+               Clock.consume t.machine.Machine.clock Clock.Switch
+                 c.Costs.mpk_epilog
+           | Lwc ->
+               Clock.consume t.machine.Machine.clock Clock.Switch
+                 c.Costs.lwc_switch
+           | Vtx -> (
+               let vtx = Option.get t.vtx in
+               let target =
+                 match rest with
+                 | [] -> t.machine.Machine.trusted_pt
+                 | enc :: _ -> Option.get enc.e_pt
+               in
+               match Vtx.guest_sysret vtx ~validate:(fun () -> true) ~target with
+               | Ok () -> ()
+               | Error e -> fault t e)
        with
       | () ->
           set_stack t rest;
@@ -847,6 +886,73 @@ let syscall t call =
 (* ------------------------------------------------------------------ *)
 (* Transfer                                                            *)
 
+(* Only the MPK backend populates [t.keys]; elsewhere every package
+   maps to key 0, so a transfer never flushes the verdict cache there
+   (non-MPK filters do not dispatch on PKRU). *)
+let mpk_key_of t pkg =
+  match Cluster.cluster_of t.clusters pkg with
+  | Some i when i < Array.length t.keys -> t.keys.(i)
+  | Some _ | None -> 0
+
+(* Re-home one range in the section registry: add the new Arena section
+   for [to_pkg] and drop the range from its previous owner's list.
+   Returns whether the range's MPK key assignment changed — the event
+   that must flush the seccomp verdict cache (a meta-package's rights
+   over the range are not what any cached verdict could have assumed). *)
+let rehome_range t ~addr ~len ~to_pkg =
+  let sec =
+    Section.make
+      ~name:(Printf.sprintf "%s.arena@%#x" to_pkg addr)
+      ~owner:to_pkg ~kind:Section.Arena ~addr ~size:len
+  in
+  let key_changed =
+    match owner_of t ~addr with
+    | Some prev when prev <> to_pkg ->
+        (match Hashtbl.find_opt t.pkg_sections prev with
+        | Some lst ->
+            lst :=
+              List.filter (fun (s : Section.t) -> s.Section.addr <> addr) !lst
+        | None -> ());
+        mpk_key_of t prev <> mpk_key_of t to_pkg
+    | Some _ -> false
+    | None -> false
+  in
+  register_section t sec;
+  key_changed
+
+(* The trusted-context pkey_mprotect of the MPK transfer path. *)
+let mpk_retag t ~addr ~pages ~key =
+  let saved = Cpu.env t.machine.Machine.cpu in
+  Cpu.set_env t.machine.Machine.cpu t.machine.Machine.trusted_env;
+  let result =
+    K.syscall t.machine.Machine.kernel
+      (K.Pkey_mprotect { addr; len = pages * Phys.page_size; key })
+  in
+  Cpu.set_env t.machine.Machine.cpu saved;
+  match result with
+  | Ok _ -> ()
+  | Error e ->
+      fault t (Printf.sprintf "transfer: pkey_mprotect failed (%s)" (K.errno_name e))
+
+(* Page-table update of the VTX/LWC transfer paths (the cost is charged
+   by the caller; this is the view bookkeeping, uniform over the range
+   because ownership and hence access are uniform). *)
+let pt_retag t ~addr ~bytes ~to_pkg =
+  List.iter
+    (fun enc ->
+      match enc.e_pt with
+      | None -> ()
+      | Some pt ->
+          let access = View.access enc.e_view to_pkg in
+          Mm.protect t.machine.Machine.mm ~pt ~addr ~len:bytes
+            (Types.page_perms access Section.Arena);
+          Mm.set_present t.machine.Machine.mm ~pt ~addr ~len:bytes
+            (access <> Types.U))
+    (ordered_encs t);
+  Mm.protect t.machine.Machine.mm ~pt:t.machine.Machine.trusted_pt ~addr
+    ~len:bytes
+    { Pte.r = true; w = true; x = false }
+
 let transfer t ~addr ~len ~to_pkg ~site =
   Log.debug (fun m -> m "transfer %#x+%d -> %s" addr len to_pkg);
   check_site t site Image.Transfer;
@@ -863,39 +969,13 @@ let transfer t ~addr ~len ~to_pkg ~site =
   Fun.protect ~finally:(fun () -> Obs.span_exit (obs t) sp) @@ fun () ->
   let t0 = Clock.now t.machine.Machine.clock in
   let pages = (max len 1 + Phys.page_size - 1) / Phys.page_size in
-  let sec =
-    Section.make
-      ~name:(Printf.sprintf "%s.arena@%#x" to_pkg addr)
-      ~owner:to_pkg ~kind:Section.Arena ~addr ~size:len
-  in
-  (* Remove the range from its previous owner's section list, if any. *)
-  (match owner_of t ~addr with
-  | Some prev when prev <> to_pkg -> (
-      match Hashtbl.find_opt t.pkg_sections prev with
-      | Some lst ->
-          lst := List.filter (fun (s : Section.t) -> s.Section.addr <> addr) !lst
-      | None -> ())
-  | Some _ | None -> ());
-  register_section t sec;
+  let key_changed = rehome_range t ~addr ~len ~to_pkg in
   (match t.backend with
-  | Mpk -> (
-      let key =
-        match Cluster.cluster_of t.clusters to_pkg with
-        | Some i -> t.keys.(i)
-        | None -> 0
-      in
+  | Mpk ->
       (* The Transfer hook gates into LitterBox, which performs the
          pkey_mprotect from a trusted context. *)
-      let saved = Cpu.env t.machine.Machine.cpu in
-      Cpu.set_env t.machine.Machine.cpu t.machine.Machine.trusted_env;
-      let result =
-        K.syscall t.machine.Machine.kernel
-          (K.Pkey_mprotect { addr; len = pages * Phys.page_size; key })
-      in
-      Cpu.set_env t.machine.Machine.cpu saved;
-      match result with
-      | Ok _ -> ()
-      | Error e -> fault t (Printf.sprintf "transfer: pkey_mprotect failed (%s)" (K.errno_name e)))
+      mpk_retag t ~addr ~pages ~key:(mpk_key_of t to_pkg);
+      if key_changed then K.seccomp_invalidate t.machine.Machine.kernel
   | Vtx | Lwc ->
       let c = t.machine.Machine.costs in
       (match t.backend with
@@ -906,26 +986,80 @@ let transfer t ~addr ~len ~to_pkg ~site =
           (* A kernel call updating every context's view of the range. *)
           Clock.consume t.machine.Machine.clock Clock.Transfer
             (c.Costs.syscall_base + (pages * c.Costs.lwc_transfer_page)));
-      let bytes = pages * Phys.page_size in
-      List.iter
-        (fun enc ->
-          match enc.e_pt with
-          | None -> ()
-          | Some pt ->
-              let access = View.access enc.e_view to_pkg in
-              Mm.protect t.machine.Machine.mm ~pt ~addr ~len:bytes
-                (Types.page_perms access Section.Arena);
-              Mm.set_present t.machine.Machine.mm ~pt ~addr ~len:bytes
-                (access <> Types.U))
-        (ordered_encs t);
-      Mm.protect t.machine.Machine.mm ~pt:t.machine.Machine.trusted_pt ~addr
-        ~len:bytes
-        { Pte.r = true; w = true; x = false });
+      pt_retag t ~addr ~bytes:(pages * Phys.page_size) ~to_pkg);
   let o = obs t in
   if Obs.enabled o then begin
     let dur = Clock.now t.machine.Machine.clock - t0 in
     Obs.observe o "transfer_ns" dur;
     Obs.emit o ~dur (Event.Transfer { to_pkg; pages })
+  end
+
+(* Coalesced transfer (fast path): hand [len] bytes at [addr] to
+   [to_pkg] in [chunk]-sized pieces — exactly what a loop of [transfer]
+   calls over the adjacent sub-ranges would do to the section registry
+   (one Arena section per chunk, so later exact-address re-transfers and
+   [mpk_recompute] re-tagging behave identically) — but with a single
+   hardware update over the whole range: one pkey_mprotect syscall (MPK)
+   or one page-table walk (VTX/LWC) instead of one per chunk. Counters
+   stay in lockstep with the slow path: [transfers] and the obs
+   "transfer" metric advance by the number of chunks. With the fast path
+   off (or a single chunk) this {e is} the loop of [transfer] calls. *)
+let transfer_range t ~addr ~len ~chunk ~to_pkg ~site =
+  if chunk <= 0 then invalid_arg "Litterbox.transfer_range: chunk must be > 0";
+  if len <= 0 then invalid_arg "Litterbox.transfer_range: len must be > 0";
+  let n = (len + chunk - 1) / chunk in
+  let chunk_len i = min chunk (len - (i * chunk)) in
+  if (not (Fastpath.enabled ())) || n <= 1 then
+    for i = 0 to n - 1 do
+      transfer t ~addr:(addr + (i * chunk)) ~len:(chunk_len i) ~to_pkg ~site
+    done
+  else begin
+    Log.debug (fun m ->
+        m "transfer %#x+%d -> %s (coalesced, %d chunks)" addr len to_pkg n);
+    check_site t site Image.Transfer;
+    if not (Encl_pkg.Graph.mem t.graph to_pkg) then
+      fault t (Printf.sprintf "transfer to unknown package %s" to_pkg);
+    t.transfers <- t.transfers + n;
+    t.coalesced <- t.coalesced + n;
+    let o = obs t in
+    (if Obs.enabled o then begin
+       Obs.incr o ~by:n "transfer";
+       Obs.incr o ~by:n "transfer_coalesced"
+     end);
+    let sp =
+      if Obs.enabled o then
+        Obs.span_enter o ~name:("transfer:" ^ to_pkg) ~category:Span.Transfer ()
+      else -1
+    in
+    Fun.protect ~finally:(fun () -> Obs.span_exit (obs t) sp) @@ fun () ->
+    let t0 = Clock.now t.machine.Machine.clock in
+    let key_changed = ref false in
+    let pages = ref 0 in
+    for i = 0 to n - 1 do
+      let clen = chunk_len i in
+      if rehome_range t ~addr:(addr + (i * chunk)) ~len:clen ~to_pkg then
+        key_changed := true;
+      pages := !pages + ((max clen 1 + Phys.page_size - 1) / Phys.page_size)
+    done;
+    (match t.backend with
+    | Mpk ->
+        mpk_retag t ~addr ~pages:!pages ~key:(mpk_key_of t to_pkg);
+        if !key_changed then K.seccomp_invalidate t.machine.Machine.kernel
+    | Vtx | Lwc ->
+        let c = t.machine.Machine.costs in
+        (match t.backend with
+        | Vtx ->
+            Clock.consume t.machine.Machine.clock Clock.Transfer
+              (c.Costs.vtx_transfer_base + (!pages * c.Costs.vtx_transfer_page))
+        | Lwc | Mpk ->
+            Clock.consume t.machine.Machine.clock Clock.Transfer
+              (c.Costs.syscall_base + (!pages * c.Costs.lwc_transfer_page)));
+        pt_retag t ~addr ~bytes:(!pages * Phys.page_size) ~to_pkg);
+    if Obs.enabled o then begin
+      let dur = Clock.now t.machine.Machine.clock - t0 in
+      Obs.observe o "transfer_ns" dur;
+      Obs.emit o ~dur (Event.Transfer { to_pkg; pages = !pages })
+    end
   end
 
 (* ------------------------------------------------------------------ *)
@@ -953,21 +1087,26 @@ let execute t env_ref ~site =
   let t0 = Clock.now t.machine.Machine.clock in
   let c = t.machine.Machine.costs in
   (match
-     match t.backend with
-     | Mpk ->
-         Clock.consume t.machine.Machine.clock Clock.Switch c.Costs.wrpkru
-     | Lwc ->
-         Clock.consume t.machine.Machine.clock Clock.Switch c.Costs.lwc_switch
-     | Vtx -> (
-         let vtx = Option.get t.vtx in
-         let target =
-           match env_ref with
-           | [] -> t.machine.Machine.trusted_pt
-           | enc :: _ -> Option.get enc.e_pt
-         in
-         match Vtx.guest_syscall vtx ~validate:(fun () -> true) ~target with
-         | Ok () -> ()
-         | Error e -> fault t e)
+     if can_elide t env_ref then begin
+       Clock.consume t.machine.Machine.clock Clock.Switch c.Costs.switch_elided;
+       note_elision t target_scope
+     end
+     else
+       match t.backend with
+       | Mpk ->
+           Clock.consume t.machine.Machine.clock Clock.Switch c.Costs.wrpkru
+       | Lwc ->
+           Clock.consume t.machine.Machine.clock Clock.Switch c.Costs.lwc_switch
+       | Vtx -> (
+           let vtx = Option.get t.vtx in
+           let target =
+             match env_ref with
+             | [] -> t.machine.Machine.trusted_pt
+             | enc :: _ -> Option.get enc.e_pt
+           in
+           match Vtx.guest_syscall vtx ~validate:(fun () -> true) ~target with
+           | Ok () -> ()
+           | Error e -> fault t e)
    with
   | () ->
       set_stack t env_ref;
@@ -1002,7 +1141,11 @@ let with_trusted t f =
         ~category:Span.Prolog ()
     else -1
   in
-  Clock.consume t.machine.Machine.clock Clock.Switch switch_cost;
+  (if can_elide t [] then begin
+     Clock.consume t.machine.Machine.clock Clock.Switch c.Costs.switch_elided;
+     note_elision t scope
+   end
+   else Clock.consume t.machine.Machine.clock Clock.Switch switch_cost);
   Obs.span_exit o sp;
   t.switches <- t.switches + 1;
   note_switch t scope;
@@ -1021,7 +1164,12 @@ let with_trusted t f =
             ~category:Span.Epilog ()
         else -1
       in
-      Clock.consume t.machine.Machine.clock Clock.Switch return_cost;
+      (if can_elide t saved then begin
+         Clock.consume t.machine.Machine.clock Clock.Switch
+           c.Costs.switch_elided;
+         note_elision t scope
+       end
+       else Clock.consume t.machine.Machine.clock Clock.Switch return_cost);
       Obs.span_exit o sp;
       t.switches <- t.switches + 1;
       note_switch t scope;
@@ -1046,7 +1194,9 @@ let pkru_of t name =
 let cluster t = t.clusters
 let enclosure_names t = t.enc_order
 let switch_count t = t.switches
+let switch_elided_count t = t.switch_elided
 let transfer_count t = t.transfers
+let transfer_coalesced_count t = t.coalesced
 let fault_count t = t.faults
 let fault_log t = t.fault_log
 

@@ -119,6 +119,17 @@ val transfer :
 (** Move a memory section into [to_pkg]'s arena, updating every execution
     environment (paper §4.2). Must come from a verified call-site. *)
 
+val transfer_range :
+  t -> addr:int -> len:int -> chunk:int -> to_pkg:string -> site:string -> unit
+(** Transfer [len] bytes at [addr] in [chunk]-byte pieces. Registry and
+    enforcement effects are exactly those of the equivalent loop of
+    {!transfer} calls (one Arena section per chunk), but with the fast
+    path enabled the adjacent chunks share a single hardware update —
+    one [pkey_mprotect] (MPK) or page-table pass (VTX/LWC) over the
+    whole range. [addr] and [chunk] must be page-aligned for the batched
+    update to cover the same pages as the loop. With
+    {!Encl_sim.Fastpath.enabled} false this {e is} the loop. *)
+
 val owner_of : t -> addr:int -> string option
 (** Which package owns the page containing [addr] (section registry). *)
 
@@ -166,7 +177,20 @@ val pkru_of : t -> string -> Mpk.pkru option
 val cluster : t -> Cluster.t
 val enclosure_names : t -> string list
 val switch_count : t -> int
+
+val switch_elided_count : t -> int
+(** How many of {!switch_count}'s switches took the elision fast path
+    (target environment already installed; see {!Encl_sim.Fastpath}).
+    Always [<= switch_count]; 0 with the fast path disabled. Mirrored in
+    the obs "switch_elided" metric. *)
+
 val transfer_count : t -> int
+
+val transfer_coalesced_count : t -> int
+(** How many of {!transfer_count}'s chunk transfers were batched by
+    {!transfer_range} into shared hardware updates. Mirrored in the obs
+    "transfer_coalesced" metric. *)
+
 val fault_count : t -> int
 
 val fault_log : t -> string list

@@ -19,6 +19,7 @@ let rule_for metric =
   match metric with
   | "req_per_sec" -> { direction = Higher_better; tolerance = 0.10 }
   | "availability" -> { direction = Higher_better; tolerance = 0.05 }
+  | "hit_rate" -> { direction = Higher_better; tolerance = 0.05 }
   | "ms_per_invert" -> { direction = Lower_better; tolerance = 0.10 }
   | "conservative_slowdown" | "decoupled_slowdown" ->
       { direction = Lower_better; tolerance = 0.15 }
@@ -81,7 +82,7 @@ type finding = { row : row; fresh : float option; verdict : verdict }
 
 type report = {
   findings : finding list;
-  new_rows : row list;  (** fresh rows with no baseline — warn only *)
+  new_rows : row list;  (** fresh rows with no baseline — also a failure *)
   quick_mismatch : bool;
 }
 
@@ -127,8 +128,12 @@ let compare_docs ~baseline ~fresh =
   in
   { findings; new_rows; quick_mismatch = baseline.quick <> fresh.quick }
 
+(* A fresh row with no baseline entry fails too: otherwise a new bench
+   row ships ungated and silently rots until someone notices. The fix is
+   deliberate — regenerate with `profile gate --write-baseline`. *)
 let failed report =
   report.quick_mismatch
+  || report.new_rows <> []
   || List.exists
        (fun f -> match f.verdict with Regressed _ | Missing -> true | _ -> false)
        report.findings
@@ -164,7 +169,10 @@ let render report =
     report.findings;
   List.iter
     (fun r ->
-      line "warn  %-40s %.3f (no baseline row; add one?)" (key r) r.value)
+      line
+        "FAIL  %-40s %.3f (no baseline row; regenerate with `profile gate \
+         --write-baseline`)"
+        (key r) r.value)
     report.new_rows;
   let count k = Option.value ~default:0 (Hashtbl.find_opt counts k) in
   line "gate: %d rows: %d pass, %d improved, %d informational, %d regressed, %d missing, %d unbaselined"

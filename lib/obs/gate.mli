@@ -11,9 +11,10 @@ type direction =
 type rule = { direction : direction; tolerance : float }
 
 val rule_for : string -> rule
-(** Rule for a metric name: [req_per_sec] and [availability] are
-    higher-better; [ms_per_invert], the slowdown factors, and any
-    [*_ns] timing are lower-better; everything else informational. *)
+(** Rule for a metric name: [req_per_sec], [availability] and
+    [hit_rate] are higher-better; [ms_per_invert], the slowdown
+    factors, and any [*_ns] timing are lower-better; everything else
+    informational. *)
 
 type row = {
   workload : string;
@@ -42,15 +43,17 @@ type finding = { row : row; fresh : float option; verdict : verdict }
 
 type report = {
   findings : finding list;  (** one per baseline row, in baseline order *)
-  new_rows : row list;  (** fresh rows with no baseline — warn only *)
+  new_rows : row list;  (** fresh rows with no baseline — also fail *)
   quick_mismatch : bool;  (** quick-mode flag differs between the docs *)
 }
 
 val compare_docs : baseline:doc -> fresh:doc -> report
 
 val failed : report -> bool
-(** True iff any row [Regressed] or went [Missing], or the quick flags
-    disagree.  New unbaselined rows only warn. *)
+(** True iff any row [Regressed] or went [Missing], any fresh row has
+    no baseline entry, or the quick flags disagree.  A deliberate
+    change regenerates the baseline with
+    [profile gate --write-baseline]. *)
 
 val render : report -> string
 (** Human-readable verdict lines (FAIL/ok/warn) plus a summary count

@@ -15,6 +15,8 @@ type t = {
   vtx_transfer_page : int;
   lwc_switch : int;
   lwc_transfer_page : int;
+  switch_elided : int;
+  seccomp_cached : int;
   page_map : int;
   init_per_package : int;
   init_per_enclosure : int;
@@ -46,6 +48,12 @@ let default =
        paper's own measurements on Linux). *)
     lwc_switch = 1450;
     lwc_transfer_page = 120;
+    (* Fast paths: an elided switch still reads the installed environment
+       to prove the target equal (an rdpkru-class check); a verdict-cache
+       hit is one probe of a direct-mapped table, cheaper than even the
+       trusted-PKRU BPF branch. *)
+    switch_elided = 4;
+    seccomp_cached = 12;
     page_map = 18;
     init_per_package = 850;
     init_per_enclosure = 2600;

@@ -34,6 +34,13 @@ type t = {
       (** light-weight-context switch (the [lwSwitch] system call of the
           LWC OS abstraction — the hardware-free backend of paper §8) *)
   lwc_transfer_page : int;  (** LWC per-page kernel view update *)
+  switch_elided : int;
+      (** switch whose target environment equals the installed one: the
+          fast path skips the PKRU/CR3 write and pays only the equality
+          check (see {!Fastpath}) *)
+  seccomp_cached : int;
+      (** seccomp verdict served from the (PKRU, nr, arg0) cache instead
+          of a BPF evaluation *)
   page_map : int;  (** mapping one page in a page table *)
   init_per_package : int;  (** LitterBox Init work per package *)
   init_per_enclosure : int;  (** LitterBox Init work per enclosure view *)

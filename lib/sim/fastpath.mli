@@ -1,0 +1,18 @@
+(** Global switch for the semantics-preserving fast paths: switch
+    elision, the seccomp verdict cache, transfer coalescing and
+    enclosure-affinity scheduling. Enforcement outcomes (faults, seccomp
+    kills, quarantine) are identical with the flag on or off — the flag
+    only changes which costs are charged.
+
+    The initial value comes from the [ENCL_FASTPATH] environment
+    variable: unset or anything but ["0"], ["false"], ["off"] means
+    enabled. The flag lives in [lib/sim] because both the kernel (verdict
+    cache) and LitterBox (elision, coalescing) consult it and the kernel
+    cannot depend on LitterBox. *)
+
+val enabled : unit -> bool
+val set : bool -> unit
+
+val with_flag : bool -> (unit -> 'a) -> 'a
+(** Run [f] with the flag forced to [b], restoring the previous value on
+    exit (tests use this to run differential comparisons). *)

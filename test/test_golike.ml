@@ -164,6 +164,10 @@ let sched_tests =
         Alcotest.(check (option string)) "spawned inside enc" (Some "enc") !inherited);
     Alcotest.test_case "scheduler restores environments across fibers" `Quick
       (fun () ->
+        (* Slow path: with affinity scheduling on, the scheduler groups
+           same-environment fibers and the Execute switches this test
+           counts are (correctly) elided — test_fastpath covers that. *)
+        Fastpath.with_flag false @@ fun () ->
         let rt = boot ~config:(Runtime.with_backend Lb.Mpk) () in
         let lb = Option.get (Runtime.lb rt) in
         let seen = ref [] in

@@ -428,7 +428,7 @@ let gate_tests =
         Alcotest.(check bool) "failed" true (Gate.failed report);
         Alcotest.(check bool) "missing verdict" true
           ((List.hd report.Gate.findings).Gate.verdict = Gate.Missing));
-    Alcotest.test_case "new unbaselined row only warns" `Quick (fun () ->
+    Alcotest.test_case "new unbaselined row fails" `Quick (fun () ->
         let baseline = doc [ row "http" "LB_MPK" "req_per_sec" 100.0 ] in
         let fresh =
           doc
@@ -438,7 +438,7 @@ let gate_tests =
             ]
         in
         let report = Gate.compare_docs ~baseline ~fresh in
-        Alcotest.(check bool) "not failed" false (Gate.failed report);
+        Alcotest.(check bool) "failed" true (Gate.failed report);
         Alcotest.(check int) "one new row" 1 (List.length report.Gate.new_rows));
     Alcotest.test_case "quick mismatch fails" `Quick (fun () ->
         let baseline = doc ~quick:true [] in
