@@ -560,8 +560,7 @@ let fastpath () =
           K.seccomp_cache_stats (Runtime.machine rt_on).Machine.kernel
         in
         let rate =
-          if hits + misses = 0 then 0.0
-          else float_of_int hits /. float_of_int (hits + misses)
+          K.seccomp_cache_hit_rate (Runtime.machine rt_on).Machine.kernel
         in
         Printf.printf
           "%-8s http  seccomp verdict cache: %d hits / %d evaluations \
@@ -570,6 +569,42 @@ let fastpath () =
         add_result ~workload:"seccomp_cache_hit_rate" ~backend:name
           ~metric:"hit_rate" rate
       end)
+    [ Lb.Mpk; Lb.Vtx ]
+
+(* ------------------------------------------------------------------ *)
+(* Syscall ring: batched submission/completion (ENCL_SYSRING)          *)
+
+let sysring () =
+  section "Syscall ring: batched submission (ENCL_SYSRING)";
+  let requests = if quick then 200 else 2000 in
+  let run_http backend flag =
+    Sysring.with_flag flag (fun () ->
+        Scenarios.http_rt (Some backend) ~requests ())
+  in
+  List.iter
+    (fun backend ->
+      let rt_on, on = run_http backend true in
+      let rt_off, off = run_http backend false in
+      let lb = Option.get (Runtime.lb rt_on) in
+      let lb_off = Option.get (Runtime.lb rt_off) in
+      let name = Scenarios.config_name (Some backend) in
+      let batches = Lb.ring_batches_count lb in
+      let batch_avg =
+        if batches = 0 then 0.0
+        else float_of_int (Lb.ring_drained_count lb) /. float_of_int batches
+      in
+      Printf.printf
+        "%-8s http  ring on %8.0f req/s  off %8.0f req/s  (%d entries in %d \
+         batches, avg %.1f; vm_exits %d vs %d)\n%!"
+        name on.Scenarios.h_req_per_sec off.Scenarios.h_req_per_sec
+        (Lb.ring_drained_count lb) batches batch_avg (Lb.vmexit_count lb)
+        (Lb.vmexit_count lb_off);
+      add_result ~workload:"sysring_http" ~backend:name ~metric:"req_per_sec"
+        on.Scenarios.h_req_per_sec;
+      add_result ~workload:"sysring_http" ~backend:name ~metric:"vm_exits"
+        (float_of_int (Lb.vmexit_count lb));
+      add_result ~workload:"sysring_http" ~backend:name ~metric:"batch_avg"
+        batch_avg)
     [ Lb.Mpk; Lb.Vtx ]
 
 (* ------------------------------------------------------------------ *)
@@ -616,6 +651,7 @@ let () =
   lwc_extension ();
   ablations ();
   fastpath ();
+  sysring ();
   resilience ();
   run_bechamel ();
   write_results ();

@@ -65,6 +65,20 @@ stage "bench regression gate"
 # with `dune exec bin/profile.exe -- gate --write-baseline`).
 dune exec bin/profile.exe -- gate
 
+stage "sysring differential (enforcement on/off diff)"
+# Batching may change what a run costs, never what enforcement decides:
+# the timing-free enforcement report must be byte-identical with the
+# syscall ring on and off (same verdicts, fault logs, quarantine state,
+# workload syscall totals). Runs in --quick too — it is the cheapest
+# end-to-end witness that the ring preserves semantics.
+ENCL_SYSRING=1 dune exec bin/trace_dump.exe -- enforcement > "$tmp/sysring_on.txt"
+ENCL_SYSRING=0 dune exec bin/trace_dump.exe -- enforcement > "$tmp/sysring_off.txt"
+if ! cmp -s "$tmp/sysring_on.txt" "$tmp/sysring_off.txt"; then
+  echo "ci: enforcement diverged between ENCL_SYSRING=1 and =0" >&2
+  diff "$tmp/sysring_on.txt" "$tmp/sysring_off.txt" >&2 || true
+  exit 1
+fi
+
 stage "trace artifacts"
 dune exec bin/trace_dump.exe -- wiki --requests 200 --out-dir "$tmp"
 dune exec bin/trace_dump.exe -- validate "$tmp/trace.json"
@@ -97,6 +111,11 @@ if [ "$quick" = 0 ]; then
   # fault counts stay identical.
   dune exec bin/profile.exe -- fastpath
 
+  stage "sysring speedup"
+  # With ENCL_SYSRING on, VT-x must serve >= 15% more req/s with
+  # strictly fewer VM EXITs at equal workload syscall and fault counts.
+  dune exec bin/profile.exe -- sysring
+
   stage "chaos smoke (availability + determinism)"
   # The server must stay up under fault injection (exit 1 below 90%
   # availability), and the run must be deterministic — two runs with
@@ -110,7 +129,7 @@ if [ "$quick" = 0 ]; then
   fi
   dune exec bin/chaos.exe -- wiki --seed 42
 else
-  echo "ci: --quick: skipping profile, overhead, fastpath, and chaos smokes"
+  echo "ci: --quick: skipping profile, overhead, fastpath, sysring-speedup, and chaos smokes"
 fi
 
 now=$(date +%s)

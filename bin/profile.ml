@@ -22,6 +22,7 @@ module Runtime = Encl_golike.Runtime
 module Machine = Encl_litterbox.Machine
 module Lb = Encl_litterbox.Litterbox
 module K = Encl_kernel.Kernel
+module Sysno = Encl_kernel.Sysno
 module Scenarios = Encl_apps.Scenarios
 module Obs = Encl_obs.Obs
 module Span = Encl_obs.Span
@@ -279,6 +280,132 @@ let fastpath scenario requests =
       1
 
 (* ------------------------------------------------------------------ *)
+(* sysring: one exit per batch instead of one per call *)
+
+(* The ring's acceptance check (ISSUE 5): on the same workload, with
+   ENCL_SYSRING on the VTX backend must serve >= 15% more requests per
+   second with strictly fewer VM EXITs — while the kernel executes the
+   same number of system calls and enforcement records the same number
+   of faults.  MPK has no VM EXITs to shed but still amortizes the trap
+   cost, so it must not get slower.
+
+   "Same number of system calls" is over the workload's calls — the
+   memory-management family (mmap, pkey_mprotect) is excluded, because
+   allocator span growth and GC timing legitimately move with fiber
+   interleaving and the ring never carries those calls. *)
+
+let workload_syscalls kernel =
+  List.fold_left
+    (fun acc (nr, n) ->
+      if Sysno.category nr = Sysno.Cat_mem then acc else acc + n)
+    0 (K.trace kernel)
+
+type ring_run = {
+  r_name : string;
+  r_rps : float;
+  r_vmexits : int;
+  r_syscalls : int;
+  r_faults : int;
+  r_batches : int;
+  r_drained : int;
+  r_pending : int;
+}
+
+let sysring_run scenario backend requests flag =
+  Sysring.with_flag flag @@ fun () ->
+  let run =
+    match scenario with
+    | "http" -> Ok (Scenarios.http_rt (Some backend) ?requests ())
+    | "fasthttp" -> Ok (Scenarios.fasthttp_rt (Some backend) ?requests ())
+    | "wiki" -> Ok (Scenarios.wiki_rt (Some backend) ?requests ())
+    | s -> Error ("sysring: unsupported scenario " ^ s)
+  in
+  match run with
+  | Error e -> Error e
+  | Ok (rt, r) ->
+      let lb = Option.get (Runtime.lb rt) in
+      let kernel = (Runtime.machine rt).Machine.kernel in
+      Ok
+        {
+          r_name = Scenarios.config_name (Some backend);
+          r_rps = r.Scenarios.h_req_per_sec;
+          r_vmexits = Lb.vmexit_count lb;
+          r_syscalls = workload_syscalls kernel;
+          r_faults = Lb.fault_count lb;
+          r_batches = Lb.ring_batches_count lb;
+          r_drained = Lb.ring_drained_count lb;
+          r_pending = Lb.ring_pending lb;
+        }
+
+let sysring scenario requests =
+  let check backend =
+    match
+      ( sysring_run scenario backend requests true,
+        sysring_run scenario backend requests false )
+    with
+    | Error e, _ | _, Error e -> Error e
+    | Ok on, Ok off ->
+        let batch_avg =
+          if on.r_batches = 0 then 0.0
+          else float_of_int on.r_drained /. float_of_int on.r_batches
+        in
+        Printf.printf
+          "%-8s on:  %8.0f req/s  vm_exits %6d  syscalls %6d  faults %d  \
+           (%d entries in %d batches, avg %.1f)\n"
+          on.r_name on.r_rps on.r_vmexits on.r_syscalls on.r_faults
+          on.r_drained on.r_batches batch_avg;
+        Printf.printf
+          "%-8s off: %8.0f req/s  vm_exits %6d  syscalls %6d  faults %d\n"
+          off.r_name off.r_rps off.r_vmexits off.r_syscalls off.r_faults;
+        let fail msg = Error (Printf.sprintf "%s: %s" on.r_name msg) in
+        if on.r_syscalls <> off.r_syscalls then
+          fail
+            (Printf.sprintf "kernel syscall counts diverged (on %d, off %d)"
+               on.r_syscalls off.r_syscalls)
+        else if on.r_faults <> off.r_faults then
+          fail
+            (Printf.sprintf "fault counts diverged (on %d, off %d)"
+               on.r_faults off.r_faults)
+        else if on.r_pending <> 0 then
+          fail (Printf.sprintf "%d entries never drained" on.r_pending)
+        else if on.r_drained = 0 || batch_avg <= 1.0 then
+          fail
+            (Printf.sprintf "ring did not batch (%d entries, avg %.2f)"
+               on.r_drained batch_avg)
+        else
+          match backend with
+          | Lb.Vtx ->
+              if on.r_vmexits >= off.r_vmexits then
+                fail
+                  (Printf.sprintf "VM EXITs did not shrink (on %d, off %d)"
+                     on.r_vmexits off.r_vmexits)
+              else if on.r_rps < 1.15 *. off.r_rps then
+                fail
+                  (Printf.sprintf
+                     "req/s gain below 15%% (on %.0f, off %.0f, %+.1f%%)"
+                     on.r_rps off.r_rps
+                     (100.0 *. ((on.r_rps /. off.r_rps) -. 1.0)))
+              else Ok ()
+          | Lb.Mpk | Lb.Lwc ->
+              if on.r_rps < off.r_rps then
+                fail
+                  (Printf.sprintf "ring made %s slower (on %.0f, off %.0f)"
+                     on.r_name on.r_rps off.r_rps)
+              else Ok ()
+  in
+  Printf.printf "sysring check on %s (%s requests)\n" scenario
+    (match requests with Some n -> string_of_int n | None -> "default");
+  match (check Lb.Mpk, check Lb.Vtx) with
+  | Ok (), Ok () ->
+      print_endline
+        "sysring: VTX sheds >=15% of its wall time and every VM EXIT it can; \
+         enforcement identical";
+      0
+  | (Error e, _ | _, Error e) ->
+      prerr_endline ("profile: sysring: " ^ e);
+      1
+
+(* ------------------------------------------------------------------ *)
 (* gate: diff fresh bench results against the committed baseline *)
 
 let read_doc label path =
@@ -403,6 +530,22 @@ let fastpath_cmd =
           with the fast path on (enforcement outcomes identical).")
     Term.(const fastpath $ scenario_arg $ requests_arg)
 
+let sysring_cmd =
+  let scenario_arg =
+    Arg.(
+      value
+      & opt string "http"
+      & info [ "scenario" ] ~docv:"NAME"
+          ~doc:"Scenario to compare on (http, fasthttp or wiki).")
+  in
+  Cmd.v
+    (Cmd.info "sysring"
+       ~doc:
+         "Run one workload with the syscall ring on and off, on both MPK \
+          and VT-x; exit 1 unless VT-x serves >= 15% more req/s with \
+          strictly fewer VM EXITs at equal kernel syscall and fault counts.")
+    Term.(const sysring $ scenario_arg $ requests_arg)
+
 let gate_cmd =
   let baseline_arg =
     Arg.(
@@ -440,6 +583,6 @@ let () =
   in
   let cmds =
     List.map scenario_cmd Scenarios.scenario_names
-    @ [ overhead_cmd; fastpath_cmd; gate_cmd ]
+    @ [ overhead_cmd; fastpath_cmd; sysring_cmd; gate_cmd ]
   in
   exit (Cmd.eval' (Cmd.group info cmds))

@@ -14,6 +14,8 @@
 module Runtime = Encl_golike.Runtime
 module Machine = Encl_litterbox.Machine
 module Lb = Encl_litterbox.Litterbox
+module K = Encl_kernel.Kernel
+module Sysno = Encl_kernel.Sysno
 module Scenarios = Encl_apps.Scenarios
 module Obs = Encl_obs.Obs
 module Metrics = Encl_obs.Metrics
@@ -26,8 +28,13 @@ let write_file path contents =
       output_string oc contents)
 
 (* The acceptance invariant: the sink's cross-scope totals must agree
-   exactly with LitterBox's own counters. *)
-let cross_check lb obs =
+   exactly with LitterBox's own counters, the syscall ring must balance
+   (submitted = drained + pending), and the obs syscall totals must
+   reconcile with the kernel's count even when batching reordered the
+   drains: guest-side denials (VTX/LWC filter checks, ring entries
+   denied at drain) never enter the kernel, so
+   allowed + denied - guest_denied = kernel syscall_count. *)
+let cross_check lb kernel obs =
   let check name total lb_count =
     if total <> lb_count then
       Some
@@ -36,6 +43,30 @@ let cross_check lb obs =
     else None
   in
   let m = Obs.metrics obs in
+  let ring_balance =
+    let submitted = Lb.ring_submitted_count lb in
+    let drained = Lb.ring_drained_count lb in
+    let pending = Lb.ring_pending lb in
+    if submitted <> drained + pending then
+      Some
+        (Printf.sprintf
+           "ring imbalance: submitted %d <> drained %d + pending %d" submitted
+           drained pending)
+    else None
+  in
+  let syscall_reconcile =
+    let allowed = Metrics.total m "syscall.allowed" in
+    let denied = Metrics.total m "syscall.denied" in
+    let guest = Lb.guest_denied_count lb in
+    let kernel_count = K.syscall_count kernel in
+    if allowed + denied - guest <> kernel_count then
+      Some
+        (Printf.sprintf
+           "syscall count mismatch: obs allowed %d + denied %d - guest \
+            denials %d <> kernel %d"
+           allowed denied guest kernel_count)
+    else None
+  in
   List.filter_map Fun.id
     [
       check "switch" (Metrics.total m "switch") (Lb.switch_count lb);
@@ -47,6 +78,17 @@ let cross_check lb obs =
       check "transfer_coalesced"
         (Metrics.total m "transfer_coalesced")
         (Lb.transfer_coalesced_count lb);
+      check "ring_submitted"
+        (Metrics.total m "ring_submitted")
+        (Lb.ring_submitted_count lb);
+      check "ring_drained"
+        (Metrics.total m "ring_drained")
+        (Lb.ring_drained_count lb);
+      check "ring_batches"
+        (Metrics.total m "ring_batches")
+        (Lb.ring_batches_count lb);
+      ring_balance;
+      syscall_reconcile;
     ]
 
 let run name backend requests out_dir summary =
@@ -84,16 +126,20 @@ let run name backend requests out_dir summary =
       match Runtime.lb rt with
       | None -> 0
       | Some lb -> (
-          match cross_check lb obs with
+          let kernel = (Runtime.machine rt).Machine.kernel in
+          match cross_check lb kernel obs with
           | [] ->
               Printf.printf
                 "counters reconcile: switches=%d (%d elided) transfers=%d \
-                 (%d coalesced) faults=%d\n"
+                 (%d coalesced) faults=%d ring=%d/%d in %d batches\n"
                 (Lb.switch_count lb)
                 (Lb.switch_elided_count lb)
                 (Lb.transfer_count lb)
                 (Lb.transfer_coalesced_count lb)
-                (Lb.fault_count lb);
+                (Lb.fault_count lb)
+                (Lb.ring_drained_count lb)
+                (Lb.ring_submitted_count lb)
+                (Lb.ring_batches_count lb);
               0
           | problems ->
               List.iter (fun p -> prerr_endline ("trace-dump: " ^ p)) problems;
@@ -113,6 +159,136 @@ let validate path =
       | Error e ->
           prerr_endline (Printf.sprintf "trace-dump: %s: %s" path e);
           1)
+
+(* ------------------------------------------------------------------ *)
+(* enforcement: a timing-free enforcement report for the sysring diff
+   stage of bin/ci.sh.  The script runs this twice — ENCL_SYSRING=1 and
+   ENCL_SYSRING=0 — and requires byte-identical output: batching may
+   change what a run costs and how fibers interleave, never what
+   enforcement decides.  Only order-invariant quantities are printed
+   (per-op results in program order, fault logs, quarantine state, the
+   kernel's per-syscall totals, request counts); nothing timing-bearing
+   (req/s, simulated ns) appears. *)
+
+let enforcement_packages () =
+  [
+    Runtime.package "main" ~imports:[ "lib" ]
+      ~functions:[ ("main", 64); ("body", 32); ("io_body", 32) ]
+      ~enclosures:
+        [
+          {
+            Encl_elf.Objfile.enc_name = "enc";
+            enc_policy = "; sys=none";
+            enc_closure = "body";
+            enc_deps = [ "lib" ];
+          };
+          {
+            (* A distinct memory view from "enc" so the two enclosures
+               get distinct PKRU values under LB_MPK. *)
+            Encl_elf.Objfile.enc_name = "io";
+            enc_policy = "img:U; sys=all";
+            enc_closure = "io_body";
+            enc_deps = [ "lib" ];
+          };
+        ]
+      ();
+    Runtime.package "lib" ~imports:[ "img" ] ~functions:[ ("work", 64) ] ();
+    Runtime.package "img" ~functions:[ ("decode", 64) ] ();
+  ]
+
+let enforcement_ops backend =
+  let rt =
+    match
+      Runtime.boot
+        (Runtime.with_backend backend)
+        ~packages:(enforcement_packages ()) ~entry:"main"
+    with
+    | Ok rt -> rt
+    | Error e -> failwith ("trace-dump enforcement boot: " ^ e)
+  in
+  let lb = Option.get (Runtime.lb rt) in
+  Lb.set_fault_budget lb 2;
+  let result = function
+    | Ok v -> Printf.sprintf "ok:%d" v
+    | Error e -> "errno:" ^ K.errno_name e
+  in
+  let op name f =
+    let outcome =
+      try f () with
+      | Lb.Fault { reason; _ } -> "fault:" ^ reason
+      | Lb.Quarantined { enclosure; _ } -> "quarantined:" ^ enclosure
+    in
+    Printf.printf "  %-18s %s\n" name outcome
+  in
+  op "trusted_getpid" (fun () -> result (Runtime.syscall rt K.Getpid));
+  op "io_getuid" (fun () ->
+      Runtime.with_enclosure rt "io" (fun () ->
+          result (Runtime.syscall_batched rt K.Getuid)));
+  op "io_housekeeping" (fun () ->
+      (* Allowed fire-and-forget calls accumulate on the ring and drain
+         at the enclosure epilog in one batch; with the ring off each is
+         a direct call.  Either way the kernel sees all three. *)
+      Runtime.with_enclosure rt "io" (fun () ->
+          Runtime.syscall_nowait rt K.Clock_gettime;
+          Runtime.syscall_nowait rt K.Futex;
+          Runtime.syscall_nowait rt K.Epoll_wait;
+          "ok"));
+  op "denied_getuid" (fun () ->
+      Runtime.with_enclosure rt "enc" (fun () ->
+          result (Runtime.syscall_batched rt K.Getuid)));
+  op "denied_again" (fun () ->
+      Runtime.with_enclosure rt "enc" (fun () ->
+          result (Runtime.syscall_batched rt K.Getuid)));
+  op "quarantine_probe" (fun () ->
+      Runtime.with_enclosure rt "enc" (fun () ->
+          result (Runtime.syscall_batched rt K.Getuid)));
+  Printf.printf "  faults=%d quarantined(enc=%b io=%b)\n" (Lb.fault_count lb)
+    (Lb.quarantined lb "enc") (Lb.quarantined lb "io");
+  List.iter (fun l -> Printf.printf "  fault: %s\n" l) (Lb.fault_log lb);
+  List.iter
+    (fun (nr, n) -> Printf.printf "  sys %-14s %d\n" (Sysno.name nr) n)
+    (K.trace (Runtime.machine rt).Machine.kernel)
+
+(* Memory-management syscalls (mmap, pkey_mprotect, ...) are excluded
+   from the diffed totals: their counts follow allocator span growth and
+   GC timing, which legitimately move with fiber interleaving.  The ring
+   never carries them — every syscall the apps issue is non-mem, and
+   those must match call-for-call. *)
+let workload_trace kernel =
+  List.filter
+    (fun (nr, _) -> Sysno.category nr <> Sysno.Cat_mem)
+    (K.trace kernel)
+
+let enforcement_scenario name run =
+  let rt, (r : Scenarios.http_result) = run () in
+  let lb = Option.get (Runtime.lb rt) in
+  let kernel = (Runtime.machine rt).Machine.kernel in
+  let trace = workload_trace kernel in
+  let total = List.fold_left (fun acc (_, n) -> acc + n) 0 trace in
+  Printf.printf
+    "  %-16s served=%d workload_syscalls=%d faults=%d ring_balanced=%b\n" name
+    r.Scenarios.h_requests total (Lb.fault_count lb)
+    (Lb.ring_submitted_count lb = Lb.ring_drained_count lb + Lb.ring_pending lb);
+  List.iter
+    (fun (nr, n) -> Printf.printf "    sys %-14s %d\n" (Sysno.name nr) n)
+    trace
+
+let enforcement () =
+  List.iter
+    (fun backend ->
+      Printf.printf "enforcement under %s\n" (Lb.backend_name backend);
+      enforcement_ops backend)
+    [ Lb.Mpk; Lb.Vtx; Lb.Lwc ];
+  Printf.printf "scenario enforcement\n";
+  List.iter
+    (fun backend ->
+      let bname = Lb.backend_name backend in
+      enforcement_scenario ("http/" ^ bname) (fun () ->
+          Scenarios.http_rt (Some backend) ~requests:120 ());
+      enforcement_scenario ("fasthttp/" ^ bname) (fun () ->
+          Scenarios.fasthttp_rt (Some backend) ~requests:120 ()))
+    [ Lb.Mpk; Lb.Vtx ];
+  0
 
 (* ------------------------------------------------------------------ *)
 (* Cmdliner wiring *)
@@ -168,10 +344,23 @@ let validate_cmd =
        ~doc:"Check that FILE parses as JSON (used by bin/ci.sh).")
     Term.(const validate $ file_arg)
 
+let enforcement_cmd =
+  Cmd.v
+    (Cmd.info "enforcement"
+       ~doc:
+         "Print a timing-free enforcement report (op results in program \
+          order, fault logs, quarantine state, kernel syscall totals). \
+          bin/ci.sh runs this with ENCL_SYSRING=1 and =0 and requires the \
+          two outputs to be byte-identical.")
+    Term.(const enforcement $ const ())
+
 let () =
   let info =
     Cmd.info "trace-dump" ~version:"1.0"
       ~doc:"Run a scenario and export its trace and metrics"
   in
-  let cmds = List.map scenario_cmd Scenarios.scenario_names @ [ validate_cmd ] in
+  let cmds =
+    List.map scenario_cmd Scenarios.scenario_names
+    @ [ validate_cmd; enforcement_cmd ]
+  in
   exit (Cmd.eval' (Cmd.group info cmds))

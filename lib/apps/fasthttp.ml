@@ -47,7 +47,7 @@ let handle_one rt state ~req_chan ~resp_chan =
   let m = Runtime.machine rt in
   match
     Retry.with_backoff rt ~op:"fasthttp.recv" (fun () ->
-        Runtime.syscall rt
+        Runtime.syscall_batched rt
           (K.Recv
              { fd = state.fd; buf = state.reqbuf.Gbuf.addr; len = state.reqbuf.Gbuf.len }))
   with
@@ -63,7 +63,7 @@ let handle_one rt state ~req_chan ~resp_chan =
         | m :: p :: _ -> (m, p)
         | _ -> ("GET", "/")
       in
-      ignore (Runtime.syscall rt (K.Setsockopt state.fd));
+      Runtime.syscall_nowait rt (K.Setsockopt state.fd);
       (* Forward to the trusted handler goroutine over a channel, with a
          per-connection reply channel (the usual Go pattern). *)
       Channel.send req_chan ({ meth; path }, resp_chan);
@@ -95,14 +95,14 @@ let handle_one rt state ~req_chan ~resp_chan =
 (* The trusted side of the netpoller: issues the io/sync/time system
    calls that the net-only enclosure filter would deny. *)
 let netpoller_tick rt ~conn_fd =
-  ignore (Runtime.syscall rt K.Epoll_wait);
-  ignore (Runtime.syscall rt (K.Epoll_ctl conn_fd));
-  ignore (Runtime.syscall rt K.Futex);
-  ignore (Runtime.syscall rt K.Futex);
-  ignore (Runtime.syscall rt K.Futex);
-  ignore (Runtime.syscall rt K.Clock_gettime);
-  ignore (Runtime.syscall rt K.Clock_gettime);
-  ignore (Runtime.syscall rt K.Clock_gettime)
+  Runtime.syscall_nowait rt K.Epoll_wait;
+  Runtime.syscall_nowait rt (K.Epoll_ctl conn_fd);
+  Runtime.syscall_nowait rt K.Futex;
+  Runtime.syscall_nowait rt K.Futex;
+  Runtime.syscall_nowait rt K.Futex;
+  Runtime.syscall_nowait rt K.Clock_gettime;
+  Runtime.syscall_nowait rt K.Clock_gettime;
+  Runtime.syscall_nowait rt K.Clock_gettime
 
 let conn_loop rt ~conn_fd ~req_chan () =
   Runtime.in_function rt ~pkg ~fn:"acquire_ctx" @@ fun () ->
@@ -141,7 +141,7 @@ let server_loop rt ~port ~req_chan () =
   let kernel = (Runtime.machine rt).Machine.kernel in
   let rec accept_loop () =
     Sched.wait_until (Runtime.sched rt) (fun () -> K.listener_pending kernel fd);
-    match Runtime.syscall rt (K.Accept fd) with
+    match Runtime.syscall_batched rt (K.Accept fd) with
     | Ok conn_fd ->
         Runtime.go rt (conn_loop rt ~conn_fd ~req_chan);
         accept_loop ()

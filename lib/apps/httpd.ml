@@ -43,12 +43,13 @@ let charge rt cat ns = Clock.consume (Runtime.clock rt) cat ns
    false when the connection reached EOF. *)
 let handle_one rt ~conn_fd ~handler =
   let m = Runtime.machine rt in
-  ignore (Runtime.syscall rt K.Epoll_wait);
+  Runtime.syscall_nowait rt K.Epoll_wait;
   (* net/http allocates a fresh request buffer per request. *)
   let reqbuf = Runtime.alloc_in rt ~pkg 1024 in
   match
     Retry.with_backoff rt ~op:"httpd.recv" (fun () ->
-        Runtime.syscall rt (K.Recv { fd = conn_fd; buf = reqbuf.Gbuf.addr; len = 1024 }))
+        Runtime.syscall_batched rt
+          (K.Recv { fd = conn_fd; buf = reqbuf.Gbuf.addr; len = 1024 }))
   with
   | Error _ -> false
   | Ok 0 -> false
@@ -60,10 +61,10 @@ let handle_one rt ~conn_fd ~handler =
         | m :: p :: _ -> (m, p)
         | _ -> ("GET", "/")
       in
-      ignore (Runtime.syscall rt K.Clock_gettime);
-      ignore (Runtime.syscall rt (K.Setsockopt conn_fd));
+      Runtime.syscall_nowait rt K.Clock_gettime;
+      Runtime.syscall_nowait rt (K.Setsockopt conn_fd);
       let body = handler ~meth ~path in
-      ignore (Runtime.syscall rt K.Clock_gettime);
+      Runtime.syscall_nowait rt K.Clock_gettime;
       (* A fresh 8 KiB bufio.Writer per request (the LB_MPK transfer
          driver): headers plus the body prefix are staged there, the body
          tail is written straight from the handler's buffer. *)
@@ -86,11 +87,11 @@ let handle_one rt ~conn_fd ~handler =
         ignore
           (Retry.send_all rt ~op:"httpd.send" ~fd:conn_fd
              ~buf:(body.Gbuf.addr + prefix) ~len:(body.Gbuf.len - prefix));
-      ignore (Runtime.syscall rt (K.Epoll_ctl conn_fd));
-      ignore (Runtime.syscall rt K.Futex);
-      ignore (Runtime.syscall rt K.Futex);
-      ignore (Runtime.syscall rt K.Futex);
-      ignore (Runtime.syscall rt K.Clock_gettime);
+      Runtime.syscall_nowait rt (K.Epoll_ctl conn_fd);
+      Runtime.syscall_nowait rt K.Futex;
+      Runtime.syscall_nowait rt K.Futex;
+      Runtime.syscall_nowait rt K.Futex;
+      Runtime.syscall_nowait rt K.Clock_gettime;
       charge rt Clock.Compute bookkeeping_ns;
       incr served;
       true
@@ -124,7 +125,7 @@ let serve rt ~port ~handler =
   Runtime.go rt (fun () ->
       let rec accept_loop () =
         Sched.wait_until (Runtime.sched rt) (fun () -> K.listener_pending kernel fd);
-        match Runtime.syscall rt (K.Accept fd) with
+        match Runtime.syscall_batched rt (K.Accept fd) with
         | Ok conn_fd ->
             Runtime.go rt (conn_loop rt ~conn_fd ~handler);
             accept_loop ()

@@ -35,7 +35,9 @@ let send_all ?(attempts = 5) rt ~op ~fd ~buf ~len =
   let rec go off attempt =
     if off >= len then Ok len
     else
-      match Runtime.syscall rt (K.Send { fd; buf = buf + off; len = len - off }) with
+      match
+        Runtime.syscall_batched rt (K.Send { fd; buf = buf + off; len = len - off })
+      with
       | Ok 0 -> Error K.Epipe
       | Ok n -> go (off + n) 1
       | Error e when transient e && attempt < attempts ->

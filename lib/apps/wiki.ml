@@ -141,9 +141,9 @@ let glue_loop rt ~http_req ~db_req ~db_resp () =
   let rec loop () =
     let action, reply = Channel.recv http_req in
     (* Netpoller work happens on the trusted side. *)
-    ignore (Runtime.syscall rt K.Epoll_wait);
-    ignore (Runtime.syscall rt K.Futex);
-    ignore (Runtime.syscall rt K.Clock_gettime);
+    Runtime.syscall_nowait rt K.Epoll_wait;
+    Runtime.syscall_nowait rt K.Futex;
+    Runtime.syscall_nowait rt K.Clock_gettime;
     let resp =
       match action with
       | View title -> (
@@ -163,8 +163,8 @@ let glue_loop rt ~http_req ~db_req ~db_resp () =
           | Error e -> render ("(database error: " ^ e ^ ")"))
       | Not_found -> render "404 not found"
     in
-    ignore (Runtime.syscall rt K.Futex);
-    ignore (Runtime.syscall rt K.Clock_gettime);
+    Runtime.syscall_nowait rt K.Futex;
+    Runtime.syscall_nowait rt K.Clock_gettime;
     Channel.send reply resp;
     loop ()
   in
@@ -180,7 +180,7 @@ let http_conn_loop rt ~conn_fd ~router ~http_req () =
     Sched.wait_until (Runtime.sched rt) (fun () -> K.fd_readable kernel conn_fd);
     match
       Retry.with_backoff rt ~op:"wiki.recv" (fun () ->
-          Runtime.syscall rt
+          Runtime.syscall_batched rt
             (K.Recv { fd = conn_fd; buf = reqbuf.Gbuf.addr; len = 4096 }))
     with
     | Error _ | Ok 0 -> ()
@@ -204,7 +204,7 @@ let http_conn_loop rt ~conn_fd ~router ~http_req () =
           | Some mk -> mk ~path ~body
           | None -> Not_found
         in
-        ignore (Runtime.syscall rt (K.Setsockopt conn_fd));
+        Runtime.syscall_nowait rt (K.Setsockopt conn_fd);
         Channel.send http_req (action, http_resp);
         let page = Channel.recv http_resp in
         let headers =
@@ -249,7 +249,7 @@ let http_srv_loop rt ~port ~http_req () =
   let kernel = (Runtime.machine rt).Machine.kernel in
   let rec accept_loop () =
     Sched.wait_until (Runtime.sched rt) (fun () -> K.listener_pending kernel fd);
-    match Runtime.syscall rt (K.Accept fd) with
+    match Runtime.syscall_batched rt (K.Accept fd) with
     | Ok conn_fd ->
         Runtime.go rt (http_conn_loop rt ~conn_fd ~router ~http_req);
         accept_loop ()

@@ -77,6 +77,22 @@ val syscall_exn : t -> K.call -> int
 (** Like {!syscall} but failwith on errno (for workloads that expect
     success). *)
 
+val syscall_batched : t -> K.call -> (int, K.errno) result
+(** Like {!syscall}, but routed through the enclosure's syscall ring
+    when {!Encl_sim.Sysring} is on and LitterBox is active: the call is
+    submitted without a privilege crossing, the calling goroutine parks
+    on the completion, and the scheduler drains the accumulated batch in
+    a single crossing once every goroutine has suspended. Results,
+    errnos and enclosure faults are exactly {!syscall}'s; with the ring
+    off this {e is} {!syscall}. *)
+
+val syscall_nowait : t -> K.call -> unit
+(** Submit a call whose result the caller discards (housekeeping:
+    epoll_ctl, futex wakes, clock reads). With the ring on it completes
+    at the next drain point without suspending the caller; off, it is
+    [ignore (syscall t call)]. A denial still faults and is accounted
+    identically — but surfaces at the drain point rather than here. *)
+
 val with_enclosure : t -> string -> (unit -> 'a) -> 'a
 (** Call a closure inside the named enclosure (linked statically). In
     baseline mode this is a vanilla closure call. *)

@@ -270,8 +270,21 @@ let pick_next t =
       t.affinity_streak <- 0;
       Queue.pop t.runq
 
+(* Syscall-ring drain point: once no fiber is runnable, every live
+   fiber has hit a suspension point, so the submission queue has
+   accumulated as large a cross-fiber batch as this round can produce —
+   flush it in one crossing. Runs before [promote_unblocked] because
+   the drain is what satisfies the completion predicates of fibers
+   parked in {!Runtime.syscall_batched}. A no-op whenever the ring is
+   empty (in particular always, with {!Encl_sim.Sysring} off). *)
+let drain_ring t =
+  match t.lb with
+  | Some lb when Lb.ring_pending lb > 0 -> Lb.drain lb
+  | Some _ | None -> ()
+
 let rec schedule t =
   if Queue.is_empty t.runq then begin
+    drain_ring t;
     promote_unblocked t;
     if not (Queue.is_empty t.runq) then schedule t else check_deadlock t
   end

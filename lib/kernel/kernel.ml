@@ -197,6 +197,7 @@ let install_seccomp t prog = Seccomp.install t.seccomp prog
 let seccomp_installed t = Seccomp.installed t.seccomp
 let seccomp_invalidate t = Seccomp.invalidate t.seccomp
 let seccomp_cache_stats t = Seccomp.cache_stats t.seccomp
+let seccomp_cache_hit_rate t = Seccomp.cache_hit_rate t.seccomp
 let pkey_allocator t = t.pkeys
 
 let with_trusted t f =
@@ -508,11 +509,14 @@ let obs_syscall t nr ~t0 ~verdict =
          { name = Sysno.name nr; category = Sysno.category_name category; verdict })
   end
 
-(* The trap + seccomp + service portion, bracketed by the caller's span. *)
-let syscall_body t call nr =
+(* The trap + seccomp + service portion, bracketed by the caller's span.
+   [trap_cost] is the entry cost into the kernel: the full trap+return
+   for a direct syscall, or the per-entry dispatch share when the call
+   arrives on a drained submission ring (the batch paid one trap). *)
+let syscall_body t call nr ~trap_cost =
   let module Obs = Encl_obs.Obs in
   let t0 = Clock.now t.clock in
-  Clock.consume t.clock Clock.Syscall t.costs.Costs.syscall_base;
+  Clock.consume t.clock Clock.Syscall trap_cost;
   (* seccomp check (LB_MPK configuration). *)
   if Seccomp.installed t.seccomp then begin
     let env = Cpu.env t.cpu in
@@ -565,7 +569,7 @@ let syscall_body t call nr =
   obs_syscall t nr ~t0 ~verdict:Encl_obs.Event.Allowed;
   result
 
-let syscall t call =
+let syscall_with t call ~trap_cost =
   let nr = sysno_of_call call in
   record t nr;
   let module Obs = Encl_obs.Obs in
@@ -575,13 +579,18 @@ let syscall t call =
         ~category:Encl_obs.Span.Syscall ()
     else -1
   in
-  match syscall_body t call nr with
+  match syscall_body t call nr ~trap_cost with
   | r ->
       Obs.span_exit t.obs sp;
       r
   | exception e ->
       Obs.span_exit t.obs sp;
       raise e
+
+let syscall t call = syscall_with t call ~trap_cost:t.costs.Costs.syscall_base
+
+let syscall_in_batch t call =
+  syscall_with t call ~trap_cost:t.costs.Costs.ring_entry
 
 let exit_program t code =
   record t Sysno.Exit;

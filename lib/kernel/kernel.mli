@@ -116,6 +116,9 @@ val seccomp_cache_stats : t -> int * int
 (** [(hits, misses)] of the verdict cache; both zero with the fast path
     disabled. *)
 
+val seccomp_cache_hit_rate : t -> float
+(** hits / (hits + misses), and a well-defined 0.0 before any probe. *)
+
 val pkey_allocator : t -> Mpk.allocator
 
 val set_injector : t -> Encl_fault.Fault.t -> unit
@@ -130,6 +133,14 @@ val syscall : t -> call -> (int, errno) result
 (** Full dispatch: trap cost, seccomp (PKRU read from the CPU's current
     environment), service. Returns a small integer (fd, byte count, value,
     address for [Mmap]) or an errno. *)
+
+val syscall_in_batch : t -> call -> (int, errno) result
+(** Identical dispatch to {!syscall} — same recording, seccomp check
+    against the CPU's current environment, chaos hooks, service cost and
+    observability — except the per-call trap cost is replaced by the
+    cheaper in-kernel ring-entry dispatch cost: the enclosing submission
+    ring drain paid the single trap/exit for the whole batch (see
+    {!Litterbox.drain}). *)
 
 val exit_program : t -> int -> 'a
 (** Raises {!Exited} after accounting an [exit] system call. *)

@@ -175,4 +175,10 @@ let check_memo t data =
             (action, Evaluated steps))
 
 let cache_stats t = (t.hits, t.misses)
+
+(* Well-defined before any probe: 0 probes is "no hits yet", not NaN. *)
+let cache_hit_rate t =
+  let probes = t.hits + t.misses in
+  if probes = 0 then 0.0 else float_of_int t.hits /. float_of_int probes
+
 let invalidation_count t = t.invalidations

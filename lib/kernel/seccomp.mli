@@ -65,6 +65,10 @@ val invalidate : t -> unit
 val cache_stats : t -> int * int
 (** [(hits, misses)] accumulated since creation. *)
 
+val cache_hit_rate : t -> float
+(** hits / (hits + misses). Well-defined before any probe: 0 probes is
+    0.0, never NaN. *)
+
 val invalidation_count : t -> int
 
 (** {2 Label-resolving assembler}

@@ -38,6 +38,27 @@ type enc_rt = {
 
 type env_ref = enc_rt list
 
+(* Syscall ring (see {!Sysring}): submission entries capture the
+   enclosure stack at submit time so the drain evaluates each entry
+   under the filter that was in force when the call was enqueued —
+   never under a later enclosure's — and completions carry either the
+   kernel's result or the same [Fault] the direct path would have
+   raised at the call site. *)
+type completion_state =
+  | Pending
+  | Done of (int, K.errno) result
+  | Faulted of exn
+
+type completion = { mutable c_state : completion_state }
+
+type sq_entry = {
+  sq_call : K.call;
+  sq_env : enc_rt list;  (** submit-time enclosure stack *)
+  sq_comp : completion;
+}
+
+let ring_capacity = 64
+
 type t = {
   machine : Machine.t;
   backend : backend;
@@ -60,6 +81,13 @@ type t = {
   mutable faults : int;
   mutable fault_log : string list;
   mutable fault_budget : int;  (** per-enclosure; [max_int] = no quarantine *)
+  ring : sq_entry Queue.t;
+  mutable ring_submitted : int;
+  mutable ring_drained : int;
+  mutable ring_batches : int;  (** non-empty drains *)
+  mutable denied_guest : int;
+      (** guest-side denials (VTX/LWC filter checks, direct or drained):
+          calls the kernel's own counters never saw *)
 }
 
 let machine t = t.machine
@@ -468,6 +496,11 @@ let init ~machine ~backend ~image ?(binary_scan = []) ?(clustering = true) () =
           faults = 0;
           fault_log = [];
           fault_budget = max_int;
+          ring = Queue.create ();
+          ring_submitted = 0;
+          ring_drained = 0;
+          ring_batches = 0;
+          denied_guest = 0;
         }
       in
       Obs.set_backend machine.Machine.obs (backend_name backend);
@@ -685,6 +718,176 @@ let note_elision t scope =
   let o = obs t in
   if Obs.enabled o then Obs.incr o ~scope "switch_elided"
 
+(* ------------------------------------------------------------------ *)
+(* Syscall ring                                                        *)
+
+let filter_allows_call (f : Policy.sys_filter) (call : K.call) =
+  match call with
+  | K.Connect { ip; _ } -> Policy.filter_allows_connect f ~ip
+  | _ -> Policy.filter_allows_cat f (Sysno.category (K.sysno_of_call call))
+
+(* Guest-side denial (LB_VTX / LB_LWC): the call never reaches the
+   kernel, so the kernel's tap can't see it — record it here. *)
+let note_denied t call =
+  t.denied_guest <- t.denied_guest + 1;
+  let o = obs t in
+  if Obs.enabled o then begin
+    let nr = K.sysno_of_call call in
+    Obs.incr o "syscall.denied";
+    Obs.emit o
+      (Event.Syscall
+         {
+           name = Sysno.name nr;
+           category = Sysno.category_name (Sysno.category nr);
+           verdict = Event.Denied;
+         })
+  end
+
+(* A guest-filter denial found while draining: same accounting as the
+   direct path's [fault t ~enclosure reason] — denial tap, fault log
+   entry, quarantine budget — except the exception is stored on the
+   completion instead of raised; the awaiting caller re-raises it. *)
+let deny_entry t entry ~enclosure reason =
+  note_denied t entry.sq_call;
+  let trace = Printf.sprintf "fault in %s: %s" enclosure reason in
+  record_fault t ~enclosure ~trace reason;
+  entry.sq_comp.c_state <- Faulted (Fault { reason; enclosure = Some enclosure })
+
+(* Drain the submission queue: one privilege crossing for the whole
+   batch — a single kernel trap (MPK/LWC) or a single VM EXIT (VTX) —
+   then per-entry dispatch inside the kernel via
+   [K.syscall_in_batch]. Each entry is checked under its submit-time
+   environment: guest-side filters (VTX/LWC) against the captured stack
+   top, the MPK seccomp program against the captured environment's PKRU
+   (installed per entry, a zero-cost bookkeeping write modelling the
+   submitter context recorded in the SQE). Verdicts, fault accounting
+   and errno results are exactly what the direct path produces, in
+   submission order. *)
+let drain t =
+  if not (Queue.is_empty t.ring) then begin
+    let entries = List.of_seq (Queue.to_seq t.ring) in
+    Queue.clear t.ring;
+    let n = List.length entries in
+    t.ring_batches <- t.ring_batches + 1;
+    t.ring_drained <- t.ring_drained + n;
+    let o = obs t in
+    if Obs.enabled o then begin
+      Obs.incr o "ring_batches";
+      Obs.incr o ~by:n "ring_drained"
+    end;
+    let sp =
+      if Obs.enabled o then
+        Obs.span_enter o
+          ~name:(Printf.sprintf "ring_drain:%d" n)
+          ~category:Span.Syscall ()
+      else -1
+    in
+    Fun.protect ~finally:(fun () -> Obs.span_exit (obs t) sp) @@ fun () ->
+    let kernel = t.machine.Machine.kernel in
+    let clock = t.machine.Machine.clock in
+    let c = t.machine.Machine.costs in
+    match t.backend with
+    | Lwc ->
+        (* One ordinary trap enters the kernel; the per-context filter
+           is checked there per entry, as in the direct path. *)
+        Clock.consume clock Clock.Syscall c.Costs.syscall_base;
+        List.iter
+          (fun e ->
+            match e.sq_env with
+            | top :: _
+              when not (filter_allows_call top.e_policy.Policy.filter e.sq_call)
+              ->
+                deny_entry t e ~enclosure:top.e_name
+                  (Printf.sprintf
+                     "system call %s denied by the context's filter"
+                     (Sysno.name (K.sysno_of_call e.sq_call)))
+            | _ -> e.sq_comp.c_state <- Done (K.syscall_in_batch kernel e.sq_call))
+          entries
+    | Mpk ->
+        Clock.consume clock Clock.Syscall c.Costs.syscall_base;
+        let cpu = t.machine.Machine.cpu in
+        let saved = Cpu.env cpu in
+        Fun.protect ~finally:(fun () -> Cpu.set_env cpu saved) @@ fun () ->
+        List.iter
+          (fun e ->
+            Cpu.set_env cpu (env_of_stack t e.sq_env);
+            match K.syscall_in_batch kernel e.sq_call with
+            | r -> e.sq_comp.c_state <- Done r
+            | exception K.Syscall_killed { nr; env } ->
+                let reason =
+                  Printf.sprintf "seccomp killed system call %s in %s"
+                    (Sysno.name nr) env
+                in
+                let enclosure =
+                  match e.sq_env with [] -> None | enc :: _ -> Some enc.e_name
+                in
+                record_fault t ?enclosure ~trace:reason reason;
+                e.sq_comp.c_state <- Faulted (Fault { reason; enclosure }))
+          entries
+    | Vtx -> (
+        (* Guest-side filter checks never leave the VM; only entries
+           that pass share the batch's single VM EXIT. *)
+        let allowed =
+          List.filter
+            (fun e ->
+              match e.sq_env with
+              | top :: _
+                when not
+                       (filter_allows_call top.e_policy.Policy.filter e.sq_call)
+                ->
+                  deny_entry t e ~enclosure:top.e_name
+                    (Printf.sprintf "system call %s denied by enclosure filter"
+                       (Sysno.name (K.sysno_of_call e.sq_call)));
+                  false
+              | _ -> true)
+            entries
+        in
+        match allowed with
+        | [] -> ()
+        | _ :: _ ->
+            let vtx = Option.get t.vtx in
+            let sp2 =
+              if Obs.enabled o then
+                Obs.span_enter o ~name:"hypercall:ring_drain"
+                  ~category:Span.Syscall ()
+              else -1
+            in
+            Fun.protect ~finally:(fun () -> Obs.span_exit (obs t) sp2)
+            @@ fun () ->
+            Vtx.hypercall vtx (fun () ->
+                Clock.consume clock Clock.Syscall c.Costs.syscall_base;
+                List.iter
+                  (fun e ->
+                    e.sq_comp.c_state <-
+                      Done (K.syscall_in_batch kernel e.sq_call))
+                  allowed))
+  end
+
+let submit t call =
+  (* Queue-full is a drain point: flush first so the new entry keeps
+     submission order. *)
+  if Queue.length t.ring >= ring_capacity then drain t;
+  let comp = { c_state = Pending } in
+  Queue.add { sq_call = call; sq_env = t.stack; sq_comp = comp } t.ring;
+  t.ring_submitted <- t.ring_submitted + 1;
+  Clock.consume t.machine.Machine.clock Clock.Syscall
+    t.machine.Machine.costs.Costs.ring_submit;
+  let o = obs t in
+  if Obs.enabled o then Obs.incr o "ring_submitted";
+  comp
+
+let completion_ready c =
+  match c.c_state with Pending -> false | Done _ | Faulted _ -> true
+
+let await t c =
+  (match c.c_state with Pending -> drain t | Done _ | Faulted _ -> ());
+  match c.c_state with
+  | Done r -> r
+  | Faulted e -> raise e
+  | Pending -> assert false (* drain completes every queued entry *)
+
+let ring_pending t = Queue.length t.ring
+
 let prolog t ~name ~site =
   Log.debug (fun m -> m "prolog %s (site %s)" name site);
   check_site t site Image.Prolog;
@@ -758,6 +961,13 @@ let prolog t ~name ~site =
 
 let epilog t ~site =
   check_site t site Image.Epilog;
+  (* Epilog-drain invariant: no submission-queue entry may be evaluated
+     under a later enclosure's filter — flush before this enclosure's
+     environment leaves the stack. Entries carry their submit-time
+     environment, so verdicts are correct by construction; the drain
+     here additionally keeps kernel-effect ordering ahead of whatever
+     trusted code runs after the switch. *)
+  drain t;
   match t.stack with
   | [] -> fault t "epilog with no active enclosure"
   | top :: rest ->
@@ -809,27 +1019,6 @@ let in_enclosure t = match t.stack with [] -> None | e :: _ -> Some e.e_name
 
 (* ------------------------------------------------------------------ *)
 (* System calls                                                        *)
-
-let filter_allows_call (f : Policy.sys_filter) (call : K.call) =
-  match call with
-  | K.Connect { ip; _ } -> Policy.filter_allows_connect f ~ip
-  | _ -> Policy.filter_allows_cat f (Sysno.category (K.sysno_of_call call))
-
-(* Guest-side denial (LB_VTX / LB_LWC): the call never reaches the
-   kernel, so the kernel's tap can't see it — record it here. *)
-let note_denied t call =
-  let o = obs t in
-  if Obs.enabled o then begin
-    let nr = K.sysno_of_call call in
-    Obs.incr o "syscall.denied";
-    Obs.emit o
-      (Event.Syscall
-         {
-           name = Sysno.name nr;
-           category = Sysno.category_name (Sysno.category nr);
-           verdict = Event.Denied;
-         })
-  end
 
 let syscall t call =
   match t.backend with
@@ -1199,6 +1388,11 @@ let transfer_count t = t.transfers
 let transfer_coalesced_count t = t.coalesced
 let fault_count t = t.faults
 let fault_log t = t.fault_log
+let ring_submitted_count t = t.ring_submitted
+let ring_drained_count t = t.ring_drained
+let ring_batches_count t = t.ring_batches
+let guest_denied_count t = t.denied_guest
+let vmexit_count t = match t.vtx with Some v -> Vtx.vmexits v | None -> 0
 
 (* ------------------------------------------------------------------ *)
 (* Quarantine control                                                  *)

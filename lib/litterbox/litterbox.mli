@@ -112,6 +112,45 @@ val syscall : t -> Encl_kernel.Kernel.call ->
     {!Fault}); LB_VTX checks the filter in the guest OS and pays a
     hypercall round-trip for permitted calls. *)
 
+(** {2 Syscall ring}
+
+    An io_uring-style submission/completion queue (see
+    {!Encl_sim.Sysring}): untrusted code enqueues syscall descriptors
+    without a privilege crossing and a single drain — one kernel trap
+    (MPK/LWC) or one VM EXIT (VTX) — dispatches the whole batch, with
+    per-entry filtering inside the kernel. Each entry captures the
+    enclosure stack at submit time, so it is always evaluated under the
+    filter in force when it was enqueued; {!epilog} drains the queue
+    before the innermost environment leaves the stack (no entry may be
+    evaluated under a later enclosure's filter, and none outlives its
+    enclosure). Verdicts, fault/quarantine accounting and errno results
+    are identical to {!syscall}'s, in submission order. *)
+
+type completion
+(** One submitted call's completion cell: pending until a drain posts
+    either the kernel's result or the {!Fault} the direct path would
+    have raised. *)
+
+val submit : t -> Encl_kernel.Kernel.call -> completion
+(** Enqueue a call under the current environment. Drains first when the
+    queue is full (capacity 64), so submission order is preserved. *)
+
+val drain : t -> unit
+(** Flush the submission queue (no-op when empty): one crossing for the
+    batch, then per-entry verdict + execution in submission order.
+    Denied entries complete as stored faults; they are accounted
+    (fault log, counters, quarantine budget) here, not when awaited. *)
+
+val completion_ready : completion -> bool
+
+val await : t -> completion -> (int, Encl_kernel.Kernel.errno) result
+(** The completed result, draining first if still pending. Re-raises the
+    stored {!Fault} for a denied/killed entry — the same exception the
+    direct {!syscall} path raises at the call site. *)
+
+val ring_pending : t -> int
+(** Entries submitted but not yet drained. *)
+
 (** {2 Runtime hooks} *)
 
 val transfer :
@@ -192,6 +231,25 @@ val transfer_coalesced_count : t -> int
     "transfer_coalesced" metric. *)
 
 val fault_count : t -> int
+
+val ring_submitted_count : t -> int
+val ring_drained_count : t -> int
+(** Lifetime ring counters; [ring_submitted_count t =
+    ring_drained_count t + ring_pending t] always holds. Mirrored in the
+    obs "ring_submitted" / "ring_drained" metrics. *)
+
+val ring_batches_count : t -> int
+(** Non-empty drains so far: each paid exactly one privilege crossing.
+    Mirrored in the obs "ring_batches" metric. *)
+
+val guest_denied_count : t -> int
+(** Calls denied guest-side (VTX/LWC filter checks, direct or drained)
+    that therefore never reached the kernel's syscall counters. Counted
+    regardless of whether observability is enabled — trace cross-checks
+    use it to reconcile obs verdict totals with the kernel count. *)
+
+val vmexit_count : t -> int
+(** VM EXITs taken so far (VTX backend; 0 elsewhere). *)
 
 val fault_log : t -> string list
 (** Root-cause traces of the faults seen so far, most recent first (the

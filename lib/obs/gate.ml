@@ -88,9 +88,14 @@ type report = {
 
 (* Relative delta, signed so that positive always means "worse" for the
    metric's direction.  A zero baseline cannot support a relative
-   comparison; treat any change as informational there. *)
-let judge rule ~base ~fresh =
+   comparison; treat any change as informational there.  A zero
+   hit_rate on either side means no probe ran at all (the cache was
+   bypassed or the workload issued no filtered syscalls), not a cold
+   cache: skip the row rather than flag a bogus regression. *)
+let judge rule ~metric ~base ~fresh =
   if Float.abs base < 1e-9 then Info (fresh -. base)
+  else if metric = "hit_rate" && Float.abs fresh < 1e-9 then
+    Info (fresh -. base)
   else
     let delta = (fresh -. base) /. Float.abs base in
     match rule.direction with
@@ -118,8 +123,8 @@ let compare_docs ~baseline ~fresh =
               row = base_row;
               fresh = Some f.value;
               verdict =
-                judge (rule_for base_row.metric) ~base:base_row.value
-                  ~fresh:f.value;
+                judge (rule_for base_row.metric) ~metric:base_row.metric
+                  ~base:base_row.value ~fresh:f.value;
             })
       baseline.rows
   in

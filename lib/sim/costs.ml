@@ -17,6 +17,8 @@ type t = {
   lwc_transfer_page : int;
   switch_elided : int;
   seccomp_cached : int;
+  ring_submit : int;
+  ring_entry : int;
   page_map : int;
   init_per_package : int;
   init_per_enclosure : int;
@@ -54,6 +56,11 @@ let default =
        trusted-PKRU BPF branch. *)
     switch_elided = 4;
     seccomp_cached = 12;
+    (* Syscall ring: a submission is a couple of shared-memory stores
+       (no crossing); a drained entry pays dispatch + completion-post
+       work but shares the batch's single trap/exit. *)
+    ring_submit = 14;
+    ring_entry = 28;
     page_map = 18;
     init_per_package = 850;
     init_per_enclosure = 2600;

@@ -41,6 +41,13 @@ type t = {
   seccomp_cached : int;
       (** seccomp verdict served from the (PKRU, nr, arg0) cache instead
           of a BPF evaluation *)
+  ring_submit : int;
+      (** enqueue of one syscall descriptor on the submission ring: a
+          few shared-memory stores, no privilege crossing (see
+          {!Sysring}) *)
+  ring_entry : int;
+      (** in-kernel dispatch of one drained ring entry; replaces the
+          per-call trap cost — the batch pays one crossing total *)
   page_map : int;  (** mapping one page in a page table *)
   init_per_package : int;  (** LitterBox Init work per package *)
   init_per_enclosure : int;  (** LitterBox Init work per enclosure view *)
