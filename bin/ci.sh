@@ -1,9 +1,9 @@
 #!/bin/sh
 # CI pipeline: build, run the test suite, run the quick benchmark sweep,
 # check that every machine-readable artifact parses back as JSON,
-# profile a workload under both isolation backends, verify the fast
-# paths shrink the switch+seccomp share, and hold fresh bench numbers
-# to the committed baseline.
+# profile a workload under the isolation backends, verify the fast
+# paths shrink the switch+seccomp share, check the SFI switch/access
+# crossover, and hold fresh bench numbers to the committed baseline.
 #
 # Run from the repository root:
 #   sh bin/ci.sh            full pipeline (the CI default)
@@ -78,6 +78,15 @@ if ! cmp -s "$tmp/sysring_on.txt" "$tmp/sysring_off.txt"; then
   diff "$tmp/sysring_on.txt" "$tmp/sysring_off.txt" >&2 || true
   exit 1
 fi
+
+stage "sfi (switch/access crossover)"
+# The SFI selection rule must hold, measured: strictly fewer
+# switch-category ns than LB_VTX on the switch-heavy scenario, strictly
+# more access-category ns than LB_MPK on the access-heavy one, with
+# identical fault and workload-syscall counts on both legs. Runs in
+# --quick too — it is the end-to-end witness that the SFI backend
+# enforces the same policy at an inverted cost structure.
+dune exec bin/profile.exe -- crossover
 
 stage "trace artifacts"
 dune exec bin/trace_dump.exe -- wiki --requests 200 --out-dir "$tmp"

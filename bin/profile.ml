@@ -386,7 +386,7 @@ let sysring scenario requests =
                      on.r_rps off.r_rps
                      (100.0 *. ((on.r_rps /. off.r_rps) -. 1.0)))
               else Ok ()
-          | Lb.Mpk | Lb.Lwc ->
+          | Lb.Mpk | Lb.Lwc | Lb.Sfi ->
               if on.r_rps < off.r_rps then
                 fail
                   (Printf.sprintf "ring made %s slower (on %.0f, off %.0f)"
@@ -403,6 +403,113 @@ let sysring scenario requests =
       0
   | (Error e, _ | _, Error e) ->
       prerr_endline ("profile: sysring: " ^ e);
+      1
+
+(* ------------------------------------------------------------------ *)
+(* crossover: the SFI trade-off flips between workload shapes *)
+
+(* LB_SFI inverts LB_VTX's cost structure: sandbox crossings are ~free,
+   memory accesses are not. The acceptance check pins both halves of
+   that crossover, with enforcement held constant (equal fault counts,
+   equal workload syscall counts — the memory-management family is
+   excluded exactly as in the sysring check, since MPK transfers issue
+   pkey_mprotect calls no other backend needs):
+
+   - on the switch-heavy scenario (http: an enclosure entered per
+     request), SFI must spend strictly fewer switch-category cycles
+     than VTX;
+   - on the access-heavy scenario (bild: per-pixel loads and stores
+     inside one enclosure), SFI must spend strictly more
+     access-category cycles than MPK (which pays per switch, never per
+     access). *)
+
+type xover_run = {
+  x_name : string;
+  x_switch : int;
+  x_access : int;
+  x_faults : int;
+  x_syscalls : int;
+}
+
+let crossover_run scenario backend requests =
+  match run_scenario scenario (Some backend) requests with
+  | Error e -> Error e
+  | Ok (rt, _) ->
+      let m = Runtime.machine rt in
+      let clock = m.Machine.clock in
+      let lb = Option.get (Runtime.lb rt) in
+      Ok
+        {
+          x_name = Scenarios.config_name (Some backend);
+          x_switch = Clock.spent clock Clock.Switch;
+          x_access = Clock.spent clock Clock.Access;
+          x_faults = Lb.fault_count lb;
+          x_syscalls = workload_syscalls m.Machine.kernel;
+        }
+
+let crossover switch_scenario access_scenario requests =
+  let print_row scenario r =
+    Printf.printf
+      "%-6s %-8s switch %10d  access %10d  faults %d  syscalls %d\n" scenario
+      r.x_name r.x_switch r.x_access r.x_faults r.x_syscalls
+  in
+  let enforcement_matches scenario a b =
+    if a.x_faults <> b.x_faults then
+      Error
+        (Printf.sprintf "%s: fault counts diverged (%s %d, %s %d)" scenario
+           a.x_name a.x_faults b.x_name b.x_faults)
+    else if a.x_syscalls <> b.x_syscalls then
+      Error
+        (Printf.sprintf "%s: workload syscall counts diverged (%s %d, %s %d)"
+           scenario a.x_name a.x_syscalls b.x_name b.x_syscalls)
+    else Ok ()
+  in
+  let switch_leg =
+    match
+      ( crossover_run switch_scenario Lb.Sfi requests,
+        crossover_run switch_scenario Lb.Vtx requests )
+    with
+    | Error e, _ | _, Error e -> Error e
+    | Ok sfi, Ok vtx -> (
+        print_row switch_scenario sfi;
+        print_row switch_scenario vtx;
+        match enforcement_matches switch_scenario sfi vtx with
+        | Error e -> Error e
+        | Ok () ->
+            if sfi.x_switch >= vtx.x_switch then
+              Error
+                (Printf.sprintf
+                   "%s: SFI switch cycles (%d) not strictly below VTX (%d)"
+                   switch_scenario sfi.x_switch vtx.x_switch)
+            else Ok ())
+  in
+  let access_leg =
+    match
+      ( crossover_run access_scenario Lb.Sfi requests,
+        crossover_run access_scenario Lb.Mpk requests )
+    with
+    | Error e, _ | _, Error e -> Error e
+    | Ok sfi, Ok mpk -> (
+        print_row access_scenario sfi;
+        print_row access_scenario mpk;
+        match enforcement_matches access_scenario sfi mpk with
+        | Error e -> Error e
+        | Ok () ->
+            if sfi.x_access <= mpk.x_access then
+              Error
+                (Printf.sprintf
+                   "%s: SFI access cycles (%d) not strictly above MPK (%d)"
+                   access_scenario sfi.x_access mpk.x_access)
+            else Ok ())
+  in
+  match (switch_leg, access_leg) with
+  | Ok (), Ok () ->
+      print_endline
+        "crossover: SFI cheaper to cross than VTX, costlier to touch memory \
+         than MPK; enforcement identical";
+      0
+  | (Error e, _ | _, Error e) ->
+      prerr_endline ("profile: crossover: " ^ e);
       1
 
 (* ------------------------------------------------------------------ *)
@@ -461,16 +568,17 @@ let gate baseline_path results_path write =
 let backend_arg =
   let parse = function
     | "baseline" -> Ok None
-    | "mpk" -> Ok (Some Lb.Mpk)
-    | "vtx" -> Ok (Some Lb.Vtx)
-    | "lwc" -> Ok (Some Lb.Lwc)
-    | s -> Error (`Msg ("unknown backend " ^ s))
+    | s -> (
+        match Encl_litterbox.Backend.of_string s with
+        | Some b -> Ok (Some b)
+        | None -> Error (`Msg ("unknown backend " ^ s)))
   in
   let print ppf c = Format.pp_print_string ppf (Scenarios.config_name c) in
   Arg.(
     value
     & opt (conv (parse, print)) (Some Lb.Mpk)
-    & info [ "backend" ] ~docv:"BACKEND" ~doc:"baseline, mpk, vtx or lwc.")
+    & info [ "backend" ] ~docv:"BACKEND"
+        ~doc:"baseline, mpk, vtx, lwc or sfi.")
 
 let requests_arg =
   Arg.(
@@ -546,6 +654,30 @@ let sysring_cmd =
           strictly fewer VM EXITs at equal kernel syscall and fault counts.")
     Term.(const sysring $ scenario_arg $ requests_arg)
 
+let crossover_cmd =
+  let switch_arg =
+    Arg.(
+      value
+      & opt string "http"
+      & info [ "switch-scenario" ] ~docv:"NAME"
+          ~doc:"Switch-heavy scenario (SFI must out-switch VTX on it).")
+  in
+  let access_arg =
+    Arg.(
+      value
+      & opt string "bild"
+      & info [ "access-scenario" ] ~docv:"NAME"
+          ~doc:"Access-heavy scenario (SFI must out-spend MPK on it).")
+  in
+  Cmd.v
+    (Cmd.info "crossover"
+       ~doc:
+         "Check the SFI trade-off: strictly fewer switch-category cycles \
+          than VTX on the switch-heavy scenario, strictly more \
+          access-category cycles than MPK on the access-heavy one, at \
+          identical fault and workload-syscall counts.")
+    Term.(const crossover $ switch_arg $ access_arg $ requests_arg)
+
 let gate_cmd =
   let baseline_arg =
     Arg.(
@@ -583,6 +715,6 @@ let () =
   in
   let cmds =
     List.map scenario_cmd Scenarios.scenario_names
-    @ [ overhead_cmd; fastpath_cmd; sysring_cmd; gate_cmd ]
+    @ [ overhead_cmd; fastpath_cmd; sysring_cmd; crossover_cmd; gate_cmd ]
   in
   exit (Cmd.eval' (Cmd.group info cmds))

@@ -87,6 +87,15 @@ let cross_check lb kernel obs =
       check "ring_batches"
         (Metrics.total m "ring_batches")
         (Lb.ring_batches_count lb);
+      check "sfi_masked_access"
+        (Metrics.total m "sfi_masked_access")
+        (Lb.sfi_masked_access_count lb);
+      check "tainted_verified"
+        (Metrics.total m "tainted_verified")
+        (Lb.tainted_verified_count lb);
+      check "tainted_rejected"
+        (Metrics.total m "tainted_rejected")
+        (Lb.tainted_rejected_count lb);
       ring_balance;
       syscall_reconcile;
     ]
@@ -278,7 +287,7 @@ let enforcement () =
     (fun backend ->
       Printf.printf "enforcement under %s\n" (Lb.backend_name backend);
       enforcement_ops backend)
-    [ Lb.Mpk; Lb.Vtx; Lb.Lwc ];
+    Encl_litterbox.Backend.all;
   Printf.printf "scenario enforcement\n";
   List.iter
     (fun backend ->
@@ -287,7 +296,7 @@ let enforcement () =
           Scenarios.http_rt (Some backend) ~requests:120 ());
       enforcement_scenario ("fasthttp/" ^ bname) (fun () ->
           Scenarios.fasthttp_rt (Some backend) ~requests:120 ()))
-    [ Lb.Mpk; Lb.Vtx ];
+    Encl_litterbox.Backend.all;
   0
 
 (* ------------------------------------------------------------------ *)
@@ -296,16 +305,17 @@ let enforcement () =
 let backend_arg =
   let parse = function
     | "baseline" -> Ok None
-    | "mpk" -> Ok (Some Lb.Mpk)
-    | "vtx" -> Ok (Some Lb.Vtx)
-    | "lwc" -> Ok (Some Lb.Lwc)
-    | s -> Error (`Msg ("unknown backend " ^ s))
+    | s -> (
+        match Encl_litterbox.Backend.of_string s with
+        | Some b -> Ok (Some b)
+        | None -> Error (`Msg ("unknown backend " ^ s)))
   in
   let print ppf c = Format.pp_print_string ppf (Scenarios.config_name c) in
   Arg.(
     value
     & opt (conv (parse, print)) (Some Lb.Mpk)
-    & info [ "backend" ] ~docv:"BACKEND" ~doc:"baseline, mpk, vtx or lwc.")
+    & info [ "backend" ] ~docv:"BACKEND"
+        ~doc:"baseline, mpk, vtx, lwc or sfi.")
 
 let requests_arg =
   Arg.(

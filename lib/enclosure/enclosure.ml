@@ -25,3 +25,49 @@ let name t = t.enc_name
 
 let check_policy literal =
   match Policy.parse literal with Ok _ -> Ok () | Error e -> Error e
+
+(* ------------------------------------------------------------------ *)
+(* Tainted values                                                      *)
+
+module Tainted = struct
+  (* The boundary discipline of RLBox: a value produced inside an
+     enclosure is data of untrusted provenance, whatever the memory
+     backend did to contain the code that computed it. The type keeps
+     the provenance in the program — there is no way to read the
+     payload except through [verify]/[copy_and_verify], so every
+     untrusted-to-trusted flow carries an explicit, auditable check. *)
+
+  type 'a t = { lb : Lb.t; source : string; payload : 'a }
+
+  exception Rejected of { source : string; reason : string }
+
+  let wrap lb ~source payload = { lb; source; payload }
+  let source t = t.source
+
+  let verify t ~check =
+    if check t.payload then begin
+      Lb.note_tainted_verified t.lb;
+      t.payload
+    end
+    else begin
+      Lb.note_tainted_rejected t.lb;
+      raise
+        (Rejected
+           {
+             source = t.source;
+             reason = "tainted value failed boundary verification";
+           })
+    end
+
+  let copy_and_verify t ~copy ~check =
+    (* Copy first, then validate the copy: the untrusted side keeps a
+       reference to the original and could re-write it between the
+       check and the use (the classic double-fetch). Only the private
+       copy is ever checked or returned. *)
+    let private_copy = copy t.payload in
+    verify { t with payload = private_copy } ~check
+end
+
+let call_tainted t =
+  let payload = call t in
+  Tainted.wrap t.lb ~source:t.enc_name payload

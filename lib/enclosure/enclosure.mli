@@ -41,3 +41,47 @@ val name : 'r t -> string
 val check_policy : string -> (unit, string) result
 (** Compile-time validation of a policy literal (syntax and category
     names only; package existence is checked at link/Init time). *)
+
+(** {2 Tainted values}
+
+    Memory and syscall enforcement contain what enclosure code can {e
+    do}; they say nothing about the values it {e returns}. A
+    compromised package can hand back an out-of-range length, a
+    negative index, a pointer-sized lie — and trusted code that uses it
+    unchecked is exploited without the enclosure ever faulting. The
+    RLBox discipline closes that channel: results of untrusted
+    provenance are ['a Tainted.t] and the payload is unreachable except
+    through a verification the trusted side writes. *)
+
+module Tainted : sig
+  type 'a t
+  (** A value computed inside the enclosure named by {!source};
+      unreadable until verified. *)
+
+  exception Rejected of { source : string; reason : string }
+  (** The boundary caught a value that failed its check. Deliberately
+      {e not} the enclosure fault family: a rejected value is handled
+      at the boundary, it does not quarantine the enclosure. *)
+
+  val wrap : Encl_litterbox.Litterbox.t -> source:string -> 'a -> 'a t
+  (** Mark [payload] as tainted by [source] (used by frontends;
+      {!call_tainted} is the usual entry). *)
+
+  val source : 'a t -> string
+
+  val verify : 'a t -> check:('a -> bool) -> 'a
+  (** The only gate: returns the payload if [check] accepts it, raises
+      {!Rejected} otherwise. Every call moves the LitterBox
+      [tainted_verified] / [tainted_rejected] counters (obs mirrors of
+      the same names). *)
+
+  val copy_and_verify : 'a t -> copy:('a -> 'a) -> check:('a -> bool) -> 'a
+  (** Copy the payload with [copy], then {!verify} the private copy —
+      the double-fetch-safe variant for payloads the untrusted side
+      retains a reference to (buffers, records): only the copy is
+      checked and returned. *)
+end
+
+val call_tainted : 'r t -> 'r Tainted.t
+(** {!call}, with the result wrapped as tainted by this enclosure —
+    the untrusted-to-trusted boundary in one step. *)

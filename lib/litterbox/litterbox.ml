@@ -8,9 +8,9 @@ module Obs = Encl_obs.Obs
 module Event = Encl_obs.Event
 module Span = Encl_obs.Span
 
-type backend = Mpk | Vtx | Lwc
+type backend = Backend.t = Mpk | Vtx | Lwc | Sfi
 
-let backend_name = function Mpk -> "LB_MPK" | Vtx -> "LB_VTX" | Lwc -> "LB_LWC"
+let backend_name = Backend.name
 
 exception Fault of { reason : string; enclosure : string option }
 exception Quarantined of { enclosure : string; faults : int }
@@ -71,6 +71,7 @@ type t = {
   mutable clusters : Cluster.t;
   mutable keys : int array;  (** cluster index -> MPK key *)
   mutable vtx : Vtx.t option;
+  mutable sfi : Sfi.t option;
   clustering : bool;
   mutable app_trusted : Cpu.env;
   mutable stack : enc_rt list;
@@ -88,6 +89,10 @@ type t = {
   mutable denied_guest : int;
       (** guest-side denials (VTX/LWC filter checks, direct or drained):
           calls the kernel's own counters never saw *)
+  mutable tainted_verified : int;
+      (** Tainted-boundary validations that accepted the value *)
+  mutable tainted_rejected : int;
+      (** Tainted-boundary validations that rejected the value *)
 }
 
 let machine t = t.machine
@@ -206,22 +211,66 @@ let exec_filter t enc ~vpn =
   | Some (pkg, _) -> View.access enc.e_view pkg = Types.RWX
   | None -> false
 
+(* The SFI access predicate: does the masked address stay inside the
+   sandbox's view? Page-granular and consulted at access time, so a
+   [transfer] that re-homes a range in the section registry takes
+   effect with no hardware update at all — the bounds metadata IS the
+   registry plus the view. Pages outside every section are the guard
+   zone. *)
+let sfi_filter t enc ~write ~vpn =
+  match Hashtbl.find_opt t.registry vpn with
+  | None -> false
+  | Some (pkg, _kind) -> (
+      match View.access enc.e_view pkg with
+      | Types.U -> false
+      | Types.R -> not write
+      | Types.RW | Types.RWX -> true)
+
+let mpk_env t enc =
+  {
+    Cpu.label = "enc:" ^ enc.e_name;
+    pt = t.machine.Machine.trusted_pt;
+    pkru = enc.e_pkru;
+    exec_ok = Some (fun ~vpn -> exec_filter t enc ~vpn);
+    sfi = None;
+  }
+
+(* Shared by VTX and LWC: enforcement is the per-enclosure page table. *)
+let vtx_env _t enc =
+  {
+    Cpu.label = "enc:" ^ enc.e_name;
+    pt = Option.get enc.e_pt;
+    pkru = Mpk.pkru_all_access;
+    exec_ok = None;
+    sfi = None;
+  }
+
+(* SFI runs on the trusted page table (no CR3 move, warm TLB, like
+   MPK) but with no protection keys in play: every page keeps key 0
+   and the per-access mask carries the whole memory policy. The
+   [pkru] slot holds the enclosure's synthetic {e sandbox tag} — a
+   distinct value whose key-0 bits are clear — so the PKRU-indexed
+   seccomp program, its verdict cache and the sysring drain all work
+   verbatim for SFI. *)
+let sfi_env t enc =
+  {
+    Cpu.label = "enc:" ^ enc.e_name;
+    pt = t.machine.Machine.trusted_pt;
+    pkru = enc.e_pkru;
+    exec_ok = Some (fun ~vpn -> exec_filter t enc ~vpn);
+    sfi =
+      Some
+        {
+          Cpu.sfi = Option.get t.sfi;
+          sfi_ok = (fun ~write ~vpn -> sfi_filter t enc ~write ~vpn);
+        };
+  }
+
 let build_env t enc =
   match t.backend with
-  | Mpk ->
-      {
-        Cpu.label = "enc:" ^ enc.e_name;
-        pt = t.machine.Machine.trusted_pt;
-        pkru = enc.e_pkru;
-        exec_ok = Some (fun ~vpn -> exec_filter t enc ~vpn);
-      }
-  | Vtx | Lwc ->
-      {
-        Cpu.label = "enc:" ^ enc.e_name;
-        pt = Option.get enc.e_pt;
-        pkru = Mpk.pkru_all_access;
-        exec_ok = None;
-      }
+  | Mpk -> mpk_env t enc
+  | Vtx | Lwc -> vtx_env t enc
+  | Sfi -> sfi_env t enc
 
 (* ------------------------------------------------------------------ *)
 (* MPK backend                                                         *)
@@ -339,6 +388,7 @@ let mpk_recompute t =
         pt = t.machine.Machine.trusted_pt;
         pkru = app_pkru;
         exec_ok = None;
+        sfi = None;
       };
     (* Seccomp program: dispatch on PKRU. Distinct enclosures that share a
        PKRU value but declare different filters are merged fail-closed
@@ -431,13 +481,448 @@ let vtx_recompute t =
       pt = t.machine.Machine.trusted_pt;
       pkru = Mpk.pkru_all_access;
       exec_ok = None;
+      sfi = None;
     };
   Ok ()
 
-let recompute t =
+(* ------------------------------------------------------------------ *)
+(* SFI backend                                                         *)
+
+(* Synthetic sandbox tags, one per enclosure: distinct int32 values
+   whose key-0 bits (0 and 1) are clear, so {!Mpk.allows} stays
+   permissive over the untagged pages while the PKRU-equality dispatch
+   in the seccomp program — and the (pkru, nr, arg0) verdict cache —
+   distinguishes every sandbox from trusted code and from each other.
+   The base pattern keeps the tags disjoint from any real PKRU the MPK
+   backend could compute. *)
+let sfi_tag i = Int32.of_int (0x5F100 lor (i lsl 2))
+
+let sfi_recompute t =
+  let encs = ordered_encs t in
+  let views = List.map (fun e -> e.e_view) encs in
+  let packages = Encl_pkg.Graph.packages t.graph in
+  (* Clustering still drives reporting and the meta-package
+     abstraction, but SFI enforcement is page-granular via the section
+     registry — no protection keys, hence no key-count ceiling. *)
+  t.clusters <- Cluster.compute ~packages ~views ~pinned:[ super_pkg ];
+  List.iteri
+    (fun i enc ->
+      enc.e_pkru <- sfi_tag i;
+      enc.e_env <- Some (build_env t enc))
+    encs;
+  t.app_trusted <-
+    {
+      Cpu.label = "app-trusted";
+      pt = t.machine.Machine.trusted_pt;
+      pkru = Mpk.pkru_all_access;
+      exec_ok = None;
+      sfi = None;
+    };
+  (* Syscall filtering rides the ordinary trap path: the seccomp
+     program dispatches on the sandbox tag exactly as it dispatches on
+     MPK PKRU values, so verdicts, the verdict cache and the sysring
+     batching behave identically across backends. *)
+  let env_filters =
+    List.map
+      (fun enc ->
+        {
+          Seccomp.pkru = enc.e_pkru;
+          rules = rules_of_filter enc.e_policy.Policy.filter;
+        })
+      encs
+  in
+  let prog = Seccomp.compile ~trusted_pkrus:[ Mpk.pkru_all_access ] env_filters in
+  match K.install_seccomp t.machine.Machine.kernel prog with
+  | Ok () -> Ok ()
+  | Error e -> Error ("LB_SFI: seccomp install failed: " ^ e)
+
+(* ------------------------------------------------------------------ *)
+(* Backend dispatch: shared mechanism helpers, then one module per
+   backend implementing {!Backend.S}. Everything above this point is
+   policy computation; everything below a backend module is generic
+   bookkeeping (stacks, counters, spans, elision) that calls through
+   {!impl}. *)
+
+let env_of_stack t = function
+  | [] -> t.app_trusted
+  | enc :: _ -> Option.get enc.e_env
+
+let stack_top t = match t.stack with [] -> None | enc :: _ -> Some enc
+
+let charge_switch t ns = Clock.consume t.machine.Machine.clock Clock.Switch ns
+
+let filter_allows_call (f : Policy.sys_filter) (call : K.call) =
+  match call with
+  | K.Connect { ip; _ } -> Policy.filter_allows_connect f ~ip
+  | _ -> Policy.filter_allows_cat f (Sysno.category (K.sysno_of_call call))
+
+(* Guest-side denial (LB_VTX / LB_LWC): the call never reaches the
+   kernel, so the kernel's tap can't see it — record it here. *)
+let note_denied t call =
+  t.denied_guest <- t.denied_guest + 1;
+  let o = obs t in
+  if Obs.enabled o then begin
+    let nr = K.sysno_of_call call in
+    Obs.incr o "syscall.denied";
+    Obs.emit o
+      (Event.Syscall
+         {
+           name = Sysno.name nr;
+           category = Sysno.category_name (Sysno.category nr);
+           verdict = Event.Denied;
+         })
+  end
+
+(* A guest-filter denial found while draining: same accounting as the
+   direct path's [fault t ~enclosure reason] — denial tap, fault log
+   entry, quarantine budget — except the exception is stored on the
+   completion instead of raised; the awaiting caller re-raises it. *)
+let deny_entry t entry ~enclosure reason =
+  note_denied t entry.sq_call;
+  let trace = Printf.sprintf "fault in %s: %s" enclosure reason in
+  record_fault t ~enclosure ~trace reason;
+  entry.sq_comp.c_state <- Faulted (Fault { reason; enclosure = Some enclosure })
+
+(* Only the MPK backend populates [t.keys]; elsewhere every package
+   maps to key 0, so a transfer never flushes the verdict cache there
+   (non-MPK filters do not dispatch on PKRU). *)
+let mpk_key_of t pkg =
+  match Cluster.cluster_of t.clusters pkg with
+  | Some i when i < Array.length t.keys -> t.keys.(i)
+  | Some _ | None -> 0
+
+(* The trusted-context pkey_mprotect of the MPK transfer path. *)
+let mpk_retag t ~addr ~pages ~key =
+  let saved = Cpu.env t.machine.Machine.cpu in
+  Cpu.set_env t.machine.Machine.cpu t.machine.Machine.trusted_env;
+  let result =
+    K.syscall t.machine.Machine.kernel
+      (K.Pkey_mprotect { addr; len = pages * Phys.page_size; key })
+  in
+  Cpu.set_env t.machine.Machine.cpu saved;
+  match result with
+  | Ok _ -> ()
+  | Error e ->
+      fault t (Printf.sprintf "transfer: pkey_mprotect failed (%s)" (K.errno_name e))
+
+(* Page-table update of the VTX/LWC transfer paths (the cost is charged
+   by the caller; this is the view bookkeeping, uniform over the range
+   because ownership and hence access are uniform). *)
+let pt_retag t ~addr ~bytes ~to_pkg =
+  List.iter
+    (fun enc ->
+      match enc.e_pt with
+      | None -> ()
+      | Some pt ->
+          let access = View.access enc.e_view to_pkg in
+          Mm.protect t.machine.Machine.mm ~pt ~addr ~len:bytes
+            (Types.page_perms access Section.Arena);
+          Mm.set_present t.machine.Machine.mm ~pt ~addr ~len:bytes
+            (access <> Types.U))
+    (ordered_encs t);
+  Mm.protect t.machine.Machine.mm ~pt:t.machine.Machine.trusted_pt ~addr
+    ~len:bytes
+    { Pte.r = true; w = true; x = false }
+
+(* The trap path (MPK and SFI): the call enters the kernel normally
+   and the installed seccomp program dispatches on the environment's
+   PKRU — a real PKRU under MPK, the synthetic sandbox tag under SFI.
+   Killed calls surface as faults attributed to the calling
+   enclosure. *)
+let trap_syscall t top call =
+  try K.syscall t.machine.Machine.kernel call
+  with K.Syscall_killed { nr; env } ->
+    let reason =
+      Printf.sprintf "seccomp killed system call %s in %s" (Sysno.name nr) env
+    in
+    let enclosure = Option.map (fun e -> e.e_name) top in
+    record_fault t ?enclosure ~trace:reason reason;
+    raise (Fault { reason; enclosure })
+
+(* Trap-path drain (MPK and SFI): one kernel trap for the batch, then
+   per-entry dispatch under the submit-time environment — installed per
+   entry, a zero-cost bookkeeping write modelling the submitter context
+   recorded in the SQE. *)
+let trap_drain t entries =
+  let kernel = t.machine.Machine.kernel in
+  Clock.consume t.machine.Machine.clock Clock.Syscall
+    t.machine.Machine.costs.Costs.syscall_base;
+  let cpu = t.machine.Machine.cpu in
+  let saved = Cpu.env cpu in
+  Fun.protect ~finally:(fun () -> Cpu.set_env cpu saved) @@ fun () ->
+  List.iter
+    (fun e ->
+      Cpu.set_env cpu (env_of_stack t e.sq_env);
+      match K.syscall_in_batch kernel e.sq_call with
+      | r -> e.sq_comp.c_state <- Done r
+      | exception K.Syscall_killed { nr; env } ->
+          let reason =
+            Printf.sprintf "seccomp killed system call %s in %s" (Sysno.name nr)
+              env
+          in
+          let enclosure =
+            match e.sq_env with [] -> None | enc :: _ -> Some enc.e_name
+          in
+          record_fault t ?enclosure ~trace:reason reason;
+          e.sq_comp.c_state <- Faulted (Fault { reason; enclosure }))
+    entries
+
+module type IMPL =
+  Backend.S with type ctx = t and type enc = enc_rt and type entry = sq_entry
+
+module MpkB : IMPL = struct
+  type ctx = t
+  type enc = enc_rt
+  type entry = sq_entry
+
+  let id = Backend.Mpk
+  let install = mpk_recompute
+  let env_of = mpk_env
+  let enter t (_ : enc) = charge_switch t t.machine.Machine.costs.Costs.mpk_prolog
+
+  let leave t (_ : enc option) =
+    charge_switch t t.machine.Machine.costs.Costs.mpk_epilog
+
+  let resume t (_ : enc option) =
+    charge_switch t t.machine.Machine.costs.Costs.wrpkru
+
+  let excursion_costs t =
+    let c = t.machine.Machine.costs in
+    (c.Costs.mpk_prolog, c.Costs.mpk_epilog)
+
+  let syscall = trap_syscall
+  let drain = trap_drain
+
+  let transfer t ~addr ~pages ~to_pkg ~key_changed =
+    (* The Transfer hook gates into LitterBox, which performs the
+       pkey_mprotect from a trusted context. *)
+    mpk_retag t ~addr ~pages ~key:(mpk_key_of t to_pkg);
+    if key_changed then K.seccomp_invalidate t.machine.Machine.kernel
+end
+
+module VtxB : IMPL = struct
+  type ctx = t
+  type enc = enc_rt
+  type entry = sq_entry
+
+  let id = Backend.Vtx
+  let install = vtx_recompute
+  let env_of = vtx_env
+
+  let target_pt t = function
+    | None -> t.machine.Machine.trusted_pt
+    | Some enc -> Option.get enc.e_pt
+
+  let enter t enc =
+    let vtx = Option.get t.vtx in
+    match
+      Vtx.guest_syscall vtx
+        ~validate:(fun () -> true)
+        ~target:(Option.get enc.e_pt)
+    with
+    | Ok () -> ()
+    | Error e -> fault t ~enclosure:enc.e_name e
+
+  let leave t target =
+    let vtx = Option.get t.vtx in
+    match
+      Vtx.guest_sysret vtx ~validate:(fun () -> true) ~target:(target_pt t target)
+    with
+    | Ok () -> ()
+    | Error e -> fault t e
+
+  let resume t target =
+    let vtx = Option.get t.vtx in
+    match
+      Vtx.guest_syscall vtx
+        ~validate:(fun () -> true)
+        ~target:(target_pt t target)
+    with
+    | Ok () -> ()
+    | Error e -> fault t e
+
+  let excursion_costs t =
+    let c = t.machine.Machine.costs in
+    (c.Costs.vtx_guest_syscall, c.Costs.vtx_guest_sysret)
+
+  let syscall t top call =
+    match top with
+    | Some enc when not (filter_allows_call enc.e_policy.Policy.filter call) ->
+        note_denied t call;
+        fault t ~enclosure:enc.e_name
+          (Printf.sprintf "system call %s denied by enclosure filter"
+             (Sysno.name (K.sysno_of_call call)))
+    | _ -> (
+        let vtx = Option.get t.vtx in
+        let o = obs t in
+        (* The VM-exit round-trip is paid here, outside the kernel's
+           own syscall span: bracket it so the exit cost lands in the
+           syscall category rather than in the caller's cell. *)
+        let sp =
+          if Obs.enabled o then
+            Obs.span_enter o
+              ~name:("hypercall:" ^ Sysno.name (K.sysno_of_call call))
+              ~category:Span.Syscall ()
+          else -1
+        in
+        match
+          Vtx.hypercall vtx (fun () -> K.syscall t.machine.Machine.kernel call)
+        with
+        | r ->
+            Obs.span_exit o sp;
+            r
+        | exception e ->
+            Obs.span_exit o sp;
+            raise e)
+
+  let drain t entries =
+    (* Guest-side filter checks never leave the VM; only entries that
+       pass share the batch's single VM EXIT. *)
+    let o = obs t in
+    let allowed =
+      List.filter
+        (fun e ->
+          match e.sq_env with
+          | top :: _
+            when not (filter_allows_call top.e_policy.Policy.filter e.sq_call)
+            ->
+              deny_entry t e ~enclosure:top.e_name
+                (Printf.sprintf "system call %s denied by enclosure filter"
+                   (Sysno.name (K.sysno_of_call e.sq_call)));
+              false
+          | _ -> true)
+        entries
+    in
+    match allowed with
+    | [] -> ()
+    | _ :: _ ->
+        let vtx = Option.get t.vtx in
+        let sp2 =
+          if Obs.enabled o then
+            Obs.span_enter o ~name:"hypercall:ring_drain" ~category:Span.Syscall
+              ()
+          else -1
+        in
+        Fun.protect ~finally:(fun () -> Obs.span_exit (obs t) sp2) @@ fun () ->
+        Vtx.hypercall vtx (fun () ->
+            Clock.consume t.machine.Machine.clock Clock.Syscall
+              t.machine.Machine.costs.Costs.syscall_base;
+            List.iter
+              (fun e ->
+                e.sq_comp.c_state <-
+                  Done (K.syscall_in_batch t.machine.Machine.kernel e.sq_call))
+              allowed)
+
+  let transfer t ~addr ~pages ~to_pkg ~key_changed:_ =
+    let c = t.machine.Machine.costs in
+    Clock.consume t.machine.Machine.clock Clock.Transfer
+      (c.Costs.vtx_transfer_base + (pages * c.Costs.vtx_transfer_page));
+    pt_retag t ~addr ~bytes:(pages * Phys.page_size) ~to_pkg
+end
+
+module LwcB : IMPL = struct
+  type ctx = t
+  type enc = enc_rt
+  type entry = sq_entry
+
+  let id = Backend.Lwc
+  let install = vtx_recompute
+  let env_of = vtx_env
+
+  (* lwSwitch: an ordinary system call that installs the context's
+     memory view. *)
+  let enter t (_ : enc) = charge_switch t t.machine.Machine.costs.Costs.lwc_switch
+  let leave t (_ : enc option) =
+    charge_switch t t.machine.Machine.costs.Costs.lwc_switch
+
+  let resume t (_ : enc option) =
+    charge_switch t t.machine.Machine.costs.Costs.lwc_switch
+
+  let excursion_costs t =
+    let c = t.machine.Machine.costs in
+    (c.Costs.lwc_switch, c.Costs.lwc_switch)
+
+  (* The kernel holds the per-context filter: checked in the normal
+     syscall path, no extra crossing. *)
+  let syscall t top call =
+    match top with
+    | Some enc when not (filter_allows_call enc.e_policy.Policy.filter call) ->
+        note_denied t call;
+        fault t ~enclosure:enc.e_name
+          (Printf.sprintf "system call %s denied by the context's filter"
+             (Sysno.name (K.sysno_of_call call)))
+    | _ -> K.syscall t.machine.Machine.kernel call
+
+  (* One ordinary trap enters the kernel; the per-context filter is
+     checked there per entry, as in the direct path. *)
+  let drain t entries =
+    let kernel = t.machine.Machine.kernel in
+    Clock.consume t.machine.Machine.clock Clock.Syscall
+      t.machine.Machine.costs.Costs.syscall_base;
+    List.iter
+      (fun e ->
+        match e.sq_env with
+        | top :: _
+          when not (filter_allows_call top.e_policy.Policy.filter e.sq_call) ->
+            deny_entry t e ~enclosure:top.e_name
+              (Printf.sprintf "system call %s denied by the context's filter"
+                 (Sysno.name (K.sysno_of_call e.sq_call)))
+        | _ -> e.sq_comp.c_state <- Done (K.syscall_in_batch kernel e.sq_call))
+      entries
+
+  let transfer t ~addr ~pages ~to_pkg ~key_changed:_ =
+    let c = t.machine.Machine.costs in
+    (* A kernel call updating every context's view of the range. *)
+    Clock.consume t.machine.Machine.clock Clock.Transfer
+      (c.Costs.syscall_base + (pages * c.Costs.lwc_transfer_page));
+    pt_retag t ~addr ~bytes:(pages * Phys.page_size) ~to_pkg
+end
+
+module SfiB : IMPL = struct
+  type ctx = t
+  type enc = enc_rt
+  type entry = sq_entry
+
+  let id = Backend.Sfi
+  let install = sfi_recompute
+  let env_of = sfi_env
+
+  (* Crossing the sandbox boundary is a trampoline call, either
+     direction: no PKRU write, no CR3 move, no kernel crossing. The
+     whole memory policy is paid per access instead (see
+     {!Cpu.check_page} and {!Sfi.masked_access}). *)
+  let enter t (_ : enc) = Sfi.switch (Option.get t.sfi)
+  let leave t (_ : enc option) = Sfi.switch (Option.get t.sfi)
+  let resume t (_ : enc option) = Sfi.switch (Option.get t.sfi)
+
+  let excursion_costs t =
+    let c = t.machine.Machine.costs in
+    (c.Costs.sfi_switch, c.Costs.sfi_switch)
+
+  (* Syscalls ride the ordinary trap path: the seccomp program
+     dispatches on the sandbox tag exactly as on an MPK PKRU, so
+     verdicts, caching and batching are identical across the two. *)
+  let syscall = trap_syscall
+  let drain = trap_drain
+
+  let transfer t ~addr:_ ~pages ~to_pkg:_ ~key_changed:_ =
+    (* Re-homing a range only updates the sandbox's bounds metadata
+       (the section registry the access predicate consults): no
+       syscall, no page-table pass, no key re-tagging. *)
+    Clock.consume t.machine.Machine.clock Clock.Transfer
+      (pages * t.machine.Machine.costs.Costs.sfi_transfer_page)
+end
+
+let impl t : (module IMPL) =
   match t.backend with
-  | Mpk -> mpk_recompute t
-  | Vtx | Lwc -> vtx_recompute t
+  | Mpk -> (module MpkB)
+  | Vtx -> (module VtxB)
+  | Lwc -> (module LwcB)
+  | Sfi -> (module SfiB)
+
+let recompute t =
+  let (module B) = impl t in
+  B.install t
 
 (* ------------------------------------------------------------------ *)
 (* Initialization                                                      *)
@@ -486,6 +971,7 @@ let init ~machine ~backend ~image ?(binary_scan = []) ?(clustering = true) () =
           clusters = Cluster.compute ~packages:[] ~views:[] ~pinned:[];
           keys = [||];
           vtx = None;
+          sfi = None;
           clustering;
           app_trusted = machine.Machine.trusted_env;
           stack = [];
@@ -501,6 +987,8 @@ let init ~machine ~backend ~image ?(binary_scan = []) ?(clustering = true) () =
           ring_drained = 0;
           ring_batches = 0;
           denied_guest = 0;
+          tainted_verified = 0;
+          tainted_rejected = 0;
         }
       in
       Obs.set_backend machine.Machine.obs (backend_name backend);
@@ -545,6 +1033,20 @@ let init ~machine ~backend ~image ?(binary_scan = []) ?(clustering = true) () =
                  in
                  Vtx.enter_vm vtx;
                  t.vtx <- Some vtx
+               end);
+              (if backend = Sfi then begin
+                 let sfi =
+                   Sfi.create ~clock:machine.Machine.clock
+                     ~costs:machine.Machine.costs
+                 in
+                 (* Obs mirror in lockstep with the Sfi counter: one
+                    increment per masked access, at the same point. *)
+                 Sfi.set_observer sfi
+                   (Some
+                      (fun () ->
+                        let o = machine.Machine.obs in
+                        if Obs.enabled o then Obs.incr o "sfi_masked_access"));
+                 t.sfi <- Some sfi
                end);
               match recompute t with
               | Error e -> Error e
@@ -683,10 +1185,6 @@ let check_site t site hook =
 let set_hw_env t env =
   Cpu.set_env t.machine.Machine.cpu env
 
-let env_of_stack t = function
-  | [] -> t.app_trusted
-  | enc :: _ -> Option.get enc.e_env
-
 (* Single point through which the enclosure stack changes: keeps the
    hardware environment and the observability context in lockstep. *)
 let set_stack t stack =
@@ -721,48 +1219,16 @@ let note_elision t scope =
 (* ------------------------------------------------------------------ *)
 (* Syscall ring                                                        *)
 
-let filter_allows_call (f : Policy.sys_filter) (call : K.call) =
-  match call with
-  | K.Connect { ip; _ } -> Policy.filter_allows_connect f ~ip
-  | _ -> Policy.filter_allows_cat f (Sysno.category (K.sysno_of_call call))
-
-(* Guest-side denial (LB_VTX / LB_LWC): the call never reaches the
-   kernel, so the kernel's tap can't see it — record it here. *)
-let note_denied t call =
-  t.denied_guest <- t.denied_guest + 1;
-  let o = obs t in
-  if Obs.enabled o then begin
-    let nr = K.sysno_of_call call in
-    Obs.incr o "syscall.denied";
-    Obs.emit o
-      (Event.Syscall
-         {
-           name = Sysno.name nr;
-           category = Sysno.category_name (Sysno.category nr);
-           verdict = Event.Denied;
-         })
-  end
-
-(* A guest-filter denial found while draining: same accounting as the
-   direct path's [fault t ~enclosure reason] — denial tap, fault log
-   entry, quarantine budget — except the exception is stored on the
-   completion instead of raised; the awaiting caller re-raises it. *)
-let deny_entry t entry ~enclosure reason =
-  note_denied t entry.sq_call;
-  let trace = Printf.sprintf "fault in %s: %s" enclosure reason in
-  record_fault t ~enclosure ~trace reason;
-  entry.sq_comp.c_state <- Faulted (Fault { reason; enclosure = Some enclosure })
-
 (* Drain the submission queue: one privilege crossing for the whole
-   batch — a single kernel trap (MPK/LWC) or a single VM EXIT (VTX) —
-   then per-entry dispatch inside the kernel via
+   batch — a single kernel trap (MPK/LWC/SFI) or a single VM EXIT
+   (VTX) — then per-entry dispatch inside the kernel via
    [K.syscall_in_batch]. Each entry is checked under its submit-time
    environment: guest-side filters (VTX/LWC) against the captured stack
-   top, the MPK seccomp program against the captured environment's PKRU
-   (installed per entry, a zero-cost bookkeeping write modelling the
-   submitter context recorded in the SQE). Verdicts, fault accounting
-   and errno results are exactly what the direct path produces, in
-   submission order. *)
+   top, the trap-path seccomp program against the captured
+   environment's PKRU or sandbox tag. Verdicts, fault accounting and
+   errno results are exactly what the direct path produces, in
+   submission order. The per-backend mechanism lives in the
+   {!Backend.S} implementations above. *)
 let drain t =
   if not (Queue.is_empty t.ring) then begin
     let entries = List.of_seq (Queue.to_seq t.ring) in
@@ -783,84 +1249,8 @@ let drain t =
       else -1
     in
     Fun.protect ~finally:(fun () -> Obs.span_exit (obs t) sp) @@ fun () ->
-    let kernel = t.machine.Machine.kernel in
-    let clock = t.machine.Machine.clock in
-    let c = t.machine.Machine.costs in
-    match t.backend with
-    | Lwc ->
-        (* One ordinary trap enters the kernel; the per-context filter
-           is checked there per entry, as in the direct path. *)
-        Clock.consume clock Clock.Syscall c.Costs.syscall_base;
-        List.iter
-          (fun e ->
-            match e.sq_env with
-            | top :: _
-              when not (filter_allows_call top.e_policy.Policy.filter e.sq_call)
-              ->
-                deny_entry t e ~enclosure:top.e_name
-                  (Printf.sprintf
-                     "system call %s denied by the context's filter"
-                     (Sysno.name (K.sysno_of_call e.sq_call)))
-            | _ -> e.sq_comp.c_state <- Done (K.syscall_in_batch kernel e.sq_call))
-          entries
-    | Mpk ->
-        Clock.consume clock Clock.Syscall c.Costs.syscall_base;
-        let cpu = t.machine.Machine.cpu in
-        let saved = Cpu.env cpu in
-        Fun.protect ~finally:(fun () -> Cpu.set_env cpu saved) @@ fun () ->
-        List.iter
-          (fun e ->
-            Cpu.set_env cpu (env_of_stack t e.sq_env);
-            match K.syscall_in_batch kernel e.sq_call with
-            | r -> e.sq_comp.c_state <- Done r
-            | exception K.Syscall_killed { nr; env } ->
-                let reason =
-                  Printf.sprintf "seccomp killed system call %s in %s"
-                    (Sysno.name nr) env
-                in
-                let enclosure =
-                  match e.sq_env with [] -> None | enc :: _ -> Some enc.e_name
-                in
-                record_fault t ?enclosure ~trace:reason reason;
-                e.sq_comp.c_state <- Faulted (Fault { reason; enclosure }))
-          entries
-    | Vtx -> (
-        (* Guest-side filter checks never leave the VM; only entries
-           that pass share the batch's single VM EXIT. *)
-        let allowed =
-          List.filter
-            (fun e ->
-              match e.sq_env with
-              | top :: _
-                when not
-                       (filter_allows_call top.e_policy.Policy.filter e.sq_call)
-                ->
-                  deny_entry t e ~enclosure:top.e_name
-                    (Printf.sprintf "system call %s denied by enclosure filter"
-                       (Sysno.name (K.sysno_of_call e.sq_call)));
-                  false
-              | _ -> true)
-            entries
-        in
-        match allowed with
-        | [] -> ()
-        | _ :: _ ->
-            let vtx = Option.get t.vtx in
-            let sp2 =
-              if Obs.enabled o then
-                Obs.span_enter o ~name:"hypercall:ring_drain"
-                  ~category:Span.Syscall ()
-              else -1
-            in
-            Fun.protect ~finally:(fun () -> Obs.span_exit (obs t) sp2)
-            @@ fun () ->
-            Vtx.hypercall vtx (fun () ->
-                Clock.consume clock Clock.Syscall c.Costs.syscall_base;
-                List.iter
-                  (fun e ->
-                    e.sq_comp.c_state <-
-                      Done (K.syscall_in_batch kernel e.sq_call))
-                  allowed))
+    let (module B) = impl t in
+    B.drain t entries
   end
 
 let submit t call =
@@ -932,24 +1322,8 @@ let prolog t ~name ~site =
            note_elision t enc.e_name
          end
          else
-           match t.backend with
-           | Mpk ->
-               Clock.consume t.machine.Machine.clock Clock.Switch
-                 c.Costs.mpk_prolog
-           | Lwc ->
-               (* lwSwitch: an ordinary system call that installs the
-                  context's memory view. *)
-               Clock.consume t.machine.Machine.clock Clock.Switch
-                 c.Costs.lwc_switch
-           | Vtx -> (
-               let vtx = Option.get t.vtx in
-               match
-                 Vtx.guest_syscall vtx
-                   ~validate:(fun () -> true)
-                   ~target:(Option.get enc.e_pt)
-               with
-               | Ok () -> ()
-               | Error e -> fault t ~enclosure:name e)
+           let (module B) = impl t in
+           B.enter t enc
        with
       | () ->
           set_stack t (enc :: t.stack);
@@ -989,23 +1363,8 @@ let epilog t ~site =
            note_elision t top.e_name
          end
          else
-           match t.backend with
-           | Mpk ->
-               Clock.consume t.machine.Machine.clock Clock.Switch
-                 c.Costs.mpk_epilog
-           | Lwc ->
-               Clock.consume t.machine.Machine.clock Clock.Switch
-                 c.Costs.lwc_switch
-           | Vtx -> (
-               let vtx = Option.get t.vtx in
-               let target =
-                 match rest with
-                 | [] -> t.machine.Machine.trusted_pt
-                 | enc :: _ -> Option.get enc.e_pt
-               in
-               match Vtx.guest_sysret vtx ~validate:(fun () -> true) ~target with
-               | Ok () -> ()
-               | Error e -> fault t e)
+           let (module B) = impl t in
+           B.leave t (match rest with [] -> None | e :: _ -> Some e)
        with
       | () ->
           set_stack t rest;
@@ -1021,73 +1380,20 @@ let in_enclosure t = match t.stack with [] -> None | e :: _ -> Some e.e_name
 (* System calls                                                        *)
 
 let syscall t call =
-  match t.backend with
-  | Lwc -> (
-      (* The kernel holds the per-context filter: checked in the normal
-         syscall path, no extra crossing. *)
-      match t.stack with
-      | top :: _ when not (filter_allows_call top.e_policy.Policy.filter call) ->
-          note_denied t call;
-          fault t ~enclosure:top.e_name
-            (Printf.sprintf "system call %s denied by the context's filter"
-               (Sysno.name (K.sysno_of_call call)))
-      | _ -> K.syscall t.machine.Machine.kernel call)
-  | Mpk -> (
-      try K.syscall t.machine.Machine.kernel call
-      with K.Syscall_killed { nr; env } ->
-        let reason =
-          Printf.sprintf "seccomp killed system call %s in %s" (Sysno.name nr)
-            env
-        in
-        let enclosure = in_enclosure t in
-        record_fault t ?enclosure ~trace:reason reason;
-        raise (Fault { reason; enclosure }))
-  | Vtx -> (
-      match t.stack with
-      | top :: _ when not (filter_allows_call top.e_policy.Policy.filter call) ->
-          note_denied t call;
-          fault t ~enclosure:top.e_name
-            (Printf.sprintf "system call %s denied by enclosure filter"
-               (Sysno.name (K.sysno_of_call call)))
-      | _ -> (
-          let vtx = Option.get t.vtx in
-          let o = obs t in
-          (* The VM-exit round-trip is paid here, outside the kernel's
-             own syscall span: bracket it so the exit cost lands in the
-             syscall category rather than in the caller's cell. *)
-          let sp =
-            if Obs.enabled o then
-              Obs.span_enter o
-                ~name:("hypercall:" ^ Sysno.name (K.sysno_of_call call))
-                ~category:Span.Syscall ()
-            else -1
-          in
-          match
-            Vtx.hypercall vtx (fun () -> K.syscall t.machine.Machine.kernel call)
-          with
-          | r ->
-              Obs.span_exit o sp;
-              r
-          | exception e ->
-              Obs.span_exit o sp;
-              raise e))
+  let (module B) = impl t in
+  B.syscall t (stack_top t) call
 
 (* ------------------------------------------------------------------ *)
 (* Transfer                                                            *)
-
-(* Only the MPK backend populates [t.keys]; elsewhere every package
-   maps to key 0, so a transfer never flushes the verdict cache there
-   (non-MPK filters do not dispatch on PKRU). *)
-let mpk_key_of t pkg =
-  match Cluster.cluster_of t.clusters pkg with
-  | Some i when i < Array.length t.keys -> t.keys.(i)
-  | Some _ | None -> 0
 
 (* Re-home one range in the section registry: add the new Arena section
    for [to_pkg] and drop the range from its previous owner's list.
    Returns whether the range's MPK key assignment changed — the event
    that must flush the seccomp verdict cache (a meta-package's rights
-   over the range are not what any cached verdict could have assumed). *)
+   over the range are not what any cached verdict could have assumed).
+   Only the MPK backend populates [t.keys]; elsewhere every package
+   maps to key 0, so a transfer never flushes the verdict cache there
+   (non-MPK filters do not dispatch on PKRU or the SFI tag). *)
 let rehome_range t ~addr ~len ~to_pkg =
   let sec =
     Section.make
@@ -1109,39 +1415,6 @@ let rehome_range t ~addr ~len ~to_pkg =
   register_section t sec;
   key_changed
 
-(* The trusted-context pkey_mprotect of the MPK transfer path. *)
-let mpk_retag t ~addr ~pages ~key =
-  let saved = Cpu.env t.machine.Machine.cpu in
-  Cpu.set_env t.machine.Machine.cpu t.machine.Machine.trusted_env;
-  let result =
-    K.syscall t.machine.Machine.kernel
-      (K.Pkey_mprotect { addr; len = pages * Phys.page_size; key })
-  in
-  Cpu.set_env t.machine.Machine.cpu saved;
-  match result with
-  | Ok _ -> ()
-  | Error e ->
-      fault t (Printf.sprintf "transfer: pkey_mprotect failed (%s)" (K.errno_name e))
-
-(* Page-table update of the VTX/LWC transfer paths (the cost is charged
-   by the caller; this is the view bookkeeping, uniform over the range
-   because ownership and hence access are uniform). *)
-let pt_retag t ~addr ~bytes ~to_pkg =
-  List.iter
-    (fun enc ->
-      match enc.e_pt with
-      | None -> ()
-      | Some pt ->
-          let access = View.access enc.e_view to_pkg in
-          Mm.protect t.machine.Machine.mm ~pt ~addr ~len:bytes
-            (Types.page_perms access Section.Arena);
-          Mm.set_present t.machine.Machine.mm ~pt ~addr ~len:bytes
-            (access <> Types.U))
-    (ordered_encs t);
-  Mm.protect t.machine.Machine.mm ~pt:t.machine.Machine.trusted_pt ~addr
-    ~len:bytes
-    { Pte.r = true; w = true; x = false }
-
 let transfer t ~addr ~len ~to_pkg ~site =
   Log.debug (fun m -> m "transfer %#x+%d -> %s" addr len to_pkg);
   check_site t site Image.Transfer;
@@ -1159,23 +1432,8 @@ let transfer t ~addr ~len ~to_pkg ~site =
   let t0 = Clock.now t.machine.Machine.clock in
   let pages = (max len 1 + Phys.page_size - 1) / Phys.page_size in
   let key_changed = rehome_range t ~addr ~len ~to_pkg in
-  (match t.backend with
-  | Mpk ->
-      (* The Transfer hook gates into LitterBox, which performs the
-         pkey_mprotect from a trusted context. *)
-      mpk_retag t ~addr ~pages ~key:(mpk_key_of t to_pkg);
-      if key_changed then K.seccomp_invalidate t.machine.Machine.kernel
-  | Vtx | Lwc ->
-      let c = t.machine.Machine.costs in
-      (match t.backend with
-      | Vtx ->
-          Clock.consume t.machine.Machine.clock Clock.Transfer
-            (c.Costs.vtx_transfer_base + (pages * c.Costs.vtx_transfer_page))
-      | Lwc | Mpk ->
-          (* A kernel call updating every context's view of the range. *)
-          Clock.consume t.machine.Machine.clock Clock.Transfer
-            (c.Costs.syscall_base + (pages * c.Costs.lwc_transfer_page)));
-      pt_retag t ~addr ~bytes:(pages * Phys.page_size) ~to_pkg);
+  let (module B) = impl t in
+  B.transfer t ~addr ~pages ~to_pkg ~key_changed;
   let o = obs t in
   if Obs.enabled o then begin
     let dur = Clock.now t.machine.Machine.clock - t0 in
@@ -1230,20 +1488,8 @@ let transfer_range t ~addr ~len ~chunk ~to_pkg ~site =
         key_changed := true;
       pages := !pages + ((max clen 1 + Phys.page_size - 1) / Phys.page_size)
     done;
-    (match t.backend with
-    | Mpk ->
-        mpk_retag t ~addr ~pages:!pages ~key:(mpk_key_of t to_pkg);
-        if !key_changed then K.seccomp_invalidate t.machine.Machine.kernel
-    | Vtx | Lwc ->
-        let c = t.machine.Machine.costs in
-        (match t.backend with
-        | Vtx ->
-            Clock.consume t.machine.Machine.clock Clock.Transfer
-              (c.Costs.vtx_transfer_base + (!pages * c.Costs.vtx_transfer_page))
-        | Lwc | Mpk ->
-            Clock.consume t.machine.Machine.clock Clock.Transfer
-              (c.Costs.syscall_base + (!pages * c.Costs.lwc_transfer_page)));
-        pt_retag t ~addr ~bytes:(!pages * Phys.page_size) ~to_pkg);
+    let (module B) = impl t in
+    B.transfer t ~addr ~pages:!pages ~to_pkg ~key_changed:!key_changed;
     if Obs.enabled o then begin
       let dur = Clock.now t.machine.Machine.clock - t0 in
       Obs.observe o "transfer_ns" dur;
@@ -1281,21 +1527,8 @@ let execute t env_ref ~site =
        note_elision t target_scope
      end
      else
-       match t.backend with
-       | Mpk ->
-           Clock.consume t.machine.Machine.clock Clock.Switch c.Costs.wrpkru
-       | Lwc ->
-           Clock.consume t.machine.Machine.clock Clock.Switch c.Costs.lwc_switch
-       | Vtx -> (
-           let vtx = Option.get t.vtx in
-           let target =
-             match env_ref with
-             | [] -> t.machine.Machine.trusted_pt
-             | enc :: _ -> Option.get enc.e_pt
-           in
-           match Vtx.guest_syscall vtx ~validate:(fun () -> true) ~target with
-           | Ok () -> ()
-           | Error e -> fault t e)
+       let (module B) = impl t in
+       B.resume t (match env_ref with [] -> None | e :: _ -> Some e)
    with
   | () ->
       set_stack t env_ref;
@@ -1315,11 +1548,9 @@ let with_trusted t f =
   let scope = scope_name saved in
   let o = obs t in
   let c = t.machine.Machine.costs in
-  let switch_cost =
-    match t.backend with
-    | Mpk -> c.Costs.mpk_prolog
-    | Lwc -> c.Costs.lwc_switch
-    | Vtx -> c.Costs.vtx_guest_syscall
+  let switch_cost, return_cost =
+    let (module B) = impl t in
+    B.excursion_costs t
   in
   (* The excursion's switch costs are attributed to the enclosure that
      requested it (two short spans); the work inside [f] stays in the
@@ -1341,12 +1572,6 @@ let with_trusted t f =
   set_stack t [];
   Fun.protect
     ~finally:(fun () ->
-      let return_cost =
-        match t.backend with
-        | Mpk -> c.Costs.mpk_epilog
-        | Lwc -> c.Costs.lwc_switch
-        | Vtx -> c.Costs.vtx_guest_sysret
-      in
       let sp =
         if Obs.enabled o then
           Obs.span_enter o ~lane:scope ~name:"excursion:exit"
@@ -1377,7 +1602,7 @@ let current_access t pkg =
 
 let pkru_of t name =
   match t.backend with
-  | Vtx | Lwc -> None
+  | Vtx | Lwc | Sfi -> None
   | Mpk -> Option.map (fun e -> e.e_pkru) (Hashtbl.find_opt t.encs name)
 
 let cluster t = t.clusters
@@ -1393,6 +1618,27 @@ let ring_drained_count t = t.ring_drained
 let ring_batches_count t = t.ring_batches
 let guest_denied_count t = t.denied_guest
 let vmexit_count t = match t.vtx with Some v -> Vtx.vmexits v | None -> 0
+
+let sfi_masked_access_count t =
+  match t.sfi with Some s -> Sfi.masked_accesses s | None -> 0
+
+let sfi_guard_fault_count t =
+  match t.sfi with Some s -> Sfi.guard_faults s | None -> 0
+
+(* Tainted-boundary accounting (see {!Enclosure.Tainted}): the boundary
+   layer reports each verification here so the counters live next to
+   the rest of the enforcement telemetry, with obs mirrors moved at the
+   same program point. *)
+let note_tainted_verified t =
+  t.tainted_verified <- t.tainted_verified + 1;
+  if Obs.enabled (obs t) then Obs.incr (obs t) "tainted_verified"
+
+let note_tainted_rejected t =
+  t.tainted_rejected <- t.tainted_rejected + 1;
+  if Obs.enabled (obs t) then Obs.incr (obs t) "tainted_rejected"
+
+let tainted_verified_count t = t.tainted_verified
+let tainted_rejected_count t = t.tainted_rejected
 
 (* ------------------------------------------------------------------ *)
 (* Quarantine control                                                  *)
@@ -1472,3 +1718,4 @@ let run_protected t f =
   | exception e -> (
       Obs.span_exit o sp;
       match absorb_fault t e with Some msg -> Error msg | None -> raise e)
+

@@ -11,19 +11,26 @@
       arenas;
     - {!execute}: environment switch for user-level thread scheduling.
 
-    Two hardware backends are supported: {!Mpk} (PKRU switches, seccomp
-    filtering indexed by PKRU, [pkey_mprotect] transfers) and {!Vtx}
-    (per-enclosure page tables, switches as guest system calls, host
-    system calls via hypercall). *)
+    Four backends are supported, each an implementation of
+    {!Backend.S}: {!Mpk} (PKRU switches, seccomp filtering indexed by
+    PKRU, [pkey_mprotect] transfers), {!Vtx} (per-enclosure page
+    tables, switches as guest system calls, host system calls via
+    hypercall), {!Lwc} (kernel-held per-context memory views, switches
+    as ordinary system calls) and {!Sfi} (software fault isolation:
+    near-zero-cost sandbox crossings, every load/store paying a
+    mask-and-bounds check — the mirror-image trade-off of VTX). *)
 
-type backend = Mpk | Vtx | Lwc
+type backend = Backend.t = Mpk | Vtx | Lwc | Sfi
 
 val backend_name : backend -> string
 (** [Lwc] is the hardware-free alternative the paper's related-work
     section sketches (light-weight contexts): per-enclosure memory views
     held by the kernel, switches as ordinary system calls — no MPK keys,
     no VM, correspondingly slower switches but baseline-cost system
-    calls. *)
+    calls. [Sfi] is RLBox/Wasm-style instrumentation: no hardware
+    switches at all; enforcement rides the instrumented access sequence
+    and the ordinary seccomp trap path (dispatching on a synthetic
+    per-sandbox tag in place of the PKRU). *)
 
 exception Fault of { reason : string; enclosure : string option }
 (** An enclosure violated its policy, or a switch was rejected. "A fault
@@ -250,6 +257,24 @@ val guest_denied_count : t -> int
 
 val vmexit_count : t -> int
 (** VM EXITs taken so far (VTX backend; 0 elsewhere). *)
+
+val sfi_masked_access_count : t -> int
+(** Instrumented loads/stores executed so far (SFI backend; 0
+    elsewhere). Mirrored in the obs "sfi_masked_access" metric. *)
+
+val sfi_guard_fault_count : t -> int
+(** Masked accesses whose address escaped the sandbox and landed in a
+    guard zone (each also recorded as an ordinary fault). *)
+
+val note_tainted_verified : t -> unit
+val note_tainted_rejected : t -> unit
+(** Called by the {!Enclosure.Tainted} boundary layer for each
+    successful / failed verification of a tainted value, so the counts
+    sit with the rest of the enforcement telemetry (obs mirrors
+    "tainted_verified" / "tainted_rejected"). *)
+
+val tainted_verified_count : t -> int
+val tainted_rejected_count : t -> int
 
 val fault_log : t -> string list
 (** Root-cause traces of the faults seen so far, most recent first (the

@@ -2,6 +2,7 @@ type category =
   | Switch
   | Syscall
   | Transfer
+  | Access
   | Compute
   | Alloc
   | Gc
@@ -10,23 +11,25 @@ type category =
   | Other
 
 let all_categories =
-  [ Switch; Syscall; Transfer; Compute; Alloc; Gc; Init; Io; Other ]
+  [ Switch; Syscall; Transfer; Access; Compute; Alloc; Gc; Init; Io; Other ]
 
 let category_index = function
   | Switch -> 0
   | Syscall -> 1
   | Transfer -> 2
-  | Compute -> 3
-  | Alloc -> 4
-  | Gc -> 5
-  | Init -> 6
-  | Io -> 7
-  | Other -> 8
+  | Access -> 3
+  | Compute -> 4
+  | Alloc -> 5
+  | Gc -> 6
+  | Init -> 7
+  | Io -> 8
+  | Other -> 9
 
 let category_name = function
   | Switch -> "switch"
   | Syscall -> "syscall"
   | Transfer -> "transfer"
+  | Access -> "access"
   | Compute -> "compute"
   | Alloc -> "alloc"
   | Gc -> "gc"
@@ -42,7 +45,7 @@ type t = {
 
 type span = int
 
-let create () = { time = 0; tallies = Array.make 9 0; observer = None }
+let create () = { time = 0; tallies = Array.make 10 0; observer = None }
 let now t = t.time
 let set_observer t f = t.observer <- f
 

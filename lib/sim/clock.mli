@@ -8,6 +8,7 @@ type category =
   | Switch  (** Prolog/Epilog/Execute environment transitions *)
   | Syscall  (** trap, seccomp, kernel service, hypercalls *)
   | Transfer  (** arena repartitioning *)
+  | Access  (** SFI per-access mask-and-bounds-check sequences *)
   | Compute  (** workload computation *)
   | Alloc  (** allocator bookkeeping *)
   | Gc  (** garbage collection / refcounting *)

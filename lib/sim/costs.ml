@@ -15,6 +15,9 @@ type t = {
   vtx_transfer_page : int;
   lwc_switch : int;
   lwc_transfer_page : int;
+  sfi_switch : int;
+  sfi_mask_access : int;
+  sfi_transfer_page : int;
   switch_elided : int;
   seccomp_cached : int;
   ring_submit : int;
@@ -50,6 +53,15 @@ let default =
        paper's own measurements on Linux). *)
     lwc_switch = 1450;
     lwc_transfer_page = 120;
+    (* SFI (RLBox/Wasm-style): entering the sandbox is an ordinary
+       function call through a trampoline — no PKRU write, no VM EXIT,
+       no kernel crossing — while every load/store inside pays the
+       mask-and-bounds-check sequence (a couple of ALU ops plus the
+       comparison). A transfer only updates the sandbox's bounds
+       metadata; no syscall, no page-table pass. *)
+    sfi_switch = 5;
+    sfi_mask_access = 3;
+    sfi_transfer_page = 6;
     (* Fast paths: an elided switch still reads the installed environment
        to prove the target equal (an rdpkru-class check); a verdict-cache
        hit is one probe of a direct-mapped table, cheaper than even the

@@ -34,6 +34,15 @@ type t = {
       (** light-weight-context switch (the [lwSwitch] system call of the
           LWC OS abstraction — the hardware-free backend of paper §8) *)
   lwc_transfer_page : int;  (** LWC per-page kernel view update *)
+  sfi_switch : int;
+      (** SFI sandbox crossing: an ordinary function call through a
+          trampoline — no PKRU write, no CR3 move, no kernel trap *)
+  sfi_mask_access : int;
+      (** SFI per-load/store mask-and-bounds-check instrumentation
+          sequence (charged to {!Clock.Access}) *)
+  sfi_transfer_page : int;
+      (** SFI per-page bounds-metadata update on a transfer (no
+          hardware state to touch) *)
   switch_elided : int;
       (** switch whose target environment equals the installed one: the
           fast path skips the PKRU/CR3 write and pays only the equality

@@ -13,15 +13,22 @@ let pp_fault ppf f =
   Format.fprintf ppf "FAULT[%s]: %s at %#x (%s)" f.env
     (access_kind_name f.kind) f.vaddr f.reason
 
+type sfi_ctx = {
+  sfi : Sfi.t;
+  sfi_ok : write:bool -> vpn:int -> bool;
+      (** does the masked address stay inside the sandbox's view? *)
+}
+
 type env = {
   label : string;
   pt : Pagetable.t;
   pkru : Mpk.pkru;
   exec_ok : (vpn:int -> bool) option;
+  sfi : sfi_ctx option;
 }
 
 let trusted_env pt =
-  { label = "trusted"; pt; pkru = Mpk.pkru_all_access; exec_ok = None }
+  { label = "trusted"; pt; pkru = Mpk.pkru_all_access; exec_ok = None; sfi = None }
 
 type t = {
   phys : Phys.t;
@@ -102,10 +109,20 @@ let check_page t kind vaddr =
           | Some ok when not (ok ~vpn) ->
               fault t kind vaddr "package not executable in this environment"
           | Some _ | None -> ()));
-      (* MPK polices data accesses only. *)
+      (* MPK polices data accesses only; SFI instruments them. *)
       (match kind with
       | Read | Write ->
           let write = kind = Write in
+          (match t.current.sfi with
+          | None -> ()
+          | Some s ->
+              (* The instrumented mask-and-check sequence runs on every
+                 load/store; a miss lands the access in a guard zone. *)
+              if not (Sfi.masked_access s.sfi ~allowed:(s.sfi_ok ~write ~vpn))
+              then
+                fault t kind vaddr
+                  (Printf.sprintf "sfi guard zone: masked %s escapes the sandbox"
+                     (access_kind_name kind)));
           if not (Mpk.allows t.current.pkru ~key:pte.Pte.pkey ~write) then
             fault t kind vaddr
               (Printf.sprintf "protection key %d denies %s" pte.Pte.pkey

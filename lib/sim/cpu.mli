@@ -25,12 +25,24 @@ exception Fault of fault
 
 val pp_fault : Format.formatter -> fault -> unit
 
+type sfi_ctx = {
+  sfi : Sfi.t;
+  sfi_ok : write:bool -> vpn:int -> bool;
+      (** does the masked address stay inside the sandbox's view? *)
+}
+(** SFI instrumentation context (LB_SFI): when an environment carries
+    one, every data access runs the sandbox's mask-and-bounds-check
+    sequence — {!Sfi.masked_access} charges the per-access cost and a
+    predicate miss faults as a guard-zone hit. *)
+
 type env = {
   label : string;
   pt : Pagetable.t;
   pkru : Mpk.pkru;
   exec_ok : (vpn:int -> bool) option;
-      (** software fetch filter (MPK mode); [None] means PTE-only. *)
+      (** software fetch filter (MPK/SFI modes); [None] means PTE-only. *)
+  sfi : sfi_ctx option;
+      (** SFI instrumentation; [None] for every other backend. *)
 }
 
 val trusted_env : Pagetable.t -> env

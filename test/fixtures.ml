@@ -6,6 +6,10 @@ module Image = Encl_elf.Image
 module Lb = Encl_litterbox.Litterbox
 module Machine = Encl_litterbox.Machine
 
+(* The canonical backend list, re-exported so every test iterates the
+   same one the harnesses do (adding a backend updates them all). *)
+let all_backends = Encl_litterbox.Backend.all
+
 (* Figure 1: main imports libFx, secrets, os; libFx imports img. The rcl
    enclosure wraps a closure in main whose only direct dependency is
    libFx; its policy extends the view with read-only access to secrets

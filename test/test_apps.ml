@@ -485,7 +485,7 @@ let attack_tests =
               run ~backend:(Some backend) Malice.Memory_snoop Malice.Default_policy
             in
             Alcotest.(check bool) "blocked" true o.Malice.attack_blocked)
-          [ Lb.Mpk; Lb.Vtx ]);
+          Fixtures.all_backends);
   ]
 
 let () =

@@ -172,7 +172,7 @@ let op_gen =
         (1, return Gc);
       ])
 
-let backend_gen = QCheck.Gen.oneofl [ Lb.Mpk; Lb.Vtx; Lb.Lwc ]
+let backend_gen = QCheck.Gen.oneofl Fixtures.all_backends
 
 let scenario_arb =
   QCheck.make
@@ -416,10 +416,21 @@ let coalescing_tests =
               Clock.now (Runtime.clock rt) - t0
             in
             let fast = cost true and slow = cost false in
-            Alcotest.(check bool)
-              (Printf.sprintf "%s: %d < %d" (Lb.backend_name backend) fast slow)
-              true (fast < slow))
-          [ Lb.Mpk; Lb.Vtx; Lb.Lwc ]);
+            (* SFI transfers touch only per-page bounds metadata — there
+               is no fixed per-transfer hardware cost for coalescing to
+               amortize, so batching is cost-neutral there rather than a
+               strict win. *)
+            if backend = Lb.Sfi then
+              Alcotest.(check bool)
+                (Printf.sprintf "%s: %d <= %d" (Lb.backend_name backend) fast
+                   slow)
+                true (fast <= slow)
+            else
+              Alcotest.(check bool)
+                (Printf.sprintf "%s: %d < %d" (Lb.backend_name backend) fast
+                   slow)
+                true (fast < slow))
+          Fixtures.all_backends);
     Alcotest.test_case "a re-transferred chunk keeps exact-address identity"
       `Quick (fun () ->
         (* After a batched range transfer, re-transferring one interior

@@ -1,0 +1,226 @@
+(* Tests for the LB_SFI backend and the Enclosure.Tainted boundary.
+
+   Two enforcement planes are covered here:
+   - the memory plane: every load/store inside the sandbox runs the
+     mask-and-bounds-check sequence (charged to Clock.Access); masked
+     addresses that escape the view land in a guard zone and surface
+     through the ordinary fault/quarantine machinery;
+   - the value plane: results crossing back to trusted code are
+     ['a Tainted.t] and unreadable until [verify]/[copy_and_verify]
+     accepts them — the qcheck property at the bottom checks that every
+     untrusted-to-trusted flow moves exactly one of the two counters. *)
+
+module Lb = Encl_litterbox.Litterbox
+module Machine = Encl_litterbox.Machine
+module Enclosure = Encl_enclosure.Enclosure
+module K = Encl_kernel.Kernel
+
+let clock_of machine = machine.Machine.clock
+
+(* ------------------------------------------------------------------ *)
+(* Bounds-masked accesses *)
+
+let mask_tests =
+  [
+    Alcotest.test_case "in-bounds access is charged, not faulted" `Quick
+      (fun () ->
+        let machine, image, lb = Fixtures.boot Lb.Sfi in
+        let addr = Fixtures.sym_addr image ~pkg:"secrets" "original" in
+        Lb.prolog lb ~name:"rcl" ~site:"enclosure:rcl";
+        let data = Cpu.read_bytes machine.Machine.cpu ~addr ~len:19 in
+        Lb.epilog lb ~site:"enclosure:rcl";
+        Alcotest.(check string) "payload intact" "original-image-bits"
+          (Bytes.to_string data);
+        Alcotest.(check bool) "accesses masked" true
+          (Lb.sfi_masked_access_count lb >= 1);
+        Alcotest.(check int) "no guard faults" 0 (Lb.sfi_guard_fault_count lb);
+        Alcotest.(check bool) "mask cost charged" true
+          (Clock.spent (clock_of machine) Clock.Access > 0));
+    Alcotest.test_case "trusted code pays no mask cost" `Quick (fun () ->
+        let machine, image, lb = Fixtures.boot Lb.Sfi in
+        let addr = Fixtures.sym_addr image ~pkg:"main" "private_key" in
+        ignore (Cpu.read8 machine.Machine.cpu addr);
+        Alcotest.(check int) "no masked accesses" 0
+          (Lb.sfi_masked_access_count lb);
+        Alcotest.(check int) "no access-category time" 0
+          (Clock.spent (clock_of machine) Clock.Access));
+    Alcotest.test_case "masked escape lands in the guard zone" `Quick
+      (fun () ->
+        let machine, image, lb = Fixtures.boot Lb.Sfi in
+        let addr = Fixtures.sym_addr image ~pkg:"main" "private_key" in
+        Lb.prolog lb ~name:"rcl" ~site:"enclosure:rcl";
+        (match Cpu.read8 machine.Machine.cpu addr with
+        | exception Cpu.Fault _ -> ()
+        | _ -> Alcotest.fail "snoop escaped the sandbox");
+        Alcotest.(check bool) "guard fault counted" true
+          (Lb.sfi_guard_fault_count lb >= 1);
+        (* The mask sequence ran before the outcome was known: the escape
+           is charged like any other access. *)
+        Alcotest.(check bool) "escape was charged" true
+          (Lb.sfi_masked_access_count lb >= 1));
+    Alcotest.test_case "read-only view rejects masked stores" `Quick (fun () ->
+        let machine, image, lb = Fixtures.boot Lb.Sfi in
+        let addr = Fixtures.sym_addr image ~pkg:"secrets" "original" in
+        Lb.prolog lb ~name:"rcl" ~site:"enclosure:rcl";
+        (match Cpu.write8 machine.Machine.cpu addr 0 with
+        | exception Cpu.Fault _ -> ()
+        | _ -> Alcotest.fail "store through a read-only view");
+        Alcotest.(check bool) "guard fault counted" true
+          (Lb.sfi_guard_fault_count lb >= 1));
+    Alcotest.test_case "off-by-one past the arena end faults" `Quick (fun () ->
+        let machine, _, lb = Fixtures.boot Lb.Sfi in
+        match Lb.syscall lb (K.Mmap { len = Phys.page_size }) with
+        | Error e -> Alcotest.fail (K.errno_name e)
+        | Ok addr ->
+            Lb.transfer lb ~addr ~len:Phys.page_size ~to_pkg:"img"
+              ~site:"runtime.mallocgc";
+            Lb.prolog lb ~name:"rcl" ~site:"enclosure:rcl";
+            (* Last in-bounds byte is fine... *)
+            Cpu.write8 machine.Machine.cpu (addr + Phys.page_size - 1) 7;
+            Alcotest.(check int) "last byte readable" 7
+              (Cpu.read8 machine.Machine.cpu (addr + Phys.page_size - 1));
+            (* ...one past the end is not. *)
+            (match Cpu.read8 machine.Machine.cpu (addr + Phys.page_size) with
+            | exception Cpu.Fault _ -> ()
+            | _ -> Alcotest.fail "off-by-one read succeeded");
+            Lb.epilog lb ~site:"enclosure:rcl");
+    Alcotest.test_case "guard-zone hits exhaust the budget into quarantine"
+      `Quick (fun () ->
+        let machine, image, lb = Fixtures.boot Lb.Sfi in
+        let secret = Fixtures.sym_addr image ~pkg:"main" "private_key" in
+        Lb.set_fault_budget lb 2;
+        let snoop () =
+          Lb.prolog lb ~name:"rcl" ~site:"enclosure:rcl";
+          let r =
+            Lb.run_protected lb (fun () ->
+                Cpu.read8 machine.Machine.cpu secret)
+          in
+          Alcotest.(check bool) "snoop absorbed" true (Result.is_error r);
+          Lb.epilog lb ~site:"enclosure:rcl"
+        in
+        snoop ();
+        Alcotest.(check bool) "below budget" false (Lb.quarantined lb "rcl");
+        snoop ();
+        Alcotest.(check bool) "quarantined" true (Lb.quarantined lb "rcl");
+        match Lb.prolog lb ~name:"rcl" ~site:"enclosure:rcl" with
+        | exception Lb.Quarantined { enclosure; _ } ->
+            Alcotest.(check string) "which" "rcl" enclosure
+        | () -> Alcotest.fail "quarantined enclosure re-entered");
+    Alcotest.test_case "sandbox crossings undercut LB_VTX switches" `Quick
+      (fun () ->
+        let cross backend =
+          let machine, _, lb = Fixtures.boot backend in
+          let before = Clock.spent (clock_of machine) Clock.Switch in
+          Lb.prolog lb ~name:"rcl" ~site:"enclosure:rcl";
+          Lb.epilog lb ~site:"enclosure:rcl";
+          Clock.spent (clock_of machine) Clock.Switch - before
+        in
+        Alcotest.(check bool) "SFI crossing cheaper" true
+          (cross Lb.Sfi < cross Lb.Vtx));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Tainted boundary *)
+
+let boot_enc payload =
+  let _, _, lb = Fixtures.boot Lb.Sfi in
+  (lb, Enclosure.declare lb ~name:"rcl" payload)
+
+let tainted_tests =
+  [
+    Alcotest.test_case "verify accepts an in-range payload" `Quick (fun () ->
+        let lb, enc = boot_enc (fun () -> 42) in
+        let tv = Enclosure.call_tainted enc in
+        Alcotest.(check string) "provenance" "rcl" (Enclosure.Tainted.source tv);
+        let v = Enclosure.Tainted.verify tv ~check:(fun v -> v >= 0 && v < 100) in
+        Alcotest.(check int) "payload released" 42 v;
+        Alcotest.(check int) "verified counted" 1 (Lb.tainted_verified_count lb);
+        Alcotest.(check int) "nothing rejected" 0 (Lb.tainted_rejected_count lb));
+    Alcotest.test_case "boundary catches a compromised out-of-range result"
+      `Quick (fun () ->
+        (* The compromised package computes inside its sandbox without a
+           single guard fault — then lies in its return value. Memory
+           enforcement cannot see that; the boundary check must. *)
+        let lb, enc = boot_enc (fun () -> max_int) in
+        let tv = Enclosure.call_tainted enc in
+        (match Enclosure.Tainted.verify tv ~check:(fun v -> v >= 0 && v < 100) with
+        | exception Enclosure.Tainted.Rejected { source; _ } ->
+            Alcotest.(check string) "blamed source" "rcl" source
+        | _ -> Alcotest.fail "out-of-range payload released");
+        Alcotest.(check int) "rejection counted" 1 (Lb.tainted_rejected_count lb);
+        (* A rejected value is a boundary event, not an enclosure fault:
+           no quarantine pressure, the enclosure stays callable. *)
+        Alcotest.(check int) "no enclosure fault" 0 (Lb.fault_count lb);
+        Alcotest.(check bool) "not quarantined" false (Lb.quarantined lb "rcl"));
+    Alcotest.test_case "copy_and_verify defeats the double fetch" `Quick
+      (fun () ->
+        let retained = Bytes.of_string "good" in
+        let lb, enc = boot_enc (fun () -> retained) in
+        let tv = Enclosure.call_tainted enc in
+        let safe =
+          Enclosure.Tainted.copy_and_verify tv ~copy:Bytes.copy
+            ~check:(fun b -> Bytes.length b = 4)
+        in
+        (* The untrusted side re-writes its retained reference after the
+           check; the released private copy must be unaffected. *)
+        Bytes.blit_string "evil" 0 retained 0 4;
+        Alcotest.(check string) "private copy intact" "good"
+          (Bytes.to_string safe);
+        Alcotest.(check int) "verified counted" 1 (Lb.tainted_verified_count lb));
+    Alcotest.test_case "rejection does not leak the payload" `Quick (fun () ->
+        let _, enc = boot_enc (fun () -> -1) in
+        let tv = Enclosure.call_tainted enc in
+        let released = ref None in
+        (try released := Some (Enclosure.Tainted.verify tv ~check:(fun v -> v >= 0))
+         with Enclosure.Tainted.Rejected _ -> ());
+        Alcotest.(check bool) "nothing released" true (!released = None));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Property: every untrusted-to-trusted flow crosses the boundary *)
+
+let payloads_arb =
+  QCheck.make
+    ~print:(fun xs -> String.concat "," (List.map string_of_int xs))
+    QCheck.Gen.(list_size (int_range 1 20) (int_range 0 999))
+
+(* Each payload flows out of the enclosure exactly once; the two
+   counters must account for every flow (verified + rejected = flows)
+   and the released values must be exactly the ones the trusted-side
+   check accepts, in order. *)
+let prop_flows_cross_boundary payloads =
+  let _, _, lb = Fixtures.boot Lb.Sfi in
+  let check v = v mod 3 <> 0 in
+  let released =
+    List.filter_map
+      (fun p ->
+        let enc = Enclosure.declare lb ~name:"rcl" (fun () -> p) in
+        match Enclosure.Tainted.verify (Enclosure.call_tainted enc) ~check with
+        | v -> Some v
+        | exception Enclosure.Tainted.Rejected _ -> None)
+      payloads
+  in
+  let flows = List.length payloads in
+  let crossed = Lb.tainted_verified_count lb + Lb.tainted_rejected_count lb in
+  if crossed <> flows then
+    QCheck.Test.fail_reportf "%d flows but %d boundary checks" flows crossed;
+  if Lb.tainted_verified_count lb <> List.length released then
+    QCheck.Test.fail_reportf "verified %d but released %d"
+      (Lb.tainted_verified_count lb)
+      (List.length released);
+  released = List.filter check payloads
+
+let props =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"every untrusted->trusted flow is verified"
+         ~count:50 payloads_arb prop_flows_cross_boundary);
+  ]
+
+let () =
+  Alcotest.run "sfi"
+    [
+      ("mask", mask_tests);
+      ("tainted", tainted_tests);
+      ("boundary-props", props);
+    ]

@@ -165,24 +165,24 @@ let cpu_tests =
     Alcotest.test_case "PKRU denies data access by key" `Quick (fun () ->
         let cpu, pt = cpu_fixture () in
         let pkru = Mpk.set_key Mpk.pkru_all_access ~key:1 Mpk.No_access in
-        Cpu.set_env cpu { Cpu.label = "restricted"; pt; pkru; exec_ok = None };
+        Cpu.set_env cpu { Cpu.label = "restricted"; pt; pkru; exec_ok = None; sfi = None };
         expect_fault (fun () -> Cpu.read8 cpu 0));
     Alcotest.test_case "PKRU read-only key allows reads only" `Quick (fun () ->
         let cpu, pt = cpu_fixture () in
         Cpu.write8 cpu 0 7;
         let pkru = Mpk.set_key Mpk.pkru_all_access ~key:1 Mpk.Read_only in
-        Cpu.set_env cpu { Cpu.label = "ro"; pt; pkru; exec_ok = None };
+        Cpu.set_env cpu { Cpu.label = "ro"; pt; pkru; exec_ok = None; sfi = None };
         Alcotest.(check int) "read ok" 7 (Cpu.read8 cpu 0);
         expect_fault (fun () -> Cpu.write8 cpu 0 9));
     Alcotest.test_case "PKRU does not police fetches; exec_ok does" `Quick
       (fun () ->
         let cpu, pt = cpu_fixture () in
         let pkru = Mpk.pkru_deny_all in
-        Cpu.set_env cpu { Cpu.label = "x"; pt; pkru; exec_ok = None };
+        Cpu.set_env cpu { Cpu.label = "x"; pt; pkru; exec_ok = None; sfi = None };
         (* fetch from the RX page still succeeds under deny-all PKRU *)
         Cpu.fetch cpu ~addr:Phys.page_size;
         Cpu.set_env cpu
-          { Cpu.label = "x2"; pt; pkru = Mpk.pkru_all_access; exec_ok = Some (fun ~vpn:_ -> false) };
+          { Cpu.label = "x2"; pt; pkru = Mpk.pkru_all_access; exec_ok = Some (fun ~vpn:_ -> false); sfi = None };
         expect_fault (fun () -> Cpu.fetch cpu ~addr:Phys.page_size));
     Alcotest.test_case "non-present page faults" `Quick (fun () ->
         let cpu, pt = cpu_fixture () in
@@ -302,7 +302,7 @@ let tlb_tests =
         let f0 = Tlb.flushes (Cpu.tlb cpu) in
         (* MPK-style switch: same page table, different PKRU. *)
         Cpu.set_env cpu
-          { Cpu.label = "mpk-env"; pt; pkru = Mpk.pkru_all_access; exec_ok = None };
+          { Cpu.label = "mpk-env"; pt; pkru = Mpk.pkru_all_access; exec_ok = None; sfi = None };
         Alcotest.(check int) "no flush" f0 (Tlb.flushes (Cpu.tlb cpu));
         Alcotest.(check bool) "still warm" true
           (Tlb.access (Cpu.tlb cpu) ~space:(Pagetable.name pt) ~vpn:0));

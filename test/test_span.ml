@@ -170,7 +170,7 @@ let ops_arb =
       ^ String.concat ", " (List.map op_name ops))
     QCheck.Gen.(
       pair
-        (oneofl [ Lb.Mpk; Lb.Vtx; Lb.Lwc ])
+        (oneofl Fixtures.all_backends)
         (list_size (int_range 0 30)
            (oneofl [ P_rcl; P_io; Epi; P_unknown; P_bad_site; Sys_getuid ])))
 

@@ -205,7 +205,7 @@ let op_gen =
         (1, return Supervised_denied);
       ])
 
-let backend_gen = QCheck.Gen.oneofl [ Lb.Mpk; Lb.Vtx; Lb.Lwc ]
+let backend_gen = QCheck.Gen.oneofl Fixtures.all_backends
 
 let scenario_arb =
   QCheck.make
@@ -350,7 +350,7 @@ let denied_tests =
             Alcotest.(check int) "fault count" faults' faults;
             Alcotest.(check (list string)) "fault log" log' log;
             Alcotest.(check bool) "quarantine" quar' quar)
-          [ Lb.Mpk; Lb.Vtx; Lb.Lwc ]);
+          Fixtures.all_backends);
     Alcotest.test_case "awaiting a denied completion re-raises its fault"
       `Quick (fun () ->
         Sysring.with_flag true @@ fun () ->
