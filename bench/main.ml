@@ -11,6 +11,8 @@ module Machine = Encl_litterbox.Machine
 module K = Encl_kernel.Kernel
 module Scenarios = Encl_apps.Scenarios
 module Malice = Encl_apps.Malice
+module Attack = Encl_attack.Attack
+module Backend = Encl_litterbox.Backend
 module Bild = Encl_apps.Bild
 module Fasthttp = Encl_apps.Fasthttp
 module Plot = Encl_pylike.Plot_experiment
@@ -647,6 +649,30 @@ let resilience () =
     (float_of_int r.Scenarios.c_reconnects)
 
 (* ------------------------------------------------------------------ *)
+(* Attack containment (the scored corpus of lib/attack)                *)
+
+let attacks () =
+  section "Attack corpus: severity-weighted containment per backend";
+  List.iter
+    (fun backend ->
+      let results =
+        List.map
+          (fun (a : Attack.t) ->
+            let r = a.Attack.run ~backend ~seed:42 in
+            (a, r.Attack.outcome))
+          Attack.all
+      in
+      let score = Attack.containment_score results in
+      let contained =
+        List.length (List.filter (fun (_, o) -> o.Attack.contained) results)
+      in
+      Printf.printf "%-8s containment %5.1f/100 (%d/%d attacks contained)\n%!"
+        (Backend.name backend) score contained (List.length results);
+      add_result ~workload:"attack_containment" ~backend:(Backend.name backend)
+        ~metric:"containment_score" score)
+    Backend.all
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Printf.printf "Enclosure/LitterBox reproduction benchmarks%s\n"
@@ -661,6 +687,7 @@ let () =
   fastpath ();
   sysring ();
   resilience ();
+  attacks ();
   run_bechamel ();
   write_results ();
   print_newline ()

@@ -65,6 +65,17 @@ stage "bench regression gate"
 # with `dune exec bin/profile.exe -- gate --write-baseline`).
 dune exec bin/profile.exe -- gate
 
+stage "attack corpus (containment + load-bearing defenses)"
+# Every corpus attack must be contained on every backend (attacks.exe
+# exits non-zero on any escape), the JSON score matrix must parse, each
+# defense must be load-bearing (its paired attack escapes with the
+# defense off), and the obs containment counters must reconcile with
+# the harness tallies and the litterbox gate-violation count.
+dune exec bin/attacks.exe -- run --json "$tmp/attacks.json"
+dune exec bin/trace_dump.exe -- validate "$tmp/attacks.json"
+dune exec bin/attacks.exe -- prove-defenses
+dune exec bin/trace_dump.exe -- attacks > /dev/null
+
 stage "sysring differential (enforcement on/off diff)"
 # Batching may change what a run costs, never what enforcement decides:
 # the timing-free enforcement report must be byte-identical with the

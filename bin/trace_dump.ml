@@ -300,6 +300,72 @@ let enforcement () =
   0
 
 (* ------------------------------------------------------------------ *)
+(* Attack-corpus cross-check: the obs mirrors of the containment
+   counters must agree with the harness tallies, and each run's
+   "gate_violation" obs counter must equal the litterbox's own
+   gate-violation count (cpu forged-switch faults + kernel origin kills
+   + mm denials). Any escape is also a failure here. *)
+
+module Attack = Encl_attack.Attack
+
+let attacks_check () =
+  Obs.default_enabled := true;
+  Attack.reset_counters ();
+  let errors = ref [] in
+  let obs_contained = ref 0 and obs_escaped = ref 0 in
+  List.iter
+    (fun backend ->
+      List.iter
+        (fun (a : Attack.t) ->
+          let r = a.Attack.run ~backend ~seed:42 in
+          let m = Obs.metrics r.Attack.machine.Machine.obs in
+          let label =
+            Printf.sprintf "%s/%s" a.Attack.name
+              (Encl_litterbox.Backend.arg_name backend)
+          in
+          obs_contained := !obs_contained + Metrics.total m "attack_contained";
+          obs_escaped := !obs_escaped + Metrics.total m "attack_escaped";
+          let obs_gate = Metrics.total m "gate_violation" in
+          let lb_gate = Lb.gate_violation_count r.Attack.lb in
+          if obs_gate <> lb_gate then
+            errors :=
+              Printf.sprintf
+                "%s: gate_violation mismatch: obs %d, litterbox %d" label
+                obs_gate lb_gate
+              :: !errors;
+          if not r.Attack.outcome.Attack.contained then
+            errors :=
+              Printf.sprintf "%s: ESCAPED (%s)" label
+                r.Attack.outcome.Attack.detail
+              :: !errors;
+          Printf.printf "  %-28s contained=%b gate_violations=%d\n" label
+            r.Attack.outcome.Attack.contained lb_gate)
+        Attack.all)
+    Encl_litterbox.Backend.all;
+  if !obs_contained <> Attack.contained_count () then
+    errors :=
+      Printf.sprintf "attack_contained mismatch: obs %d, harness %d"
+        !obs_contained
+        (Attack.contained_count ())
+      :: !errors;
+  if !obs_escaped <> Attack.escaped_count () then
+    errors :=
+      Printf.sprintf "attack_escaped mismatch: obs %d, harness %d" !obs_escaped
+        (Attack.escaped_count ())
+      :: !errors;
+  match !errors with
+  | [] ->
+      Printf.printf
+        "attack counters reconcile: contained=%d escaped=%d across %d runs\n"
+        (Attack.contained_count ())
+        (Attack.escaped_count ())
+        (List.length Attack.all * List.length Encl_litterbox.Backend.all);
+      0
+  | es ->
+      List.iter (fun e -> Printf.printf "MISMATCH %s\n" e) (List.rev es);
+      1
+
+(* ------------------------------------------------------------------ *)
 (* Cmdliner wiring *)
 
 let backend_arg =
@@ -364,6 +430,15 @@ let enforcement_cmd =
           two outputs to be byte-identical.")
     Term.(const enforcement $ const ())
 
+let attacks_cmd =
+  Cmd.v
+    (Cmd.info "attacks"
+       ~doc:
+         "Run the attack corpus on every backend and cross-check the obs \
+          containment counters against the harness tallies and the \
+          litterbox gate-violation count.")
+    Term.(const attacks_check $ const ())
+
 let () =
   let info =
     Cmd.info "trace-dump" ~version:"1.0"
@@ -371,6 +446,6 @@ let () =
   in
   let cmds =
     List.map scenario_cmd Scenarios.scenario_names
-    @ [ validate_cmd; enforcement_cmd ]
+    @ [ validate_cmd; enforcement_cmd; attacks_cmd ]
   in
   exit (Cmd.eval' (Cmd.group info cmds))

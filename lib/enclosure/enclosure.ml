@@ -45,7 +45,10 @@ module Tainted = struct
   let source t = t.source
 
   let verify t ~check =
-    if check t.payload then begin
+    if not (Defense.enabled Defense.Tainted_boundary) then t.payload
+      (* Defense off: the taint wrapper hands the raw value to trusted
+         code without running its check — boundary smuggling. *)
+    else if check t.payload then begin
       Lb.note_tainted_verified t.lb;
       t.payload
     end

@@ -290,7 +290,20 @@ let rec schedule t =
   end
   else begin
     let fiber = pick_next t in
-    switch_env t fiber;
+    (match switch_env t fiber with
+    | () -> run_picked t fiber
+    | exception e when is_fault_exn e ->
+        (* The resume itself was refused — most likely the resume-check
+           defense: the fiber's captured environment was quarantined
+           while it was parked. The fiber is killed without resuming
+           (its continuation never runs again), exactly as if it had
+           faulted, and scheduling continues. *)
+        note_kill t fiber (kill_reason t e));
+    schedule t
+  end
+
+and run_picked t fiber =
+  begin
     let saved = t.current in
     t.current <- Some fiber;
     (* One User span per run slice, in the fiber's environment lane: all
@@ -335,8 +348,7 @@ let rec schedule t =
         fiber.state <- Some (Cont k);
         fiber.pred <- Some p;
         fiber.internal_wait <- internal;
-        Queue.push fiber t.blocked);
-    schedule t
+        Queue.push fiber t.blocked)
   end
 
 let main t f =

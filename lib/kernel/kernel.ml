@@ -149,11 +149,16 @@ type t = {
   rng : Encl_util.Rng.t;
   counts : (Sysno.t, int) Hashtbl.t;
   mutable total : int;
+  mutable origin_kills : int;
+  mutable mm_denied : int;
   obs : Encl_obs.Obs.t;
   mutable inject : Encl_fault.Fault.t option;
 }
 
 let create ~clock ~costs ~cpu ~trusted_env ~vfs ~net ~mm ~obs =
+  (* The kernel's own user-memory excursions (copy_to/from_user) are a
+     vetted gate site. *)
+  Cpu.register_gate cpu "kernel.trusted";
   {
     clock;
     costs;
@@ -169,6 +174,8 @@ let create ~clock ~costs ~cpu ~trusted_env ~vfs ~net ~mm ~obs =
     rng = Encl_util.Rng.make ~seed:0x5eccf11eL;
     counts = Hashtbl.create 64;
     total = 0;
+    origin_kills = 0;
+    mm_denied = 0;
     obs;
     inject = None;
   }
@@ -201,9 +208,13 @@ let seccomp_cache_hit_rate t = Seccomp.cache_hit_rate t.seccomp
 let pkey_allocator t = t.pkeys
 
 let with_trusted t f =
-  let saved = Cpu.env t.cpu in
-  Cpu.set_env t.cpu t.trusted_env;
-  Fun.protect ~finally:(fun () -> Cpu.set_env t.cpu saved) f
+  (* Gate-wrapped: a syscall may execute while an enclosure environment
+     is current (VTX runs the handler in guest context), and the copy
+     excursion's env writes must not read as forged transitions. *)
+  Cpu.with_gate t.cpu ~name:"kernel.trusted" (fun () ->
+      let saved = Cpu.env t.cpu in
+      Cpu.set_env t.cpu t.trusted_env;
+      Fun.protect ~finally:(fun () -> Cpu.set_env t.cpu saved) f)
 
 let copy_to_user t ~addr data = with_trusted t (fun () -> Cpu.write_bytes t.cpu ~addr data)
 let copy_from_user t ~addr ~len = with_trusted t (fun () -> Cpu.read_bytes t.cpu ~addr ~len)
@@ -513,10 +524,43 @@ let obs_syscall t nr ~t0 ~verdict =
    [trap_cost] is the entry cost into the kernel: the full trap+return
    for a direct syscall, or the per-entry dispatch share when the call
    arrives on a drained submission ring (the batch paid one trap). *)
+(* Address-space-shaping syscalls: under Mm_guard these are a
+   trusted-runtime privilege on every backend — an enclosure that could
+   pkey_mprotect or remap another package's arena would sidestep the
+   per-access checks entirely. Conceptually these are seccomp rules
+   prepended to every enclosure filter; they live here so the VTX/LWC
+   configurations (which install no seccomp program) are covered too,
+   and so the MPK BPF program's step counts are unchanged. *)
+let mm_shaping = function
+  | Mmap _ | Munmap _ | Pkey_mprotect _ | Pkey_alloc | Pkey_free _ -> true
+  | _ -> false
+
 let syscall_body t call nr ~trap_cost =
   let module Obs = Encl_obs.Obs in
   let t0 = Clock.now t.clock in
   Clock.consume t.clock Clock.Syscall trap_cost;
+  (* Syscall-origin verification ("syscall as a privilege"): a trap
+     raised by untrusted code is only honoured when it came through a
+     registered call gate. The checks are flag tests — no simulated
+     time is charged, so benign traffic costs exactly the same. *)
+  (let env = Cpu.env t.cpu in
+   if Cpu.untrusted_label env.Cpu.label && not (Cpu.in_gate t.cpu) then begin
+     if Defense.enabled Defense.Syscall_origin then begin
+       t.origin_kills <- t.origin_kills + 1;
+       if Obs.enabled t.obs then Obs.incr t.obs "gate_violation";
+       obs_syscall t nr ~t0 ~verdict:Encl_obs.Event.Denied;
+       raise
+         (Syscall_killed { nr; env = env.Cpu.label ^ " (non-gate origin)" })
+     end
+   end;
+   if Cpu.untrusted_label env.Cpu.label && mm_shaping call then
+     if Defense.enabled Defense.Mm_guard then begin
+       t.mm_denied <- t.mm_denied + 1;
+       if Obs.enabled t.obs then Obs.incr t.obs "gate_violation";
+       obs_syscall t nr ~t0 ~verdict:Encl_obs.Event.Denied;
+       raise
+         (Syscall_killed { nr; env = env.Cpu.label ^ " (mm privilege)" })
+     end);
   (* seccomp check (LB_MPK configuration). *)
   if Seccomp.installed t.seccomp then begin
     let env = Cpu.env t.cpu in
@@ -618,6 +662,8 @@ let listener_pending t fd =
 
 let syscall_count t = t.total
 let count_for t nr = Option.value ~default:0 (Hashtbl.find_opt t.counts nr)
+let origin_kill_count t = t.origin_kills
+let mm_denied_count t = t.mm_denied
 
 let trace t =
   Hashtbl.fold (fun nr n acc -> (nr, n) :: acc) t.counts []

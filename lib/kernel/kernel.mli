@@ -130,9 +130,20 @@ val set_injector : t -> Encl_fault.Fault.t -> unit
     Consultations carry the CPU's current environment label. *)
 
 val syscall : t -> call -> (int, errno) result
-(** Full dispatch: trap cost, seccomp (PKRU read from the CPU's current
-    environment), service. Returns a small integer (fd, byte count, value,
-    address for [Mmap]) or an errno. *)
+(** Full dispatch: trap cost, syscall-origin verification, seccomp (PKRU
+    read from the CPU's current environment), service. Returns a small
+    integer (fd, byte count, value, address for [Mmap]) or an errno.
+
+    Two gate-hardening checks run before the seccomp program, both free
+    of simulated cost: under {!Defense.Syscall_origin} a trap from an
+    untrusted environment (label prefix ["enc:"]) outside a registered
+    call gate raises {!Syscall_killed} ("syscall as a privilege"), and
+    under {!Defense.Mm_guard} the address-space-shaping calls ([Mmap],
+    [Munmap], [Pkey_mprotect], [Pkey_alloc], [Pkey_free]) are denied to
+    untrusted environments outright — conceptually seccomp rules
+    prepended to every enclosure filter, kept out of the BPF program so
+    the VTX/LWC configurations are covered and MPK step counts don't
+    move. *)
 
 val syscall_in_batch : t -> call -> (int, errno) result
 (** Identical dispatch to {!syscall} — same recording, seccomp check
@@ -161,6 +172,13 @@ val listener_pending : t -> int -> bool
 
 val syscall_count : t -> int
 val count_for : t -> Sysno.t -> int
+
+val origin_kill_count : t -> int
+(** Syscalls killed by origin verification (non-gate trap sites). *)
+
+val mm_denied_count : t -> int
+(** Address-space-shaping syscalls denied to untrusted environments. *)
+
 val trace : t -> (Sysno.t * int) list
 (** Per-syscall counts, sorted by syscall number. *)
 

@@ -136,7 +136,11 @@ let install t prog =
   match Bpf.validate prog with
   | () ->
       t.prog <- Some prog;
-      invalidate t;
+      (* Cache-epoch defense: a new program invalidates every memoized
+         verdict. Skipping this (Defense off) leaves verdicts from the
+         previous program live — the poisoning window the cache-poison
+         corpus attack drives through. *)
+      if Defense.enabled Defense.Cache_epoch then invalidate t;
       Ok ()
   | exception Bpf.Bad_program msg -> Error msg
 

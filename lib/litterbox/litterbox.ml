@@ -127,10 +127,17 @@ let emit_switch t ~t0 kind =
 let scope_name = function [] -> "trusted" | enc :: _ -> enc.e_name
 let env_scope = scope_name
 
-(* Which enclosure does an environment label ("enc:<name>") belong to? *)
+(* Which enclosure does an environment label ("enc:<name>") belong to?
+   The kernel's origin/mm-guard kills annotate the label with a
+   parenthesized cause after a space; stop there so attribution still
+   lands on the right enclosure. *)
 let enc_of_env_label label =
-  if String.length label > 4 && String.sub label 0 4 = "enc:" then
-    Some (String.sub label 4 (String.length label - 4))
+  if String.length label > 4 && String.sub label 0 4 = "enc:" then begin
+    let rest = String.sub label 4 (String.length label - 4) in
+    match String.index_opt rest ' ' with
+    | None -> Some rest
+    | Some i -> Some (String.sub rest 0 i)
+  end
   else None
 
 (* The single fault-accounting point: every fault — raised by [fault],
@@ -591,15 +598,20 @@ let mpk_key_of t pkg =
   | Some i when i < Array.length t.keys -> t.keys.(i)
   | Some _ | None -> 0
 
-(* The trusted-context pkey_mprotect of the MPK transfer path. *)
+(* The trusted-context pkey_mprotect of the MPK transfer path. The
+   whole excursion is a registered gate: the env writes and the trap
+   are LitterBox's own, not the enclosure's. *)
 let mpk_retag t ~addr ~pages ~key =
-  let saved = Cpu.env t.machine.Machine.cpu in
-  Cpu.set_env t.machine.Machine.cpu t.machine.Machine.trusted_env;
   let result =
-    K.syscall t.machine.Machine.kernel
-      (K.Pkey_mprotect { addr; len = pages * Phys.page_size; key })
+    Cpu.with_gate t.machine.Machine.cpu ~name:"litterbox.retag" (fun () ->
+        let saved = Cpu.env t.machine.Machine.cpu in
+        Cpu.set_env t.machine.Machine.cpu t.machine.Machine.trusted_env;
+        Fun.protect
+          ~finally:(fun () -> Cpu.set_env t.machine.Machine.cpu saved)
+          (fun () ->
+            K.syscall t.machine.Machine.kernel
+              (K.Pkey_mprotect { addr; len = pages * Phys.page_size; key })))
   in
-  Cpu.set_env t.machine.Machine.cpu saved;
   match result with
   | Ok _ -> ()
   | Error e ->
@@ -630,7 +642,12 @@ let pt_retag t ~addr ~bytes ~to_pkg =
    Killed calls surface as faults attributed to the calling
    enclosure. *)
 let trap_syscall t top call =
-  try K.syscall t.machine.Machine.kernel call
+  try
+    (* The trap site is LitterBox's syscall gate: origin verification
+       sees a registered gate, and the seccomp program still dispatches
+       on the caller's PKRU/tag. *)
+    Cpu.with_gate t.machine.Machine.cpu ~name:"litterbox.syscall" (fun () ->
+        K.syscall t.machine.Machine.kernel call)
   with K.Syscall_killed { nr; env } ->
     let reason =
       Printf.sprintf "seccomp killed system call %s in %s" (Sysno.name nr) env
@@ -648,11 +665,19 @@ let trap_drain t entries =
   Clock.consume t.machine.Machine.clock Clock.Syscall
     t.machine.Machine.costs.Costs.syscall_base;
   let cpu = t.machine.Machine.cpu in
+  (* The whole drain runs inside the ring-drain gate (one trap for the
+     batch; its env writes and per-entry dispatches are the runtime's). *)
+  Cpu.with_gate cpu ~name:"litterbox.drain" @@ fun () ->
   let saved = Cpu.env cpu in
   Fun.protect ~finally:(fun () -> Cpu.set_env cpu saved) @@ fun () ->
   List.iter
     (fun e ->
-      Cpu.set_env cpu (env_of_stack t e.sq_env);
+      (* Ring integrity: dispatch under the submitter context recorded
+         in the SQE. With the defense off, the entry is evaluated under
+         whatever environment happens to be current at drain time — the
+         confused-deputy window. *)
+      if Defense.enabled Defense.Ring_integrity then
+        Cpu.set_env cpu (env_of_stack t e.sq_env);
       match K.syscall_in_batch kernel e.sq_call with
       | r -> e.sq_comp.c_state <- Done r
       | exception K.Syscall_killed { nr; env } ->
@@ -666,6 +691,13 @@ let trap_drain t entries =
           record_fault t ?enclosure ~trace:reason reason;
           e.sq_comp.c_state <- Faulted (Fault { reason; enclosure }))
     entries
+
+(* Which enclosure stack polices a drained entry: the submitter's,
+   recorded in the SQE (ring integrity), or — with the defense off —
+   whichever stack happens to be current at drain time, the
+   confused-deputy window the corpus drives through. *)
+let drain_filter_env t e =
+  if Defense.enabled Defense.Ring_integrity then e.sq_env else t.stack
 
 module type IMPL =
   Backend.S with type ctx = t and type enc = enc_rt and type entry = sq_entry
@@ -697,7 +729,10 @@ module MpkB : IMPL = struct
     (* The Transfer hook gates into LitterBox, which performs the
        pkey_mprotect from a trusted context. *)
     mpk_retag t ~addr ~pages ~key:(mpk_key_of t to_pkg);
-    if key_changed then K.seccomp_invalidate t.machine.Machine.kernel
+    (* Cache-epoch defense: the PKRU no longer means what the memoized
+       verdicts assumed once a key changed hands. *)
+    if key_changed && Defense.enabled Defense.Cache_epoch then
+      K.seccomp_invalidate t.machine.Machine.kernel
 end
 
 module VtxB : IMPL = struct
@@ -766,7 +801,9 @@ module VtxB : IMPL = struct
           else -1
         in
         match
-          Vtx.hypercall vtx (fun () -> K.syscall t.machine.Machine.kernel call)
+          Vtx.hypercall vtx (fun () ->
+              Cpu.with_gate t.machine.Machine.cpu ~name:"litterbox.syscall"
+                (fun () -> K.syscall t.machine.Machine.kernel call))
         with
         | r ->
             Obs.span_exit o sp;
@@ -782,7 +819,7 @@ module VtxB : IMPL = struct
     let allowed =
       List.filter
         (fun e ->
-          match e.sq_env with
+          match drain_filter_env t e with
           | top :: _
             when not (filter_allows_call top.e_policy.Policy.filter e.sq_call)
             ->
@@ -805,6 +842,8 @@ module VtxB : IMPL = struct
         in
         Fun.protect ~finally:(fun () -> Obs.span_exit (obs t) sp2) @@ fun () ->
         Vtx.hypercall vtx (fun () ->
+            Cpu.with_gate t.machine.Machine.cpu ~name:"litterbox.drain"
+            @@ fun () ->
             Clock.consume t.machine.Machine.clock Clock.Syscall
               t.machine.Machine.costs.Costs.syscall_base;
             List.iter
@@ -851,7 +890,9 @@ module LwcB : IMPL = struct
         fault t ~enclosure:enc.e_name
           (Printf.sprintf "system call %s denied by the context's filter"
              (Sysno.name (K.sysno_of_call call)))
-    | _ -> K.syscall t.machine.Machine.kernel call
+    | _ ->
+        Cpu.with_gate t.machine.Machine.cpu ~name:"litterbox.syscall"
+          (fun () -> K.syscall t.machine.Machine.kernel call)
 
   (* One ordinary trap enters the kernel; the per-context filter is
      checked there per entry, as in the direct path. *)
@@ -859,9 +900,10 @@ module LwcB : IMPL = struct
     let kernel = t.machine.Machine.kernel in
     Clock.consume t.machine.Machine.clock Clock.Syscall
       t.machine.Machine.costs.Costs.syscall_base;
+    Cpu.with_gate t.machine.Machine.cpu ~name:"litterbox.drain" @@ fun () ->
     List.iter
       (fun e ->
-        match e.sq_env with
+        match drain_filter_env t e with
         | top :: _
           when not (filter_allows_call top.e_policy.Policy.filter e.sq_call) ->
             deny_entry t e ~enclosure:top.e_name
@@ -992,6 +1034,18 @@ let init ~machine ~backend ~image ?(binary_scan = []) ?(clustering = true) () =
         }
       in
       Obs.set_backend machine.Machine.obs (backend_name backend);
+      (* LitterBox's switch, trap, drain and retag sites are the
+         scanned, registered call gates of this runtime: the only
+         places untrusted execution may legally change environment or
+         enter the kernel. *)
+      List.iter
+        (Cpu.register_gate machine.Machine.cpu)
+        [
+          "litterbox.gate";
+          "litterbox.syscall";
+          "litterbox.drain";
+          "litterbox.retag";
+        ];
       List.iter (register_section t) image.Image.sections;
       List.iter
         (fun (v : Image.verif_entry) ->
@@ -1183,7 +1237,10 @@ let check_site t site hook =
          (Image.hook_name hook))
 
 let set_hw_env t env =
-  Cpu.set_env t.machine.Machine.cpu env
+  (* Every runtime-driven switch runs inside the switch gate, so the
+     gate-integrity check can tell it from a forged wrpkru/CR3 write. *)
+  Cpu.with_gate t.machine.Machine.cpu ~name:"litterbox.gate" (fun () ->
+      Cpu.set_env t.machine.Machine.cpu env)
 
 (* Single point through which the enclosure stack changes: keeps the
    hardware environment and the observability context in lockstep. *)
@@ -1340,8 +1397,11 @@ let epilog t ~site =
      environment leaves the stack. Entries carry their submit-time
      environment, so verdicts are correct by construction; the drain
      here additionally keeps kernel-effect ordering ahead of whatever
-     trusted code runs after the switch. *)
-  drain t;
+     trusted code runs after the switch. Half of the ring-integrity
+     defense (the other half is submit-time environment capture): with
+     it off, leftover entries survive the epilog and drain later under
+     whoever is current — the corpus' confused-deputy window. *)
+  if Defense.enabled Defense.Ring_integrity then drain t;
   match t.stack with
   | [] -> fault t "epilog with no active enclosure"
   | top :: rest ->
@@ -1509,6 +1569,15 @@ let env_matches t env_ref =
 
 let execute t env_ref ~site =
   check_site t site Image.Execute;
+  (* Resume-check defense: a captured environment may have been
+     quarantined while its fiber was parked; re-installing it would be
+     the stale-PKRU re-entry attack. Prolog already polices fresh
+     entries — this closes the scheduler's resume path. *)
+  (if Defense.enabled Defense.Resume_check then
+     match List.find_opt (fun e -> e.e_quarantined) env_ref with
+     | Some enc ->
+         raise (Quarantined { enclosure = enc.e_name; faults = enc.e_faults })
+     | None -> ());
   t.switches <- t.switches + 1;
   let target_scope = scope_name env_ref in
   note_switch t target_scope;
@@ -1639,6 +1708,15 @@ let note_tainted_rejected t =
 
 let tainted_verified_count t = t.tainted_verified
 let tainted_rejected_count t = t.tainted_rejected
+
+(* Gate violations across the layers: forged environment writes and
+   unregistered-gate entries (CPU), non-gate-origin syscall kills and
+   denied mm-shaping calls (kernel). The obs counter "gate_violation"
+   mirrors this sum — each layer increments it at the same point. *)
+let gate_violation_count t =
+  Cpu.gate_violation_count t.machine.Machine.cpu
+  + K.origin_kill_count t.machine.Machine.kernel
+  + K.mm_denied_count t.machine.Machine.kernel
 
 (* ------------------------------------------------------------------ *)
 (* Quarantine control                                                  *)

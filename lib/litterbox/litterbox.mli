@@ -276,6 +276,13 @@ val note_tainted_rejected : t -> unit
 val tainted_verified_count : t -> int
 val tainted_rejected_count : t -> int
 
+val gate_violation_count : t -> int
+(** Gate-hardening violations across the layers: forged environment
+    writes and unregistered-gate entries (CPU call-gate integrity),
+    syscalls killed by origin verification and mm-shaping calls denied
+    to enclosures (kernel). Mirrored 1:1 into the obs counter
+    ["gate_violation"]; zero on benign traffic. *)
+
 val fault_log : t -> string list
 (** Root-cause traces of the faults seen so far, most recent first (the
     paper's LB_VTX "prints a trace of the root-cause"). Memory faults are

@@ -31,6 +31,15 @@ let create ?(costs = Costs.default) () =
      hook points here, and every firing lands in the obs sink. Inert
      (nothing armed, `active` false) unless a chaos plan arms it. *)
   let inject = Encl_fault.Fault.create () in
+  (* The machine's own trusted excursions (loader, galloc) are a vetted
+     gate site; gate violations mirror into the obs counter so
+     trace_dump can reconcile them against the runtime's tally. *)
+  Cpu.register_gate cpu "machine.trusted";
+  Cpu.set_gate_violation_hook cpu
+    (Some
+       (fun _reason ->
+         if Encl_obs.Obs.enabled obs then
+           Encl_obs.Obs.incr obs "gate_violation"));
   Cpu.set_injector cpu inject;
   Encl_kernel.Kernel.set_injector kernel inject;
   Encl_kernel.Net.set_injector net inject;
@@ -75,6 +84,7 @@ let create ?(costs = Costs.default) () =
   }
 
 let with_trusted t f =
-  let saved = Cpu.env t.cpu in
-  Cpu.set_env t.cpu t.trusted_env;
-  Fun.protect ~finally:(fun () -> Cpu.set_env t.cpu saved) f
+  Cpu.with_gate t.cpu ~name:"machine.trusted" (fun () ->
+      let saved = Cpu.env t.cpu in
+      Cpu.set_env t.cpu t.trusted_env;
+      Fun.protect ~finally:(fun () -> Cpu.set_env t.cpu saved) f)

@@ -20,6 +20,9 @@ let rule_for metric =
   | "req_per_sec" -> { direction = Higher_better; tolerance = 0.10 }
   | "availability" -> { direction = Higher_better; tolerance = 0.05 }
   | "hit_rate" -> { direction = Higher_better; tolerance = 0.05 }
+  (* Deterministic: the corpus either contains an attack or it does
+     not, so any dip below baseline is a real security regression. *)
+  | "containment_score" -> { direction = Higher_better; tolerance = 0.0 }
   | "ms_per_invert" -> { direction = Lower_better; tolerance = 0.10 }
   | "conservative_slowdown" | "decoupled_slowdown" ->
       { direction = Lower_better; tolerance = 0.15 }

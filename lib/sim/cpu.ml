@@ -38,6 +38,14 @@ type t = {
   mutable current : env;
   mutable inject : Encl_fault.Fault.t option;
   mutable on_fault : (fault -> unit) option;
+  (* Call-gate integrity (Garmr): the set of scanned, registered gate
+     sites, and whether execution is currently inside one. Depth (not a
+     bool) because gates nest: the litterbox switch gate can run the
+     kernel's copy gate. *)
+  gates : (string, unit) Hashtbl.t;
+  mutable gate_depth : int;
+  mutable gate_violations : int;
+  mutable on_gate_violation : (string -> unit) option;
 }
 
 let create ~phys ~clock ~costs env =
@@ -49,6 +57,10 @@ let create ~phys ~clock ~costs env =
     current = env;
     inject = None;
     on_fault = None;
+    gates = Hashtbl.create 8;
+    gate_depth = 0;
+    gate_violations = 0;
+    on_gate_violation = None;
   }
 
 let set_fault_hook t f = t.on_fault <- f
@@ -66,12 +78,6 @@ let costs t = t.costs
 let tlb t = t.tlb
 let env t = t.current
 
-let set_env t env =
-  (* A different page table means a CR3 move: no PCID, so the TLB is
-     flushed. PKRU-only changes (LB_MPK switches) keep it warm. *)
-  if not (Pagetable.name env.pt = Pagetable.name t.current.pt) then
-    Tlb.flush t.tlb;
-  t.current <- env
 let vpn_of_addr addr = addr / Phys.page_size
 let addr_of_vpn vpn = vpn * Phys.page_size
 
@@ -79,6 +85,49 @@ let fault t kind vaddr reason =
   let f = { kind; vaddr; env = t.current.label; reason } in
   (match t.on_fault with None -> () | Some hook -> hook f);
   raise (Fault f)
+
+(* Call-gate integrity. Registered gates stand in for the scanned,
+   write-protected gate pages of ERIM/Garmr: the binary inspection pass
+   has proven they restore the environment on every exit path, so only
+   code running inside one may write PKRU / move CR3 / retag. *)
+
+let untrusted_label label =
+  String.length label > 4 && String.sub label 0 4 = "enc:"
+
+let register_gate t name = Hashtbl.replace t.gates name ()
+let in_gate t = t.gate_depth > 0
+let gate_violation_count t = t.gate_violations
+let set_gate_violation_hook t f = t.on_gate_violation <- f
+
+let gate_violation t reason =
+  t.gate_violations <- t.gate_violations + 1;
+  (match t.on_gate_violation with None -> () | Some hook -> hook reason);
+  fault t Exec 0 reason
+
+let with_gate t ~name f =
+  if Defense.enabled Defense.Gate_integrity && not (Hashtbl.mem t.gates name)
+  then
+    gate_violation t
+      (Printf.sprintf "call gate %S is not a registered gate site" name);
+  t.gate_depth <- t.gate_depth + 1;
+  Fun.protect ~finally:(fun () -> t.gate_depth <- t.gate_depth - 1) f
+
+let set_env t env =
+  (* The privileged transition itself: a wrpkru / CR3 write / SFI tag
+     move. From untrusted code it is only legal inside a registered
+     gate — a stray one is exactly the forged-wrpkru attack. *)
+  if
+    t.gate_depth = 0
+    && untrusted_label t.current.label
+    && Defense.enabled Defense.Gate_integrity
+  then
+    gate_violation t
+      "environment write (wrpkru/CR3/tag) outside a registered call gate";
+  (* A different page table means a CR3 move: no PCID, so the TLB is
+     flushed. PKRU-only changes (LB_MPK switches) keep it warm. *)
+  if not (Pagetable.name env.pt = Pagetable.name t.current.pt) then
+    Tlb.flush t.tlb;
+  t.current <- env
 
 (* Chaos hook: consult the injector at [point], charging the fault to
    the current environment. Transient by construction — nothing in the
@@ -115,6 +164,11 @@ let check_page t kind vaddr =
           let write = kind = Write in
           (match t.current.sfi with
           | None -> ()
+          | Some _ when not (Defense.enabled Defense.Sfi_mask) ->
+              (* Defense off models a pointer the instrumentation pass
+                 missed: the raw access goes straight to MPK, whose
+                 key-0 pages the synthetic SFI tag can read. *)
+              ()
           | Some s ->
               (* The instrumented mask-and-check sequence runs on every
                  load/store; a miss lands the access in a guard zone. *)

@@ -59,7 +59,43 @@ val env : t -> env
 val set_env : t -> env -> unit
 (** Raw environment switch; costs are accounted by the caller
     (LitterBox). Moving to a different page table flushes the TLB model
-    (a CR3 write); changing only the PKRU value does not. *)
+    (a CR3 write); changing only the PKRU value does not.
+
+    Under {!Defense.Gate_integrity}, a switch issued while untrusted
+    code (label prefix ["enc:"]) is executing outside a registered call
+    gate is a forged [wrpkru]/CR3/tag write: it raises {!Fault} instead
+    of switching (Garmr's call-gate integrity property). *)
+
+(** {2 Call-gate integrity}
+
+    Registered gates model the scanned, write-protected gate pages of
+    ERIM/Garmr: binary inspection has proven they restore the
+    environment on every exit, so only code dynamically inside one may
+    change the environment or trap to the kernel. *)
+
+val untrusted_label : string -> bool
+(** Is [label] an untrusted (enclosure) environment? True exactly for
+    the ["enc:"] prefix every backend gives its enclosure envs. *)
+
+val register_gate : t -> string -> unit
+(** Mark [name] as a vetted gate site (done once at runtime init). *)
+
+val with_gate : t -> name:string -> (unit -> 'a) -> 'a
+(** Run [f] inside gate [name]. If {!Defense.Gate_integrity} is on and
+    [name] was never registered, raises {!Fault} (and counts a gate
+    violation) before [f] runs. Gates nest. *)
+
+val in_gate : t -> bool
+(** Is execution currently inside a registered gate? The kernel's
+    syscall-origin check consults this at trap time. *)
+
+val gate_violation_count : t -> int
+(** Forged environment writes and unregistered-gate entries observed. *)
+
+val set_gate_violation_hook : t -> (string -> unit) option -> unit
+(** Observer called (before the fault is raised) on each gate
+    violation; the machine mirrors these into the obs counter
+    ["gate_violation"]. Must not raise. *)
 
 val tlb : t -> Tlb.t
 (** The CPU's translation cache (statistics only; see {!Tlb}). *)

@@ -1,0 +1,94 @@
+(* The defense registry: one flag per hardening mechanism from the
+   Garmr / "syscall as a privilege" line of work. Unlike Fastpath —
+   whose flag must never change enforcement outcomes — each defense
+   here is load-bearing: turning one off re-opens the specific attack
+   it was built to contain, and test_attack proves it. All default on;
+   ENCL_DEFENSES_OFF can carry a comma-separated list of names to
+   disable at startup, and tests flip them per-run with
+   [with_disabled]. None of the checks charge simulated time, so the
+   benign fast paths cost exactly the same with every defense armed. *)
+
+type t =
+  | Gate_integrity
+  | Syscall_origin
+  | Mm_guard
+  | Ring_integrity
+  | Resume_check
+  | Cache_epoch
+  | Sfi_mask
+  | Tainted_boundary
+
+let all =
+  [
+    Gate_integrity;
+    Syscall_origin;
+    Mm_guard;
+    Ring_integrity;
+    Resume_check;
+    Cache_epoch;
+    Sfi_mask;
+    Tainted_boundary;
+  ]
+
+let index = function
+  | Gate_integrity -> 0
+  | Syscall_origin -> 1
+  | Mm_guard -> 2
+  | Ring_integrity -> 3
+  | Resume_check -> 4
+  | Cache_epoch -> 5
+  | Sfi_mask -> 6
+  | Tainted_boundary -> 7
+
+let name = function
+  | Gate_integrity -> "gate-integrity"
+  | Syscall_origin -> "syscall-origin"
+  | Mm_guard -> "mm-guard"
+  | Ring_integrity -> "ring-integrity"
+  | Resume_check -> "resume-check"
+  | Cache_epoch -> "cache-epoch"
+  | Sfi_mask -> "sfi-mask"
+  | Tainted_boundary -> "tainted-boundary"
+
+let describe = function
+  | Gate_integrity ->
+      "only registered call gates may change PKRU / page table / SFI tag"
+  | Syscall_origin ->
+      "system calls from untrusted code must originate inside a call gate"
+  | Mm_guard ->
+      "mmap/munmap/pkey_* are a trusted-runtime privilege, denied to enclosures"
+  | Ring_integrity ->
+      "ring entries drain under their submitter's filter; epilog drains first"
+  | Resume_check -> "resuming into a quarantined enclosure environment faults"
+  | Cache_epoch ->
+      "installing a seccomp program or re-homing a transfer flushes the verdict cache"
+  | Sfi_mask -> "every SFI load/store runs the mask-and-bounds sequence"
+  | Tainted_boundary ->
+      "tainted boundary values must pass their check before trusted use"
+
+let of_string s =
+  let canon =
+    String.map (function '_' -> '-' | c -> c) (String.lowercase_ascii s)
+  in
+  List.find_opt (fun d -> name d = canon) all
+
+let state = Array.make (List.length all) true
+
+let () =
+  match Sys.getenv_opt "ENCL_DEFENSES_OFF" with
+  | None -> ()
+  | Some spec ->
+      String.split_on_char ',' spec
+      |> List.iter (fun tok ->
+             match of_string (String.trim tok) with
+             | Some d -> state.(index d) <- false
+             | None -> ())
+
+let enabled d = state.(index d)
+let set d b = state.(index d) <- b
+let all_enabled () = Array.for_all Fun.id state
+
+let with_disabled d f =
+  let saved = state.(index d) in
+  state.(index d) <- false;
+  Fun.protect ~finally:(fun () -> state.(index d) <- saved) f
