@@ -673,6 +673,69 @@ let attacks () =
     Backend.all
 
 (* ------------------------------------------------------------------ *)
+(* Policy mining: witness recorder overhead and mined policy width     *)
+
+module Miner = Encl_litterbox.Miner
+
+let policy_mining () =
+  section "Policy mining: witness overhead and mined policy width";
+  let with_witness flag f =
+    let saved_obs = !Encl_obs.Obs.default_enabled in
+    let saved_w = !Encl_obs.Witness.default_enabled in
+    Encl_obs.Obs.default_enabled := flag;
+    Encl_obs.Witness.default_enabled := flag;
+    Fun.protect
+      ~finally:(fun () ->
+        Encl_obs.Obs.default_enabled := saved_obs;
+        Encl_obs.Witness.default_enabled := saved_w)
+      f
+  in
+  (* The recorder charges no simulated time, so witnessed req/s must
+     match the unwitnessed run; the gate keeps this row near zero. *)
+  let requests = if quick then 200 else 2000 in
+  let run witnessed =
+    let _rt, r =
+      with_witness witnessed (fun () ->
+          Scenarios.http_rt (Some Lb.Mpk) ~requests ())
+    in
+    r.Scenarios.h_req_per_sec
+  in
+  let off = run false in
+  let on_ = run true in
+  let pct = (off -. on_) /. off *. 100.0 in
+  Printf.printf "%-8s http  witness off %8.0f req/s  on %8.0f req/s  (%.2f%%)\n"
+    "LB_MPK" off on_ pct;
+  add_result ~workload:"policy_mining" ~backend:"LB_MPK"
+    ~metric:"witness_overhead_pct" pct;
+  (* Mined policy width per scenario: total capabilities granted by the
+     least-privilege literals the miner recovers from a witnessed run.
+     Any widening of a mined policy shows up here as a higher width. *)
+  let mined_width name runner =
+    let rt = with_witness true runner in
+    let lb = Option.get (Runtime.lb rt) in
+    let mined = Miner.mine lb in
+    let total =
+      List.fold_left (fun acc (m : Miner.mined) -> acc + Miner.width m.policy)
+        0 mined
+    in
+    List.iter
+      (fun (m : Miner.mined) ->
+        Printf.printf "%-8s %-5s %-12s width %d  %s\n" "LB_MPK" name
+          m.Miner.enclosure (Miner.width m.Miner.policy) m.Miner.literal)
+      mined;
+    add_result ~workload:("policy_mining_" ^ name) ~backend:"LB_MPK"
+      ~metric:"policy_width" (float_of_int total)
+  in
+  mined_width "http" (fun () ->
+      fst (Scenarios.http_rt (Some Lb.Mpk) ~requests ()));
+  mined_width "wiki" (fun () ->
+      fst
+        (Scenarios.wiki_rt (Some Lb.Mpk) ~requests:(if quick then 120 else 400)
+           ()));
+  mined_width "pq" (fun () ->
+      fst (Scenarios.pq_rt (Some Lb.Mpk) ~queries:(if quick then 80 else 200) ()))
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Printf.printf "Enclosure/LitterBox reproduction benchmarks%s\n"
@@ -688,6 +751,7 @@ let () =
   sysring ();
   resilience ();
   attacks ();
+  policy_mining ();
   run_bechamel ();
   write_results ();
   print_newline ()

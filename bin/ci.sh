@@ -103,6 +103,40 @@ stage "trace artifacts"
 dune exec bin/trace_dump.exe -- wiki --requests 200 --out-dir "$tmp"
 dune exec bin/trace_dump.exe -- validate "$tmp/trace.json"
 dune exec bin/trace_dump.exe -- validate "$tmp/metrics.json"
+dune exec bin/trace_dump.exe -- validate "$tmp/witness.json"
+# Witnessing is deterministic: rerunning the same workload must produce
+# a byte-identical witness artifact.
+mkdir "$tmp/rerun-witness"
+dune exec bin/trace_dump.exe -- wiki --requests 200 \
+  --out-dir "$tmp/rerun-witness" > /dev/null
+if ! cmp -s "$tmp/witness.json" "$tmp/rerun-witness/witness.json"; then
+  echo "ci: witness.json diverged between identical runs" >&2
+  exit 1
+fi
+
+stage "policy mining (mine -> verify -> drift)"
+# The witness ledger must reconcile with the kernel counters and the
+# obs mirrors on every backend x scenario pair.
+dune exec bin/trace_dump.exe -- witness
+# Mined literals must agree across all four backends, prove sound
+# (zero faults when enforced) and minimal (every one-rung narrowing
+# faults), and must not widen past the committed snapshots.
+for scenario in http wiki pq; do
+  dune exec bin/policyminer.exe -- mine "$scenario" > /dev/null
+  dune exec bin/policyminer.exe -- verify "$scenario"
+  dune exec bin/policyminer.exe -- drift "$scenario"
+done
+# Negative control: against a deliberately narrowed snapshot the drift
+# gate must report a widening and exit non-zero (regenerate committed
+# snapshots deliberately with `policyminer drift SCENARIO --write`).
+cat > "$tmp/narrowed.json" <<'EOF'
+{"scenario":"http","policies":{"handler_enc":"; sys=none"}}
+EOF
+if dune exec bin/policyminer.exe -- drift http \
+     --snapshot "$tmp/narrowed.json" > /dev/null 2>&1; then
+  echo "ci: drift gate failed to flag a widened policy" >&2
+  exit 1
+fi
 
 if [ "$quick" = 0 ]; then
   stage "profile smoke (attribution + determinism)"

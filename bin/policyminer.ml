@@ -1,0 +1,487 @@
+(* policy-miner: mine least-privilege enclosure policies from a witness
+   recording, verify them by re-running, and gate policy drift against
+   committed snapshots.
+
+   Usage:
+     dune exec bin/policyminer.exe -- mine http
+     dune exec bin/policyminer.exe -- mine wiki --write bench/policies/wiki.json
+     dune exec bin/policyminer.exe -- verify pq --backend all
+     dune exec bin/policyminer.exe -- drift http --snapshot bench/policies/http.json
+
+   [mine] runs a scenario with the witness recorder on and folds the
+   per-enclosure capability sets into minimal `with [Policies]` literals
+   (validated by Enclosure.check_policy). [verify] proves the mined
+   policy sound (enforcing it reproduces the run with zero faults) and
+   minimal (every one-rung narrowing faults). [drift] fails when a fresh
+   mine grants anything a committed snapshot does not. *)
+
+module Runtime = Encl_golike.Runtime
+module Machine = Encl_litterbox.Machine
+module Lb = Encl_litterbox.Litterbox
+module Miner = Encl_litterbox.Miner
+module Policy = Encl_litterbox.Policy
+module Enclosure = Encl_enclosure.Enclosure
+module Scenarios = Encl_apps.Scenarios
+module Obs = Encl_obs.Obs
+module Witness = Encl_obs.Witness
+module Json = Encl_obs.Export.Json
+open Cmdliner
+
+let mineable = List.filter (fun n -> n <> "bild") Scenarios.scenario_names
+
+(* ------------------------------------------------------------------ *)
+(* Scenario runs *)
+
+(* One run of [name] under [backend]. [witnessed] turns the event sink
+   and the witness recorder on (mining); verification re-runs enforce
+   only, so they skip the recording. Returns the runtime even when the
+   workload died mid-run — the probe runs are expected to. *)
+type outcome = {
+  rt : Runtime.t option;  (** None: the run failed before boot finished *)
+  failure : string option;  (** exception or scenario error, if any *)
+}
+
+let run_scenario ?(witnessed = false) name backend requests =
+  Obs.default_enabled := witnessed;
+  Witness.default_enabled := witnessed;
+  let restore () =
+    Obs.default_enabled := false;
+    Witness.default_enabled := false
+  in
+  Fun.protect ~finally:restore @@ fun () ->
+  match Scenarios.run_named name (Some backend) ?requests () with
+  | Ok (rt, _line) -> { rt = Some rt; failure = None }
+  | Error e -> { rt = None; failure = Some e }
+  | exception e -> { rt = None; failure = Some (Printexc.to_string e) }
+
+let fault_count = function
+  | { rt = Some rt; _ } -> (
+      match Runtime.lb rt with Some lb -> Lb.fault_count lb | None -> 0)
+  | { rt = None; _ } -> 0
+
+(* A mining run must see everything: the event ring is lossy under
+   overflow, and a lossy trace is a blind spot the miner must not paper
+   over with a warning (satellite of the witness issue). The witness
+   aggregates themselves are exact hash-table counts, but an overflowed
+   ring means the run was big enough that the operator should size the
+   ring up and re-mine with the full trace available for audit. *)
+let check_ring rt =
+  let obs = (Runtime.machine rt).Machine.obs in
+  let dropped = Obs.dropped_events obs in
+  if dropped > 0 then
+    Error
+      (Printf.sprintf
+         "event ring overflowed: %d of %d events evicted — refusing to mine \
+          from a lossy trace; raise the ring capacity or shrink the workload"
+         dropped (Obs.total_events obs))
+  else Ok ()
+
+(* Mine one backend's run: per-enclosure literals, each validated. *)
+let mine_one name backend requests =
+  match run_scenario ~witnessed:true name backend requests with
+  | { failure = Some e; _ } ->
+      Error (Printf.sprintf "%s under %s: %s" name (Lb.backend_name backend) e)
+  | { rt = None; _ } -> Error (name ^ ": scenario returned no runtime")
+  | { rt = Some rt; _ } -> (
+      match Runtime.lb rt with
+      | None -> Error (name ^ ": scenario ran without a litterbox")
+      | Some lb -> (
+          match check_ring rt with
+          | Error e -> Error e
+          | Ok () ->
+              let mined = Miner.mine lb in
+              let invalid =
+                List.filter_map
+                  (fun (m : Miner.mined) ->
+                    match Enclosure.check_policy m.Miner.literal with
+                    | Ok () -> None
+                    | Error e ->
+                        Some
+                          (Printf.sprintf "%s: mined literal %S invalid: %s"
+                             m.Miner.enclosure m.Miner.literal e))
+                  mined
+              in
+              if invalid <> [] then Error (String.concat "; " invalid)
+              else Ok (lb, mined)))
+
+(* Mine across [backends] and require the mined policies to agree: the
+   capability a package needs is a property of the program, not of the
+   isolation mechanism enforcing it. *)
+let mine_agreed name backends requests =
+  let results =
+    List.map (fun b -> (b, mine_one name b requests)) backends
+  in
+  match List.find_opt (fun (_, r) -> Result.is_error r) results with
+  | Some (b, Error e) ->
+      Error (Printf.sprintf "[%s] %s" (Lb.backend_name b) e)
+  | _ -> (
+      let literals (_, r) =
+        match r with
+        | Ok (_, mined) ->
+            List.map (fun (m : Miner.mined) -> (m.Miner.enclosure, m.Miner.literal)) mined
+        | Error _ -> []
+      in
+      match results with
+      | [] -> Error "no backends selected"
+      | first :: rest ->
+          let reference = literals first in
+          let disagree =
+            List.filter_map
+              (fun ((b, _) as r) ->
+                if literals r <> reference then Some (Lb.backend_name b)
+                else None)
+              rest
+          in
+          if disagree <> [] then
+            Error
+              (Printf.sprintf
+                 "mined policies disagree across backends (%s differs from \
+                  %s) — the witness is leaking mechanism detail"
+                 (String.concat ", " disagree)
+                 (Lb.backend_name (fst first)))
+          else
+            match snd first with
+            | Ok (lb, mined) -> Ok (lb, mined)
+            | Error e -> Error e)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots: bench/policies/<scenario>.json *)
+
+let snapshot_string name mined =
+  Json.to_string
+    (Json.Obj
+       [
+         ("scenario", Json.String name);
+         ( "policies",
+           Json.Obj
+             (List.map
+                (fun (m : Miner.mined) ->
+                  (m.Miner.enclosure, Json.String m.Miner.literal))
+                mined) );
+       ])
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc contents;
+      output_char oc '\n')
+
+let read_snapshot path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error e -> Error e
+  | contents -> (
+      match Json.parse contents with
+      | Error e -> Error (path ^ ": " ^ e)
+      | Ok json -> (
+          match Json.member "policies" json with
+          | Some (Json.Obj fields) ->
+              let literal = function
+                | Json.String s -> Some s
+                | _ -> None
+              in
+              Ok (List.filter_map (fun (k, v) -> Option.map (fun s -> (k, s)) (literal v)) fields)
+          | _ -> Error (path ^ ": missing \"policies\" object")))
+
+(* ------------------------------------------------------------------ *)
+(* mine *)
+
+let report_witness lb =
+  let w = Lb.witness lb in
+  let allowed, denied = Witness.totals w in
+  Printf.printf "witness: %d syscalls allowed, %d denied, %d scopes\n" allowed
+    denied
+    (List.length (Witness.scope_names w))
+
+let mine name backends requests write =
+  match mine_agreed name backends requests with
+  | Error e ->
+      prerr_endline ("policyminer: " ^ e);
+      1
+  | Ok (lb, mined) ->
+      Printf.printf "mined policies for %s (agreed across %s):\n" name
+        (String.concat ", " (List.map Lb.backend_name backends));
+      List.iter
+        (fun (m : Miner.mined) ->
+          Printf.printf "  %-12s with [%s]  (width %d)\n" m.Miner.enclosure
+            m.Miner.literal
+            (Miner.width m.Miner.policy))
+        mined;
+      report_witness lb;
+      (match write with
+      | Some path ->
+          write_file path (snapshot_string name mined);
+          Printf.printf "snapshot -> %s\n" path
+      | None -> ());
+      0
+
+(* ------------------------------------------------------------------ *)
+(* verify: soundness + minimality *)
+
+let with_overrides assoc f =
+  List.iter (fun (enc, lit) -> Lb.set_policy_override ~enclosure:enc lit) assoc;
+  Fun.protect ~finally:Lb.clear_policy_overrides f
+
+let verify_backend name backend requests =
+  match mine_one name backend requests with
+  | Error e -> [ Printf.sprintf "[%s] %s" (Lb.backend_name backend) e ]
+  | Ok (_, mined) ->
+      let literals =
+        List.map (fun (m : Miner.mined) -> (m.Miner.enclosure, m.Miner.literal)) mined
+      in
+      let bname = Lb.backend_name backend in
+      (* Soundness: enforcing exactly what was witnessed reproduces the
+         run — no faults, no workload failure. *)
+      let soundness =
+        let outcome =
+          with_overrides literals (fun () -> run_scenario name backend requests)
+        in
+        match (outcome.failure, fault_count outcome) with
+        | None, 0 ->
+            Printf.printf "  [%s] sound: zero faults under the mined policy\n"
+              bname;
+            []
+        | Some e, _ ->
+            [ Printf.sprintf "[%s] unsound: mined policy broke the run: %s" bname e ]
+        | None, n ->
+            [ Printf.sprintf "[%s] unsound: %d faults under the mined policy" bname n ]
+      in
+      (* Minimality: dropping any single mined capability must fault. *)
+      let minimality =
+        List.concat_map
+          (fun (m : Miner.mined) ->
+            List.filter_map
+              (fun (desc, narrowed) ->
+                let probe =
+                  (m.Miner.enclosure, narrowed)
+                  :: List.remove_assoc m.Miner.enclosure literals
+                in
+                let outcome =
+                  with_overrides probe (fun () ->
+                      run_scenario name backend requests)
+                in
+                if outcome.failure <> None || fault_count outcome > 0 then begin
+                  Printf.printf "  [%s] minimal: %s %s => faults\n" bname
+                    m.Miner.enclosure desc;
+                  None
+                end
+                else
+                  Some
+                    (Printf.sprintf
+                       "[%s] not minimal: %s %s ran clean — the capability \
+                        is not load-bearing"
+                       bname m.Miner.enclosure desc))
+              (Miner.narrowings m.Miner.policy))
+          mined
+      in
+      soundness @ minimality
+
+let verify name backends requests =
+  let problems = List.concat_map (fun b -> verify_backend name b requests) backends in
+  match problems with
+  | [] ->
+      Printf.printf "%s: mined policy sound and minimal under %s\n" name
+        (String.concat ", " (List.map Lb.backend_name backends));
+      0
+  | ps ->
+      List.iter (fun p -> prerr_endline ("policyminer: " ^ p)) ps;
+      1
+
+(* ------------------------------------------------------------------ *)
+(* drift *)
+
+let drift name backends requests snapshot write =
+  let path =
+    match snapshot with
+    | Some p -> p
+    | None -> Filename.concat "bench/policies" (name ^ ".json")
+  in
+  match mine_agreed name backends requests with
+  | Error e ->
+      prerr_endline ("policyminer: " ^ e);
+      1
+  | Ok (_, mined) ->
+      if write then begin
+        write_file path (snapshot_string name mined);
+        Printf.printf "snapshot -> %s\n" path;
+        0
+      end
+      else (
+        match read_snapshot path with
+        | Error e ->
+            prerr_endline ("policyminer: " ^ e);
+            1
+        | Ok committed ->
+            let problems =
+              List.filter_map
+                (fun (m : Miner.mined) ->
+                  match List.assoc_opt m.Miner.enclosure committed with
+                  | None ->
+                      Some
+                        (Printf.sprintf
+                           "%s: not in the committed snapshot (new enclosure? \
+                            regenerate with --write)"
+                           m.Miner.enclosure)
+                  | Some literal -> (
+                      match Policy.parse literal with
+                      | Error e ->
+                          Some
+                            (Printf.sprintf "%s: committed literal %S: %s"
+                               m.Miner.enclosure literal e)
+                      | Ok committed_policy ->
+                          if
+                            Miner.policy_leq ~fresh:m.Miner.policy
+                              ~committed:committed_policy
+                          then begin
+                            (* Narrowing is not a failure — the program
+                               shed a privilege; suggest tightening. *)
+                            if
+                              not
+                                (Miner.policy_leq ~fresh:committed_policy
+                                   ~committed:m.Miner.policy)
+                            then
+                              Printf.printf
+                                "  note: %s narrowed (fresh [%s] < committed \
+                                 [%s]) — consider regenerating the snapshot\n"
+                                m.Miner.enclosure m.Miner.literal literal;
+                            None
+                          end
+                          else
+                            Some
+                              (Printf.sprintf
+                                 "%s WIDENED: fresh [%s] grants more than \
+                                  committed [%s]"
+                                 m.Miner.enclosure m.Miner.literal literal)))
+                mined
+            in
+            (match problems with
+            | [] ->
+                Printf.printf "%s: no drift against %s\n" name path;
+                0
+            | ps ->
+                List.iter (fun p -> prerr_endline ("policyminer: drift: " ^ p)) ps;
+                1))
+
+(* ------------------------------------------------------------------ *)
+(* overhead: the witness must be free in simulated time *)
+
+let overhead requests =
+  let run witnessed =
+    Obs.default_enabled := witnessed;
+    Witness.default_enabled := witnessed;
+    let r = Scenarios.http (Some Lb.Mpk) ?requests () in
+    Obs.default_enabled := false;
+    Witness.default_enabled := false;
+    r.Scenarios.h_req_per_sec
+  in
+  let off = run false in
+  let on_ = run true in
+  let pct = (off -. on_) /. off *. 100.0 in
+  Printf.printf "http req/s: witness off %.0f, on %.0f, overhead %.2f%%\n" off
+    on_ pct;
+  (* Recording charges no simulated time, so the overhead must be
+     essentially zero; 10%% is the acceptance ceiling. *)
+  if pct < 10.0 then 0
+  else begin
+    prerr_endline "policyminer: witness overhead exceeds 10%";
+    1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Cmdliner wiring *)
+
+let backends_arg =
+  let parse = function
+    | "all" -> Ok Encl_litterbox.Backend.all
+    | s -> (
+        match Encl_litterbox.Backend.of_string s with
+        | Some b -> Ok [ b ]
+        | None -> Error (`Msg ("unknown backend " ^ s)))
+  in
+  let print ppf bs =
+    Format.pp_print_string ppf
+      (String.concat "," (List.map Lb.backend_name bs))
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Encl_litterbox.Backend.all
+    & info [ "backend" ] ~docv:"BACKEND" ~doc:"mpk, vtx, lwc, sfi or all.")
+
+let scenario_arg =
+  let parse s =
+    if List.mem s mineable then Ok s
+    else
+      Error
+        (`Msg
+          (Printf.sprintf "unknown scenario %s (choose from: %s)" s
+             (String.concat ", " mineable)))
+  in
+  Arg.(
+    required
+    & pos 0 (some (conv (parse, Format.pp_print_string))) None
+    & info [] ~docv:"SCENARIO")
+
+let requests_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "requests" ] ~docv:"N" ~doc:"Workload size (scenario default if absent).")
+
+let write_path_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "write" ] ~docv:"FILE" ~doc:"Also write the snapshot JSON to FILE.")
+
+let snapshot_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "snapshot" ] ~docv:"FILE"
+        ~doc:"Committed snapshot (default bench/policies/SCENARIO.json).")
+
+let write_flag =
+  Arg.(
+    value & flag
+    & info [ "write" ] ~doc:"Regenerate the snapshot instead of diffing.")
+
+let mine_cmd =
+  Cmd.v
+    (Cmd.info "mine"
+       ~doc:
+         "Run SCENARIO with the witness recorder on and print the minimal \
+          policy literal per enclosure (validated, cross-backend agreed). \
+          Fails if the event ring overflowed.")
+    Term.(const mine $ scenario_arg $ backends_arg $ requests_arg $ write_path_arg)
+
+let verify_cmd =
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Prove the mined policy sound (re-run enforcing it: zero faults) \
+          and minimal (every one-rung narrowing faults).")
+    Term.(const verify $ scenario_arg $ backends_arg $ requests_arg)
+
+let drift_cmd =
+  Cmd.v
+    (Cmd.info "drift"
+       ~doc:
+         "Diff a fresh mine against the committed snapshot; fail on any \
+          widening. --write regenerates the snapshot.")
+    Term.(
+      const drift $ scenario_arg $ backends_arg $ requests_arg $ snapshot_arg
+      $ write_flag)
+
+let overhead_cmd =
+  Cmd.v
+    (Cmd.info "overhead"
+       ~doc:
+         "Measure the witness recorder's simulated-time cost on the http \
+          scenario (must stay under 10% req/s).")
+    Term.(const overhead $ requests_arg)
+
+let () =
+  let info =
+    Cmd.info "policyminer" ~version:"1.0"
+      ~doc:"Mine, verify and drift-gate least-privilege enclosure policies"
+  in
+  exit (Cmd.eval' (Cmd.group info [ mine_cmd; verify_cmd; drift_cmd; overhead_cmd ]))

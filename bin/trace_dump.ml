@@ -102,6 +102,7 @@ let cross_check lb kernel obs =
 
 let run name backend requests out_dir summary =
   Obs.default_enabled := true;
+  Encl_obs.Witness.default_enabled := true;
   match Scenarios.run_named name backend ?requests () with
   | Error e ->
       prerr_endline ("trace-dump: " ^ e);
@@ -117,20 +118,30 @@ let run name backend requests out_dir summary =
       mkdir_p out_dir;
       let trace_path = Filename.concat out_dir "trace.json" in
       let metrics_path = Filename.concat out_dir "metrics.json" in
+      let witness_path = Filename.concat out_dir "witness.json" in
       write_file trace_path (Export.trace_json obs);
       write_file metrics_path (Export.metrics_json obs);
+      write_file witness_path (Export.witness_json obs);
       Printf.printf "%s under %s: %s\n" name
         (Scenarios.config_name backend)
         result_line;
-      Printf.printf "%d events (%d dropped) -> %s, %s\n" (Obs.total_events obs)
-        (Obs.dropped_events obs) trace_path metrics_path;
-      if Obs.dropped_events obs > 0 then
+      Printf.printf "%d events (%d dropped) -> %s, %s, %s\n"
+        (Obs.total_events obs) (Obs.dropped_events obs) trace_path metrics_path
+        witness_path;
+      (* A lossy trace is a blind spot, not a footnote: every consumer of
+         these artifacts (the CI cross-checks, the miner, a human in
+         Perfetto) must be able to trust that what is absent did not
+         happen. Overflow is a hard failure — size the ring up or shrink
+         the workload. *)
+      if Obs.dropped_events obs > 0 then begin
         Printf.eprintf
-          "trace-dump: warning: event ring overflowed, %d of %d events \
-           evicted — the trace is truncated (metric totals remain exact); \
-           raise the ring capacity or shrink the workload\n"
+          "trace-dump: event ring overflowed, %d of %d events evicted — the \
+           trace is truncated (metric totals remain exact); raise the ring \
+           capacity or shrink the workload\n"
           (Obs.dropped_events obs)
           (Obs.total_events obs);
+        exit 1
+      end;
       if summary then print_string (Export.summary obs);
       match Runtime.lb rt with
       | None -> 0
@@ -366,6 +377,87 @@ let attacks_check () =
       1
 
 (* ------------------------------------------------------------------ *)
+(* Witness cross-check: the witness recorder's per-scope syscall
+   aggregates are a third, independently-fed ledger next to the obs
+   metric counters (fed from the kernel) and the kernel's own
+   per-syscall totals. For each backend x scenario the three must
+   reconcile exactly:
+     witness allowed/denied      == obs "syscall.allowed"/"syscall.denied"
+     kernel count - exits        == allowed + denied - guest denials
+       (guest-side filter denials never enter the kernel;
+        exit_program is recorded by the kernel but traps no filter)
+     witness per-category totals == obs "syscall.<category>" totals *)
+
+module Witness = Encl_obs.Witness
+
+let witness_scenario errors label lb kernel obs =
+  let w = Lb.witness lb in
+  let m = Obs.metrics obs in
+  let fail fmt = Printf.ksprintf (fun s -> errors := (label ^ ": " ^ s) :: !errors) fmt in
+  let w_allowed, w_denied = Witness.totals w in
+  let o_allowed = Metrics.total m "syscall.allowed" in
+  let o_denied = Metrics.total m "syscall.denied" in
+  if w_allowed <> o_allowed then
+    fail "allowed mismatch: witness %d, obs %d" w_allowed o_allowed;
+  if w_denied <> o_denied then
+    fail "denied mismatch: witness %d, obs %d" w_denied o_denied;
+  let kernel_count =
+    K.syscall_count kernel - K.count_for kernel Sysno.Exit
+  in
+  let guest = Lb.guest_denied_count lb in
+  if kernel_count <> w_allowed + w_denied - guest then
+    fail
+      "kernel mismatch: kernel %d (sans exit) <> witness allowed %d + denied \
+       %d - guest denials %d"
+      kernel_count w_allowed w_denied guest;
+  List.iter
+    (fun cat ->
+      let name = Sysno.category_name cat in
+      let w_cat = Witness.category_total w ~category:name in
+      let o_cat = Metrics.total m ("syscall." ^ name) in
+      if w_cat <> o_cat then
+        fail "category %s mismatch: witness %d, obs %d" name w_cat o_cat)
+    Sysno.all_categories;
+  Printf.printf "  %-12s witness=%d+%d obs=%d+%d kernel=%d guest_denied=%d\n"
+    label w_allowed w_denied o_allowed o_denied kernel_count guest
+
+let witness_check () =
+  Obs.default_enabled := true;
+  Witness.default_enabled := true;
+  let errors = ref [] in
+  List.iter
+    (fun backend ->
+      List.iter
+        (fun (name, requests) ->
+          let label =
+            Printf.sprintf "%s/%s" name
+              (Encl_litterbox.Backend.arg_name backend)
+          in
+          match Scenarios.run_named name (Some backend) ~requests () with
+          | Error e -> errors := (label ^ ": " ^ e) :: !errors
+          | Ok (rt, _) -> (
+              match Runtime.lb rt with
+              | None -> errors := (label ^ ": no litterbox") :: !errors
+              | Some lb ->
+                  let machine = Runtime.machine rt in
+                  witness_scenario errors label lb machine.Machine.kernel
+                    machine.Machine.obs))
+        [ ("http", 160); ("wiki", 120); ("pq", 80) ])
+    Encl_litterbox.Backend.all;
+  Obs.default_enabled := false;
+  Witness.default_enabled := false;
+  match List.rev !errors with
+  | [] ->
+      Printf.printf
+        "witness reconciles with the obs counters and the kernel totals \
+         across %d runs\n"
+        (3 * List.length Encl_litterbox.Backend.all);
+      0
+  | es ->
+      List.iter (fun e -> Printf.printf "MISMATCH %s\n" e) es;
+      1
+
+(* ------------------------------------------------------------------ *)
 (* Cmdliner wiring *)
 
 let backend_arg =
@@ -430,6 +522,15 @@ let enforcement_cmd =
           two outputs to be byte-identical.")
     Term.(const enforcement $ const ())
 
+let witness_cmd =
+  Cmd.v
+    (Cmd.info "witness"
+       ~doc:
+         "Run http, wiki and pq on every backend with the witness recorder \
+          on and cross-check its per-scope syscall aggregates against the \
+          obs metric counters and the kernel's own totals.")
+    Term.(const witness_check $ const ())
+
 let attacks_cmd =
   Cmd.v
     (Cmd.info "attacks"
@@ -446,6 +547,6 @@ let () =
   in
   let cmds =
     List.map scenario_cmd Scenarios.scenario_names
-    @ [ validate_cmd; enforcement_cmd; attacks_cmd ]
+    @ [ validate_cmd; enforcement_cmd; attacks_cmd; witness_cmd ]
   in
   exit (Cmd.eval' (Cmd.group info cmds))

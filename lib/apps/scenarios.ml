@@ -237,6 +237,62 @@ let wiki_rt config ?(requests = 1000) ?(conns = 4) () =
 let wiki config ?requests ?conns () = snd (wiki_rt config ?requests ?conns ())
 
 (* ------------------------------------------------------------------ *)
+(* pq: an enclosed database client                                     *)
+
+type pq_result = { p_queries : int; p_ns_per_query : int }
+
+(* The database driver alone inside an enclosure: connect once, then a
+   query loop against the mini-Postgres remote. The whole untrusted
+   surface is pq and its dependency tree, so the least-privilege policy
+   is exactly the db_proxy grant — net syscalls narrowed to the
+   database address — which makes this the policy miner's third
+   reference scenario (http mines memory, wiki mines two enclosures,
+   pq mines a connect narrowing in isolation). *)
+let pq_rt config ?(queries = 200) () =
+  let main =
+    Runtime.package "main" ~imports:[ Pq.pkg ]
+      ~functions:[ ("main", 512); ("pq_body", 512) ]
+      ~enclosures:
+        [
+          {
+            Encl_elf.Objfile.enc_name = "pq_enc";
+            enc_policy =
+              Printf.sprintf "; sys=net,connect(%s)"
+                (Encl_kernel.Net.string_of_addr Wiki.db_ip);
+            enc_closure = "pq_body";
+            enc_deps = [ Pq.pkg ];
+          };
+        ]
+      ()
+  in
+  let rt = boot_exn config ~packages:(main :: Pq.packages ()) ~entry:"main" in
+  let _db = Wiki.setup_remote_db rt in
+  Pq.reset_counters ();
+  let completed = ref 0 in
+  let clock = Runtime.clock rt in
+  let t0 = Clock.now clock in
+  Runtime.run_main rt (fun () ->
+      Runtime.with_enclosure rt "pq_enc" (fun () ->
+          let conn = Pq.connect rt ~ip:Wiki.db_ip ~port:Wiki.db_port in
+          for _ = 1 to queries do
+            match
+              Pq.query rt conn "SELECT body FROM pages WHERE title = 'home'"
+            with
+            | Ok _ -> incr completed
+            | Error e -> failwith ("pq query: " ^ e)
+          done
+          (* No [Pq.close]: close(2) is file-category and denied under
+             the net-only filter; trusted code sweeps the fd (same
+             division of labor as the wiki's db proxy). *)));
+  Runtime.kick rt;
+  if !completed < queries then
+    failwith (Printf.sprintf "pq: %d/%d queries completed" !completed queries);
+  let elapsed = Clock.now clock - t0 in
+  (rt, { p_queries = !completed; p_ns_per_query = elapsed / max 1 queries })
+
+let pq config ?queries () = snd (pq_rt config ?queries ())
+
+(* ------------------------------------------------------------------ *)
 (* Chaos: workloads under deterministic fault injection                *)
 
 module Fault = Encl_fault.Fault
@@ -416,7 +472,7 @@ let chaos_wiki config ?(seed = 42L) ?(rate = 0.05) ?(budget = 5)
 (* ------------------------------------------------------------------ *)
 (* Named dispatch (trace_dump, CI)                                     *)
 
-let scenario_names = [ "bild"; "http"; "fasthttp"; "wiki" ]
+let scenario_names = [ "bild"; "http"; "fasthttp"; "wiki"; "pq" ]
 
 let pp_http_result r =
   Printf.sprintf "%d requests, %.0f req/s, %.2f syscalls/req" r.h_requests
@@ -440,6 +496,12 @@ let run_named name config ?requests () =
   | "wiki" ->
       let rt, r = wiki_rt config ?requests () in
       Ok (rt, pp_http_result r)
+  | "pq" ->
+      let rt, r = pq_rt config ?queries:requests () in
+      Ok
+        ( rt,
+          Printf.sprintf "%d queries, %d ns/query" r.p_queries
+            r.p_ns_per_query )
   | _ ->
       Error
         (Printf.sprintf "unknown scenario %s (choose from: %s)" name

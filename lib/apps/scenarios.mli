@@ -53,6 +53,17 @@ val wiki_check : config -> (string, string) result
 (** Functional check: create a page over POST, read it back over GET;
     returns the page body seen by the client. *)
 
+type pq_result = {
+  p_queries : int;  (** queries completed *)
+  p_ns_per_query : int;  (** simulated ns per query (connect amortized) *)
+}
+
+val pq : config -> ?queries:int -> unit -> pq_result
+(** The database driver alone inside an enclosure ([pq_enc]: pq and its
+    dependency tree, [net] syscalls narrowed to the database address):
+    connect once, then [queries] SELECTs against the mini-Postgres
+    remote. The policy miner's connect-narrowing reference scenario. *)
+
 (** {2 Chaos scenarios (deterministic fault injection)} *)
 
 type chaos_result = {
@@ -108,9 +119,12 @@ val wiki_rt :
   config -> ?requests:int -> ?conns:int -> unit ->
   Encl_golike.Runtime.t * http_result
 
+val pq_rt :
+  config -> ?queries:int -> unit -> Encl_golike.Runtime.t * pq_result
+
 val scenario_names : string list
 (** Names accepted by {!run_named}: currently
-    ["bild"; "http"; "fasthttp"; "wiki"]. *)
+    ["bild"; "http"; "fasthttp"; "wiki"; "pq"]. *)
 
 val run_named :
   string -> config -> ?requests:int -> unit ->

@@ -7,6 +7,7 @@ module Section = Encl_elf.Section
 module Obs = Encl_obs.Obs
 module Event = Encl_obs.Event
 module Span = Encl_obs.Span
+module Witness = Encl_obs.Witness
 
 type backend = Backend.t = Mpk | Vtx | Lwc | Sfi
 
@@ -54,6 +55,11 @@ type completion = { mutable c_state : completion_state }
 type sq_entry = {
   sq_call : K.call;
   sq_env : enc_rt list;  (** submit-time enclosure stack *)
+  sq_site : string;
+      (** submit-time call-site signature for the witness recorder
+          (empty when witnessing is off); the drain taps use it so
+          batched calls keep the {e submitting} context, not the drain
+          point's *)
   sq_comp : completion;
 }
 
@@ -356,7 +362,15 @@ let mpk_recompute t =
                        key = t.keys.(i);
                      })
               with
-              | Ok _ -> ()
+              | Ok _ ->
+                  (* The runtime's own tagging call: witnessed under the
+                     trusted scope so witness totals reconcile with the
+                     kernel's counters. *)
+                  let w = Obs.witness (obs t) in
+                  if Witness.enabled w then
+                    Witness.syscall w ~scope:"trusted"
+                      ~category:(Sysno.category_name Sysno.Cat_mem)
+                      ~site:"trusted;litterbox.mpk_recompute" ~allowed:true
               | Error e ->
                   invalid_arg
                     (Printf.sprintf "LB_MPK init: pkey_mprotect failed (%s)"
@@ -563,6 +577,53 @@ let filter_allows_call (f : Policy.sys_filter) (call : K.call) =
   | K.Connect { ip; _ } -> Policy.filter_allows_connect f ~ip
   | _ -> Policy.filter_allows_cat f (Sysno.category (K.sysno_of_call call))
 
+(* Witness taps. Exactly one record per syscall attempt, at the layer
+   that decides its fate: the direct-path wrapper ([syscall] below)
+   records on return/raise, the drain paths record per entry under the
+   submit-time stack. All are branch-only no-ops while witnessing is
+   off, and none consume simulated time, so witnessed runs stay
+   byte-identical to unwitnessed ones. *)
+
+let witness t = Obs.witness (obs t)
+
+(* Call-site context: the collapsed signature of the innermost open
+   span ("lane;outer;...;name"), or the scope's bare "user" frame when
+   no span is open (e.g. the event ring is disabled). *)
+let witness_site t =
+  match Span.top (Obs.spans (obs t)) with
+  | Some (_, sig_) -> sig_
+  | None -> scope_name t.stack ^ ";user"
+
+let witness_syscall t ~scope ~site call ~allowed =
+  let w = witness t in
+  if Witness.enabled w then begin
+    let nr = K.sysno_of_call call in
+    Witness.syscall w ~scope
+      ~category:(Sysno.category_name (Sysno.category nr))
+      ~site ~allowed;
+    match call with
+    | K.Connect { ip; _ } when allowed -> Witness.connect w ~scope ~ip
+    | _ -> ()
+  end
+
+(* Direct path: the caller is whoever is on the stack right now. *)
+let witness_call t call ~allowed =
+  if Witness.enabled (witness t) then
+    witness_syscall t ~scope:(scope_name t.stack) ~site:(witness_site t) call
+      ~allowed
+
+(* Drained entry: always the submitter recorded in the SQE — even with
+   {!Defense.Ring_integrity} off (where {e enforcement} deliberately
+   uses the drain-time stack), the witness reports ground truth about
+   who submitted the call. *)
+let witness_entry t (e : sq_entry) ~allowed =
+  if Witness.enabled (witness t) then
+    witness_syscall t ~scope:(scope_name e.sq_env) ~site:e.sq_site e.sq_call
+      ~allowed
+
+let capture_site t =
+  if Witness.enabled (witness t) then witness_site t else ""
+
 (* Guest-side denial (LB_VTX / LB_LWC): the call never reaches the
    kernel, so the kernel's tap can't see it — record it here. *)
 let note_denied t call =
@@ -585,6 +646,7 @@ let note_denied t call =
    entry, quarantine budget — except the exception is stored on the
    completion instead of raised; the awaiting caller re-raises it. *)
 let deny_entry t entry ~enclosure reason =
+  witness_entry t entry ~allowed:false;
   note_denied t entry.sq_call;
   let trace = Printf.sprintf "fault in %s: %s" enclosure reason in
   record_fault t ~enclosure ~trace reason;
@@ -602,16 +664,20 @@ let mpk_key_of t pkg =
    whole excursion is a registered gate: the env writes and the trap
    are LitterBox's own, not the enclosure's. *)
 let mpk_retag t ~addr ~pages ~key =
+  let call = K.Pkey_mprotect { addr; len = pages * Phys.page_size; key } in
   let result =
     Cpu.with_gate t.machine.Machine.cpu ~name:"litterbox.retag" (fun () ->
         let saved = Cpu.env t.machine.Machine.cpu in
         Cpu.set_env t.machine.Machine.cpu t.machine.Machine.trusted_env;
         Fun.protect
           ~finally:(fun () -> Cpu.set_env t.machine.Machine.cpu saved)
-          (fun () ->
-            K.syscall t.machine.Machine.kernel
-              (K.Pkey_mprotect { addr; len = pages * Phys.page_size; key })))
+          (fun () -> K.syscall t.machine.Machine.kernel call))
   in
+  (* The runtime's own kernel call, not the enclosure's: witnessed under
+     the trusted scope so witness totals reconcile exactly with the
+     kernel's counters. *)
+  witness_syscall t ~scope:"trusted" ~site:"trusted;litterbox.retag" call
+    ~allowed:true;
   match result with
   | Ok _ -> ()
   | Error e ->
@@ -679,8 +745,11 @@ let trap_drain t entries =
       if Defense.enabled Defense.Ring_integrity then
         Cpu.set_env cpu (env_of_stack t e.sq_env);
       match K.syscall_in_batch kernel e.sq_call with
-      | r -> e.sq_comp.c_state <- Done r
+      | r ->
+          witness_entry t e ~allowed:true;
+          e.sq_comp.c_state <- Done r
       | exception K.Syscall_killed { nr; env } ->
+          witness_entry t e ~allowed:false;
           let reason =
             Printf.sprintf "seccomp killed system call %s in %s" (Sysno.name nr)
               env
@@ -848,8 +917,9 @@ module VtxB : IMPL = struct
               t.machine.Machine.costs.Costs.syscall_base;
             List.iter
               (fun e ->
-                e.sq_comp.c_state <-
-                  Done (K.syscall_in_batch t.machine.Machine.kernel e.sq_call))
+                let r = K.syscall_in_batch t.machine.Machine.kernel e.sq_call in
+                witness_entry t e ~allowed:true;
+                e.sq_comp.c_state <- Done r)
               allowed)
 
   let transfer t ~addr ~pages ~to_pkg ~key_changed:_ =
@@ -909,7 +979,10 @@ module LwcB : IMPL = struct
             deny_entry t e ~enclosure:top.e_name
               (Printf.sprintf "system call %s denied by the context's filter"
                  (Sysno.name (K.sysno_of_call e.sq_call)))
-        | _ -> e.sq_comp.c_state <- Done (K.syscall_in_batch kernel e.sq_call))
+        | _ ->
+            let r = K.syscall_in_batch kernel e.sq_call in
+            witness_entry t e ~allowed:true;
+            e.sq_comp.c_state <- Done r)
       entries
 
   let transfer t ~addr ~pages ~to_pkg ~key_changed:_ =
@@ -974,7 +1047,25 @@ let charge_init t ~packages ~enclosures =
   Clock.consume t.machine.Machine.clock Clock.Init
     ((packages * c.Costs.init_per_package) + (enclosures * c.Costs.init_per_enclosure))
 
+(* Policy overrides: the miner's enforcement hook. A mapping from
+   enclosure name to a replacement policy literal, consulted whenever an
+   enclosure descriptor is built (static image enclosures at [init],
+   dynamic ones via [register_enclosure]). Process-global, like the
+   defense registry: the miner's verify/minimality probes re-boot whole
+   runtimes around it. *)
+let policy_overrides : (string, string) Hashtbl.t = Hashtbl.create 8
+
+let set_policy_override ~enclosure literal =
+  Hashtbl.replace policy_overrides enclosure literal
+
+let clear_policy_overrides () = Hashtbl.reset policy_overrides
+
 let make_enc t ~name ~owner ~deps ~policy ~closure_addr =
+  let policy =
+    match Hashtbl.find_opt policy_overrides name with
+    | Some literal -> literal
+    | None -> policy
+  in
   match Policy.parse policy with
   | Error e -> Error (Printf.sprintf "enclosure %s: bad policy: %s" name e)
   | Ok p -> (
@@ -1046,6 +1137,38 @@ let init ~machine ~backend ~image ?(binary_scan = []) ?(clustering = true) () =
           "litterbox.drain";
           "litterbox.retag";
         ];
+      (* Witness memory feed: one record per page-level access check
+         that passed every permission layer — [Cpu.check_page] is the
+         single checkpoint all four backends funnel through. The scope
+         comes from the installed environment's label, not the litterbox
+         stack: kernel copy excursions run under the trusted env and
+         attribute there, and ring-integrity drains that reinstall the
+         submitter's env attribute to the submitter. Owner resolution
+         goes through the live section registry, so transferred ranges
+         attribute to their current owner. *)
+      Cpu.set_access_hook machine.Machine.cpu
+        (Some
+           (fun kind ~vaddr ->
+             let w = Obs.witness machine.Machine.obs in
+             if Witness.enabled w then
+               match owner_of t ~addr:vaddr with
+               | None -> ()
+               | Some pkg ->
+                   let scope =
+                     match
+                       enc_of_env_label
+                         (Cpu.env machine.Machine.cpu).Cpu.label
+                     with
+                     | Some e -> e
+                     | None -> "trusted"
+                   in
+                   Witness.touch w ~scope ~pkg
+                     ~mode:
+                       (match kind with
+                       | Cpu.Read -> Witness.R
+                       | Cpu.Write -> Witness.W
+                       | Cpu.Exec -> Witness.X)
+                     ~addr:vaddr));
       List.iter (register_section t) image.Image.sections;
       List.iter
         (fun (v : Image.verif_entry) ->
@@ -1315,7 +1438,9 @@ let submit t call =
      submission order. *)
   if Queue.length t.ring >= ring_capacity then drain t;
   let comp = { c_state = Pending } in
-  Queue.add { sq_call = call; sq_env = t.stack; sq_comp = comp } t.ring;
+  Queue.add
+    { sq_call = call; sq_env = t.stack; sq_site = capture_site t; sq_comp = comp }
+    t.ring;
   t.ring_submitted <- t.ring_submitted + 1;
   Clock.consume t.machine.Machine.clock Clock.Syscall
     t.machine.Machine.costs.Costs.ring_submit;
@@ -1441,7 +1566,15 @@ let in_enclosure t = match t.stack with [] -> None | e :: _ -> Some e.e_name
 
 let syscall t call =
   let (module B) = impl t in
-  B.syscall t (stack_top t) call
+  match B.syscall t (stack_top t) call with
+  | r ->
+      witness_call t call ~allowed:true;
+      r
+  | exception e ->
+      (* Any exception out of the backend's verdict path — guest filter
+         fault, seccomp kill surfaced as [Fault] — is a denial. *)
+      witness_call t call ~allowed:false;
+      raise e
 
 (* ------------------------------------------------------------------ *)
 (* Transfer                                                            *)
@@ -1482,6 +1615,8 @@ let transfer t ~addr ~len ~to_pkg ~site =
     fault t (Printf.sprintf "transfer to unknown package %s" to_pkg);
   t.transfers <- t.transfers + 1;
   (if Obs.enabled (obs t) then Obs.incr (obs t) "transfer");
+  (let w = witness t in
+   if Witness.enabled w then Witness.transfer w ~scope:(scope_name t.stack));
   let sp =
     let o = obs t in
     if Obs.enabled o then
@@ -1528,6 +1663,11 @@ let transfer_range t ~addr ~len ~chunk ~to_pkg ~site =
       fault t (Printf.sprintf "transfer to unknown package %s" to_pkg);
     t.transfers <- t.transfers + n;
     t.coalesced <- t.coalesced + n;
+    (let w = witness t in
+     if Witness.enabled w then
+       for _ = 1 to n do
+         Witness.transfer w ~scope:(scope_name t.stack)
+       done);
     let o = obs t in
     (if Obs.enabled o then begin
        Obs.incr o ~by:n "transfer";
@@ -1615,6 +1755,8 @@ let execute t env_ref ~site =
 let with_trusted t f =
   let saved = t.stack in
   let scope = scope_name saved in
+  (let w = witness t in
+   if Witness.enabled w && saved <> [] then Witness.trusted_call w ~scope);
   let o = obs t in
   let c = t.machine.Machine.costs in
   let switch_cost, return_cost =
@@ -1676,6 +1818,12 @@ let pkru_of t name =
 
 let cluster t = t.clusters
 let enclosure_names t = t.enc_order
+
+let enclosure_deps t name =
+  Option.map (fun e -> e.e_deps) (Hashtbl.find_opt t.encs name)
+
+let policy_of t name =
+  Option.map (fun e -> e.e_policy) (Hashtbl.find_opt t.encs name)
 let switch_count t = t.switches
 let switch_elided_count t = t.switch_elided
 let transfer_count t = t.transfers
@@ -1700,10 +1848,16 @@ let sfi_guard_fault_count t =
    same program point. *)
 let note_tainted_verified t =
   t.tainted_verified <- t.tainted_verified + 1;
+  (let w = witness t in
+   if Witness.enabled w then
+     Witness.tainted w ~scope:(scope_name t.stack) ~verified:true);
   if Obs.enabled (obs t) then Obs.incr (obs t) "tainted_verified"
 
 let note_tainted_rejected t =
   t.tainted_rejected <- t.tainted_rejected + 1;
+  (let w = witness t in
+   if Witness.enabled w then
+     Witness.tainted w ~scope:(scope_name t.stack) ~verified:false);
   if Obs.enabled (obs t) then Obs.incr (obs t) "tainted_rejected"
 
 let tainted_verified_count t = t.tainted_verified

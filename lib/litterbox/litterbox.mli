@@ -95,6 +95,18 @@ val register_enclosure :
 val add_import : t -> importer:string -> imported:string -> (unit, string) result
 (** Record a new import edge discovered at run time and recompute views. *)
 
+(** {2 Policy overrides (the policy miner's enforcement hook)} *)
+
+val set_policy_override : enclosure:string -> string -> unit
+(** Replace the policy literal an enclosure named [enclosure] would be
+    built with — consulted whenever an enclosure descriptor is created
+    ({!init} for static image enclosures, {!register_enclosure} for
+    dynamic ones). Process-global, like the defense registry: the policy
+    miner's verify and minimality probes re-boot whole runtimes around
+    it. Remember to {!clear_policy_overrides} afterwards. *)
+
+val clear_policy_overrides : unit -> unit
+
 (** {2 Switches} *)
 
 val prolog : t -> name:string -> site:string -> unit
@@ -222,6 +234,15 @@ val pkru_of : t -> string -> Mpk.pkru option
 
 val cluster : t -> Cluster.t
 val enclosure_names : t -> string list
+
+val enclosure_deps : t -> string -> string list option
+(** Direct dependencies the named enclosure was declared with (the
+    miner recomputes its base dependency-closure view from these). *)
+
+val policy_of : t -> string -> Policy.t option
+(** The parsed policy the named enclosure is currently enforcing
+    (after any {!set_policy_override}). *)
+
 val switch_count : t -> int
 
 val switch_elided_count : t -> int
@@ -275,6 +296,13 @@ val note_tainted_rejected : t -> unit
 
 val tainted_verified_count : t -> int
 val tainted_rejected_count : t -> int
+
+val witness : t -> Encl_obs.Witness.t
+(** The machine's witness recorder ({!Encl_obs.Witness}): every tap in
+    this runtime — the direct syscall path, the ring drains (attributed
+    to the {e submitting} enclosure via the SQE), the retag excursion,
+    transfers, trusted excursions, tainted-boundary verdicts, and the
+    per-access CPU hook — records into it when witnessing is enabled. *)
 
 val gate_violation_count : t -> int
 (** Gate-hardening violations across the layers: forged environment

@@ -1,0 +1,210 @@
+(* The least-privilege policy miner: fold a run's witness into the
+   minimal `with [Policies]` literal per enclosure.
+
+   For each enclosure the mined policy grants exactly:
+   - the syscall categories the witness saw the enclosure use
+     (allowed calls only — a denied call is not needed behavior), with
+     a [connect(...)] atom narrowing the net category to the observed
+     target IPs when every observed connect had one;
+   - a memory modifier for each package the enclosure touched {e
+     outside} its base dependency-closure view, at the lowest rung of
+     the U < R < RW < RWX lattice covering the observed access modes.
+     Packages inside the base view are never narrowed: the base grant is
+     the paper's natural-dependency rule, not an observed privilege.
+
+   Soundness and minimality are properties of re-runs, not of this
+   fold: [bin/policyminer.exe verify] re-boots the same scenario
+   enforcing the mined literals (zero policy faults expected) and then
+   probes each mined atom by narrowing it one rung and expecting a
+   fault. *)
+
+module Sysno = Encl_kernel.Sysno
+module Witness = Encl_obs.Witness
+
+type mined = {
+  enclosure : string;
+  policy : Policy.t;
+  literal : string;  (** [Policy.to_string policy], the canonical form *)
+}
+
+(* The set of packages an enclosure's base (policy-free) view already
+   grants RWX: its dependency closure plus litterbox.user. *)
+let base_view lb name =
+  match Litterbox.enclosure_deps lb name with
+  | None -> View.empty
+  | Some deps -> (
+      match
+        View.compute ~graph:(Litterbox.graph lb) ~deps ~policy:Policy.default
+      with
+      | Ok v -> v
+      | Error _ -> View.empty)
+
+let observed_access (m : Witness.mem_counts) =
+  if m.Witness.execs > 0 then Types.RWX
+  else if m.Witness.writes > 0 then Types.RW
+  else Types.R
+
+let mine_enclosure lb w name =
+  let sc = Witness.find_scope w name in
+  let modifiers =
+    match sc with
+    | None -> []
+    | Some sc ->
+        let base = base_view lb name in
+        List.filter_map
+          (fun (pkg, m) ->
+            let need = observed_access m in
+            if Types.access_leq need (View.access base pkg) then None
+            else Some (pkg, need))
+          (Witness.mem_of sc)
+  in
+  let filter =
+    match sc with
+    | None -> Policy.Sys_none
+    | Some sc ->
+        let cats =
+          List.filter_map
+            (fun (cat, (c : Witness.sys_counts)) ->
+              if c.Witness.allowed > 0 then Some (cat, c) else None)
+            (Witness.sys_of sc)
+        in
+        if cats = [] then Policy.Sys_none
+        else
+          Policy.Sys_atoms
+            (List.concat_map
+               (fun (cat, c) ->
+                 match Sysno.category_of_name cat with
+                 | None -> []
+                 | Some category -> (
+                     let atom = Policy.Cat category in
+                     match Witness.ips_of c with
+                     | [] -> [ atom ]
+                     | ips -> [ atom; Policy.Connect_to (List.map fst ips) ]))
+               cats)
+  in
+  let policy = { Policy.modifiers; filter } in
+  { enclosure = name; policy; literal = Policy.to_string policy }
+
+let mine lb =
+  let w = Litterbox.witness lb in
+  List.map (mine_enclosure lb w) (Litterbox.enclosure_names lb)
+  |> List.sort (fun a b -> compare a.enclosure b.enclosure)
+
+(* ------------------------------------------------------------------ *)
+(* Minimality probes                                                   *)
+
+(* An unroutable probe target: narrowing a single-IP connect atom must
+   leave the atom non-empty (an empty connect list is a parse error),
+   so the observed IP is swapped for one no scenario ever serves. *)
+let unroutable_ip =
+  (10 lsl 24) lor (255 lsl 16) lor (255 lsl 8) lor 254 (* 10.255.255.254 *)
+
+let lower_rung = function
+  | Types.RWX -> Types.RW
+  | Types.RW -> Types.R
+  | Types.R -> Types.U
+  | Types.U -> Types.U
+
+(* Every one-rung narrowing of [policy], each paired with a
+   human-readable description of the capability it removes. A mined
+   policy is minimal iff re-running the scenario under each narrowing
+   faults. *)
+let narrowings (policy : Policy.t) =
+  let mem_probes =
+    List.mapi
+      (fun i (pkg, acc) ->
+        let acc' = lower_rung acc in
+        let modifiers =
+          List.mapi (fun j m -> if i = j then (pkg, acc') else m)
+            policy.Policy.modifiers
+          |> List.filter (fun (_, a) -> a <> Types.U)
+        in
+        ( Printf.sprintf "mem %s:%s -> %s" pkg (Types.access_name acc)
+            (Types.access_name acc'),
+          { policy with Policy.modifiers } ))
+      policy.Policy.modifiers
+  in
+  let sys_probes =
+    match policy.Policy.filter with
+    | Policy.Sys_none | Policy.Sys_all -> []
+    | Policy.Sys_atoms atoms ->
+        List.mapi
+          (fun i atom ->
+            match atom with
+            | Policy.Cat c ->
+                let rest = List.filteri (fun j _ -> j <> i) atoms in
+                let filter =
+                  (* Dropping the net category also drops its connect
+                     narrowing: connect(...) without net grants nothing
+                     the category did. *)
+                  match
+                    if c = Encl_kernel.Sysno.Cat_net then
+                      List.filter
+                        (function Policy.Connect_to _ -> false | _ -> true)
+                        rest
+                    else rest
+                  with
+                  | [] -> Policy.Sys_none
+                  | rest -> Policy.Sys_atoms rest
+                in
+                ( Printf.sprintf "sys -%s" (Sysno.category_name c),
+                  { policy with Policy.filter } )
+            | Policy.Connect_to ips ->
+                let probe_ips =
+                  match ips with
+                  | [ _ ] -> [ unroutable_ip ]
+                  | _ :: rest -> rest
+                  | [] -> [ unroutable_ip ]
+                in
+                let atoms' =
+                  List.mapi
+                    (fun j a -> if i = j then Policy.Connect_to probe_ips else a)
+                    atoms
+                in
+                ( Printf.sprintf "sys -connect(%s)"
+                    (String.concat "|"
+                       (List.map Encl_kernel.Net.string_of_addr
+                          (match ips with ip :: _ -> [ ip ] | [] -> []))),
+                  { policy with Policy.filter = Policy.Sys_atoms atoms' } ))
+          atoms
+  in
+  List.map
+    (fun (desc, p) -> (desc, Policy.to_string p))
+    (mem_probes @ sys_probes)
+
+(* ------------------------------------------------------------------ *)
+(* Drift comparison                                                    *)
+
+(* [policy_leq ~fresh ~committed]: the fresh policy grants nothing the
+   committed one does not — the "no widening" half of the drift gate.
+   Filters compare with {!Policy.filter_leq}; modifiers compare
+   pointwise, a package absent from the committed side granting [U]
+   (mined modifiers only ever name packages outside the base view, so
+   absence is the no-grant default on both sides). *)
+let policy_leq ~(fresh : Policy.t) ~(committed : Policy.t) =
+  Policy.filter_leq fresh.Policy.filter committed.Policy.filter
+  && List.for_all
+       (fun (pkg, acc) ->
+         let granted =
+           match List.assoc_opt pkg committed.Policy.modifiers with
+           | Some a -> a
+           | None -> Types.U
+         in
+         Types.access_leq acc granted)
+       fresh.Policy.modifiers
+
+(* Policy width: how many distinct capabilities the literal grants —
+   one per memory modifier above [U], one per syscall category, one per
+   connect narrowing. [sys=all] counts every category. The bench
+   policy_mining rows and the EXPERIMENTS.md table report this. *)
+let width (policy : Policy.t) =
+  let mods =
+    List.length (List.filter (fun (_, a) -> a <> Types.U) policy.Policy.modifiers)
+  in
+  let sys =
+    match policy.Policy.filter with
+    | Policy.Sys_none -> 0
+    | Policy.Sys_all -> List.length Sysno.all_categories
+    | Policy.Sys_atoms atoms -> List.length atoms
+  in
+  mods + sys

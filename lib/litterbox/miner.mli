@@ -1,0 +1,41 @@
+(** The least-privilege policy miner: folds a run's witness
+    ({!Encl_obs.Witness}) into the minimal [with [Policies]] literal per
+    enclosure — observed syscall categories (with [connect(...)]
+    narrowed to the observed target IPs), plus a memory modifier for
+    each package touched outside the enclosure's base
+    dependency-closure view, at the lowest lattice rung covering the
+    observed modes.
+
+    Soundness (zero policy faults when enforced) and minimality (every
+    mined capability is load-bearing) are checked by re-runs in
+    [bin/policyminer.exe], using {!Litterbox.set_policy_override} and
+    the {!narrowings} probes. *)
+
+type mined = {
+  enclosure : string;
+  policy : Policy.t;
+  literal : string;  (** [Policy.to_string policy], the canonical form *)
+}
+
+val mine : Litterbox.t -> mined list
+(** One entry per declared enclosure (sorted by name), folded from the
+    runtime's witness recorder. An enclosure the witness never saw run
+    mines the default deny-all policy ["; sys=none"]. *)
+
+val narrowings : Policy.t -> (string * string) list
+(** Every one-rung narrowing of the policy, as [(description, literal)]
+    pairs: each memory modifier lowered one lattice rung, each syscall
+    category dropped (dropping [net] also drops its [connect]
+    narrowing), each connect list shortened (a single-IP list is swapped
+    for an unroutable probe address — the empty list is not valid
+    syntax). The mined policy is minimal iff re-running the scenario
+    under each narrowing faults. *)
+
+val policy_leq : fresh:Policy.t -> committed:Policy.t -> bool
+(** No-widening comparison for the drift gate: true iff [fresh] grants
+    nothing [committed] does not (filters via {!Policy.filter_leq},
+    modifiers pointwise with absence reading as [U]). *)
+
+val width : Policy.t -> int
+(** Distinct capabilities granted: modifiers above [U] + syscall
+    categories ([sys=all] counts all) + connect narrowings. *)

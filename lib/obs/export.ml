@@ -361,6 +361,86 @@ let trace_json obs =
        ])
 
 (* ------------------------------------------------------------------ *)
+(* Witness: per-scope capability sets                                  *)
+
+(* Dotted-quad rendering, local so the obs layer stays independent of
+   the kernel's [Net]. The packing matches [Net.addr_of_string]. *)
+let dotted_quad ip =
+  Printf.sprintf "%d.%d.%d.%d" ((ip lsr 24) land 0xff) ((ip lsr 16) land 0xff)
+    ((ip lsr 8) land 0xff) (ip land 0xff)
+
+let witness_scope_json sc =
+  let open Json in
+  let mem_json (m : Witness.mem_counts) =
+    Obj
+      ([
+         ("mode", String (Witness.mem_mode m));
+         ("reads", Int m.Witness.reads);
+         ("writes", Int m.Witness.writes);
+         ("execs", Int m.Witness.execs);
+       ]
+      @
+      if m.Witness.lo <= m.Witness.hi then
+        [ ("lo", Int m.Witness.lo); ("hi", Int m.Witness.hi) ]
+      else [])
+  in
+  let sys_json (c : Witness.sys_counts) =
+    Obj
+      ([
+         ("allowed", Int c.Witness.allowed);
+         ("denied", Int c.Witness.denied);
+         ( "sites",
+           Obj (List.map (fun (s, n) -> (s, Int n)) (Witness.sites_of c)) );
+       ]
+      @
+      match Witness.ips_of c with
+      | [] -> []
+      | ips ->
+          [
+            ( "connect_ips",
+              Obj (List.map (fun (ip, n) -> (dotted_quad ip, Int n)) ips) );
+          ])
+  in
+  Obj
+    [
+      ( "mem",
+        Obj (List.map (fun (p, m) -> (p, mem_json m)) (Witness.mem_of sc)) );
+      ( "sys",
+        Obj (List.map (fun (c, v) -> (c, sys_json v)) (Witness.sys_of sc)) );
+      ("trusted_calls", Int (Witness.trusted_calls sc));
+      ("tainted_verified", Int (Witness.tainted_verified sc));
+      ("tainted_rejected", Int (Witness.tainted_rejected sc));
+      ("transfers", Int (Witness.transfers sc));
+    ]
+
+let witness_fields obs =
+  let open Json in
+  let w = Obs.witness obs in
+  let allowed, denied = Witness.totals w in
+  [
+    ("enabled", Bool (Witness.enabled w));
+    ( "scopes",
+      Obj
+        (List.map
+           (fun name ->
+             match Witness.find_scope w name with
+             | Some sc -> (name, witness_scope_json sc)
+             | None -> (name, Null))
+           (Witness.scope_names w)) );
+    ("totals", Obj [ ("allowed", Int allowed); ("denied", Int denied) ]);
+  ]
+
+let witness_json obs =
+  let open Json in
+  to_string
+    (Obj
+       ([
+          ("backend", String (Obs.backend obs));
+          ("dropped_events", Int (Obs.dropped_events obs));
+        ]
+       @ witness_fields obs))
+
+(* ------------------------------------------------------------------ *)
 (* Flat metrics dump                                                   *)
 
 let hist_json h =
@@ -447,8 +527,8 @@ let metrics_json obs =
              ] );
          ("scopes", Obj (List.map scope_json (Metrics.scopes m)));
          ("totals", Obj totals);
+         ("witness", Obj (witness_fields obs));
        ])
-
 (* ------------------------------------------------------------------ *)
 (* Attribution: table, collapsed stacks, speedscope                    *)
 

@@ -48,6 +48,15 @@ val metrics_json : Obs.t -> string
     cross-scope [totals] (so [totals.switch]/[totals.fault] can be
     compared with [Litterbox.switch_count]/[fault_count] exactly). *)
 
+val witness_json : Obs.t -> string
+(** The standalone witness artifact ([witness.json]): per-scope
+    capability sets — package access modes with ranges, syscall
+    categories with call sites and connect targets, boundary-crossing
+    counts — plus cross-scope allowed/denied totals and the event-ring
+    drop count (a non-zero drop invalidates mining runs). Keys are
+    sorted, so identical runs produce byte-identical artifacts. The
+    same fields are embedded in {!metrics_json} under ["witness"]. *)
+
 val attrib_table : ?top:int -> Obs.t -> string
 (** Aligned text: the [top] (default 12) largest (scope × category)
     cells with their share of elapsed simulated time, headed by the

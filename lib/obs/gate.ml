@@ -24,6 +24,10 @@ let rule_for metric =
      not, so any dip below baseline is a real security regression. *)
   | "containment_score" -> { direction = Higher_better; tolerance = 0.0 }
   | "ms_per_invert" -> { direction = Lower_better; tolerance = 0.10 }
+  (* Deterministic: the miner folds a witnessed run into the same
+     literals every time, so a wider mined policy means a capability
+     leaked into a scenario — gate with zero tolerance. *)
+  | "policy_width" -> { direction = Lower_better; tolerance = 0.0 }
   | "conservative_slowdown" | "decoupled_slowdown" ->
       { direction = Lower_better; tolerance = 0.15 }
   | m when String.length m > 3 && Filename.check_suffix m "_ns" ->

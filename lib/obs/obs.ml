@@ -4,6 +4,7 @@ type t = {
   metrics : Metrics.t;
   spans : Span.t;
   attrib : Attrib.t;
+  witness : Witness.t;
   mutable enabled : bool;
   mutable backend : string;
   mutable context : string option;
@@ -23,6 +24,7 @@ let create ?(capacity = default_capacity) ?enabled ~now () =
     metrics = Metrics.create ();
     spans = Span.create ~capacity ~now ();
     attrib = Attrib.create ~now ();
+    witness = Witness.create ();
     enabled = (match enabled with Some e -> e | None -> !default_enabled);
     backend = "baseline";
     context = None;
@@ -90,6 +92,8 @@ let clock_tick t ns =
         let scope = scope_of t None in
         Attrib.charge t.attrib ~scope ~category:"user" ~stack:t.user_sig ns
 
+let witness t = t.witness
+
 let events t = Ring.to_list t.ring
 let metrics t = t.metrics
 let spans t = t.spans
@@ -102,4 +106,5 @@ let reset t =
   Ring.clear t.ring;
   Metrics.clear t.metrics;
   Span.clear t.spans;
-  Attrib.clear t.attrib
+  Attrib.clear t.attrib;
+  Witness.reset t.witness

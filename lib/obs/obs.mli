@@ -76,6 +76,13 @@ val clock_tick : t -> int -> unit
 val spans : t -> Span.t
 val attribution : t -> Attrib.t
 
+val witness : t -> Witness.t
+(** The machine's witness recorder ({!Witness}). Carried here so every
+    emission site that already holds the sink can reach it, but gated
+    independently: the witness has its own enabled flag
+    ([Witness.default_enabled], consulted at {!create} time) so policy
+    mining can run with the event ring off and vice versa. *)
+
 (** {2 Introspection} *)
 
 val events : t -> Event.t list

@@ -38,6 +38,10 @@ type t = {
   mutable current : env;
   mutable inject : Encl_fault.Fault.t option;
   mutable on_fault : (fault -> unit) option;
+  mutable on_access : (access_kind -> vaddr:int -> unit) option;
+  (* Witness tap: called once per successful [check_page], after every
+     permission layer has admitted the access. Pure observer — it must
+     not raise or consume simulated time. *)
   (* Call-gate integrity (Garmr): the set of scanned, registered gate
      sites, and whether execution is currently inside one. Depth (not a
      bool) because gates nest: the litterbox switch gate can run the
@@ -57,6 +61,7 @@ let create ~phys ~clock ~costs env =
     current = env;
     inject = None;
     on_fault = None;
+    on_access = None;
     gates = Hashtbl.create 8;
     gate_depth = 0;
     gate_violations = 0;
@@ -64,6 +69,7 @@ let create ~phys ~clock ~costs env =
   }
 
 let set_fault_hook t f = t.on_fault <- f
+let set_access_hook t f = t.on_access <- f
 
 let set_injector t inj =
   Encl_fault.Fault.register inj ~point:"cpu.spurious_fault"
@@ -184,6 +190,7 @@ let check_page t kind vaddr =
       | Exec -> ());
       if injected t "cpu.pte_perm_flip" then
         fault t kind vaddr "injected transient PTE permission flip";
+      (match t.on_access with None -> () | Some hook -> hook kind ~vaddr);
       pte
 
 let check t kind ~addr ~len =

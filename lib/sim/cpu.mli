@@ -112,6 +112,14 @@ val set_fault_hook : t -> (fault -> unit) option -> unit
     machine marks an instant span so fault delivery shows up in traces).
     The hook must not raise; it runs inside the faulting access. *)
 
+val set_access_hook : t -> (access_kind -> vaddr:int -> unit) option -> unit
+(** Observer called once per page-level access check that {e passed}
+    every permission layer (page table, exec filter, SFI mask, MPK key).
+    This is the witness recorder's memory feed: the single checkpoint
+    all four backends funnel through. The hook must not raise and must
+    not consume simulated time; [None] (the default) keeps the access
+    path branch-only. *)
+
 val check : t -> access_kind -> addr:int -> len:int -> unit
 (** Validate an access of [len] bytes at [addr] in the current environment;
     raises {!Fault} on the first offending page. *)
