@@ -25,6 +25,14 @@ let quick = Sys.getenv_opt "ENCL_BENCH_QUICK" = Some "1"
 let backends = Encl_litterbox.Backend.all
 let configs = None :: List.map (fun b -> Some b) backends
 
+(* Every legacy table runs on the classic single-core machine no matter
+   what ENCL_CORES says, so the committed baseline rows never depend on
+   the environment; the smp_http section pins its core count per row. *)
+let rcfg_of config =
+  match config with
+  | None -> { Runtime.baseline with Runtime.cores = 1 }
+  | Some b -> { (Runtime.with_backend b) with Runtime.cores = 1 }
+
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
@@ -102,11 +110,7 @@ let micro_packages () =
 
 let micro_boot config =
   match
-    Runtime.boot
-      (match config with
-      | None -> Runtime.baseline
-      | Some b -> Runtime.with_backend b)
-      ~packages:(micro_packages ()) ~entry:"main"
+    Runtime.boot (rcfg_of config) ~packages:(micro_packages ()) ~entry:"main"
   with
   | Ok rt -> rt
   | Error e -> failwith ("micro boot: " ^ e)
@@ -207,7 +211,11 @@ let table2 () =
   let requests = if quick then 200 else 2000 in
   (* bild *)
   let bild_res =
-    List.map (fun c -> Scenarios.bild c ~width:dim ~height:dim ~iters:bild_iters ()) configs
+    List.map
+      (fun c ->
+        Scenarios.bild c ~rcfg:(rcfg_of c) ~width:dim ~height:dim
+          ~iters:bild_iters ())
+      configs
   in
   let ms_res =
     List.map (fun r -> float_of_int r.Scenarios.b_ns_per_invert /. 1e6) bild_res
@@ -222,7 +230,9 @@ let table2 () =
       Printf.printf "   [paper: 13.25 / 1.12x / 1.05x]\n%!"
   | [] -> assert false);
   (* HTTP *)
-  let http_res = List.map (fun c -> Scenarios.http c ~requests ()) configs in
+  let http_res =
+    List.map (fun c -> Scenarios.http c ~rcfg:(rcfg_of c) ~requests ()) configs
+  in
   let http_rps = List.map (fun r -> r.Scenarios.h_req_per_sec) http_res in
   add_row ~workload:"http" ~metric:"req_per_sec"
     ~papers:[ 16991.; 16991. /. 1.02; 16991. /. 1.77 ]
@@ -234,7 +244,11 @@ let table2 () =
       Printf.printf " [paper: 16991 / 1.02x / 1.77x]\n%!"
   | [] -> assert false);
   (* FastHTTP *)
-  let fast_res = List.map (fun c -> Scenarios.fasthttp c ~requests ()) configs in
+  let fast_res =
+    List.map
+      (fun c -> Scenarios.fasthttp c ~rcfg:(rcfg_of c) ~requests ())
+      configs
+  in
   let fast_rps = List.map (fun r -> r.Scenarios.h_req_per_sec) fast_res in
   add_row ~workload:"fasthttp" ~metric:"req_per_sec"
     ~papers:[ 22867.; 22867. /. 1.04; 22867. /. 2.01 ]
@@ -262,7 +276,9 @@ let table2 () =
 let figure5 () =
   section "Figure 5: wiki-like web application (mux + pq + Postgres)";
   let requests = if quick then 120 else 1000 in
-  let res = List.map (fun c -> Scenarios.wiki c ~requests ()) configs in
+  let res =
+    List.map (fun c -> Scenarios.wiki c ~rcfg:(rcfg_of c) ~requests ()) configs
+  in
   let rps = List.map (fun r -> r.Scenarios.h_req_per_sec) res in
   add_row ~workload:"wiki" ~metric:"req_per_sec" (List.combine configs rps);
   (match rps with
@@ -357,7 +373,8 @@ let extensions () =
   let requests = if quick then 200 else 1000 in
   let http =
     List.map
-      (fun c -> (Scenarios.http c ~requests ()).Scenarios.h_req_per_sec)
+      (fun c ->
+        (Scenarios.http c ~rcfg:(rcfg_of c) ~requests ()).Scenarios.h_req_per_sec)
       configs
   in
   (match http with
@@ -400,7 +417,7 @@ let ablations () =
   in
   let packages = main :: Fasthttp.packages () in
   let npkgs = List.length packages + 2 (* + litterbox user/super *) in
-  (match Runtime.boot (Runtime.with_backend Lb.Mpk) ~packages ~entry:"main" with
+  (match Runtime.boot (rcfg_of (Some Lb.Mpk)) ~packages ~entry:"main" with
   | Ok rt ->
       let lb = Option.get (Runtime.lb rt) in
       Printf.printf
@@ -412,7 +429,7 @@ let ablations () =
 " e);
   (match
      Runtime.boot
-       { (Runtime.with_backend Lb.Mpk) with Runtime.clustering = false }
+       { (rcfg_of (Some Lb.Mpk)) with Runtime.clustering = false }
        ~packages ~entry:"main"
    with
   | Ok _ -> Printf.printf "clustering OFF: unexpectedly initialized
@@ -423,14 +440,14 @@ let ablations () =
      every system call erases most of LB_MPK's advantage on
      syscall-heavy servers. *)
   let requests = if quick then 200 else 1000 in
-  let base = Scenarios.http None ~requests () in
-  let fast = Scenarios.http (Some Lb.Mpk) ~requests () in
+  let base = Scenarios.http None ~rcfg:(rcfg_of None) ~requests () in
+  let fast = Scenarios.http (Some Lb.Mpk) ~rcfg:(rcfg_of (Some Lb.Mpk)) ~requests () in
   let slow_costs =
     { Costs.default with Costs.seccomp_fast = Costs.default.Costs.seccomp_eval }
   in
   let slow =
     Scenarios.http (Some Lb.Mpk)
-      ~rcfg:{ (Runtime.with_backend Lb.Mpk) with Runtime.costs = slow_costs }
+      ~rcfg:{ (rcfg_of (Some Lb.Mpk)) with Runtime.costs = slow_costs }
       ~requests ()
   in
   Printf.printf
@@ -460,7 +477,7 @@ let ablations () =
      needs zero annotations for the packages an enclosure uses; the
      deny-all alternative would require listing every natural
      dependency. *)
-  (match Runtime.boot Runtime.baseline ~packages ~entry:"main" with
+  (match Runtime.boot (rcfg_of None) ~packages ~entry:"main" with
   | Error e -> Printf.printf "annotation count: boot failed: %s
 " e
   | Ok rt ->
@@ -491,12 +508,16 @@ let bechamel_tests () =
   let t2_bild =
     Test.make ~name:"table2/bild-64x64-invert"
       (Staged.stage (fun () ->
-           ignore (Scenarios.bild (Some Lb.Mpk) ~width:64 ~height:64 ~iters:1 ())))
+           ignore
+             (Scenarios.bild (Some Lb.Mpk) ~rcfg:(rcfg_of (Some Lb.Mpk))
+                ~width:64 ~height:64 ~iters:1 ())))
   in
   let f5_wiki =
     Test.make ~name:"figure5/wiki-24-requests"
       (Staged.stage (fun () ->
-           ignore (Scenarios.wiki (Some Lb.Vtx) ~requests:24 ~conns:4 ())))
+           ignore
+             (Scenarios.wiki (Some Lb.Vtx) ~rcfg:(rcfg_of (Some Lb.Vtx))
+                ~requests:24 ~conns:4 ())))
   in
   let p64_python =
     Test.make ~name:"section6.4/python-1k-points"
@@ -548,7 +569,8 @@ let fastpath () =
   let requests = if quick then 200 else 2000 in
   let run_http backend flag =
     Fastpath.with_flag flag (fun () ->
-        Scenarios.http_rt (Some backend) ~requests ())
+        Scenarios.http_rt (Some backend) ~rcfg:(rcfg_of (Some backend))
+          ~requests ())
   in
   List.iter
     (fun backend ->
@@ -589,7 +611,8 @@ let sysring () =
   let requests = if quick then 200 else 2000 in
   let run_http backend flag =
     Sysring.with_flag flag (fun () ->
-        Scenarios.http_rt (Some backend) ~requests ())
+        Scenarios.http_rt (Some backend) ~rcfg:(rcfg_of (Some backend))
+          ~requests ())
   in
   List.iter
     (fun backend ->
@@ -628,7 +651,9 @@ let resilience () =
       match config with
       | None -> () (* no enclosures to fault in the baseline *)
       | Some _ ->
-          let _rt, r = Scenarios.chaos_http config ~requests () in
+          let _rt, r =
+            Scenarios.chaos_http config ~rcfg:(rcfg_of config) ~requests ()
+          in
           let backend = Scenarios.config_name config in
           Printf.printf "%-8s chaos http  %s\n" backend
             (Scenarios.pp_chaos_result r);
@@ -640,7 +665,8 @@ let resilience () =
             (float_of_int r.Scenarios.c_conns_failed))
     configs;
   let _rt, r =
-    Scenarios.chaos_wiki (Some Lb.Mpk) ~requests:(if quick then 150 else 400) ()
+    Scenarios.chaos_wiki (Some Lb.Mpk) ~rcfg:(rcfg_of (Some Lb.Mpk))
+      ~requests:(if quick then 150 else 400) ()
   in
   Printf.printf "%-8s chaos wiki  %s\n" "LB_MPK" (Scenarios.pp_chaos_result r);
   add_result ~workload:"resilience_wiki" ~backend:"LB_MPK" ~metric:"availability"
@@ -696,7 +722,8 @@ let policy_mining () =
   let run witnessed =
     let _rt, r =
       with_witness witnessed (fun () ->
-          Scenarios.http_rt (Some Lb.Mpk) ~requests ())
+          Scenarios.http_rt (Some Lb.Mpk) ~rcfg:(rcfg_of (Some Lb.Mpk))
+            ~requests ())
     in
     r.Scenarios.h_req_per_sec
   in
@@ -727,13 +754,65 @@ let policy_mining () =
       ~metric:"policy_width" (float_of_int total)
   in
   mined_width "http" (fun () ->
-      fst (Scenarios.http_rt (Some Lb.Mpk) ~requests ()));
+      fst
+        (Scenarios.http_rt (Some Lb.Mpk) ~rcfg:(rcfg_of (Some Lb.Mpk))
+           ~requests ()));
   mined_width "wiki" (fun () ->
       fst
-        (Scenarios.wiki_rt (Some Lb.Mpk) ~requests:(if quick then 120 else 400)
-           ()));
+        (Scenarios.wiki_rt (Some Lb.Mpk) ~rcfg:(rcfg_of (Some Lb.Mpk))
+           ~requests:(if quick then 120 else 400) ()));
   mined_width "pq" (fun () ->
-      fst (Scenarios.pq_rt (Some Lb.Mpk) ~queries:(if quick then 80 else 200) ()))
+      fst
+        (Scenarios.pq_rt (Some Lb.Mpk) ~rcfg:(rcfg_of (Some Lb.Mpk))
+           ~queries:(if quick then 80 else 200) ()))
+
+(* ------------------------------------------------------------------ *)
+(* SMP: the sharded machine's scaling curve                            *)
+
+let smp () =
+  section "SMP: smp_http across simulated cores (makespan req/s)";
+  let requests = if quick then 512 else 4096 in
+  let conns = if quick then 32 else 64 in
+  let core_counts = [ 1; 2; 4; 8; 16 ] in
+  let runs =
+    List.map
+      (fun cores ->
+        (cores, Scenarios.smp_http (Some Lb.Mpk) ~cores ~requests ~conns ()))
+      core_counts
+  in
+  let base = snd (List.hd runs) in
+  List.iter
+    (fun (cores, r) ->
+      let speedup =
+        r.Scenarios.s_req_per_sec /. base.Scenarios.s_req_per_sec
+      in
+      let hit_rate =
+        float_of_int r.Scenarios.s_affinity_hits
+        /. float_of_int
+             (max 1 (r.Scenarios.s_affinity_hits + r.Scenarios.s_switches))
+      in
+      Printf.printf
+        "LB_MPK  smp_http %2d cores %9.0f req/s (%5.2fx)  steals %5d  \
+         affinity %.3f  switches %6d\n%!"
+        cores r.Scenarios.s_req_per_sec speedup r.Scenarios.s_steals hit_rate
+        r.Scenarios.s_switches;
+      let workload = Printf.sprintf "smp_http_%dcore" cores in
+      add_result ~workload ~backend:"LB_MPK" ~metric:"req_per_sec"
+        r.Scenarios.s_req_per_sec;
+      add_result ~workload ~backend:"LB_MPK" ~metric:"steal_count"
+        (float_of_int r.Scenarios.s_steals);
+      add_result ~workload ~backend:"LB_MPK" ~metric:"affinity_hit_rate"
+        hit_rate)
+    runs;
+  (* The headline gate row: 4-core speedup per core, higher-better. *)
+  let r4 = List.assoc 4 runs in
+  let efficiency =
+    r4.Scenarios.s_req_per_sec /. base.Scenarios.s_req_per_sec /. 4.0
+  in
+  Printf.printf "LB_MPK  smp_http scaling efficiency at 4 cores: %.3f\n%!"
+    efficiency;
+  add_result ~workload:"smp_http" ~backend:"LB_MPK"
+    ~metric:"scaling_efficiency" efficiency
 
 (* ------------------------------------------------------------------ *)
 
@@ -752,6 +831,7 @@ let () =
   resilience ();
   attacks ();
   policy_mining ();
+  smp ();
   run_bechamel ();
   write_results ();
   print_newline ()

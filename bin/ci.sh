@@ -6,20 +6,41 @@
 # crossover, and hold fresh bench numbers to the committed baseline.
 #
 # Run from the repository root:
-#   sh bin/ci.sh            full pipeline (the CI default)
-#   sh bin/ci.sh --quick    skip the chaos and profile smokes
+#   sh bin/ci.sh              full pipeline (the CI default)
+#   sh bin/ci.sh --quick      skip the chaos and profile smokes
+#   sh bin/ci.sh --cores N    run the test suite and the SMP determinism
+#                             stage on an N-core simulated machine
 set -eu
 
 quick=0
+cores=1
+expect_cores=0
 for arg in "$@"; do
+  if [ "$expect_cores" = 1 ]; then
+    cores="$arg"
+    expect_cores=0
+    continue
+  fi
   case "$arg" in
     --quick) quick=1 ;;
+    --cores) expect_cores=1 ;;
+    --cores=*) cores="${arg#--cores=}" ;;
     *)
-      echo "usage: sh bin/ci.sh [--quick]" >&2
+      echo "usage: sh bin/ci.sh [--quick] [--cores N]" >&2
       exit 2
       ;;
   esac
 done
+if [ "$expect_cores" = 1 ]; then
+  echo "ci: --cores needs a value" >&2
+  exit 2
+fi
+case "$cores" in
+  '' | *[!0-9]* | 0)
+    echo "ci: --cores needs a positive integer, got '$cores'" >&2
+    exit 2
+    ;;
+esac
 
 # Scratch space for everything CI writes besides the bench artifacts;
 # cleaned up even when a step fails.
@@ -47,8 +68,12 @@ stage() {
 stage "build"
 dune build
 
-stage "tests"
-dune runtest
+stage "tests (ENCL_CORES=$cores)"
+# The whole suite must stay green at any core count: ENCL_CORES sets
+# the default machine width for every runtime the tests boot. --force,
+# because dune does not track environment variables — a cached result
+# from another core count would silently satisfy this stage.
+ENCL_CORES=$cores dune runtest --force
 
 stage "bench (quick sweep + artifact validation)"
 ENCL_BENCH_QUICK=1 dune exec bench/main.exe
@@ -113,6 +138,48 @@ if ! cmp -s "$tmp/witness.json" "$tmp/rerun-witness/witness.json"; then
   echo "ci: witness.json diverged between identical runs" >&2
   exit 1
 fi
+
+stage "smp determinism (rerun diff + core-count invariance)"
+# Sharding the machine must never cost determinism. Two same-seed runs
+# of the work-stealing scenario must produce byte-identical trace,
+# metrics and witness artifacts at every core count this leg covers
+# (1 and the matrix's $cores), and enforcement must be a function of
+# the program alone: the timing-free enforcement report — verdicts,
+# fault logs, quarantine state, workload syscall totals, on all four
+# backends — must be byte-identical between a 1-core and a 4-core
+# machine.
+smp_core_counts=1
+if [ "$cores" != 1 ]; then smp_core_counts="1 $cores"; fi
+for n in $smp_core_counts; do
+  mkdir -p "$tmp/smp-$n-a" "$tmp/smp-$n-b"
+  ENCL_CORES=$n dune exec bin/trace_dump.exe -- smp_http --requests 256 \
+    --out-dir "$tmp/smp-$n-a" > /dev/null
+  ENCL_CORES=$n dune exec bin/trace_dump.exe -- smp_http --requests 256 \
+    --out-dir "$tmp/smp-$n-b" > /dev/null
+  for f in trace.json metrics.json witness.json; do
+    if ! cmp -s "$tmp/smp-$n-a/$f" "$tmp/smp-$n-b/$f"; then
+      echo "ci: $f diverged between identical $n-core runs" >&2
+      exit 1
+    fi
+  done
+  dune exec bin/trace_dump.exe -- validate "$tmp/smp-$n-a/metrics.json"
+done
+ENCL_CORES=1 dune exec bin/trace_dump.exe -- enforcement > "$tmp/enforce_1core.txt"
+ENCL_CORES=4 dune exec bin/trace_dump.exe -- enforcement > "$tmp/enforce_4core.txt"
+if ! cmp -s "$tmp/enforce_1core.txt" "$tmp/enforce_4core.txt"; then
+  echo "ci: enforcement diverged between 1-core and 4-core machines" >&2
+  diff "$tmp/enforce_1core.txt" "$tmp/enforce_4core.txt" >&2 || true
+  exit 1
+fi
+
+stage "smp scaling"
+# The sharded machine must actually scale: profile smp runs smp_http at
+# 1, 2, 4, 8 and 16 cores and exits 1 unless the 4-core run serves
+# >= 2.5x the 1-core req/s at identical fault and workload-syscall
+# counts. The curve lands in SMP_scaling.json next to
+# BENCH_results.json so the workflow can upload it as an artifact.
+dune exec bin/profile.exe -- smp --out SMP_scaling.json
+dune exec bin/trace_dump.exe -- validate SMP_scaling.json
 
 stage "policy mining (mine -> verify -> drift)"
 # The witness ledger must reconcile with the kernel counters and the

@@ -513,6 +513,122 @@ let crossover switch_scenario access_scenario requests =
       1
 
 (* ------------------------------------------------------------------ *)
+(* smp: the scaling curve of the sharded machine *)
+
+(* Acceptance (the SMP issue): at 4 cores smp_http must serve at least
+   [min_speedup]x the 1-core requests per second — req/s is measured
+   against the makespan, the slowest core's lane — while the kernel
+   executes the same number of workload system calls and enforcement
+   records the same number of faults at every core count. The whole
+   1..16-core curve is written as a JSON artifact for CI to upload
+   next to BENCH_results.json. *)
+
+let smp backend requests min_speedup out =
+  let core_counts = [ 1; 2; 4; 8; 16 ] in
+  let runs =
+    List.map
+      (fun cores -> Scenarios.smp_http backend ~cores ?requests ())
+      core_counts
+  in
+  let base = List.hd runs in
+  let module Json = Export.Json in
+  let rows =
+    List.map
+      (fun (r : Scenarios.smp_result) ->
+        let speedup =
+          r.Scenarios.s_req_per_sec /. base.Scenarios.s_req_per_sec
+        in
+        Printf.printf
+          "%-8s smp_http %2d cores %9.0f req/s (%5.2fx, efficiency %.3f)  \
+           steals %5d  switches %6d  faults %d  syscalls %d\n"
+          (Scenarios.config_name backend)
+          r.Scenarios.s_cores r.Scenarios.s_req_per_sec speedup
+          (speedup /. float_of_int r.Scenarios.s_cores)
+          r.Scenarios.s_steals r.Scenarios.s_switches r.Scenarios.s_faults
+          r.Scenarios.s_syscalls;
+        Json.Obj
+          [
+            ("cores", Json.Int r.Scenarios.s_cores);
+            ("req_per_sec", Json.Float r.Scenarios.s_req_per_sec);
+            ("speedup", Json.Float speedup);
+            ( "efficiency",
+              Json.Float (speedup /. float_of_int r.Scenarios.s_cores) );
+            ("wall_ns", Json.Int r.Scenarios.s_wall_ns);
+            ("cpu_ns", Json.Int r.Scenarios.s_cpu_ns);
+            ("steals", Json.Int r.Scenarios.s_steals);
+            ("affinity_hits", Json.Int r.Scenarios.s_affinity_hits);
+            ("switches", Json.Int r.Scenarios.s_switches);
+            ("faults", Json.Int r.Scenarios.s_faults);
+            ("syscalls", Json.Int r.Scenarios.s_syscalls);
+          ])
+      runs
+  in
+  write_file out
+    (Json.to_string
+       (Json.Obj
+          [
+            ("backend", Json.String (Scenarios.config_name backend));
+            ("rows", Json.List rows);
+          ]));
+  Printf.printf "smp: wrote %s (%d rows)\n" out (List.length rows);
+  let problems =
+    List.concat_map
+      (fun (r : Scenarios.smp_result) ->
+        let p = ref [] in
+        if r.Scenarios.s_faults <> base.Scenarios.s_faults then
+          p :=
+            Printf.sprintf
+              "fault counts diverged across core counts (1 core %d, %d cores \
+               %d)"
+              base.Scenarios.s_faults r.Scenarios.s_cores r.Scenarios.s_faults
+            :: !p;
+        if r.Scenarios.s_syscalls <> base.Scenarios.s_syscalls then
+          p :=
+            Printf.sprintf
+              "workload syscall counts diverged across core counts (1 core \
+               %d, %d cores %d)"
+              base.Scenarios.s_syscalls r.Scenarios.s_cores
+              r.Scenarios.s_syscalls
+            :: !p;
+        if r.Scenarios.s_requests <> base.Scenarios.s_requests then
+          p :=
+            Printf.sprintf
+              "request counts diverged across core counts (1 core %d, %d \
+               cores %d)"
+              base.Scenarios.s_requests r.Scenarios.s_cores
+              r.Scenarios.s_requests
+            :: !p;
+        !p)
+      (List.tl runs)
+  in
+  let problems =
+    match List.find_opt (fun r -> r.Scenarios.s_cores = 4) runs with
+    | None -> "no 4-core run" :: problems
+    | Some r4 ->
+        let speedup =
+          r4.Scenarios.s_req_per_sec /. base.Scenarios.s_req_per_sec
+        in
+        if speedup < min_speedup then
+          Printf.sprintf
+            "4-core speedup %.2fx below the %.2fx gate (1 core %.0f req/s, 4 \
+             cores %.0f req/s)"
+            speedup min_speedup base.Scenarios.s_req_per_sec
+            r4.Scenarios.s_req_per_sec
+          :: problems
+        else problems
+  in
+  match problems with
+  | [] ->
+      Printf.printf
+        "smp: 4-core speedup meets the %.2fx gate at identical fault and \
+         syscall counts\n"
+        min_speedup;
+      0
+  | ps ->
+      List.iter (fun p -> prerr_endline ("profile: smp: " ^ p)) ps;
+      1
+
+(* ------------------------------------------------------------------ *)
 (* gate: diff fresh bench results against the committed baseline *)
 
 let read_doc label path =
@@ -678,6 +794,30 @@ let crossover_cmd =
           identical fault and workload-syscall counts.")
     Term.(const crossover $ switch_arg $ access_arg $ requests_arg)
 
+let smp_cmd =
+  let min_speedup_arg =
+    Arg.(
+      value
+      & opt float 2.5
+      & info [ "min-speedup" ] ~docv:"X"
+          ~doc:"Required 4-core over 1-core req/s ratio.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt string "SMP_scaling.json"
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Artifact receiving the 1..16-core scaling rows.")
+  in
+  Cmd.v
+    (Cmd.info "smp"
+       ~doc:
+         "Run smp_http at 1, 2, 4, 8 and 16 simulated cores; exit 1 unless \
+          the 4-core run serves >= 2.5x the 1-core req/s (makespan) at \
+          identical fault and workload-syscall counts. Writes the scaling \
+          curve to SMP_scaling.json.")
+    Term.(const smp $ backend_arg $ requests_arg $ min_speedup_arg $ out_arg)
+
 let gate_cmd =
   let baseline_arg =
     Arg.(
@@ -715,6 +855,6 @@ let () =
   in
   let cmds =
     List.map scenario_cmd Scenarios.scenario_names
-    @ [ overhead_cmd; fastpath_cmd; sysring_cmd; crossover_cmd; gate_cmd ]
+    @ [ overhead_cmd; fastpath_cmd; sysring_cmd; crossover_cmd; smp_cmd; gate_cmd ]
   in
   exit (Cmd.eval' (Cmd.group info cmds))

@@ -100,6 +100,70 @@ let cross_check lb kernel obs =
       syscall_reconcile;
     ]
 
+(* Conservation, re-checked over the written artifact: metrics.json
+   used to carry one attribution ledger per machine; it now carries one
+   per core. Each core's cells must sum to that core's attributed
+   total, the core totals must sum to the machine-wide attributed
+   total, and that total must equal the elapsed clock. A core missing
+   from the file is a hard failure — an idle core must appear as an
+   explicit zero ledger, not as an absence. *)
+let per_core_conservation ~cores:machine_cores contents =
+  let module Json = Export.Json in
+  let problems = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  (match Json.parse contents with
+  | Error e -> fail "metrics.json unparseable: %s" e
+  | Ok doc -> (
+      match Json.member "attribution" doc with
+      | None -> fail "metrics.json has no attribution object"
+      | Some attrib -> (
+          let num field j = Option.bind (Json.member field j) Json.to_float in
+          let attributed = num "attributed_ns" attrib in
+          (match (num "elapsed_ns" attrib, attributed) with
+          | Some e, Some a when e <> a ->
+              fail "attributed %.0fns <> elapsed %.0fns" a e
+          | None, _ | _, None -> fail "attribution totals missing"
+          | _ -> ());
+          match Option.bind (Json.member "cores" attrib) Json.to_list with
+          | None -> fail "attribution has no per-core ledgers"
+          | Some cores ->
+              let seen = Hashtbl.create 8 in
+              let core_sum = ref 0 in
+              List.iter
+                (fun cj ->
+                  match (num "core" cj, num "attributed_ns" cj) with
+                  | Some c, Some a ->
+                      Hashtbl.replace seen (int_of_float c) ();
+                      core_sum := !core_sum + int_of_float a;
+                      let cell_sum =
+                        match
+                          Option.bind (Json.member "cells" cj) Json.to_list
+                        with
+                        | None -> 0.
+                        | Some cells ->
+                            List.fold_left
+                              (fun acc cell ->
+                                acc +. Option.value ~default:0. (num "ns" cell))
+                              0. cells
+                      in
+                      if int_of_float cell_sum <> int_of_float a then
+                        fail "core %d: cells sum to %.0fns, ledger says %.0fns"
+                          (int_of_float c) cell_sum a
+                  | _ -> fail "malformed per-core ledger entry")
+                cores;
+              for c = 0 to machine_cores - 1 do
+                if not (Hashtbl.mem seen c) then
+                  fail "core %d's ledger is missing from metrics.json" c
+              done;
+              (match attributed with
+              | Some a when int_of_float a <> !core_sum ->
+                  fail
+                    "per-core totals sum to %dns, machine-wide ledger says \
+                     %.0fns"
+                    !core_sum a
+              | _ -> ()))));
+  List.rev !problems
+
 let run name backend requests out_dir summary =
   Obs.default_enabled := true;
   Encl_obs.Witness.default_enabled := true;
@@ -142,6 +206,15 @@ let run name backend requests out_dir summary =
           (Obs.total_events obs);
         exit 1
       end;
+      (match
+         per_core_conservation
+           ~cores:(Runtime.machine rt).Machine.cores
+           (In_channel.with_open_bin metrics_path In_channel.input_all)
+       with
+      | [] -> ()
+      | problems ->
+          List.iter (fun p -> prerr_endline ("trace-dump: " ^ p)) problems;
+          exit 1);
       if summary then print_string (Export.summary obs);
       match Runtime.lb rt with
       | None -> 0

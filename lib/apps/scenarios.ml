@@ -221,20 +221,21 @@ let fasthttp config ?rcfg ?requests ?conns () =
 (* ------------------------------------------------------------------ *)
 (* Wiki (Figure 5)                                                     *)
 
-let wiki_boot config =
+let wiki_boot ?rcfg config =
   let packages = Wiki.main_package () :: Wiki.packages () in
-  let rt = boot_exn config ~packages ~entry:"main" in
+  let rt = boot_exn ?rcfg config ~packages ~entry:"main" in
   let _db = Wiki.setup_remote_db rt in
   Wiki.reset_counters ();
   Runtime.run_main rt (fun () ->
       Wiki.start rt ~port:8090 ~enclosed:(config <> None));
   rt
 
-let wiki_rt config ?(requests = 1000) ?(conns = 4) () =
-  let rt = wiki_boot config in
+let wiki_rt config ?rcfg ?(requests = 1000) ?(conns = 4) () =
+  let rt = wiki_boot ?rcfg config in
   (rt, drive rt ~port:8090 ~requests ~conns ~served:Wiki.requests_served)
 
-let wiki config ?requests ?conns () = snd (wiki_rt config ?requests ?conns ())
+let wiki config ?rcfg ?requests ?conns () =
+  snd (wiki_rt config ?rcfg ?requests ?conns ())
 
 (* ------------------------------------------------------------------ *)
 (* pq: an enclosed database client                                     *)
@@ -248,7 +249,7 @@ type pq_result = { p_queries : int; p_ns_per_query : int }
    database address — which makes this the policy miner's third
    reference scenario (http mines memory, wiki mines two enclosures,
    pq mines a connect narrowing in isolation). *)
-let pq_rt config ?(queries = 200) () =
+let pq_rt config ?rcfg ?(queries = 200) () =
   let main =
     Runtime.package "main" ~imports:[ Pq.pkg ]
       ~functions:[ ("main", 512); ("pq_body", 512) ]
@@ -265,7 +266,9 @@ let pq_rt config ?(queries = 200) () =
         ]
       ()
   in
-  let rt = boot_exn config ~packages:(main :: Pq.packages ()) ~entry:"main" in
+  let rt =
+    boot_exn ?rcfg config ~packages:(main :: Pq.packages ()) ~entry:"main"
+  in
   let _db = Wiki.setup_remote_db rt in
   Pq.reset_counters ();
   let completed = ref 0 in
@@ -290,7 +293,7 @@ let pq_rt config ?(queries = 200) () =
   let elapsed = Clock.now clock - t0 in
   (rt, { p_queries = !completed; p_ns_per_query = elapsed / max 1 queries })
 
-let pq config ?queries () = snd (pq_rt config ?queries ())
+let pq config ?rcfg ?queries () = snd (pq_rt config ?rcfg ?queries ())
 
 (* ------------------------------------------------------------------ *)
 (* Chaos: workloads under deterministic fault injection                *)
@@ -393,7 +396,7 @@ let pp_chaos_result r =
    enclosure is quarantined once it exhausts its fault budget, and the
    handler then degrades to a trusted fallback page so availability
    recovers. *)
-let chaos_http config ?(seed = 42L) ?(rate = 0.10) ?(budget = 5)
+let chaos_http config ?rcfg ?(seed = 42L) ?(rate = 0.10) ?(budget = 5)
     ?(requests = 500) ?(conns = 8) () =
   let main =
     Runtime.package "main"
@@ -411,7 +414,7 @@ let chaos_http config ?(seed = 42L) ?(rate = 0.10) ?(budget = 5)
       ()
   in
   let packages = main :: assets_package () :: Httpd.packages () in
-  let rt = boot_exn config ~packages ~entry:"main" in
+  let rt = boot_exn ?rcfg config ~packages ~entry:"main" in
   Httpd.reset_counters ();
   let m = Runtime.machine rt in
   let page = Runtime.global rt ~pkg:"assets" "index_html" in
@@ -445,9 +448,9 @@ let chaos_http config ?(seed = 42L) ?(rate = 0.10) ?(budget = 5)
 (* The wiki chaos scenario: network-level failures (dropped connections,
    short reads/writes, transient errnos) across the whole stack,
    exercising the retry helpers and the pq -> minidb reconnect. *)
-let chaos_wiki config ?(seed = 42L) ?(rate = 0.05) ?(budget = 5)
+let chaos_wiki config ?rcfg ?(seed = 42L) ?(rate = 0.05) ?(budget = 5)
     ?(requests = 400) ?(conns = 4) () =
-  let rt = wiki_boot config in
+  let rt = wiki_boot ?rcfg config in
   Pq.reset_counters ();
   let m = Runtime.machine rt in
   let inject = m.Machine.inject in
@@ -470,9 +473,121 @@ let chaos_wiki config ?(seed = 42L) ?(rate = 0.05) ?(budget = 5)
       ~enclosure:None ~reconnects:(Pq.reconnect_count ()) )
 
 (* ------------------------------------------------------------------ *)
+(* smp_http: the HTTP server sharded across simulated cores            *)
+
+type smp_result = {
+  s_cores : int;
+  s_requests : int;
+  s_wall_ns : int;
+  s_cpu_ns : int;
+  s_req_per_sec : float;
+  s_steals : int;
+  s_affinity_hits : int;
+  s_switches : int;
+  s_faults : int;
+  s_syscalls : int;
+}
+
+(* The http scenario with a per-request template-render cost and the
+   request rate measured against the makespan (the slowest core's
+   lane) rather than total CPU time. The render compute is what scales
+   across cores: connection fibers spread over the shard by work
+   stealing while the client driver stays serial on core 0 (the
+   scenario's Amdahl bound). The core count is pinned per call so
+   benchmark rows never depend on the environment; the default follows
+   [ENCL_CORES] for the CLI drivers. *)
+let smp_http_rt config ?cores ?(requests = 4096) ?(conns = 64)
+    ?(render_ns = 30_000) () =
+  let cores =
+    match cores with Some c -> c | None -> Runtime.default_cores ()
+  in
+  let rcfg = { (runtime_config config) with Runtime.cores } in
+  let main =
+    Runtime.package "main"
+      ~imports:[ Httpd.pkg; "assets" ]
+      ~functions:[ ("main", 512); ("handler_body", 256) ]
+      ~enclosures:
+        [
+          {
+            Encl_elf.Objfile.enc_name = "handler_enc";
+            enc_policy = "assets:R; sys=none";
+            enc_closure = "handler_body";
+            enc_deps = [];
+          };
+        ]
+      ()
+  in
+  let packages = main :: assets_package () :: Httpd.packages () in
+  let rt = boot_exn ~rcfg config ~packages ~entry:"main" in
+  Httpd.reset_counters ();
+  let page = Runtime.global rt ~pkg:"assets" "index_html" in
+  let m = Runtime.machine rt in
+  let clock = Runtime.clock rt in
+  let handler ~meth:_ ~path:_ =
+    Runtime.with_enclosure rt "handler_enc" (fun () ->
+        ignore (Gbuf.get m page 0);
+        (* Template rendering: per-request compute charged to the lane
+           of whichever core runs this connection's fiber. *)
+        Clock.consume clock Clock.Compute render_ns;
+        page)
+  in
+  Runtime.run_main rt (fun () -> Httpd.serve rt ~port:8088 ~handler);
+  Runtime.kick rt;
+  let eps = List.init conns (fun _ -> Httpd.client_connect rt ~port:8088) in
+  Runtime.kick rt;
+  (* Warm-up round. *)
+  List.iter (fun ep -> Httpd.client_get rt ep ~path:"/page/home") eps;
+  Runtime.kick rt;
+  List.iter (fun ep -> ignore (Httpd.client_read_response rt ep)) eps;
+  let t0 = Clock.wall clock in
+  let served0 = Httpd.requests_served () in
+  let rounds = requests / conns in
+  for _ = 1 to rounds do
+    List.iter (fun ep -> Httpd.client_get rt ep ~path:"/page/home") eps;
+    Runtime.kick rt;
+    List.iter
+      (fun ep ->
+        let resp = Httpd.client_read_response rt ep in
+        if Bytes.length resp = 0 then failwith "empty response")
+      eps
+  done;
+  let handled = Httpd.requests_served () - served0 in
+  if handled < rounds * conns then
+    failwith
+      (Printf.sprintf "server fell behind: %d/%d requests" handled
+         (rounds * conns));
+  let wall = Clock.wall clock - t0 in
+  let sched = Runtime.sched rt in
+  let non_mem =
+    List.fold_left
+      (fun acc (nr, n) ->
+        if Encl_kernel.Sysno.category nr = Encl_kernel.Sysno.Cat_mem then acc
+        else acc + n)
+      0
+      (K.trace m.Machine.kernel)
+  in
+  ( rt,
+    {
+      s_cores = cores;
+      s_requests = handled;
+      s_wall_ns = wall;
+      s_cpu_ns = Clock.now clock;
+      s_req_per_sec = float_of_int handled /. (float_of_int wall /. 1e9);
+      s_steals = Sched.steal_count sched;
+      s_affinity_hits = Sched.affinity_hit_count sched;
+      s_switches = Sched.switch_count sched;
+      s_faults =
+        (match Runtime.lb rt with Some lb -> Lb.fault_count lb | None -> 0);
+      s_syscalls = non_mem;
+    } )
+
+let smp_http config ?cores ?requests ?conns ?render_ns () =
+  snd (smp_http_rt config ?cores ?requests ?conns ?render_ns ())
+
+(* ------------------------------------------------------------------ *)
 (* Named dispatch (trace_dump, CI)                                     *)
 
-let scenario_names = [ "bild"; "http"; "fasthttp"; "wiki"; "pq" ]
+let scenario_names = [ "bild"; "http"; "fasthttp"; "wiki"; "pq"; "smp_http" ]
 
 let pp_http_result r =
   Printf.sprintf "%d requests, %.0f req/s, %.2f syscalls/req" r.h_requests
@@ -502,6 +617,12 @@ let run_named name config ?requests () =
         ( rt,
           Printf.sprintf "%d queries, %d ns/query" r.p_queries
             r.p_ns_per_query )
+  | "smp_http" ->
+      let rt, r = smp_http_rt config ?requests () in
+      Ok
+        ( rt,
+          Printf.sprintf "%d requests on %d cores, %.0f req/s, %d steals"
+            r.s_requests r.s_cores r.s_req_per_sec r.s_steals )
   | _ ->
       Error
         (Printf.sprintf "unknown scenario %s (choose from: %s)" name

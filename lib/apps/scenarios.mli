@@ -45,9 +45,34 @@ val fasthttp :
 (** The Table 2 "FastHTTP" row: whole server enclosed with a net-only
     filter, trusted handler goroutine behind channels. *)
 
-val wiki : config -> ?requests:int -> ?conns:int -> unit -> http_result
+val wiki :
+  config -> ?rcfg:Encl_golike.Runtime.config -> ?requests:int -> ?conns:int ->
+  unit -> http_result
 (** The Figure 5 wiki application: GET-page workload against the
     mini-Postgres remote, two enclosures (HTTP server, DB proxy). *)
+
+type smp_result = {
+  s_cores : int;
+  s_requests : int;
+  s_wall_ns : int;  (** makespan: the slowest core's lane, measured span *)
+  s_cpu_ns : int;  (** total simulated CPU ns across all cores *)
+  s_req_per_sec : float;  (** requests over {e wall} (makespan) time *)
+  s_steals : int;  (** work-steal migrations (scheduler counter) *)
+  s_affinity_hits : int;
+  s_switches : int;  (** Execute environment switches *)
+  s_faults : int;  (** LitterBox-accounted enclosure faults *)
+  s_syscalls : int;  (** non-memory-category system calls, cumulative *)
+}
+
+val smp_http :
+  config -> ?cores:int -> ?requests:int -> ?conns:int -> ?render_ns:int ->
+  unit -> smp_result
+(** The http scenario with a per-request template-render cost, request
+    rate measured against the makespan (max core lane) instead of total
+    CPU time. Connection fibers spread across the simulated cores by
+    work stealing; the client driver stays serial on core 0 (the
+    scenario's Amdahl bound). [cores] defaults to [ENCL_CORES] — the
+    benchmark harness pins it per row. *)
 
 val wiki_check : config -> (string, string) result
 (** Functional check: create a page over POST, read it back over GET;
@@ -58,7 +83,9 @@ type pq_result = {
   p_ns_per_query : int;  (** simulated ns per query (connect amortized) *)
 }
 
-val pq : config -> ?queries:int -> unit -> pq_result
+val pq :
+  config -> ?rcfg:Encl_golike.Runtime.config -> ?queries:int -> unit ->
+  pq_result
 (** The database driver alone inside an enclosure ([pq_enc]: pq and its
     dependency tree, [net] syscalls narrowed to the database address):
     connect once, then [queries] SELECTs against the mini-Postgres
@@ -79,8 +106,9 @@ type chaos_result = {
 }
 
 val chaos_http :
-  config -> ?seed:int64 -> ?rate:float -> ?budget:int -> ?requests:int ->
-  ?conns:int -> unit -> Encl_golike.Runtime.t * chaos_result
+  config -> ?rcfg:Encl_golike.Runtime.config -> ?seed:int64 -> ?rate:float ->
+  ?budget:int -> ?requests:int -> ?conns:int -> unit ->
+  Encl_golike.Runtime.t * chaos_result
 (** Spurious page faults injected into the request-handler enclosure at
     [rate] per consultation. Each fault costs one connection; after
     [budget] faults the enclosure is quarantined and the handler serves a
@@ -88,8 +116,9 @@ val chaos_http :
     under [seed]. *)
 
 val chaos_wiki :
-  config -> ?seed:int64 -> ?rate:float -> ?budget:int -> ?requests:int ->
-  ?conns:int -> unit -> Encl_golike.Runtime.t * chaos_result
+  config -> ?rcfg:Encl_golike.Runtime.config -> ?seed:int64 -> ?rate:float ->
+  ?budget:int -> ?requests:int -> ?conns:int -> unit ->
+  Encl_golike.Runtime.t * chaos_result
 (** Network chaos over the wiki: dropped connections, short reads and
     writes, transient [EINTR]/[EAGAIN] — exercising the retry helpers
     and the pq -> minidb reconnect path. *)
@@ -116,15 +145,20 @@ val fasthttp_rt :
   unit -> Encl_golike.Runtime.t * http_result
 
 val wiki_rt :
-  config -> ?requests:int -> ?conns:int -> unit ->
-  Encl_golike.Runtime.t * http_result
+  config -> ?rcfg:Encl_golike.Runtime.config -> ?requests:int -> ?conns:int ->
+  unit -> Encl_golike.Runtime.t * http_result
 
 val pq_rt :
-  config -> ?queries:int -> unit -> Encl_golike.Runtime.t * pq_result
+  config -> ?rcfg:Encl_golike.Runtime.config -> ?queries:int -> unit ->
+  Encl_golike.Runtime.t * pq_result
+
+val smp_http_rt :
+  config -> ?cores:int -> ?requests:int -> ?conns:int -> ?render_ns:int ->
+  unit -> Encl_golike.Runtime.t * smp_result
 
 val scenario_names : string list
 (** Names accepted by {!run_named}: currently
-    ["bild"; "http"; "fasthttp"; "wiki"; "pq"]. *)
+    ["bild"; "http"; "fasthttp"; "wiki"; "pq"; "smp_http"]. *)
 
 val run_named :
   string -> config -> ?requests:int -> unit ->

@@ -32,10 +32,38 @@ let package name ?(imports = []) ?(functions = []) ?(globals = [])
     pd_init = init;
   }
 
-type config = { backend : Lb.backend option; costs : Costs.t; clustering : bool }
+type config = {
+  backend : Lb.backend option;
+  costs : Costs.t;
+  clustering : bool;
+  cores : int;
+}
 
-let baseline = { backend = None; costs = Costs.default; clustering = true }
-let with_backend b = { backend = Some b; costs = Costs.default; clustering = true }
+(* Default core count: ENCL_CORES (the CI matrix's knob), else 1.
+   Read once per config construction so a test can still override the
+   field explicitly — the bench harness always pins it. *)
+let default_cores () =
+  match Sys.getenv_opt "ENCL_CORES" with
+  | Some s -> ( match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | Some _ | None -> 1)
+  | None -> 1
+
+let baseline =
+  {
+    backend = None;
+    costs = Costs.default;
+    clustering = true;
+    cores = default_cores ();
+  }
+
+let with_backend b =
+  {
+    backend = Some b;
+    costs = Costs.default;
+    clustering = true;
+    cores = default_cores ();
+  }
 
 let validate_policies packages =
   let rec check_pkgs = function
@@ -64,7 +92,9 @@ let boot config ~packages ~entry =
       with
       | Error e -> Error (Linker.error_message e)
       | Ok image -> (
-          let machine = Machine.create ~costs:config.costs () in
+          let machine =
+            Machine.create ~costs:config.costs ~cores:config.cores ()
+          in
           let lb_result =
             match config.backend with
             | None -> (

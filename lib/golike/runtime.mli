@@ -36,10 +36,21 @@ type config = {
   backend : Lb.backend option;  (** [None] = unmodified-Go baseline *)
   costs : Costs.t;
   clustering : bool;  (** meta-package clustering (ablation switch) *)
+  cores : int;
+      (** simulated cores the machine is sharded into (see
+          {!Sched}); 1 = the classic single-core machine *)
 }
 
 val baseline : config
 val with_backend : Lb.backend -> config
+(** Both default [cores] to [ENCL_CORES] when that variable holds an
+    int >= 1 (the CI matrix's knob), else 1. Benchmarks pin the field
+    explicitly so committed baselines never depend on the
+    environment. *)
+
+val default_cores : unit -> int
+(** [ENCL_CORES] when it holds an int >= 1, else 1 — the core count the
+    scenario drivers use when the caller does not pin one. *)
 
 val boot :
   config -> packages:pkgdef list -> entry:string -> (t, string) result

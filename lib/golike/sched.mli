@@ -6,7 +6,22 @@
     creation so that user-level threads created inside an enclosure's
     environment continue to execute in the same environment" (paper §5.1)
     — and the scheduler calls LitterBox's [Execute] hook whenever it
-    resumes a fiber whose environment differs from the current one. *)
+    resumes a fiber whose environment differs from the current one.
+
+    {b Simulated SMP.} The scheduler shards the machine into
+    [Machine.cores] simulated cores: a run queue, an affinity streak, a
+    clock lane and a recorded installed-environment per core. A single
+    seeded interleaver picks the next (core, fiber) step — the core
+    with the smallest lane total goes first, ties and steal victims
+    resolved by a seeded rng — so every run is a deterministic function
+    of (program, seed, core count). An idle core steals the oldest
+    runnable fiber from the longest victim queue (never a lone fiber),
+    and hopping the interleaver between cores is free: each core keeps
+    its own PKRU/CR3/TLB, so only resuming a fiber whose environment
+    differs from {e that core's} pays an Execute switch — enclosure
+    affinity becomes core affinity. With one core every SMP mechanism
+    degenerates away and the schedule is byte-identical to the old
+    single-queue scheduler. *)
 
 type t
 
@@ -22,9 +37,13 @@ exception Deadlock of { fiber_ids : int list }
 
 val create :
   machine:Encl_litterbox.Machine.t ->
+  ?seed:int64 ->
   lb:Encl_litterbox.Litterbox.t option ->
   unit ->
   t
+(** The core count is the machine's. [seed] (fixed default) drives the
+    interleaver's tie-breaks and steal-victim choices; with one core it
+    is never consulted. *)
 
 val go : t -> (unit -> unit) -> unit
 (** Spawn a goroutine inheriting the current execution environment. May
@@ -80,12 +99,23 @@ val switch_count : t -> int
 
 val affinity_hit_count : t -> int
 (** Out-of-FIFO-order picks made by enclosure-affinity scheduling: the
-    scheduler preferred a runnable fiber whose captured environment was
-    already installed, saving an Execute switch. Bounded by a starvation
-    budget (a fiber is overtaken at most 8 times in a row); 0 with the
-    fast path disabled, and the pick order is exactly FIFO whenever the
-    queue head already matches. Mirrored in the obs "sched.affinity_hit"
-    metric. *)
+    scheduler preferred a runnable fiber whose captured environment the
+    picked core already had installed, saving an Execute switch.
+    Bounded by a per-core starvation budget (a fiber is overtaken at
+    most 8 times in a row on its core); 0 with the fast path disabled,
+    and the pick order is exactly FIFO whenever the queue head already
+    matches. Mirrored in the obs "sched.affinity_hit" metric. *)
+
+val core_count : t -> int
+(** Simulated cores this scheduler shards over (the machine's). *)
+
+val steal_count : t -> int
+(** Work-steal migrations performed so far: an idle core took the
+    oldest runnable fiber from the longest victim queue. Always 0 on
+    one core. Mirrored in the obs "sched.steal" metric. *)
+
+val steals_by_core : t -> int array
+(** Per-thief-core breakdown of {!steal_count} (a copy). *)
 
 val in_fiber : t -> bool
 val machine : t -> Encl_litterbox.Machine.t

@@ -575,7 +575,11 @@ let syscall_body t call nr ~trap_cost =
         Obs.span_enter t.obs ~name:"seccomp" ~category:Encl_obs.Span.Seccomp ()
       else -1
     in
-    let action, outcome = Seccomp.check_memo t.seccomp data in
+    (* The verdict cache is per-core: consult the cache of the core
+       the trap arrived on (the clock's current lane). *)
+    let action, outcome =
+      Seccomp.check_memo ~core:(Clock.lane t.clock) t.seccomp data
+    in
     (match outcome with
     | Seccomp.Hit ->
         Clock.consume t.clock Clock.Syscall t.costs.Costs.seccomp_cached;

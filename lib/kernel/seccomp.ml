@@ -113,7 +113,10 @@ type outcome = Hit | Evaluated of int
 
 type t = {
   mutable prog : Bpf.program option;
-  cache : (vkey, Bpf.action) Hashtbl.t;
+  mutable caches : (vkey, Bpf.action) Hashtbl.t array;
+      (** one verdict cache per simulated core (a real per-CPU cache
+          would be lock-free for the same reason): index = core,
+          grown on demand. Hit/miss tallies stay machine-wide. *)
   mutable hits : int;
   mutable misses : int;
   mutable invalidations : int;
@@ -122,14 +125,29 @@ type t = {
 let create () =
   {
     prog = None;
-    cache = Hashtbl.create 128;
+    caches = [| Hashtbl.create 128 |];
     hits = 0;
     misses = 0;
     invalidations = 0;
   }
 
+let cache_for t core =
+  if core >= Array.length t.caches then begin
+    let n = Array.length t.caches in
+    t.caches <-
+      Array.init
+        (max (core + 1) (2 * n))
+        (fun i -> if i < n then t.caches.(i) else Hashtbl.create 128)
+  end;
+  t.caches.(core)
+
+(* Invalidation is machine-wide: a program change or rights-vector
+   change poisons every core's memoized verdicts (the IPI shootdown a
+   real per-CPU cache would need), counted once. *)
 let invalidate t =
-  if Hashtbl.length t.cache > 0 then Hashtbl.reset t.cache;
+  Array.iter
+    (fun cache -> if Hashtbl.length cache > 0 then Hashtbl.reset cache)
+    t.caches;
   t.invalidations <- t.invalidations + 1
 
 let install t prog =
@@ -159,7 +177,7 @@ let key_of_data (data : Bpf.data) =
     vk_arg0 = data.Bpf.args.(0);
   }
 
-let check_memo t data =
+let check_memo ?(core = 0) t data =
   match t.prog with
   | None -> (Bpf.Allow, Evaluated 0)
   | Some prog ->
@@ -167,15 +185,16 @@ let check_memo t data =
         let action, steps = Bpf.run_count prog data in
         (action, Evaluated steps)
       else
+        let cache = cache_for t core in
         let key = key_of_data data in
-        (match Hashtbl.find_opt t.cache key with
+        (match Hashtbl.find_opt cache key with
         | Some action ->
             t.hits <- t.hits + 1;
             (action, Hit)
         | None ->
             t.misses <- t.misses + 1;
             let action, steps = Bpf.run_count prog data in
-            Hashtbl.replace t.cache key action;
+            Hashtbl.replace cache key action;
             (action, Evaluated steps))
 
 let cache_stats t = (t.hits, t.misses)

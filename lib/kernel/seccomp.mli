@@ -49,18 +49,26 @@ val check_counted : t -> Bpf.data -> Bpf.action * int
     the installed program changes ({!install}) and on explicit
     {!invalidate} (rights-vector changes). Inactive while
     {!Encl_sim.Fastpath.enabled} is false: {!check_memo} then always
-    evaluates and records no hits or misses. *)
+    evaluates and records no hits or misses.
+
+    The cache is {e per simulated core} (like a real per-CPU cache, so
+    no cross-core locking is being hand-waved away): the kernel passes
+    the core the trap arrived on, each core warms its own verdicts, and
+    invalidation shoots down every core's cache at once. Hit/miss
+    statistics are machine-wide. *)
 
 type outcome =
   | Hit  (** verdict came from the cache *)
   | Evaluated of int  (** full evaluation; payload is BPF steps run *)
 
-val check_memo : t -> Bpf.data -> Bpf.action * outcome
-(** Like {!check_counted} but consulting the verdict cache first when
-    the fast path is enabled. No filter installed: [(Allow, Evaluated 0)]. *)
+val check_memo : ?core:int -> t -> Bpf.data -> Bpf.action * outcome
+(** Like {!check_counted} but consulting [core]'s verdict cache first
+    when the fast path is enabled (default core 0 — the single-core
+    machine). No filter installed: [(Allow, Evaluated 0)]. *)
 
 val invalidate : t -> unit
-(** Drop every cached verdict (counted in {!invalidation_count}). *)
+(** Drop every core's cached verdicts (counted once in
+    {!invalidation_count}). *)
 
 val cache_stats : t -> int * int
 (** [(hits, misses)] accumulated since creation. *)

@@ -60,6 +60,7 @@ type sq_entry = {
           (empty when witnessing is off); the drain taps use it so
           batched calls keep the {e submitting} context, not the drain
           point's *)
+  sq_core : int;  (** core (clock lane) the entry was submitted on *)
   sq_comp : completion;
 }
 
@@ -88,10 +89,16 @@ type t = {
   mutable faults : int;
   mutable fault_log : string list;
   mutable fault_budget : int;  (** per-enclosure; [max_int] = no quarantine *)
-  ring : sq_entry Queue.t;
+  mutable rings : sq_entry Queue.t array;
+      (** one submission queue per simulated core (indexed by clock
+          lane, grown on demand): each core batches its own traffic and
+          drains it on its own lane. *)
   mutable ring_submitted : int;
   mutable ring_drained : int;
-  mutable ring_batches : int;  (** non-empty drains *)
+  mutable ring_batches : int;  (** non-empty per-core drains *)
+  mutable ring_ipis : int;
+      (** IPI-style cross-core wakeups: remote non-empty rings flushed
+          because another core hit a drain point *)
   mutable denied_guest : int;
       (** guest-side denials (VTX/LWC filter checks, direct or drained):
           calls the kernel's own counters never saw *)
@@ -1115,10 +1122,11 @@ let init ~machine ~backend ~image ?(binary_scan = []) ?(clustering = true) () =
           faults = 0;
           fault_log = [];
           fault_budget = max_int;
-          ring = Queue.create ();
+          rings = [| Queue.create () |];
           ring_submitted = 0;
           ring_drained = 0;
           ring_batches = 0;
+          ring_ipis = 0;
           denied_guest = 0;
           tainted_verified = 0;
           tainted_rejected = 0;
@@ -1373,6 +1381,21 @@ let set_stack t stack =
     (match stack with [] -> None | enc :: _ -> Some enc.e_name);
   set_hw_env t (env_of_stack t stack)
 
+(* Core hop (SMP): re-install the environment stack a core already had
+   loaded when the interleaver last left it. On real hardware nothing is
+   written — each core keeps its own PKRU register, CR3 and TLB — so
+   this is pure bookkeeping: the stack and the obs context move, the CPU
+   model's notion of "current env" moves via {!Cpu.restore_env} (no TLB
+   flush, no cost, no switch counted). Only the scheduler may call it,
+   and only with a stack this core previously installed through the
+   costed paths. *)
+let install_core_env t stack =
+  t.stack <- stack;
+  Obs.set_context (obs t)
+    (match stack with [] -> None | enc :: _ -> Some enc.e_name);
+  Cpu.with_gate t.machine.Machine.cpu ~name:"litterbox.gate" (fun () ->
+      Cpu.restore_env t.machine.Machine.cpu (env_of_stack t stack))
+
 (* Switch elision (fast path). A switch whose target hardware
    environment is bit-identical to the installed one — same PKRU, same
    page-table root — does not need the paid PKRU/CR3 write: the check
@@ -1409,38 +1432,77 @@ let note_elision t scope =
    errno results are exactly what the direct path produces, in
    submission order. The per-backend mechanism lives in the
    {!Backend.S} implementations above. *)
+let drain_one_ring t ~entries =
+  let n = List.length entries in
+  t.ring_batches <- t.ring_batches + 1;
+  t.ring_drained <- t.ring_drained + n;
+  let o = obs t in
+  if Obs.enabled o then begin
+    Obs.incr o "ring_batches";
+    Obs.incr o ~by:n "ring_drained"
+  end;
+  let sp =
+    if Obs.enabled o then
+      Obs.span_enter o
+        ~name:(Printf.sprintf "ring_drain:%d" n)
+        ~category:Span.Syscall ()
+    else -1
+  in
+  Fun.protect ~finally:(fun () -> Obs.span_exit (obs t) sp) @@ fun () ->
+  let (module B) = impl t in
+  B.drain t entries
+
+(* Each core drains its own ring on its own lane, in core order. The
+   core that hit the drain point flushes remote non-empty rings too —
+   the IPI a real kernel would send to make a sibling core flush — and
+   each remote flush is counted as a cross-core wakeup. On one core
+   this is exactly the old single-ring drain. *)
 let drain t =
-  if not (Queue.is_empty t.ring) then begin
-    let entries = List.of_seq (Queue.to_seq t.ring) in
-    Queue.clear t.ring;
-    let n = List.length entries in
-    t.ring_batches <- t.ring_batches + 1;
-    t.ring_drained <- t.ring_drained + n;
-    let o = obs t in
-    if Obs.enabled o then begin
-      Obs.incr o "ring_batches";
-      Obs.incr o ~by:n "ring_drained"
-    end;
-    let sp =
-      if Obs.enabled o then
-        Obs.span_enter o
-          ~name:(Printf.sprintf "ring_drain:%d" n)
-          ~category:Span.Syscall ()
-      else -1
-    in
-    Fun.protect ~finally:(fun () -> Obs.span_exit (obs t) sp) @@ fun () ->
-    let (module B) = impl t in
-    B.drain t entries
-  end
+  let clock = t.machine.Machine.clock in
+  let initiator = Clock.lane clock in
+  Array.iteri
+    (fun core ring ->
+      if not (Queue.is_empty ring) then begin
+        let entries = List.of_seq (Queue.to_seq ring) in
+        Queue.clear ring;
+        if core <> initiator then begin
+          t.ring_ipis <- t.ring_ipis + 1;
+          let o = obs t in
+          if Obs.enabled o then Obs.incr o "ring_ipi"
+        end;
+        Clock.set_lane clock core;
+        Fun.protect
+          ~finally:(fun () -> Clock.set_lane clock initiator)
+          (fun () -> drain_one_ring t ~entries)
+      end)
+    t.rings
+
+let ring_for t core =
+  if core >= Array.length t.rings then begin
+    let n = Array.length t.rings in
+    t.rings <-
+      Array.init
+        (max (core + 1) (2 * n))
+        (fun i -> if i < n then t.rings.(i) else Queue.create ())
+  end;
+  t.rings.(core)
 
 let submit t call =
+  let core = Clock.lane t.machine.Machine.clock in
+  let ring = ring_for t core in
   (* Queue-full is a drain point: flush first so the new entry keeps
      submission order. *)
-  if Queue.length t.ring >= ring_capacity then drain t;
+  if Queue.length ring >= ring_capacity then drain t;
   let comp = { c_state = Pending } in
   Queue.add
-    { sq_call = call; sq_env = t.stack; sq_site = capture_site t; sq_comp = comp }
-    t.ring;
+    {
+      sq_call = call;
+      sq_env = t.stack;
+      sq_site = capture_site t;
+      sq_core = core;
+      sq_comp = comp;
+    }
+    ring;
   t.ring_submitted <- t.ring_submitted + 1;
   Clock.consume t.machine.Machine.clock Clock.Syscall
     t.machine.Machine.costs.Costs.ring_submit;
@@ -1458,7 +1520,8 @@ let await t c =
   | Faulted e -> raise e
   | Pending -> assert false (* drain completes every queued entry *)
 
-let ring_pending t = Queue.length t.ring
+let ring_pending t =
+  Array.fold_left (fun acc ring -> acc + Queue.length ring) 0 t.rings
 
 let prolog t ~name ~site =
   Log.debug (fun m -> m "prolog %s (site %s)" name site);
@@ -1707,6 +1770,10 @@ let env_matches t env_ref =
   List.length t.stack = List.length env_ref
   && List.for_all2 (fun a b -> a.e_name = b.e_name) t.stack env_ref
 
+let env_refs_equal a b =
+  List.length a = List.length b
+  && List.for_all2 (fun x y -> x.e_name = y.e_name) a b
+
 let execute t env_ref ~site =
   check_site t site Image.Execute;
   (* Resume-check defense: a captured environment may have been
@@ -1833,6 +1900,7 @@ let fault_log t = t.fault_log
 let ring_submitted_count t = t.ring_submitted
 let ring_drained_count t = t.ring_drained
 let ring_batches_count t = t.ring_batches
+let ring_ipi_count t = t.ring_ipis
 let guest_denied_count t = t.denied_guest
 let vmexit_count t = match t.vtx with Some v -> Vtx.vmexits v | None -> 0
 

@@ -168,7 +168,10 @@ val await : t -> completion -> (int, Encl_kernel.Kernel.errno) result
     direct {!syscall} path raises at the call site. *)
 
 val ring_pending : t -> int
-(** Entries submitted but not yet drained. *)
+(** Entries submitted but not yet drained, summed over every core's
+    ring: each simulated core owns a private submission queue (selected
+    by the clock's lane at submit time), batching its own traffic and
+    draining it on its own lane. *)
 
 (** {2 Runtime hooks} *)
 
@@ -205,6 +208,20 @@ val env_scope : env_ref -> string
 val env_matches : t -> env_ref -> bool
 (** Whether the current environment stack already equals the captured one
     (schedulers use this to skip redundant [execute] switches). *)
+
+val env_refs_equal : env_ref -> env_ref -> bool
+(** Whether two captured environment stacks denote the same enclosure
+    nesting (the SMP scheduler's core-affinity comparison: does a
+    fiber's environment match what a given core last had installed). *)
+
+val install_core_env : t -> env_ref -> unit
+(** SMP core hop: re-install the environment a core already had loaded
+    when the interleaver last left it. Costs nothing, counts no switch
+    and keeps the core's TLB warm — on real hardware each core has its
+    own PKRU register and CR3, so moving the interleaver between cores
+    rewrites nothing. The scheduler must only pass an environment this
+    core previously installed through the costed paths ({!execute},
+    {!prolog}); gate integrity is still enforced. *)
 
 val execute : t -> env_ref -> site:string -> unit
 (** Scheduler switch: resume the captured environment (paper's [Execute]
@@ -267,8 +284,14 @@ val ring_drained_count : t -> int
     obs "ring_submitted" / "ring_drained" metrics. *)
 
 val ring_batches_count : t -> int
-(** Non-empty drains so far: each paid exactly one privilege crossing.
-    Mirrored in the obs "ring_batches" metric. *)
+(** Non-empty per-core drains so far: each paid exactly one privilege
+    crossing. Mirrored in the obs "ring_batches" metric. *)
+
+val ring_ipi_count : t -> int
+(** IPI-style cross-core wakeups: how many times a drain initiated on
+    one core flushed another core's non-empty ring (the interrupt a
+    real kernel would send to make the sibling flush). Always 0 on one
+    core. Mirrored in the obs "ring_ipi" metric. *)
 
 val guest_denied_count : t -> int
 (** Calls denied guest-side (VTX/LWC filter checks, direct or drained)

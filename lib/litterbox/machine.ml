@@ -2,6 +2,7 @@ type t = {
   phys : Phys.t;
   clock : Clock.t;
   costs : Costs.t;
+  cores : int;
   trusted_pt : Pagetable.t;
   trusted_env : Cpu.env;
   cpu : Cpu.t;
@@ -13,7 +14,8 @@ type t = {
   inject : Encl_fault.Fault.t;
 }
 
-let create ?(costs = Costs.default) () =
+let create ?(costs = Costs.default) ?(cores = 1) () =
+  if cores < 1 then invalid_arg "Machine.create: cores must be >= 1";
   let phys = Phys.create () in
   let clock = Clock.create () in
   let trusted_pt = Pagetable.create ~name:"trusted" in
@@ -53,8 +55,13 @@ let create ?(costs = Costs.default) () =
      delivery leaves an instant span. Disabled machines keep both hooks
      [None], so the hot paths cost one comparison. *)
   if Encl_obs.Obs.enabled obs then begin
+    (* Every core gets a ledger up front: an idle core must show up in
+       the exported artifacts as an explicit zero, not be absent. *)
+    Encl_obs.Attrib.ensure_cores (Encl_obs.Obs.attribution obs) cores;
     Clock.set_observer clock
-      (Some (fun _cat ns -> Encl_obs.Obs.clock_tick obs ns));
+      (Some
+         (fun _cat ns ->
+           Encl_obs.Obs.clock_tick ~core:(Clock.lane clock) obs ns));
     Cpu.set_fault_hook cpu
       (Some
          (fun (f : Cpu.fault) ->
@@ -72,6 +79,7 @@ let create ?(costs = Costs.default) () =
     phys;
     clock;
     costs;
+    cores;
     trusted_pt;
     trusted_env;
     cpu;

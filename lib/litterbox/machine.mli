@@ -9,6 +9,12 @@ type t = {
   phys : Phys.t;
   clock : Clock.t;
   costs : Costs.t;
+  cores : int;
+      (** Simulated core count. The machine stays a single sequential
+          simulation — one clock, one kernel — but the scheduler shards
+          its run queue per core, each core charges its own clock lane,
+          and per-core hardware state (TLB, seccomp verdict cache,
+          sysring) is selected by the current lane. *)
   trusted_pt : Pagetable.t;
   trusted_env : Cpu.env;
   cpu : Cpu.t;
@@ -26,7 +32,9 @@ type t = {
           [Inject]) when the sink is enabled. *)
 }
 
-val create : ?costs:Costs.t -> unit -> t
+val create : ?costs:Costs.t -> ?cores:int -> unit -> t
+(** [cores] (default 1) must be >= 1. With [cores = 1] the machine is
+    byte-for-byte the old single-core one. *)
 
 val with_trusted : t -> (unit -> 'a) -> 'a
 (** Run [f] with the CPU temporarily in the trusted environment (used by

@@ -1,24 +1,60 @@
+type core_ledger = {
+  cl_cells : (string * string, int ref) Hashtbl.t;
+  mutable cl_total : int;
+}
+
 type t = {
   now : unit -> int;
   mutable epoch : int;
   cells : (string * string, int ref) Hashtbl.t;
   stacks : (string, int ref) Hashtbl.t;
   mutable total : int;
+  mutable cores : core_ledger array;
+      (** per-core ledgers, indexed by the charging core (clock lane),
+          grown on demand. The machine-wide cells above are the sum of
+          every core's; conservation holds per core {e and} in total. *)
 }
 
+let fresh_core_ledger () = { cl_cells = Hashtbl.create 32; cl_total = 0 }
+
 let create ~now () =
-  { now; epoch = now (); cells = Hashtbl.create 64; stacks = Hashtbl.create 256; total = 0 }
+  {
+    now;
+    epoch = now ();
+    cells = Hashtbl.create 64;
+    stacks = Hashtbl.create 256;
+    total = 0;
+    cores = [| fresh_core_ledger () |];
+  }
 
 let bump tbl key ns =
   match Hashtbl.find_opt tbl key with
   | Some r -> r := !r + ns
   | None -> Hashtbl.replace tbl key (ref ns)
 
-let charge t ~scope ~category ~stack ns =
+(* Exact growth (not doubling): [core_count] is exported as the
+   machine's core count, so the array length must never overshoot the
+   highest core ever charged (or pre-sized via [ensure_cores]). *)
+let ensure_cores t n =
+  if n > Array.length t.cores then begin
+    let old = Array.length t.cores in
+    t.cores <-
+      Array.init n (fun i ->
+          if i < old then t.cores.(i) else fresh_core_ledger ())
+  end
+
+let core_ledger t core =
+  ensure_cores t (core + 1);
+  t.cores.(core)
+
+let charge ?(core = 0) t ~scope ~category ~stack ns =
   if ns > 0 then begin
     bump t.cells (scope, category) ns;
     bump t.stacks stack ns;
-    t.total <- t.total + ns
+    t.total <- t.total + ns;
+    let cl = core_ledger t core in
+    bump cl.cl_cells (scope, category) ns;
+    cl.cl_total <- cl.cl_total + ns
   end
 
 let total t = t.total
@@ -27,12 +63,29 @@ let conserved t = t.total = elapsed t
 
 (* Deterministic on read: insertion order of a Hashtbl is not stable
    across OCaml versions, so every exporter sorts. *)
+let sort_cells l =
+  List.sort
+    (fun (s1, c1, n1) (s2, c2, n2) ->
+      match compare n2 n1 with 0 -> compare (s1, c1) (s2, c2) | d -> d)
+    l
+
 let cells t =
   Hashtbl.fold (fun (s, c) r acc -> (s, c, !r) :: acc) t.cells []
-  |> List.sort (fun (s1, c1, n1) (s2, c2, n2) ->
-         match compare n2 n1 with
-         | 0 -> compare (s1, c1) (s2, c2)
-         | d -> d)
+  |> sort_cells
+
+let core_count t = Array.length t.cores
+
+let core_cells t core =
+  if core < 0 || core >= Array.length t.cores then []
+  else
+    Hashtbl.fold
+      (fun (s, c) r acc -> (s, c, !r) :: acc)
+      t.cores.(core).cl_cells []
+    |> sort_cells
+
+let core_total t core =
+  if core < 0 || core >= Array.length t.cores then 0
+  else t.cores.(core).cl_total
 
 let stacks t =
   Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.stacks []
@@ -52,4 +105,5 @@ let clear t =
   Hashtbl.reset t.cells;
   Hashtbl.reset t.stacks;
   t.total <- 0;
+  t.cores <- [| fresh_core_ledger () |];
   t.epoch <- t.now ()

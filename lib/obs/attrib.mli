@@ -15,9 +15,11 @@ val create : now:(unit -> int) -> unit -> t
 (** The epoch is the clock value at creation; {!elapsed} measures from
     there. *)
 
-val charge : t -> scope:string -> category:string -> stack:string -> int -> unit
+val charge :
+  ?core:int -> t -> scope:string -> category:string -> stack:string -> int -> unit
 (** Account [ns] to [(scope, category)] and to the collapsed-stack
-    bucket [stack]. Zero-ns charges are dropped. *)
+    bucket [stack], and to [core]'s per-core ledger (default core 0 —
+    the single-core machine). Zero-ns charges are dropped. *)
 
 val total : t -> int
 (** Sum of every cell — and of every stack bucket. *)
@@ -38,6 +40,30 @@ val stacks : t -> (string * int) list
 
 val scope_total : t -> string -> int
 val category_total : t -> string -> int
+
+(** {2 Per-core ledgers (simulated SMP)}
+
+    Every charge also lands in the charging core's private ledger, so
+    exported artifacts can show where each core's time went and the
+    conservation check can be re-stated per core: the machine-wide
+    cells are exactly the cell-wise sum over cores, and
+    [sum over cores of core_total = total]. *)
+
+val ensure_cores : t -> int -> unit
+(** Pre-size the per-core ledgers to [n] (the machine does this at
+    creation), so an idle core still exports an explicit zero ledger
+    instead of silently vanishing from the artifacts. *)
+
+val core_count : t -> int
+(** Number of per-core ledgers: the machine's core count once
+    {!ensure_cores} ran, else 1 + the highest core ever charged. *)
+
+val core_cells : t -> int -> (string * string * int) list
+(** [(scope, category, ns)] for one core, sorted like {!cells}; [] for
+    an out-of-range core. *)
+
+val core_total : t -> int -> int
+(** Total ns charged on one core; 0 for an out-of-range core. *)
 
 val clear : t -> unit
 (** Empty the ledger and re-epoch at the current clock value. *)

@@ -524,6 +524,26 @@ let metrics_json obs =
                             ("ns", Int ns);
                           ])
                       (Attrib.cells attrib)) );
+               ("core_count", Int (Attrib.core_count attrib));
+               ( "cores",
+                 List
+                   (List.init (Attrib.core_count attrib) (fun core ->
+                        Obj
+                          [
+                            ("core", Int core);
+                            ("attributed_ns", Int (Attrib.core_total attrib core));
+                            ( "cells",
+                              List
+                                (List.map
+                                   (fun (scope, cat, ns) ->
+                                     Obj
+                                       [
+                                         ("scope", String scope);
+                                         ("category", String cat);
+                                         ("ns", Int ns);
+                                       ])
+                                   (Attrib.core_cells attrib core)) );
+                          ])) );
              ] );
          ("scopes", Obj (List.map scope_json (Metrics.scopes m)));
          ("totals", Obj totals);

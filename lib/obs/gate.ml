@@ -30,6 +30,11 @@ let rule_for metric =
   | "policy_width" -> { direction = Lower_better; tolerance = 0.0 }
   | "conservative_slowdown" | "decoupled_slowdown" ->
       { direction = Lower_better; tolerance = 0.15 }
+  (* SMP scaling: the 4-core speedup per core must not erode. Steal
+     counts are deterministic but legitimately move a little when the
+     workload mix shifts; a sustained climb means affinity is lost. *)
+  | "scaling_efficiency" -> { direction = Higher_better; tolerance = 0.05 }
+  | "steal_count" -> { direction = Lower_better; tolerance = 0.25 }
   | m when String.length m > 3 && Filename.check_suffix m "_ns" ->
       { direction = Lower_better; tolerance = 0.10 }
   | _ -> { direction = Informational; tolerance = 0.0 }

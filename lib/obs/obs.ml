@@ -81,16 +81,17 @@ let span_mark t ?lane ~name ~category () =
 (* The clock's observer: attribute this tick to the innermost open span,
    or to the current scope's "user" cell when no span is open. Exact by
    construction — one call per [Clock.consume], covering all of it. *)
-let clock_tick t ns =
+let clock_tick ?(core = 0) t ns =
   if t.enabled && ns > 0 then
     match Span.top t.spans with
     | Some (sp, sig_) ->
-        Attrib.charge t.attrib ~scope:sp.Span.lane
+        Attrib.charge ~core t.attrib ~scope:sp.Span.lane
           ~category:(Span.category_name sp.Span.category)
           ~stack:sig_ ns
     | None ->
         let scope = scope_of t None in
-        Attrib.charge t.attrib ~scope ~category:"user" ~stack:t.user_sig ns
+        Attrib.charge ~core t.attrib ~scope ~category:"user" ~stack:t.user_sig
+          ns
 
 let witness t = t.witness
 

@@ -67,11 +67,13 @@ val span_mark :
   t -> ?lane:string -> name:string -> category:Span.category -> unit -> unit
 (** Record an instant span (fault delivery, fiber kill). *)
 
-val clock_tick : t -> int -> unit
+val clock_tick : ?core:int -> t -> int -> unit
 (** Feed one clock advance into the attribution ledger, charged to the
-    innermost open span (or the current scope's ["user"] cell). Wired as
-    the simulated clock's observer when the sink is enabled at machine
-    creation; never call it from anywhere else or conservation breaks. *)
+    innermost open span (or the current scope's ["user"] cell) and to
+    [core]'s per-core ledger (the machine passes the clock's current
+    lane; default 0). Wired as the simulated clock's observer when the
+    sink is enabled at machine creation; never call it from anywhere
+    else or conservation breaks. *)
 
 val spans : t -> Span.t
 val attribution : t -> Attrib.t

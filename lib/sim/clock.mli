@@ -41,6 +41,36 @@ val set_observer : t -> (category -> int -> unit) option -> unit
 val spent : t -> category -> int
 (** Total ns accounted to a category so far. *)
 
+(** {2 Lanes (simulated SMP)}
+
+    The clock stays global — {!now} is total CPU time across every
+    simulated core, which is what all conservation cross-checks reason
+    about — but each {!consume} is additionally charged to the current
+    {e lane}, one per simulated core. The scheduler sets the lane to a
+    fiber's core for the duration of its run slice and restores lane 0
+    (the boot/driver core) in between, so on a single-core machine every
+    nanosecond lands on lane 0 and [wall t = now t] exactly. *)
+
+val set_lane : t -> int -> unit
+(** Select the lane subsequent consumption is charged to. Lanes are
+    created on demand; the highwater mark defines {!lane_count}. *)
+
+val lane : t -> int
+(** The currently selected lane (0 outside any fiber slice). *)
+
+val lane_count : t -> int
+(** Number of lanes ever selected — 1 until someone calls
+    [set_lane] with a higher index. *)
+
+val lane_ns : t -> int -> int
+(** Nanoseconds consumed while the given lane was selected; 0 for
+    lanes never selected. *)
+
+val wall : t -> int
+(** Simulated wall-clock time of the run: the makespan, i.e. the
+    largest per-lane total. Equal to {!now} on one core; strictly less
+    when work was spread across cores. *)
+
 val reset : t -> unit
 (** Reset time and tallies to zero. *)
 

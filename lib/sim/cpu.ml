@@ -34,7 +34,9 @@ type t = {
   phys : Phys.t;
   clock : Clock.t;
   costs : Costs.t;
-  tlb : Tlb.t;
+  mutable tlbs : Tlb.t array;
+      (** one translation cache per simulated core, indexed by the
+          clock's current lane; grown on demand. *)
   mutable current : env;
   mutable inject : Encl_fault.Fault.t option;
   mutable on_fault : (fault -> unit) option;
@@ -57,7 +59,7 @@ let create ~phys ~clock ~costs env =
     phys;
     clock;
     costs;
-    tlb = Tlb.create ();
+    tlbs = [| Tlb.create () |];
     current = env;
     inject = None;
     on_fault = None;
@@ -81,7 +83,21 @@ let set_injector t inj =
 let phys t = t.phys
 let clock t = t.clock
 let costs t = t.costs
-let tlb t = t.tlb
+
+(* The current core's TLB: each simulated core owns a private
+   translation cache, selected by the clock's lane. On one core this is
+   always [tlbs.(0)] — exactly the old single-TLB machine. *)
+let tlb t =
+  let lane = Clock.lane t.clock in
+  if lane >= Array.length t.tlbs then begin
+    let n = Array.length t.tlbs in
+    t.tlbs <-
+      Array.init
+        (max (lane + 1) (2 * n))
+        (fun i -> if i < n then t.tlbs.(i) else Tlb.create ())
+  end;
+  t.tlbs.(lane)
+
 let env t = t.current
 
 let vpn_of_addr addr = addr / Phys.page_size
@@ -129,10 +145,28 @@ let set_env t env =
   then
     gate_violation t
       "environment write (wrpkru/CR3/tag) outside a registered call gate";
-  (* A different page table means a CR3 move: no PCID, so the TLB is
-     flushed. PKRU-only changes (LB_MPK switches) keep it warm. *)
+  (* A different page table means a CR3 move: no PCID, so the current
+     core's TLB is flushed. PKRU-only changes (LB_MPK switches) keep it
+     warm. *)
   if not (Pagetable.name env.pt = Pagetable.name t.current.pt) then
-    Tlb.flush t.tlb;
+    Tlb.flush (tlb t);
+  t.current <- env
+
+(* Re-install an environment a core already owns: on real SMP each core
+   has its own PKRU register and CR3, so hopping the interleaver from
+   one core to another does not rewrite anything — the target core's
+   protection state is still loaded. The gate-integrity rule still
+   applies (this is only reachable from the trusted scheduler's gate),
+   but the core's TLB keeps every entry: they were filled under this
+   very environment. *)
+let restore_env t env =
+  if
+    t.gate_depth = 0
+    && untrusted_label t.current.label
+    && Defense.enabled Defense.Gate_integrity
+  then
+    gate_violation t
+      "environment write (wrpkru/CR3/tag) outside a registered call gate";
   t.current <- env
 
 (* Chaos hook: consult the injector at [point], charging the fault to
@@ -150,7 +184,7 @@ let check_page t kind vaddr =
   let vpn = vpn_of_addr vaddr in
   if injected t "cpu.spurious_fault" then
     fault t kind vaddr "injected spurious page fault";
-  ignore (Tlb.access t.tlb ~space:(Pagetable.name t.current.pt) ~vpn);
+  ignore (Tlb.access (tlb t) ~space:(Pagetable.name t.current.pt) ~vpn);
   match Pagetable.walk t.current.pt ~vpn with
   | None -> fault t kind vaddr "page not mapped"
   | Some pte ->

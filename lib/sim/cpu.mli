@@ -56,6 +56,7 @@ val clock : t -> Clock.t
 val costs : t -> Costs.t
 
 val env : t -> env
+
 val set_env : t -> env -> unit
 (** Raw environment switch; costs are accounted by the caller
     (LitterBox). Moving to a different page table flushes the TLB model
@@ -65,6 +66,16 @@ val set_env : t -> env -> unit
     code (label prefix ["enc:"]) is executing outside a registered call
     gate is a forged [wrpkru]/CR3/tag write: it raises {!Fault} instead
     of switching (Garmr's call-gate integrity property). *)
+
+val restore_env : t -> env -> unit
+(** Re-install an environment the current core already owns. On real
+    SMP every core has a private PKRU register and CR3, so moving the
+    interleaver between cores rewrites nothing — the target core's
+    protection state is still loaded. Unlike {!set_env} this never
+    flushes the core's TLB (its entries were filled under this very
+    environment); the gate-integrity rule still applies. Only the
+    scheduler's core-hop path may use it, with an environment that was
+    previously installed on this core via {!set_env}. *)
 
 (** {2 Call-gate integrity}
 
@@ -98,7 +109,10 @@ val set_gate_violation_hook : t -> (string -> unit) option -> unit
     ["gate_violation"]. Must not raise. *)
 
 val tlb : t -> Tlb.t
-(** The CPU's translation cache (statistics only; see {!Tlb}). *)
+(** The {e current core's} translation cache (statistics only; see
+    {!Tlb}). Each simulated core owns a private TLB, selected by the
+    clock's lane; on a single-core machine this is always the one TLB
+    the machine ever had. *)
 
 val set_injector : t -> Encl_fault.Fault.t -> unit
 (** Attach a chaos injector and register the CPU's hook points

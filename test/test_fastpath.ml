@@ -46,10 +46,11 @@ let packages () =
   ]
 
 let boot backend =
-  match
-    Runtime.boot (Runtime.with_backend backend) ~packages:(packages ())
-      ~entry:"main"
-  with
+  (* Pinned to one core regardless of ENCL_CORES: these tests assert
+     exact single-core schedules and counter values (affinity hits,
+     elision counts); test_smp owns the multi-core differential. *)
+  let rcfg = { (Runtime.with_backend backend) with Runtime.cores = 1 } in
+  match Runtime.boot rcfg ~packages:(packages ()) ~entry:"main" with
   | Ok rt -> rt
   | Error e -> failwith ("test_fastpath boot: " ^ e)
 

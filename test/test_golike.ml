@@ -31,6 +31,10 @@ let simple_packages () =
   ]
 
 let boot ?(config = Runtime.baseline) () =
+  (* Pinned to one core regardless of ENCL_CORES: the sched tests
+     assert exact single-queue interleavings and switch counts;
+     test_smp owns the multi-core differential. *)
+  let config = { config with Runtime.cores = 1 } in
   match Runtime.boot config ~packages:(simple_packages ()) ~entry:"main" with
   | Ok rt -> rt
   | Error e -> failwith e

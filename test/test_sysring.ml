@@ -43,10 +43,12 @@ let packages () =
   ]
 
 let boot backend =
-  match
-    Runtime.boot (Runtime.with_backend backend) ~packages:(packages ())
-      ~entry:"main"
-  with
+  (* Pinned to one core regardless of ENCL_CORES: the drain-point tests
+     count batches and VM EXITs on a single shared ring; with more
+     cores each core drains its own ring. test_smp owns the multi-core
+     differential. *)
+  let rcfg = { (Runtime.with_backend backend) with Runtime.cores = 1 } in
+  match Runtime.boot rcfg ~packages:(packages ()) ~entry:"main" with
   | Ok rt -> rt
   | Error e -> failwith ("test_sysring boot: " ^ e)
 
