@@ -641,6 +641,36 @@ let sysring () =
     backends
 
 (* ------------------------------------------------------------------ *)
+(* Zero-copy data plane: rx view ring + sendfile (ENCL_ZEROCOPY)       *)
+
+let zerocopy () =
+  section "Zero-copy data plane: zerocopy_http (ENCL_ZEROCOPY)";
+  let requests = if quick then 200 else 2000 in
+  let run config flag =
+    Zerocopy.with_flag flag (fun () ->
+        Scenarios.zerocopy_http config ~rcfg:(rcfg_of config) ~requests ())
+  in
+  List.iter
+    (fun config ->
+      (* Both halves run under an explicit flag so the committed rows
+         never depend on the ENCL_ZEROCOPY environment. *)
+      let on = run config true in
+      let off = run config false in
+      let name = Scenarios.config_name config in
+      Printf.printf
+        "%-8s zc http  on %8.0f req/s %9dB copied   off %8.0f req/s %9dB \
+         copied   ring %d/%d/%d\n%!"
+        name on.Scenarios.z_req_per_sec on.Scenarios.z_bytes_copied
+        off.Scenarios.z_req_per_sec off.Scenarios.z_bytes_copied
+        on.Scenarios.z_ring_granted on.Scenarios.z_ring_consumed
+        on.Scenarios.z_ring_reclaimed;
+      add_result ~workload:"zerocopy_http" ~backend:name ~metric:"req_per_sec"
+        on.Scenarios.z_req_per_sec;
+      add_result ~workload:"zerocopy_http" ~backend:name ~metric:"bytes_copied"
+        (float_of_int on.Scenarios.z_bytes_copied))
+    configs
+
+(* ------------------------------------------------------------------ *)
 (* Resilience (availability under the chaos harness)                   *)
 
 let resilience () =
@@ -812,7 +842,32 @@ let smp () =
   Printf.printf "LB_MPK  smp_http scaling efficiency at 4 cores: %.3f\n%!"
     efficiency;
   add_result ~workload:"smp_http" ~backend:"LB_MPK"
-    ~metric:"scaling_efficiency" efficiency
+    ~metric:"scaling_efficiency" efficiency;
+  (* wiki and pq on the sharded machine: the per-connection serving
+     fibers (wiki) and the query-splitting workers (pq) spread by work
+     stealing; cores are pinned per row so the committed baseline never
+     depends on ENCL_CORES. *)
+  let rcfg = rcfg_of (Some Lb.Mpk) in
+  let wiki_requests = if quick then 120 else 400 in
+  let w1 = Scenarios.wiki (Some Lb.Mpk) ~rcfg ~cores:1 ~requests:wiki_requests () in
+  let w4 = Scenarios.wiki (Some Lb.Mpk) ~rcfg ~cores:4 ~requests:wiki_requests () in
+  Printf.printf
+    "LB_MPK  smp_wiki  1 core %8.0f req/s   4 cores %8.0f req/s (%.2fx)\n%!"
+    w1.Scenarios.h_req_per_sec w4.Scenarios.h_req_per_sec
+    (w4.Scenarios.h_req_per_sec /. w1.Scenarios.h_req_per_sec);
+  add_result ~workload:"smp_wiki_4core" ~backend:"LB_MPK" ~metric:"req_per_sec"
+    w4.Scenarios.h_req_per_sec;
+  let queries = if quick then 80 else 200 in
+  let p1 = Scenarios.pq (Some Lb.Mpk) ~rcfg ~cores:1 ~workers:1 ~queries () in
+  let p4 = Scenarios.pq (Some Lb.Mpk) ~rcfg ~cores:4 ~workers:4 ~queries () in
+  Printf.printf
+    "LB_MPK  smp_pq    1 worker %7dns/query   4 workers x 4 cores %7dns/query \
+     (%.2fx)\n%!"
+    p1.Scenarios.p_ns_per_query p4.Scenarios.p_ns_per_query
+    (float_of_int p1.Scenarios.p_ns_per_query
+    /. float_of_int (max 1 p4.Scenarios.p_ns_per_query));
+  add_result ~workload:"smp_pq_4core" ~backend:"LB_MPK" ~metric:"query_ns"
+    (float_of_int p4.Scenarios.p_ns_per_query)
 
 (* ------------------------------------------------------------------ *)
 
@@ -828,6 +883,7 @@ let () =
   ablations ();
   fastpath ();
   sysring ();
+  zerocopy ();
   resilience ();
   attacks ();
   policy_mining ();

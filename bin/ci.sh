@@ -115,6 +115,23 @@ if ! cmp -s "$tmp/sysring_on.txt" "$tmp/sysring_off.txt"; then
   exit 1
 fi
 
+stage "zerocopy differential (enforcement on/off diff + speedup)"
+# The Zerocopy flag gates cost accounting only: the timing-free
+# enforcement report — which now includes the zerocopy_http scenario
+# and the rx ring's descriptor counters — must be byte-identical with
+# ENCL_ZEROCOPY on and off. Runs in --quick too. The speedup half
+# (profile zerocopy) then requires every backend to serve >= 10% more
+# req/s with strictly fewer ledger bytes copied at identical
+# kernel-syscall, fault and rx-ring descriptor counts.
+ENCL_ZEROCOPY=1 dune exec bin/trace_dump.exe -- enforcement > "$tmp/zc_on.txt"
+ENCL_ZEROCOPY=0 dune exec bin/trace_dump.exe -- enforcement > "$tmp/zc_off.txt"
+if ! cmp -s "$tmp/zc_on.txt" "$tmp/zc_off.txt"; then
+  echo "ci: enforcement diverged between ENCL_ZEROCOPY=1 and =0" >&2
+  diff "$tmp/zc_on.txt" "$tmp/zc_off.txt" >&2 || true
+  exit 1
+fi
+dune exec bin/profile.exe -- zerocopy --requests 400
+
 stage "sfi (switch/access crossover)"
 # The SFI selection rule must hold, measured: strictly fewer
 # switch-category ns than LB_VTX on the switch-heavy scenario, strictly

@@ -406,6 +406,102 @@ let sysring scenario requests =
       1
 
 (* ------------------------------------------------------------------ *)
+(* zerocopy: the zero-copy data plane pays for itself *)
+
+(* Acceptance (the zero-copy issue): with ENCL_ZEROCOPY on, the
+   zerocopy_http scenario (fasthttp in zc serving mode: requests read in
+   place from the rx view ring, bodies spliced with sendfile) must serve
+   >= 10% more requests per second than the identical run with the flag
+   off, with strictly fewer ledger bytes copied — while the kernel
+   executes the same system calls, enforcement records the same faults,
+   and the rx ring grants/consumes/reclaims the same descriptors. The
+   flag gates cost accounting only; any enforcement divergence is a bug
+   this check (and the ci.sh byte-diff) exists to catch. *)
+
+type zc_run = {
+  z_name : string;
+  z_rps : float;
+  z_bytes : int;
+  z_syscalls : int;
+  z_faults : int;
+  z_ring : int * int * int;
+}
+
+let zerocopy_run backend requests flag =
+  Zerocopy.with_flag flag @@ fun () ->
+  let rt, r = Scenarios.zerocopy_http_rt backend ?requests () in
+  let kernel = (Runtime.machine rt).Machine.kernel in
+  let faults =
+    match Runtime.lb rt with None -> 0 | Some lb -> Lb.fault_count lb
+  in
+  {
+    z_name = Scenarios.config_name backend;
+    z_rps = r.Scenarios.z_req_per_sec;
+    z_bytes = r.Scenarios.z_bytes_copied;
+    z_syscalls = workload_syscalls kernel;
+    z_faults = faults;
+    z_ring =
+      ( r.Scenarios.z_ring_granted,
+        r.Scenarios.z_ring_consumed,
+        r.Scenarios.z_ring_reclaimed );
+  }
+
+let zerocopy requests =
+  let check backend =
+    let on = zerocopy_run (Some backend) requests true in
+    let off = zerocopy_run (Some backend) requests false in
+    let granted, consumed, reclaimed = on.z_ring in
+    Printf.printf
+      "%-8s on:  %8.0f req/s  %9dB copied  syscalls %6d  faults %d  ring \
+       %d/%d/%d\n"
+      on.z_name on.z_rps on.z_bytes on.z_syscalls on.z_faults granted consumed
+      reclaimed;
+    let g', c', r' = off.z_ring in
+    Printf.printf
+      "%-8s off: %8.0f req/s  %9dB copied  syscalls %6d  faults %d  ring \
+       %d/%d/%d\n"
+      off.z_name off.z_rps off.z_bytes off.z_syscalls off.z_faults g' c' r';
+    let fail msg = Error (Printf.sprintf "%s: %s" on.z_name msg) in
+    if on.z_syscalls <> off.z_syscalls then
+      fail
+        (Printf.sprintf "kernel syscall counts diverged (on %d, off %d)"
+           on.z_syscalls off.z_syscalls)
+    else if on.z_faults <> off.z_faults then
+      fail
+        (Printf.sprintf "fault counts diverged (on %d, off %d)" on.z_faults
+           off.z_faults)
+    else if on.z_ring <> off.z_ring then
+      fail "rx-ring descriptor counters diverged across the flag"
+    else if granted <> consumed + reclaimed then
+      fail
+        (Printf.sprintf "rx-ring descriptors leaked (%d granted, %d consumed, \
+                         %d reclaimed)"
+           granted consumed reclaimed)
+    else if on.z_bytes >= off.z_bytes then
+      fail
+        (Printf.sprintf "bytes copied did not shrink (on %d, off %d)"
+           on.z_bytes off.z_bytes)
+    else if on.z_rps < 1.10 *. off.z_rps then
+      fail
+        (Printf.sprintf "req/s gain below 10%% (on %.0f, off %.0f, %+.1f%%)"
+           on.z_rps off.z_rps
+           (100.0 *. ((on.z_rps /. off.z_rps) -. 1.0)))
+    else Ok ()
+  in
+  Printf.printf "zerocopy check on zerocopy_http (%s requests)\n"
+    (match requests with Some n -> string_of_int n | None -> "default");
+  let results = List.map check Encl_litterbox.Backend.all in
+  match List.find_map (function Error e -> Some e | Ok () -> None) results with
+  | None ->
+      print_endline
+        "zerocopy: every backend serves >= 10% more req/s with strictly \
+         fewer bytes copied; enforcement identical";
+      0
+  | Some e ->
+      prerr_endline ("profile: zerocopy: " ^ e);
+      1
+
+(* ------------------------------------------------------------------ *)
 (* crossover: the SFI trade-off flips between workload shapes *)
 
 (* LB_SFI inverts LB_VTX's cost structure: sandbox crossings are ~free,
@@ -770,6 +866,16 @@ let sysring_cmd =
           strictly fewer VM EXITs at equal kernel syscall and fault counts.")
     Term.(const sysring $ scenario_arg $ requests_arg)
 
+let zerocopy_cmd =
+  Cmd.v
+    (Cmd.info "zerocopy"
+       ~doc:
+         "Run zerocopy_http with ENCL_ZEROCOPY on and off on every backend; \
+          exit 1 unless the flag buys >= 10% req/s with strictly fewer \
+          ledger bytes copied at identical kernel-syscall, fault and \
+          rx-ring descriptor counts.")
+    Term.(const zerocopy $ requests_arg)
+
 let crossover_cmd =
   let switch_arg =
     Arg.(
@@ -855,6 +961,9 @@ let () =
   in
   let cmds =
     List.map scenario_cmd Scenarios.scenario_names
-    @ [ overhead_cmd; fastpath_cmd; sysring_cmd; crossover_cmd; smp_cmd; gate_cmd ]
+    @ [
+        overhead_cmd; fastpath_cmd; sysring_cmd; zerocopy_cmd; crossover_cmd;
+        smp_cmd; gate_cmd;
+      ]
   in
   exit (Cmd.eval' (Cmd.group info cmds))

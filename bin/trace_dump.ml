@@ -34,7 +34,8 @@ let write_file path contents =
    drains: guest-side denials (VTX/LWC filter checks, ring entries
    denied at drain) never enter the kernel, so
    allowed + denied - guest_denied = kernel syscall_count. *)
-let cross_check lb kernel obs =
+let cross_check lb machine obs =
+  let kernel = machine.Machine.kernel in
   let check name total lb_count =
     if total <> lb_count then
       Some
@@ -52,6 +53,37 @@ let cross_check lb kernel obs =
         (Printf.sprintf
            "ring imbalance: submitted %d <> drained %d + pending %d" submitted
            drained pending)
+    else None
+  in
+  (* The rx view ring's descriptor ledger: every granted slot is either
+     consumed by the owner or force-reclaimed (close), with the obs
+     mirrors exact; [rxring_inflight] covers a dump taken mid-flight. *)
+  let rxring_balance =
+    let granted, consumed, reclaimed = K.rxring_counters kernel in
+    let inflight = K.rxring_inflight kernel in
+    if granted <> consumed + reclaimed + inflight then
+      Some
+        (Printf.sprintf
+           "rx-ring imbalance: granted %d <> consumed %d + reclaimed %d + \
+            inflight %d"
+           granted consumed reclaimed inflight)
+    else None
+  in
+  (* Both halves of the bytes_copied ledger against their obs mirrors:
+     kernel user-memory passes and guest buffer-to-buffer copies. *)
+  let copy_ledger =
+    let k_obs = Metrics.total m "bytes_copied.kernel" in
+    let k_ledger = K.bytes_copied_count kernel in
+    let a_obs = Metrics.total m "bytes_copied.app" in
+    let a_ledger = machine.Machine.bytes_copied in
+    if k_obs <> k_ledger then
+      Some
+        (Printf.sprintf "bytes_copied.kernel mismatch: obs %d, kernel %d"
+           k_obs k_ledger)
+    else if a_obs <> a_ledger then
+      Some
+        (Printf.sprintf "bytes_copied.app mismatch: obs %d, machine %d" a_obs
+           a_ledger)
     else None
   in
   let syscall_reconcile =
@@ -96,7 +128,17 @@ let cross_check lb kernel obs =
       check "tainted_rejected"
         (Metrics.total m "tainted_rejected")
         (Lb.tainted_rejected_count lb);
+      (let granted, _, _ = K.rxring_counters kernel in
+       check "ring.rx_granted" (Metrics.total m "ring.rx_granted") granted);
+      (let _, consumed, _ = K.rxring_counters kernel in
+       check "ring.rx_consumed" (Metrics.total m "ring.rx_consumed") consumed);
+      (let _, _, reclaimed = K.rxring_counters kernel in
+       check "ring.rx_reclaimed"
+         (Metrics.total m "ring.rx_reclaimed")
+         reclaimed);
       ring_balance;
+      rxring_balance;
+      copy_ledger;
       syscall_reconcile;
     ]
 
@@ -219,8 +261,7 @@ let run name backend requests out_dir summary =
       match Runtime.lb rt with
       | None -> 0
       | Some lb -> (
-          let kernel = (Runtime.machine rt).Machine.kernel in
-          match cross_check lb kernel obs with
+          match cross_check lb (Runtime.machine rt) obs with
           | [] ->
               Printf.printf
                 "counters reconcile: switches=%d (%d elided) transfers=%d \
@@ -366,6 +407,30 @@ let enforcement_scenario name run =
     (fun (nr, n) -> Printf.printf "    sys %-14s %d\n" (Sysno.name nr) n)
     trace
 
+(* The zero-copy scenario's enforcement report: everything here must be
+   invariant under both ENCL_SYSRING and ENCL_ZEROCOPY (ci.sh byte-diffs
+   the output across each flag), so bytes_copied — the one quantity the
+   Zerocopy flag is allowed to move — is deliberately absent. The rx
+   ring's descriptor counters are pure enforcement state and appear. *)
+let enforcement_zc name run =
+  let rt, (r : Scenarios.zc_result) = run () in
+  let kernel = (Runtime.machine rt).Machine.kernel in
+  let faults =
+    match Runtime.lb rt with None -> 0 | Some lb -> Lb.fault_count lb
+  in
+  let trace = workload_trace kernel in
+  let total = List.fold_left (fun acc (_, n) -> acc + n) 0 trace in
+  Printf.printf
+    "  %-16s served=%d workload_syscalls=%d faults=%d rxring=%d/%d/%d \
+     balanced=%b\n"
+    name r.Scenarios.z_requests total faults r.Scenarios.z_ring_granted
+    r.Scenarios.z_ring_consumed r.Scenarios.z_ring_reclaimed
+    (r.Scenarios.z_ring_granted
+    = r.Scenarios.z_ring_consumed + r.Scenarios.z_ring_reclaimed);
+  List.iter
+    (fun (nr, n) -> Printf.printf "    sys %-14s %d\n" (Sysno.name nr) n)
+    trace
+
 let enforcement () =
   List.iter
     (fun backend ->
@@ -379,7 +444,9 @@ let enforcement () =
       enforcement_scenario ("http/" ^ bname) (fun () ->
           Scenarios.http_rt (Some backend) ~requests:120 ());
       enforcement_scenario ("fasthttp/" ^ bname) (fun () ->
-          Scenarios.fasthttp_rt (Some backend) ~requests:120 ()))
+          Scenarios.fasthttp_rt (Some backend) ~requests:120 ());
+      enforcement_zc ("zerocopy_http/" ^ bname) (fun () ->
+          Scenarios.zerocopy_http_rt (Some backend) ~requests:120 ()))
     Encl_litterbox.Backend.all;
   0
 

@@ -34,7 +34,7 @@ let () =
     | Error e -> failwith e
   in
   let db = Wiki.setup_remote_db rt in
-  Runtime.run_main rt (fun () -> Wiki.start rt ~port:8090 ~enclosed:(config <> None));
+  Runtime.run_main rt (fun () -> Wiki.start rt ~port:8090 ~enclosed:(config <> None) ());
   Runtime.kick rt;
 
   let ep = Httpd.client_connect rt ~port:8090 in

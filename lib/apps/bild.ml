@@ -83,36 +83,47 @@ let row_effect rt ~fn ~src ~width ~height ~transform =
   done;
   dst
 
+(* Both transforms work on the private row buffer [read_bytes] already
+   produced — it never aliases guest memory, so mutating it in place is
+   safe and the old [Bytes.copy] per row was a second copy of every
+   tile for nothing. The simulated copies that remain (the [Gbuf.blit]
+   pipeline stages above) all charge the bytes_copied ledger. *)
 let grayscale rt ~src ~width ~height =
   row_effect rt ~fn:"grayscale" ~src ~width ~height ~transform:(fun data ->
-      let out = Bytes.copy data in
       let npx = Bytes.length data / 4 in
       for p = 0 to npx - 1 do
         let r = Char.code (Bytes.get data (4 * p)) in
         let g = Char.code (Bytes.get data ((4 * p) + 1)) in
         let b = Char.code (Bytes.get data ((4 * p) + 2)) in
         let y = (r + g + b) / 3 in
-        Bytes.set out (4 * p) (Char.chr y);
-        Bytes.set out ((4 * p) + 1) (Char.chr y);
-        Bytes.set out ((4 * p) + 2) (Char.chr y)
+        Bytes.set data (4 * p) (Char.chr y);
+        Bytes.set data ((4 * p) + 1) (Char.chr y);
+        Bytes.set data ((4 * p) + 2) (Char.chr y)
       done;
-      out)
+      data)
 
 let blur rt ~src ~width ~height =
   row_effect rt ~fn:"blur" ~src ~width ~height ~transform:(fun data ->
       let npx = Bytes.length data / 4 in
-      let out = Bytes.copy data in
-      let px p c =
-        let p = max 0 (min (npx - 1) p) in
-        Char.code (Bytes.get data ((4 * p) + c))
-      in
+      (* In place, with a 1-pixel carry: [carry] holds the original of
+         pixel p-1, which the in-place write has already destroyed;
+         [cur] snapshots pixel p before it is overwritten. *)
+      let carry = Bytes.make 4 '\000' in
+      let cur = Bytes.make 4 '\000' in
       for p = 0 to npx - 1 do
+        Bytes.blit data (4 * p) cur 0 4;
         for c = 0 to 2 do
-          let v = (px (p - 1) c + px p c + px (p + 1) c) / 3 in
-          Bytes.set out ((4 * p) + c) (Char.chr v)
-        done
+          let left = Char.code (Bytes.get (if p = 0 then cur else carry) c) in
+          let mid = Char.code (Bytes.get cur c) in
+          let right =
+            if p + 1 > npx - 1 then mid
+            else Char.code (Bytes.get data ((4 * (p + 1)) + c))
+          in
+          Bytes.set data ((4 * p) + c) (Char.chr ((left + mid + right) / 3))
+        done;
+        Bytes.blit cur 0 carry 0 4
       done;
-      out)
+      data)
 
 let checksum rt buf =
   Runtime.in_function rt ~pkg ~fn:"checksum" @@ fun () ->

@@ -170,3 +170,93 @@ let serve_enclosed rt ~port ~enclosure ~handler =
   | Some name ->
       Runtime.go rt (fun () ->
           Runtime.with_enclosure rt name (server_loop rt ~port ~req_chan))
+
+(* ------------------------------------------------------------------ *)
+(* Zero-copy serving mode (the zerocopy_http scenario): the request is
+   read in place from the rx view ring and the static body is spliced
+   from the VFS with sendfile(2), so the payload never enters user
+   memory — no per-request body staging, no response-assembly blit.
+   The same calls are issued with {!Encl_sim.Zerocopy} off (the kernel
+   bounce-copies internally and charges the ledger), so syscall
+   sequences, verdicts and faults are byte-identical across the flag. *)
+
+let zc_served = ref 0
+let zc_requests_served () = !zc_served
+let zc_reset_counters () = zc_served := 0
+
+let handle_one_zc rt ~conn_fd ~hdrbuf ~ring ~file_fd ~file_len =
+  let m = Runtime.machine rt in
+  match
+    Retry.with_backoff rt ~op:"fasthttp.recv_ring" (fun () ->
+        Runtime.netring_recv rt ring ~fd:conn_fd)
+  with
+  | Error _ | Ok None -> false
+  | Ok (Some (slot, payload)) ->
+      charge rt Clock.Compute parse_ns;
+      (* Parsed straight out of the ring descriptor — the R view makes
+         the in-place read safe, and writing here would fault. *)
+      let raw = Gbuf.read_string m payload in
+      (match String.split_on_char ' ' raw with
+      | _meth :: _path :: _ -> ()
+      | _ -> ());
+      Runtime.syscall_nowait rt (K.Setsockopt conn_fd);
+      let headers =
+        Printf.sprintf "HTTP/1.1 200 OK\r\nContent-Length: %d\r\n\r\n" file_len
+      in
+      let hlen = String.length headers in
+      Gbuf.write_string m (Gbuf.sub hdrbuf ~pos:0 ~len:hlen) headers;
+      ignore
+        (Retry.send_all rt ~op:"fasthttp.send" ~fd:conn_fd
+           ~buf:hdrbuf.Gbuf.addr ~len:hlen);
+      (match
+         Retry.with_backoff rt ~op:"fasthttp.sendfile" (fun () ->
+             Runtime.syscall_batched rt
+               (K.Sendfile { out_fd = conn_fd; in_fd = file_fd; off = 0; len = file_len }))
+       with
+      | Ok _ -> ()
+      | Error e -> failwith ("fasthttp sendfile: " ^ K.errno_name e));
+      Runtime.netring_consume rt slot;
+      charge rt Clock.Compute bookkeeping_ns;
+      incr zc_served;
+      true
+
+let conn_loop_zc rt ~conn_fd ~ring ~file_fd ~file_len () =
+  Runtime.in_function rt ~pkg ~fn:"acquire_ctx" @@ fun () ->
+  let kernel = (Runtime.machine rt).Machine.kernel in
+  let hdrbuf = Runtime.alloc_in rt ~pkg 256 in
+  let rec loop () =
+    Sched.wait_until (Runtime.sched rt) (fun () -> K.fd_readable kernel conn_fd);
+    match handle_one_zc rt ~conn_fd ~hdrbuf ~ring ~file_fd ~file_len with
+    | true -> loop ()
+    | false -> ()
+    | exception e -> (
+        match Runtime.absorb_fault rt e with
+        | Some _reason -> incr conns_failed
+        | None -> raise e)
+  in
+  loop ()
+
+let server_loop_zc rt ~port ~ring ~file_fd ~file_len () =
+  Runtime.in_function rt ~pkg ~fn:"serve" @@ fun () ->
+  let fd = Runtime.syscall_exn rt K.Socket in
+  ignore (Runtime.syscall_exn rt (K.Bind { fd; port }));
+  ignore (Runtime.syscall_exn rt (K.Listen fd));
+  let kernel = (Runtime.machine rt).Machine.kernel in
+  let rec accept_loop () =
+    Sched.wait_until (Runtime.sched rt) (fun () -> K.listener_pending kernel fd);
+    match Runtime.syscall_batched rt (K.Accept fd) with
+    | Ok conn_fd ->
+        Runtime.go rt (conn_loop_zc rt ~conn_fd ~ring ~file_fd ~file_len);
+        accept_loop ()
+    | Error e when Retry.transient e -> accept_loop ()
+    | Error e -> failwith ("fasthttp accept: " ^ K.errno_name e)
+  in
+  accept_loop ()
+
+let serve_zc rt ~port ~ring ~file_fd ~file_len ~enclosure =
+  match enclosure with
+  | None -> Runtime.go rt (server_loop_zc rt ~port ~ring ~file_fd ~file_len)
+  | Some name ->
+      Runtime.go rt (fun () ->
+          Runtime.with_enclosure rt name
+            (server_loop_zc rt ~port ~ring ~file_fd ~file_len))

@@ -35,6 +35,26 @@ val serve_enclosed :
     [None] is the baseline. [handler] runs in a separate trusted
     goroutine either way. *)
 
+val serve_zc :
+  Encl_golike.Runtime.t ->
+  port:int ->
+  ring:Encl_golike.Runtime.netring ->
+  file_fd:int ->
+  file_len:int ->
+  enclosure:string option ->
+  unit
+(** The zero-copy serving mode: requests are read in place from the rx
+    view ring ({!Encl_golike.Runtime.netring_recv}) and the static body
+    is spliced from the VFS file open on [file_fd] with sendfile(2) —
+    no per-request body staging or assembly blit. The enclosure needs
+    ["netring:R"] in its view and the [net] and [io] system-call
+    categories. The identical call sequence is issued with
+    {!Encl_sim.Zerocopy} off; only cost and the bytes_copied ledger
+    move. Served requests land in {!zc_requests_served}. *)
+
+val zc_requests_served : unit -> int
+val zc_reset_counters : unit -> unit
+
 val requests_served : unit -> int
 
 val connections_failed : unit -> int

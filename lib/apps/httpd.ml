@@ -40,8 +40,10 @@ let reset_counters () =
 let charge rt cat ns = Clock.consume (Runtime.clock rt) cat ns
 
 (* One full request/response cycle on an established connection; returns
-   false when the connection reached EOF. *)
-let handle_one rt ~conn_fd ~handler =
+   false when the connection reached EOF. [static path = Some (fd, len)]
+   serves that VFS file's bytes as the body via sendfile(2) instead of
+   staging them through the bufio writer. *)
+let handle_one rt ~conn_fd ~static ~handler =
   let m = Runtime.machine rt in
   Runtime.syscall_nowait rt K.Epoll_wait;
   (* net/http allocates a fresh request buffer per request. *)
@@ -63,30 +65,57 @@ let handle_one rt ~conn_fd ~handler =
       in
       Runtime.syscall_nowait rt K.Clock_gettime;
       Runtime.syscall_nowait rt (K.Setsockopt conn_fd);
-      let body = handler ~meth ~path in
-      Runtime.syscall_nowait rt K.Clock_gettime;
-      (* A fresh 8 KiB bufio.Writer per request (the LB_MPK transfer
-         driver): headers plus the body prefix are staged there, the body
-         tail is written straight from the handler's buffer. *)
-      let headers =
-        Printf.sprintf
-          "HTTP/1.1 200 OK\r\nContent-Type: text/html\r\nContent-Length: %d\r\n\r\n"
-          body.Gbuf.len
-      in
-      let bufio = Runtime.alloc_in rt ~pkg 8192 in
-      let hlen = String.length headers in
-      let prefix = min (8192 - hlen) body.Gbuf.len in
-      Gbuf.write_string m (Gbuf.sub bufio ~pos:0 ~len:hlen) headers;
-      Gbuf.blit m ~src:(Gbuf.sub body ~pos:0 ~len:prefix)
-        ~dst:(Gbuf.sub bufio ~pos:hlen ~len:prefix);
-      charge rt Clock.Io (assembly_ns_per_kb * ((hlen + prefix) / 1024));
-      ignore
-        (Retry.send_all rt ~op:"httpd.send" ~fd:conn_fd ~buf:bufio.Gbuf.addr
-           ~len:(hlen + prefix));
-      if body.Gbuf.len > prefix then
-        ignore
-          (Retry.send_all rt ~op:"httpd.send" ~fd:conn_fd
-             ~buf:(body.Gbuf.addr + prefix) ~len:(body.Gbuf.len - prefix));
+      (match static path with
+      | Some (in_fd, len) ->
+          (* Static body: only the headers pass through the bufio
+             writer; the body is spliced from the VFS file without
+             entering user memory (with Zerocopy off the kernel
+             bounce-copies internally and charges the ledger). *)
+          Runtime.syscall_nowait rt K.Clock_gettime;
+          let headers =
+            Printf.sprintf
+              "HTTP/1.1 200 OK\r\nContent-Type: text/html\r\nContent-Length: %d\r\n\r\n"
+              len
+          in
+          let bufio = Runtime.alloc_in rt ~pkg 8192 in
+          let hlen = String.length headers in
+          Gbuf.write_string m (Gbuf.sub bufio ~pos:0 ~len:hlen) headers;
+          charge rt Clock.Io (assembly_ns_per_kb * (hlen / 1024));
+          ignore
+            (Retry.send_all rt ~op:"httpd.send" ~fd:conn_fd
+               ~buf:bufio.Gbuf.addr ~len:hlen);
+          (match
+             Retry.with_backoff rt ~op:"httpd.sendfile" (fun () ->
+                 Runtime.syscall_batched rt
+                   (K.Sendfile { out_fd = conn_fd; in_fd; off = 0; len }))
+           with
+          | Ok _ -> ()
+          | Error e -> failwith ("httpd sendfile: " ^ K.errno_name e))
+      | None ->
+          let body = handler ~meth ~path in
+          Runtime.syscall_nowait rt K.Clock_gettime;
+          (* A fresh 8 KiB bufio.Writer per request (the LB_MPK transfer
+             driver): headers plus the body prefix are staged there, the body
+             tail is written straight from the handler's buffer. *)
+          let headers =
+            Printf.sprintf
+              "HTTP/1.1 200 OK\r\nContent-Type: text/html\r\nContent-Length: %d\r\n\r\n"
+              body.Gbuf.len
+          in
+          let bufio = Runtime.alloc_in rt ~pkg 8192 in
+          let hlen = String.length headers in
+          let prefix = min (8192 - hlen) body.Gbuf.len in
+          Gbuf.write_string m (Gbuf.sub bufio ~pos:0 ~len:hlen) headers;
+          Gbuf.blit m ~src:(Gbuf.sub body ~pos:0 ~len:prefix)
+            ~dst:(Gbuf.sub bufio ~pos:hlen ~len:prefix);
+          charge rt Clock.Io (assembly_ns_per_kb * ((hlen + prefix) / 1024));
+          ignore
+            (Retry.send_all rt ~op:"httpd.send" ~fd:conn_fd ~buf:bufio.Gbuf.addr
+               ~len:(hlen + prefix));
+          if body.Gbuf.len > prefix then
+            ignore
+              (Retry.send_all rt ~op:"httpd.send" ~fd:conn_fd
+                 ~buf:(body.Gbuf.addr + prefix) ~len:(body.Gbuf.len - prefix)));
       Runtime.syscall_nowait rt (K.Epoll_ctl conn_fd);
       Runtime.syscall_nowait rt K.Futex;
       Runtime.syscall_nowait rt K.Futex;
@@ -96,11 +125,11 @@ let handle_one rt ~conn_fd ~handler =
       incr served;
       true
 
-let conn_loop rt ~conn_fd ~handler () =
+let conn_loop rt ~conn_fd ~static ~handler () =
   let kernel = (Runtime.machine rt).Machine.kernel in
   let rec loop () =
     Sched.wait_until (Runtime.sched rt) (fun () -> K.fd_readable kernel conn_fd);
-    match handle_one rt ~conn_fd ~handler with
+    match handle_one rt ~conn_fd ~static ~handler with
     | true -> loop ()
     | false -> ignore (Runtime.syscall rt (K.Close conn_fd))
     | exception e -> (
@@ -116,7 +145,7 @@ let conn_loop rt ~conn_fd ~handler () =
   in
   loop ()
 
-let serve rt ~port ~handler =
+let serve_static rt ~static ~port ~handler =
   Runtime.in_function rt ~pkg ~fn:"listen_and_serve" @@ fun () ->
   let fd = Runtime.syscall_exn rt K.Socket in
   ignore (Runtime.syscall_exn rt (K.Bind { fd; port }));
@@ -127,12 +156,14 @@ let serve rt ~port ~handler =
         Sched.wait_until (Runtime.sched rt) (fun () -> K.listener_pending kernel fd);
         match Runtime.syscall_batched rt (K.Accept fd) with
         | Ok conn_fd ->
-            Runtime.go rt (conn_loop rt ~conn_fd ~handler);
+            Runtime.go rt (conn_loop rt ~conn_fd ~static ~handler);
             accept_loop ()
         | Error e when Retry.transient e -> accept_loop ()
         | Error e -> failwith ("accept: " ^ K.errno_name e)
       in
       accept_loop ())
+
+let serve rt ~port ~handler = serve_static rt ~static:(fun _ -> None) ~port ~handler
 
 (* ------------------------------------------------------------------ *)
 (* Client side: external peers driving the server.                     *)

@@ -28,6 +28,19 @@ val serve :
     the accept loop and every other connection keep serving. Transient
     network errnos are retried with capped backoff ({!Retry}). *)
 
+val serve_static :
+  Encl_golike.Runtime.t ->
+  static:(string -> (int * int) option) ->
+  port:int ->
+  handler:(meth:string -> path:string -> Encl_golike.Gbuf.t) ->
+  unit
+(** {!serve}, but [static path = Some (file_fd, len)] routes that
+    path's body through sendfile(2) from the already-open VFS file
+    instead of the handler + bufio staging — the zero-copy static path.
+    The splice call needs the [io] system-call category; with
+    {!Encl_sim.Zerocopy} off the kernel bounce-copies internally, so
+    enforcement is identical across the flag. *)
+
 val requests_served : unit -> int
 (** Global counter (reset by {!reset_counters}); benchmarks read it. *)
 

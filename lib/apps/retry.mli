@@ -16,8 +16,8 @@ val with_backoff :
   ?attempts:int ->
   Encl_golike.Runtime.t ->
   op:string ->
-  (unit -> (int, Encl_kernel.Kernel.errno) result) ->
-  (int, Encl_kernel.Kernel.errno) result
+  (unit -> ('a, Encl_kernel.Kernel.errno) result) ->
+  ('a, Encl_kernel.Kernel.errno) result
 (** Run the call, retrying up to [attempts] (default 5) times on a
     transient errno with exponentially growing, capped backoff. The last
     errno is returned when the attempts are exhausted; a non-transient

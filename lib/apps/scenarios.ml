@@ -227,15 +227,24 @@ let wiki_boot ?rcfg config =
   let _db = Wiki.setup_remote_db rt in
   Wiki.reset_counters ();
   Runtime.run_main rt (fun () ->
-      Wiki.start rt ~port:8090 ~enclosed:(config <> None));
+      Wiki.start rt ~port:8090 ~enclosed:(config <> None) ());
   rt
 
-let wiki_rt config ?rcfg ?(requests = 1000) ?(conns = 4) () =
+(* [cores], when pinned, shards the machine: the per-connection serving
+   fibers (and the proxy/glue goroutines) then spread over the shard by
+   work stealing. Left unset, the config is byte-identical to the old
+   single-core boot. *)
+let wiki_rt config ?rcfg ?cores ?(requests = 1000) ?(conns = 4) () =
+  let rcfg =
+    match cores with
+    | None -> rcfg
+    | Some c -> Some { (runtime_config ?rcfg config) with Runtime.cores = c }
+  in
   let rt = wiki_boot ?rcfg config in
   (rt, drive rt ~port:8090 ~requests ~conns ~served:Wiki.requests_served)
 
-let wiki config ?rcfg ?requests ?conns () =
-  snd (wiki_rt config ?rcfg ?requests ?conns ())
+let wiki config ?rcfg ?cores ?requests ?conns () =
+  snd (wiki_rt config ?rcfg ?cores ?requests ?conns ())
 
 (* ------------------------------------------------------------------ *)
 (* pq: an enclosed database client                                     *)
@@ -249,7 +258,12 @@ type pq_result = { p_queries : int; p_ns_per_query : int }
    database address — which makes this the policy miner's third
    reference scenario (http mines memory, wiki mines two enclosures,
    pq mines a connect narrowing in isolation). *)
-let pq_rt config ?rcfg ?(queries = 200) () =
+let pq_rt config ?rcfg ?cores ?(workers = 1) ?(queries = 200) () =
+  let rcfg =
+    match cores with
+    | None -> rcfg
+    | Some c -> Some { (runtime_config ?rcfg config) with Runtime.cores = c }
+  in
   let main =
     Runtime.package "main" ~imports:[ Pq.pkg ]
       ~functions:[ ("main", 512); ("pq_body", 512) ]
@@ -274,26 +288,139 @@ let pq_rt config ?rcfg ?(queries = 200) () =
   let completed = ref 0 in
   let clock = Runtime.clock rt in
   let t0 = Clock.now clock in
-  Runtime.run_main rt (fun () ->
-      Runtime.with_enclosure rt "pq_enc" (fun () ->
-          let conn = Pq.connect rt ~ip:Wiki.db_ip ~port:Wiki.db_port in
-          for _ = 1 to queries do
-            match
-              Pq.query rt conn "SELECT body FROM pages WHERE title = 'home'"
-            with
-            | Ok _ -> incr completed
-            | Error e -> failwith ("pq query: " ^ e)
-          done
-          (* No [Pq.close]: close(2) is file-category and denied under
-             the net-only filter; trusted code sweeps the fd (same
-             division of labor as the wiki's db proxy). *)));
+  let sql = "SELECT body FROM pages WHERE title = 'home'" in
+  (if workers <= 1 then
+     Runtime.run_main rt (fun () ->
+         Runtime.with_enclosure rt "pq_enc" (fun () ->
+             let conn = Pq.connect rt ~ip:Wiki.db_ip ~port:Wiki.db_port in
+             for _ = 1 to queries do
+               match Pq.query rt conn sql with
+               | Ok _ -> incr completed
+               | Error e -> failwith ("pq query: " ^ e)
+             done
+             (* No [Pq.close]: close(2) is file-category and denied under
+                the net-only filter; trusted code sweeps the fd (same
+                division of labor as the wiki's db proxy). *)))
+   else
+     (* Parallel query fibers, spawned inside the enclosure environment
+        (inherited at spawn, like fasthttp's connection fibers): each
+        worker owns a connection, and with a sharded machine the fibers
+        spread over the cores by work stealing. *)
+     Runtime.run_main rt (fun () ->
+         Runtime.with_enclosure rt "pq_enc" (fun () ->
+             let finished = ref 0 in
+             let per = queries / workers in
+             for w = 0 to workers - 1 do
+               let n =
+                 if w = workers - 1 then queries - (per * (workers - 1))
+                 else per
+               in
+               Runtime.go rt (fun () ->
+                   let conn = Pq.connect rt ~ip:Wiki.db_ip ~port:Wiki.db_port in
+                   for _ = 1 to n do
+                     match Pq.query rt conn sql with
+                     | Ok _ -> incr completed
+                     | Error e -> failwith ("pq query: " ^ e)
+                   done;
+                   incr finished)
+             done;
+             Encl_golike.Sched.wait_until (Runtime.sched rt) (fun () ->
+                 !finished = workers))));
   Runtime.kick rt;
   if !completed < queries then
     failwith (Printf.sprintf "pq: %d/%d queries completed" !completed queries);
   let elapsed = Clock.now clock - t0 in
   (rt, { p_queries = !completed; p_ns_per_query = elapsed / max 1 queries })
 
-let pq config ?rcfg ?queries () = snd (pq_rt config ?rcfg ?queries ())
+let pq config ?rcfg ?cores ?workers ?queries () =
+  snd (pq_rt config ?rcfg ?cores ?workers ?queries ())
+
+(* ------------------------------------------------------------------ *)
+(* zerocopy_http: the zero-copy data plane end to end                  *)
+
+type zc_result = {
+  z_requests : int;
+  z_req_per_sec : float;
+  z_syscalls_per_req : float;
+  z_bytes_copied : int;
+  z_ring_granted : int;
+  z_ring_consumed : int;
+  z_ring_reclaimed : int;
+}
+
+let zc_static_path = "/srv/index.html"
+
+(* The ring arena's owning package: attach_netring's heap spans are
+   transferred to it, so "netring:R" in a policy grants read-only view
+   of the descriptors. The anchor global just makes it linkable. *)
+let netring_package () =
+  Runtime.package Runtime.netring_pkg
+    ~globals:[ ("ring_anchor", 64, None) ]
+    ()
+
+(* The fasthttp server in zero-copy serving mode: requests read in
+   place from the rx view ring, the 13 KiB static body spliced from the
+   VFS with sendfile(2). The identical syscall sequence runs with
+   ENCL_ZEROCOPY off (the kernel bounce-copies internally), so the flag
+   moves only time and the bytes_copied ledger — which is exactly what
+   the profile gate and the CI enforcement byte-diff check. *)
+let zerocopy_http_rt config ?rcfg ?(requests = 2000) ?(conns = 8) () =
+  let main =
+    Runtime.package "main"
+      ~imports:[ Fasthttp.pkg; Runtime.netring_pkg ]
+      ~functions:[ ("main", 512); ("srv_body", 256) ]
+      ~enclosures:
+        [
+          {
+            Encl_elf.Objfile.enc_name = "zc_srv";
+            enc_policy = Runtime.netring_pkg ^ ":R; sys=net,io";
+            enc_closure = "srv_body";
+            enc_deps = [ Fasthttp.pkg ];
+          };
+        ]
+      ()
+  in
+  let packages = main :: netring_package () :: Fasthttp.packages () in
+  let rt = boot_exn ?rcfg config ~packages ~entry:"main" in
+  Fasthttp.zc_reset_counters ();
+  let m = Runtime.machine rt in
+  let kernel = m.Machine.kernel in
+  (* Static body on the VFS, opened read-only by trusted setup — the
+     net,io filter denies open(2) inside the enclosure. *)
+  let vfs = m.Machine.vfs in
+  (match Encl_kernel.Vfs.mkdir_p vfs "/srv" with
+  | Ok () -> ()
+  | Error e -> failwith ("zerocopy_http: " ^ Encl_kernel.Vfs.errno_name e));
+  (match
+     Encl_kernel.Vfs.create_file vfs zc_static_path (Bytes.make page_bytes 'x')
+   with
+  | Ok () -> ()
+  | Error e -> failwith ("zerocopy_http: " ^ Encl_kernel.Vfs.errno_name e));
+  let file_fd =
+    Runtime.syscall_exn rt (K.Open { path = zc_static_path; flags = [ K.O_rdonly ] })
+  in
+  let ring = Runtime.attach_netring rt () in
+  let enclosure = match config with None -> None | Some _ -> Some "zc_srv" in
+  Runtime.run_main rt (fun () ->
+      Fasthttp.serve_zc rt ~port:8082 ~ring ~file_fd ~file_len:page_bytes
+        ~enclosure);
+  let r =
+    drive rt ~port:8082 ~requests ~conns ~served:Fasthttp.zc_requests_served
+  in
+  let granted, consumed, reclaimed = K.rxring_counters kernel in
+  ( rt,
+    {
+      z_requests = r.h_requests;
+      z_req_per_sec = r.h_req_per_sec;
+      z_syscalls_per_req = r.h_syscalls_per_req;
+      z_bytes_copied = K.bytes_copied_count kernel + m.Machine.bytes_copied;
+      z_ring_granted = granted;
+      z_ring_consumed = consumed;
+      z_ring_reclaimed = reclaimed;
+    } )
+
+let zerocopy_http config ?rcfg ?requests ?conns () =
+  snd (zerocopy_http_rt config ?rcfg ?requests ?conns ())
 
 (* ------------------------------------------------------------------ *)
 (* Chaos: workloads under deterministic fault injection                *)
@@ -587,7 +714,8 @@ let smp_http config ?cores ?requests ?conns ?render_ns () =
 (* ------------------------------------------------------------------ *)
 (* Named dispatch (trace_dump, CI)                                     *)
 
-let scenario_names = [ "bild"; "http"; "fasthttp"; "wiki"; "pq"; "smp_http" ]
+let scenario_names =
+  [ "bild"; "http"; "fasthttp"; "wiki"; "pq"; "smp_http"; "zerocopy_http" ]
 
 let pp_http_result r =
   Printf.sprintf "%d requests, %.0f req/s, %.2f syscalls/req" r.h_requests
@@ -623,6 +751,14 @@ let run_named name config ?requests () =
         ( rt,
           Printf.sprintf "%d requests on %d cores, %.0f req/s, %d steals"
             r.s_requests r.s_cores r.s_req_per_sec r.s_steals )
+  | "zerocopy_http" ->
+      let rt, r = zerocopy_http_rt config ?requests () in
+      Ok
+        ( rt,
+          Printf.sprintf
+            "%d requests, %.0f req/s, %d bytes copied, ring %d/%d/%d"
+            r.z_requests r.z_req_per_sec r.z_bytes_copied r.z_ring_granted
+            r.z_ring_consumed r.z_ring_reclaimed )
   | _ ->
       Error
         (Printf.sprintf "unknown scenario %s (choose from: %s)" name

@@ -46,10 +46,13 @@ val fasthttp :
     filter, trusted handler goroutine behind channels. *)
 
 val wiki :
-  config -> ?rcfg:Encl_golike.Runtime.config -> ?requests:int -> ?conns:int ->
-  unit -> http_result
+  config -> ?rcfg:Encl_golike.Runtime.config -> ?cores:int -> ?requests:int ->
+  ?conns:int -> unit -> http_result
 (** The Figure 5 wiki application: GET-page workload against the
-    mini-Postgres remote, two enclosures (HTTP server, DB proxy). *)
+    mini-Postgres remote, two enclosures (HTTP server, DB proxy).
+    [cores], when pinned, shards the machine so the per-connection
+    serving fibers spread by work stealing; unset is the classic
+    single-core boot. *)
 
 type smp_result = {
   s_cores : int;
@@ -84,12 +87,42 @@ type pq_result = {
 }
 
 val pq :
-  config -> ?rcfg:Encl_golike.Runtime.config -> ?queries:int -> unit ->
-  pq_result
+  config -> ?rcfg:Encl_golike.Runtime.config -> ?cores:int -> ?workers:int ->
+  ?queries:int -> unit -> pq_result
 (** The database driver alone inside an enclosure ([pq_enc]: pq and its
     dependency tree, [net] syscalls narrowed to the database address):
     connect once, then [queries] SELECTs against the mini-Postgres
-    remote. The policy miner's connect-narrowing reference scenario. *)
+    remote. The policy miner's connect-narrowing reference scenario.
+    [workers] (default 1 — the classic serial loop, byte-identical to
+    the old scenario) splits the queries over that many goroutines,
+    each with its own connection, spawned inside the enclosure; pin
+    [cores] alongside to spread them over a sharded machine. *)
+
+type zc_result = {
+  z_requests : int;
+  z_req_per_sec : float;
+  z_syscalls_per_req : float;
+  z_bytes_copied : int;
+      (** kernel user-memory passes + guest buffer-to-buffer copies over
+          the measured run (the whole boot, in fact — the ledgers are
+          machine-lifetime); near zero with {!Encl_sim.Zerocopy} on *)
+  z_ring_granted : int;
+  z_ring_consumed : int;
+  z_ring_reclaimed : int;
+      (** rx-ring descriptor balance: granted = consumed + reclaimed at
+          quiesce, independent of the Zerocopy flag *)
+}
+
+val zerocopy_http :
+  config -> ?rcfg:Encl_golike.Runtime.config -> ?requests:int -> ?conns:int ->
+  unit -> zc_result
+(** The zero-copy data plane end to end: the fasthttp server in zc
+    serving mode — requests read in place from the rx view ring
+    ("netring:R" in the [zc_srv] policy), 13 KiB static body spliced
+    from the VFS with sendfile(2). The identical syscall sequence runs
+    with ENCL_ZEROCOPY off (kernel-internal bounce copies), so
+    enforcement artifacts are byte-identical across the flag and only
+    time + the bytes_copied ledger move. *)
 
 (** {2 Chaos scenarios (deterministic fault injection)} *)
 
@@ -145,12 +178,16 @@ val fasthttp_rt :
   unit -> Encl_golike.Runtime.t * http_result
 
 val wiki_rt :
-  config -> ?rcfg:Encl_golike.Runtime.config -> ?requests:int -> ?conns:int ->
-  unit -> Encl_golike.Runtime.t * http_result
+  config -> ?rcfg:Encl_golike.Runtime.config -> ?cores:int -> ?requests:int ->
+  ?conns:int -> unit -> Encl_golike.Runtime.t * http_result
 
 val pq_rt :
-  config -> ?rcfg:Encl_golike.Runtime.config -> ?queries:int -> unit ->
-  Encl_golike.Runtime.t * pq_result
+  config -> ?rcfg:Encl_golike.Runtime.config -> ?cores:int -> ?workers:int ->
+  ?queries:int -> unit -> Encl_golike.Runtime.t * pq_result
+
+val zerocopy_http_rt :
+  config -> ?rcfg:Encl_golike.Runtime.config -> ?requests:int -> ?conns:int ->
+  unit -> Encl_golike.Runtime.t * zc_result
 
 val smp_http_rt :
   config -> ?cores:int -> ?requests:int -> ?conns:int -> ?render_ns:int ->
@@ -158,7 +195,8 @@ val smp_http_rt :
 
 val scenario_names : string list
 (** Names accepted by {!run_named}: currently
-    ["bild"; "http"; "fasthttp"; "wiki"; "pq"; "smp_http"]. *)
+    ["bild"; "http"; "fasthttp"; "wiki"; "pq"; "smp_http";
+    "zerocopy_http"]. *)
 
 val run_named :
   string -> config -> ?requests:int -> unit ->

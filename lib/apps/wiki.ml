@@ -17,7 +17,10 @@ let assembly_ns_per_kb = 1_400
 
 let packages () = Mux.packages () @ Pq.packages ()
 
-let main_package () =
+(* [static = true] widens http_srv's filter to the [io] category so the
+   static-asset route may issue sendfile(2); the default policy — and so
+   every committed baseline — is unchanged. *)
+let main_package ?(static = false) () =
   Runtime.package "main" ~imports:[ Mux.pkg; Pq.pkg ]
     ~functions:
       [
@@ -36,7 +39,7 @@ let main_package () =
       [
         {
           Encl_elf.Objfile.enc_name = "http_srv";
-          enc_policy = "; sys=net";
+          enc_policy = (if static then "; sys=net,io" else "; sys=net");
           enc_closure = "http_srv_body";
           enc_deps = [ Mux.pkg ];
         };
@@ -170,12 +173,38 @@ let glue_loop rt ~http_req ~db_req ~db_resp () =
   in
   loop ()
 
+let is_static_path path =
+  String.length path >= 8 && String.sub path 0 8 = "/static/"
+
 (* Enclosure B: the mux-based HTTP server. *)
-let http_conn_loop rt ~conn_fd ~router ~http_req () =
+let http_conn_loop rt ~conn_fd ~router ~static ~http_req () =
   let m = Runtime.machine rt in
   let kernel = m.Machine.kernel in
   let http_resp = Channel.create (Runtime.sched rt) ~cap:1 in
   let reqbuf = Runtime.alloc_in rt ~pkg:Mux.pkg 4096 in
+  let serve_dynamic ~meth ~path ~body =
+    let action =
+      match Mux.route rt router ~meth ~path with
+      | Some mk -> mk ~path ~body
+      | None -> Not_found
+    in
+    Runtime.syscall_nowait rt (K.Setsockopt conn_fd);
+    Channel.send http_req (action, http_resp);
+    let page = Channel.recv http_resp in
+    let headers =
+      Printf.sprintf "HTTP/1.1 200 OK\r\nContent-Length: %d\r\n\r\n" page.Gbuf.len
+    in
+    let total = String.length headers + page.Gbuf.len in
+    let resp = Runtime.alloc_in rt ~pkg:Mux.pkg total in
+    Gbuf.write_string m (Gbuf.sub resp ~pos:0 ~len:(String.length headers)) headers;
+    Gbuf.blit m ~src:page
+      ~dst:(Gbuf.sub resp ~pos:(String.length headers) ~len:page.Gbuf.len);
+    charge rt Clock.Io (assembly_ns_per_kb * (total / 1024));
+    ignore
+      (Retry.send_all rt ~op:"wiki.send" ~fd:conn_fd ~buf:resp.Gbuf.addr ~len:total);
+    charge rt Clock.Compute bookkeeping_ns;
+    incr served
+  in
   let rec loop () =
     Sched.wait_until (Runtime.sched rt) (fun () -> K.fd_readable kernel conn_fd);
     match
@@ -199,27 +228,32 @@ let http_conn_loop rt ~conn_fd ~router ~http_req () =
           | Some i -> String.sub raw (i + 1) (String.length raw - i - 1) |> String.trim
           | None -> ""
         in
-        let action =
-          match Mux.route rt router ~meth ~path with
-          | Some mk -> mk ~path ~body
-          | None -> Not_found
-        in
-        Runtime.syscall_nowait rt (K.Setsockopt conn_fd);
-        Channel.send http_req (action, http_resp);
-        let page = Channel.recv http_resp in
-        let headers =
-          Printf.sprintf "HTTP/1.1 200 OK\r\nContent-Length: %d\r\n\r\n" page.Gbuf.len
-        in
-        let total = String.length headers + page.Gbuf.len in
-        let resp = Runtime.alloc_in rt ~pkg:Mux.pkg total in
-        Gbuf.write_string m (Gbuf.sub resp ~pos:0 ~len:(String.length headers)) headers;
-        Gbuf.blit m ~src:page
-          ~dst:(Gbuf.sub resp ~pos:(String.length headers) ~len:page.Gbuf.len);
-        charge rt Clock.Io (assembly_ns_per_kb * (total / 1024));
-        ignore
-          (Retry.send_all rt ~op:"wiki.send" ~fd:conn_fd ~buf:resp.Gbuf.addr ~len:total);
-        charge rt Clock.Compute bookkeeping_ns;
-        incr served;
+        (match static with
+        | Some (file_fd, file_len) when is_static_path path ->
+            (* Static asset: headers from mux's arena, body spliced from
+               the VFS file — the rendered-page blit below never runs. *)
+            Runtime.syscall_nowait rt (K.Setsockopt conn_fd);
+            let headers =
+              Printf.sprintf "HTTP/1.1 200 OK\r\nContent-Length: %d\r\n\r\n"
+                file_len
+            in
+            let hlen = String.length headers in
+            let resp = Runtime.alloc_in rt ~pkg:Mux.pkg hlen in
+            Gbuf.write_string m resp headers;
+            ignore
+              (Retry.send_all rt ~op:"wiki.send" ~fd:conn_fd
+                 ~buf:resp.Gbuf.addr ~len:hlen);
+            (match
+               Retry.with_backoff rt ~op:"wiki.sendfile" (fun () ->
+                   Runtime.syscall_batched rt
+                     (K.Sendfile
+                        { out_fd = conn_fd; in_fd = file_fd; off = 0; len = file_len }))
+             with
+            | Ok _ -> ()
+            | Error e -> failwith ("wiki sendfile: " ^ K.errno_name e));
+            charge rt Clock.Compute bookkeeping_ns;
+            incr served
+        | Some _ | None -> serve_dynamic ~meth ~path ~body);
         loop ()
   in
   (* Per-connection containment: a faulting request ends this connection's
@@ -237,7 +271,7 @@ let page_title path =
   | _ :: "page" :: title :: _ -> title
   | _ -> "home"
 
-let http_srv_loop rt ~port ~http_req () =
+let http_srv_loop rt ~port ~static ~http_req () =
   let router = Mux.router rt in
   Mux.handle router ~meth:"GET" ~pattern:"/page/" (fun ~path ~body:_ ->
       View (page_title path));
@@ -251,14 +285,14 @@ let http_srv_loop rt ~port ~http_req () =
     Sched.wait_until (Runtime.sched rt) (fun () -> K.listener_pending kernel fd);
     match Runtime.syscall_batched rt (K.Accept fd) with
     | Ok conn_fd ->
-        Runtime.go rt (http_conn_loop rt ~conn_fd ~router ~http_req);
+        Runtime.go rt (http_conn_loop rt ~conn_fd ~router ~static ~http_req);
         accept_loop ()
     | Error e when Retry.transient e -> accept_loop ()
     | Error e -> failwith ("wiki accept: " ^ K.errno_name e)
   in
   accept_loop ()
 
-let start rt ~port ~enclosed =
+let start rt ?static ~port ~enclosed () =
   let sched = Runtime.sched rt in
   let http_req = Channel.create sched ~cap:64 in
   let db_req = Channel.create sched ~cap:16 in
@@ -268,4 +302,4 @@ let start rt ~port ~enclosed =
   in
   Runtime.go rt (wrap "db_proxy" (db_proxy_loop rt ~db_req ~db_resp));
   Runtime.go rt (glue_loop rt ~http_req ~db_req ~db_resp);
-  Runtime.go rt (wrap "http_srv" (http_srv_loop rt ~port ~http_req))
+  Runtime.go rt (wrap "http_srv" (http_srv_loop rt ~port ~static ~http_req))

@@ -31,6 +31,7 @@ let write_string m t s = write_bytes m t (Bytes.of_string s)
 let blit m ~src ~dst =
   let len = min src.len dst.len in
   let data = Cpu.read_bytes m.Machine.cpu ~addr:src.addr ~len in
+  Machine.note_copied m len;
   Cpu.write_bytes m.Machine.cpu ~addr:dst.addr data
 
 let get64 m t i =

@@ -204,6 +204,38 @@ let syscall_nowait t call =
   | Some lb when Sysring.enabled () -> ignore (Lb.submit lb call)
   | Some _ | None -> ignore (syscall t call)
 
+(* The rx view ring. The arena is ordinary heap memory allocated in
+   [netring_pkg], so mallocgc's transfer_range hands the spans to that
+   package exactly like any other allocation — an enclosure whose policy
+   grants "netring:R" can read descriptors in place, and a write to one
+   faults through the normal view check on every backend. *)
+let netring_pkg = "netring"
+
+type netring = { nr_base : int; nr_slots : int; nr_slot_bytes : int }
+
+let attach_netring t ?(slots = 16) ?(slot_bytes = (16 * 1024) + K.ring_hdr_bytes)
+    () =
+  if slots <= 0 || slot_bytes <= K.ring_hdr_bytes then
+    invalid_arg "attach_netring: bad geometry";
+  let buf = alloc_in t ~pkg:netring_pkg (slots * slot_bytes) in
+  K.attach_rxring t.machine.Machine.kernel ~base:buf.Gbuf.addr ~slots
+    ~slot_bytes;
+  { nr_base = buf.Gbuf.addr; nr_slots = slots; nr_slot_bytes = slot_bytes }
+
+let netring_recv t ring ~fd =
+  match syscall t (K.Recv_ring { fd }) with
+  | Error e -> Error e
+  | Ok 0 -> Ok None
+  | Ok sp ->
+      let slot = sp - 1 in
+      let base = ring.nr_base + (slot * ring.nr_slot_bytes) in
+      (* The header read happens in the caller's environment: an
+         enclosure without R on the ring arena faults right here. *)
+      let len = Int64.to_int (Cpu.read64 t.machine.Machine.cpu base) in
+      Ok (Some (slot, { Gbuf.addr = base + K.ring_hdr_bytes; len }))
+
+let netring_consume t slot = K.ring_consume t.machine.Machine.kernel slot
+
 let with_enclosure t name body =
   match t.lb with
   | None ->

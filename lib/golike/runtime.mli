@@ -104,6 +104,35 @@ val syscall_nowait : t -> K.call -> unit
     [ignore (syscall t call)]. A denial still faults and is accounted
     identically — but surfaces at the drain point rather than here. *)
 
+(** {2 The rx view ring (zero-copy data plane)} *)
+
+val netring_pkg : string
+(** ["netring"] — the package that owns the ring arena. A program using
+    {!attach_netring} must define it; an enclosure reading descriptors
+    needs ["netring:R"] in its policy. *)
+
+type netring
+(** Ring geometry handle returned by {!attach_netring}. *)
+
+val attach_netring : t -> ?slots:int -> ?slot_bytes:int -> unit -> netring
+(** Allocate [slots * slot_bytes] bytes in {!netring_pkg} (mallocgc
+    transfers the spans to that package, batched) and attach it as the
+    kernel's rx descriptor ring. Defaults: 16 slots of 16 KiB payload
+    plus the {!K.ring_hdr_bytes} header. *)
+
+val netring_recv :
+  t -> netring -> fd:int -> ((int * Gbuf.t) option, K.errno) result
+(** Fill the next descriptor from [fd] ({!K.call.Recv_ring} — recvfrom
+    to the seccomp filter) and return [(slot, payload view)];
+    [Ok None] is EOF. The payload buffer aliases kernel-filled ring
+    memory the caller holds R on — read it in place, consume with
+    {!netring_consume}, never write it. [EAGAIN] means no data {e or}
+    every descriptor is granted (backpressure: consume first). *)
+
+val netring_consume : t -> int -> unit
+(** Release a granted descriptor back to the kernel — an io_uring-style
+    shared-memory head advance, not a system call. *)
+
 val with_enclosure : t -> string -> (unit -> 'a) -> 'a
 (** Call a closure inside the named enclosure (linked statically). In
     baseline mode this is a vanilla closure call. *)

@@ -56,6 +56,8 @@ type call =
   | Accept of int
   | Send of { fd : int; buf : int; len : int }
   | Recv of { fd : int; buf : int; len : int }
+  | Recv_ring of { fd : int }
+  | Sendfile of { out_fd : int; in_fd : int; off : int; len : int }
   | Getuid
   | Getpid
   | Gettimeofday
@@ -95,6 +97,11 @@ let sysno_of_call = function
   | Accept _ -> Sysno.Accept
   | Send _ -> Sysno.Sendto
   | Recv _ -> Sysno.Recvfrom
+  (* A ring fill is recvfrom(2) to the filter: same number, same arg0,
+     so seccomp programs and their verdict caches treat the two paths
+     identically. *)
+  | Recv_ring _ -> Sysno.Recvfrom
+  | Sendfile _ -> Sysno.Sendfile
   | Getuid -> Sysno.Getuid
   | Getpid -> Sysno.Getpid
   | Gettimeofday -> Sysno.Gettimeofday
@@ -122,7 +129,10 @@ let sysno_of_call = function
 let bpf_args = function
   | Connect { ip; _ } -> [| ip |]
   | Open { path = _; _ } -> [| 0 |]
-  | Read { fd; _ } | Write { fd; _ } | Send { fd; _ } | Recv { fd; _ } -> [| fd |]
+  | Read { fd; _ } | Write { fd; _ } | Send { fd; _ } | Recv { fd; _ }
+  | Recv_ring { fd } ->
+      [| fd |]
+  | Sendfile { out_fd; _ } -> [| out_fd |]
   | _ -> [| 0 |]
 
 exception Syscall_killed of { nr : Sysno.t; env : string }
@@ -133,6 +143,28 @@ type fd_desc =
   | Fd_sock_unbound of { mutable port : int option }
   | Fd_sock_listen of Net.listener
   | Fd_sock_stream of Net.ep
+
+(* The rx view ring: a descriptor ring of receive buffers living in
+   guest memory the owning enclosure holds an R view of (the runtime
+   transfers the arena to the well-known "netring" package at attach).
+   Each slot starts with an 8-byte length header followed by the
+   payload; the kernel fills slots from the socket (the simulated NIC
+   DMA target) and the enclosure reads them in place. A descriptor is
+   granted when filled, consumed when the reader releases it with
+   {!ring_consume}, and force-reclaimed if its socket closes first —
+   so granted = consumed + reclaimed once the machine quiesces. *)
+type rxring = {
+  rx_base : int;
+  rx_slots : int;
+  rx_slot_bytes : int;
+  mutable rx_head : int;  (** next slot index to fill *)
+  mutable rx_inflight : (int * int) list;  (** (slot, fd): granted, unconsumed *)
+  mutable rx_granted : int;
+  mutable rx_consumed : int;
+  mutable rx_reclaimed : int;
+}
+
+let ring_hdr_bytes = 8
 
 type t = {
   clock : Clock.t;
@@ -151,6 +183,8 @@ type t = {
   mutable total : int;
   mutable origin_kills : int;
   mutable mm_denied : int;
+  mutable bytes_copied : int;
+  mutable rxring : rxring option;
   obs : Encl_obs.Obs.t;
   mutable inject : Encl_fault.Fault.t option;
 }
@@ -176,6 +210,8 @@ let create ~clock ~costs ~cpu ~trusted_env ~vfs ~net ~mm ~obs =
     total = 0;
     origin_kills = 0;
     mm_denied = 0;
+    bytes_copied = 0;
+    rxring = None;
     obs;
     inject = None;
   }
@@ -216,16 +252,47 @@ let with_trusted t f =
       Cpu.set_env t.cpu t.trusted_env;
       Fun.protect ~finally:(fun () -> Cpu.set_env t.cpu saved) f)
 
-let copy_to_user t ~addr data = with_trusted t (fun () -> Cpu.write_bytes t.cpu ~addr data)
-let copy_from_user t ~addr ~len = with_trusted t (fun () -> Cpu.read_bytes t.cpu ~addr ~len)
+(* The bytes_copied ledger: every pass a payload makes through user
+   memory lands here, mirrored into obs at the same program point so
+   trace_dump can reconcile the two. Zero simulated time — the copy
+   cost is charged where the copy happens. *)
+let note_copied t n =
+  if n > 0 then begin
+    t.bytes_copied <- t.bytes_copied + n;
+    let module Obs = Encl_obs.Obs in
+    if Obs.enabled t.obs then Obs.incr t.obs ~by:n "bytes_copied.kernel"
+  end
+
+let copy_to_user t ~addr data =
+  note_copied t (Bytes.length data);
+  with_trusted t (fun () -> Cpu.write_bytes t.cpu ~addr data)
+
+let copy_from_user t ~addr ~len =
+  note_copied t len;
+  with_trusted t (fun () -> Cpu.read_bytes t.cpu ~addr ~len)
+
+(* A zc-capable path running with the zero-copy flag off: the payload
+   bounces through user memory [passes] times (classic read+write is
+   two passes, classic recv one). Results are unaffected — only the
+   memcpy cost and the ledger move. *)
+let bounce t ~passes n =
+  Clock.consume t.clock Clock.Syscall
+    (passes * n * t.costs.Costs.bounce_copy_per_kb / 1024);
+  note_copied t (passes * n)
 
 let pages_of len = (max len 1 + Phys.page_size - 1) / Phys.page_size
 
 (* Per-call kernel service cost (on top of the trap). *)
-let service_cost call =
+let service_cost t call =
   match call with
   | Read { len; _ } | Write { len; _ } | Send { len; _ } | Recv { len; _ } ->
       120 + (len / 16)
+  | Recv_ring _ -> 120
+  | Sendfile { len; _ } ->
+      (* Page references splice from the VFS cache to the socket; no
+         per-byte user-memory pass (the flag-off bounce is charged at
+         execute time, where the actual byte count is known). *)
+      t.costs.Costs.sendfile_base + (len / 256)
   | Open _ -> 450
   | Close _ -> 90
   | Stat _ -> 280
@@ -320,6 +387,22 @@ let execute t call =
           (match desc with
           | Fd_sock_stream ep -> Net.close_ep t.net ep
           | Fd_file _ | Fd_sock_unbound _ | Fd_sock_listen _ -> ());
+          (* Force-reclaim any rx descriptors this socket still holds:
+             the enclosure will never consume them now. *)
+          (match t.rxring with
+          | Some ring ->
+              let mine, rest =
+                List.partition (fun (_, owner) -> owner = fd) ring.rx_inflight
+              in
+              ring.rx_inflight <- rest;
+              let k = List.length mine in
+              if k > 0 then begin
+                ring.rx_reclaimed <- ring.rx_reclaimed + k;
+                let module Obs = Encl_obs.Obs in
+                if Obs.enabled t.obs then
+                  Obs.incr t.obs ~by:k "ring.rx_reclaimed"
+              end
+          | None -> ());
           Hashtbl.remove t.fds fd;
           Ok 0)
   | Read { fd; buf; len } -> (
@@ -425,6 +508,72 @@ let execute t call =
               Ok (Bytes.length data)
           | Net.Would_block -> Error Eagain
           | Net.Eof -> Ok 0)
+      | Some _ -> Error Einval
+      | None -> Error Ebadf)
+  | Recv_ring { fd } -> (
+      match t.rxring with
+      | None -> Error Einval
+      | Some ring -> (
+          match find_fd t fd with
+          | Some (Fd_sock_stream ep) ->
+              if List.length ring.rx_inflight >= ring.rx_slots then
+                (* Every descriptor is granted and unconsumed:
+                   backpressure until the reader releases one. *)
+                Error Eagain
+              else (
+                match
+                  Net.recv t.net ep (ring.rx_slot_bytes - ring_hdr_bytes)
+                with
+                | Net.Data data ->
+                    let slot = ring.rx_head in
+                    ring.rx_head <- (slot + 1) mod ring.rx_slots;
+                    let addr = ring.rx_base + (slot * ring.rx_slot_bytes) in
+                    let n = Bytes.length data in
+                    (* The simulated NIC's DMA target is the ring slot
+                       itself: header (payload length) then payload,
+                       written from the kernel's trusted environment.
+                       This write happens under both flag settings —
+                       with zero-copy off it stands in for the kernel
+                       socket buffer, and the payload additionally
+                       bounces once through user memory. *)
+                    with_trusted t (fun () ->
+                        Cpu.write64 t.cpu addr (Int64.of_int n);
+                        Cpu.write_bytes t.cpu ~addr:(addr + ring_hdr_bytes)
+                          data);
+                    ring.rx_inflight <- (slot, fd) :: ring.rx_inflight;
+                    ring.rx_granted <- ring.rx_granted + 1;
+                    (let module Obs = Encl_obs.Obs in
+                     if Obs.enabled t.obs then
+                       Obs.incr t.obs "ring.rx_granted");
+                    if Zerocopy.enabled () then
+                      Clock.consume t.clock Clock.Syscall
+                        t.costs.Costs.zc_grant
+                    else bounce t ~passes:1 n;
+                    (* 1-based so 0 stays "EOF", as in recv(2). *)
+                    Ok (slot + 1)
+                | Net.Would_block -> Error Eagain
+                | Net.Eof -> Ok 0)
+          | Some _ -> Error Einval
+          | None -> Error Ebadf))
+  | Sendfile { out_fd; in_fd; off; len } -> (
+      match find_fd t out_fd with
+      | Some (Fd_sock_stream ep) -> (
+          match find_fd t in_fd with
+          | Some (Fd_file f) when f.readable -> (
+              match Vfs.read_at t.vfs f.path ~off ~len with
+              | Ok data -> (
+                  let n = Bytes.length data in
+                  (* The payload moves VFS -> socket without entering
+                     user memory; with the flag off it takes the
+                     classic read+write detour instead (two passes). *)
+                  if not (Zerocopy.enabled ()) then bounce t ~passes:2 n;
+                  match Net.send t.net ep data with
+                  | Ok sent -> Ok sent
+                  | Error _ -> Error Epipe)
+              | Error e -> Error (errno_of_vfs e))
+          | Some (Fd_file _) -> Error Eacces
+          | Some _ -> Error Einval
+          | None -> Error Ebadf)
       | Some _ -> Error Einval
       | None -> Error Ebadf)
   | Mmap { len } ->
@@ -600,12 +749,12 @@ let syscall_body t call nr ~trap_cost =
         raise (Syscall_killed { nr; env = env.Cpu.label })
     | Bpf.Errno _ -> ()
   end;
-  Clock.consume t.clock Clock.Syscall (service_cost call);
+  Clock.consume t.clock Clock.Syscall (service_cost t call);
   (* Chaos: blocking network calls may fail transiently before touching
      the fd — the classic retry surface. *)
   let transient =
     match call with
-    | Recv _ | Send _ | Accept _ ->
+    | Recv _ | Recv_ring _ | Send _ | Accept _ ->
         if injected t "kernel.transient_eintr" then Some Eintr
         else if injected t "kernel.transient_eagain" then Some Eagain
         else None
@@ -652,6 +801,61 @@ let exit_program t code =
   Clock.consume t.clock Clock.Syscall t.costs.Costs.syscall_base;
   Obs.span_exit t.obs sp;
   raise (Exited code)
+
+(* ------------------------------------------------------------------ *)
+(* The rx view ring: attach / consume / introspection. Consuming a
+   descriptor is an io_uring-style shared-memory operation (a head
+   advance the kernel polls), not a trap — like the netpoller helpers
+   below it crosses no privilege boundary and passes no filter. *)
+
+let attach_rxring t ~base ~slots ~slot_bytes =
+  if slots <= 0 || slot_bytes <= ring_hdr_bytes then
+    invalid_arg "Kernel.attach_rxring: bad ring geometry";
+  t.rxring <-
+    Some
+      {
+        rx_base = base;
+        rx_slots = slots;
+        rx_slot_bytes = slot_bytes;
+        rx_head = 0;
+        rx_inflight = [];
+        rx_granted = 0;
+        rx_consumed = 0;
+        rx_reclaimed = 0;
+      }
+
+let rxring_attached t = t.rxring <> None
+
+let rxring_slot_addr t slot =
+  match t.rxring with
+  | None -> invalid_arg "Kernel.rxring_slot_addr: no ring attached"
+  | Some ring ->
+      if slot < 0 || slot >= ring.rx_slots then
+        invalid_arg "Kernel.rxring_slot_addr: slot out of range";
+      ring.rx_base + (slot * ring.rx_slot_bytes)
+
+let ring_consume t slot =
+  match t.rxring with
+  | None -> invalid_arg "Kernel.ring_consume: no ring attached"
+  | Some ring ->
+      if not (List.mem_assoc slot ring.rx_inflight) then
+        invalid_arg "Kernel.ring_consume: descriptor not granted";
+      ring.rx_inflight <- List.remove_assoc slot ring.rx_inflight;
+      ring.rx_consumed <- ring.rx_consumed + 1;
+      (* A couple of shared-memory stores under either flag setting. *)
+      Clock.consume t.clock Clock.Io t.costs.Costs.zc_consume;
+      let module Obs = Encl_obs.Obs in
+      if Obs.enabled t.obs then Obs.incr t.obs "ring.rx_consumed"
+
+let rxring_counters t =
+  match t.rxring with
+  | None -> (0, 0, 0)
+  | Some ring -> (ring.rx_granted, ring.rx_consumed, ring.rx_reclaimed)
+
+let rxring_inflight t =
+  match t.rxring with None -> 0 | Some ring -> List.length ring.rx_inflight
+
+let bytes_copied_count t = t.bytes_copied
 
 let fd_readable t fd =
   match find_fd t fd with

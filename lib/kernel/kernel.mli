@@ -46,6 +46,20 @@ type call =
   | Accept of int
   | Send of { fd : int; buf : int; len : int }
   | Recv of { fd : int; buf : int; len : int }
+  | Recv_ring of { fd : int }
+      (** Fill the next rx-ring descriptor from a stream socket. To the
+          seccomp filter this {e is} recvfrom(2): same number, same
+          arg0, so ring and classic receives are filtered identically.
+          Returns slot index + 1 ([0] = EOF, like recv); the payload
+          length is in the slot's 8-byte header. Requires an attached
+          ring ({!attach_rxring}), else [EINVAL]. *)
+  | Sendfile of { out_fd : int; in_fd : int; off : int; len : int }
+      (** Splice [len] bytes of [in_fd] (a readable file) starting at
+          [off] to [out_fd] (a stream socket) without entering user
+          memory. With {!Zerocopy} off the same call bounces the
+          payload through user memory (classic read+write), charging
+          the two memcpy passes and the [bytes_copied] ledger — the
+          result and the filter verdict are identical either way. *)
   | Getuid
   | Getpid
   | Gettimeofday
@@ -155,6 +169,46 @@ val syscall_in_batch : t -> call -> (int, errno) result
 
 val exit_program : t -> int -> 'a
 (** Raises {!Exited} after accounting an [exit] system call. *)
+
+(** {2 The rx view ring (zero-copy data plane)}
+
+    Socket receive buffers exposed to the owning enclosure as a
+    descriptor ring of read-only spans: the kernel fills slots from the
+    socket ({!call.Recv_ring}), the enclosure reads header + payload in
+    place (its policy grants R on the ring arena's package), and
+    releases the descriptor with {!ring_consume} — an io_uring-style
+    shared-memory head advance, not a trap. A socket that closes with
+    unconsumed descriptors gets them force-reclaimed, so at quiesce
+    granted = consumed + reclaimed (cross-checked by trace_dump). *)
+
+val ring_hdr_bytes : int
+(** Per-slot header: 8 bytes of payload length, payload follows. *)
+
+val attach_rxring : t -> base:int -> slots:int -> slot_bytes:int -> unit
+(** Attach the machine's rx ring over [slots * slot_bytes] bytes of
+    guest memory at [base] (the runtime owns granting the R view).
+    Raises [Invalid_argument] on bad geometry. *)
+
+val rxring_attached : t -> bool
+
+val rxring_slot_addr : t -> int -> int
+(** Guest address of a slot's header. *)
+
+val ring_consume : t -> int -> unit
+(** Release a granted descriptor (slot index) so the kernel may refill
+    it. Raises [Invalid_argument] if the slot is not currently granted. *)
+
+val rxring_counters : t -> int * int * int
+(** [(granted, consumed, reclaimed)]; all zero with no ring attached. *)
+
+val rxring_inflight : t -> int
+(** Descriptors granted but not yet consumed or reclaimed. *)
+
+val bytes_copied_count : t -> int
+(** Total bytes the kernel moved through user memory: every
+    [copy_to_user]/[copy_from_user] pass plus the flag-off bounce
+    passes of the zc-capable paths. Mirrored into obs as
+    ["bytes_copied.kernel"] at the same program points. *)
 
 (** {2 Netpoller helpers}
 

@@ -48,6 +48,7 @@ type t =
   | Pkey_alloc
   | Pkey_free
   | Readdir
+  | Sendfile
 
 type category =
   | Cat_io
@@ -66,7 +67,7 @@ let all =
     Sendto; Recvfrom; Bind; Listen; Setsockopt; Exit; Kill; Fcntl; Ftruncate;
     Getcwd; Mkdir; Rmdir; Unlink; Chmod; Getuid; Getgid; Geteuid; Gettimeofday;
     Clock_gettime; Epoll_create; Epoll_wait; Epoll_ctl; Openat; Futex;
-    Getrandom; Pkey_mprotect; Pkey_alloc; Pkey_free; Readdir;
+    Getrandom; Pkey_mprotect; Pkey_alloc; Pkey_free; Readdir; Sendfile;
   ]
 
 let number = function
@@ -87,6 +88,7 @@ let number = function
   | Dup -> 32
   | Nanosleep -> 35
   | Getpid -> 39
+  | Sendfile -> 40
   | Socket -> 41
   | Connect -> 42
   | Accept -> 43
@@ -176,10 +178,11 @@ let name = function
   | Pkey_alloc -> "pkey_alloc"
   | Pkey_free -> "pkey_free"
   | Readdir -> "readdir"
+  | Sendfile -> "sendfile"
 
 let category = function
   | Read | Write | Lseek | Pipe | Select | Dup | Fcntl | Epoll_create
-  | Epoll_wait | Epoll_ctl ->
+  | Epoll_wait | Epoll_ctl | Sendfile ->
       Cat_io
   | Open | Openat | Close | Stat | Fstat | Ftruncate | Getcwd | Mkdir | Rmdir
   | Unlink | Chmod | Readdir ->

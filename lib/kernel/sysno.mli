@@ -55,6 +55,7 @@ type t =
   | Pkey_alloc
   | Pkey_free
   | Readdir
+  | Sendfile
 
 type category =
   | Cat_io  (** fd-based data movement: read, write, pipe, select, epoll *)

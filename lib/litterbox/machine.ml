@@ -12,6 +12,7 @@ type t = {
   kernel : Encl_kernel.Kernel.t;
   obs : Encl_obs.Obs.t;
   inject : Encl_fault.Fault.t;
+  mutable bytes_copied : int;
 }
 
 let create ?(costs = Costs.default) ?(cores = 1) () =
@@ -89,7 +90,20 @@ let create ?(costs = Costs.default) ?(cores = 1) () =
     kernel;
     obs;
     inject;
+    bytes_copied = 0;
   }
+
+(* The guest-side half of the bytes_copied ledger: buffer-to-buffer
+   copies performed by guest code (Gbuf.blit response assembly, pylike
+   localcopy). Mirrored into obs at the same program point, like the
+   kernel's half. Zero simulated time — the copy's cost is charged by
+   the CPU accesses that perform it. *)
+let note_copied t n =
+  if n > 0 then begin
+    t.bytes_copied <- t.bytes_copied + n;
+    if Encl_obs.Obs.enabled t.obs then
+      Encl_obs.Obs.incr t.obs ~by:n "bytes_copied.app"
+  end
 
 let with_trusted t f =
   Cpu.with_gate t.cpu ~name:"machine.trusted" (fun () ->

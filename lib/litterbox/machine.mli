@@ -30,11 +30,21 @@ type t = {
           points are registered at creation; inert until a plan is armed.
           Firings are mirrored into [obs] (counter ["inject"], event
           [Inject]) when the sink is enabled. *)
+  mutable bytes_copied : int;
+      (** Guest-side bytes_copied ledger: buffer-to-buffer copies guest
+          code performs (response assembly, pylike localcopy). The
+          kernel keeps its own half for user-memory passes. Update via
+          {!note_copied} so the obs mirror stays exact. *)
 }
 
 val create : ?costs:Costs.t -> ?cores:int -> unit -> t
 (** [cores] (default 1) must be >= 1. With [cores = 1] the machine is
     byte-for-byte the old single-core one. *)
+
+val note_copied : t -> int -> unit
+(** Charge [n] bytes to the guest-side copy ledger, mirrored into obs
+    as ["bytes_copied.app"]. Free of simulated time (the copy itself
+    pays through its CPU accesses). *)
 
 val with_trusted : t -> (unit -> 'a) -> 'a
 (** Run [f] with the CPU temporarily in the trusted environment (used by

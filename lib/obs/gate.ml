@@ -28,6 +28,10 @@ let rule_for metric =
      literals every time, so a wider mined policy means a capability
      leaked into a scenario — gate with zero tolerance. *)
   | "policy_width" -> { direction = Lower_better; tolerance = 0.0 }
+  (* Deterministic: every copy path charges the ledger by exact byte
+     count, so any growth means a copy crept back into the zero-copy
+     data plane — gate with zero tolerance. *)
+  | "bytes_copied" -> { direction = Lower_better; tolerance = 0.0 }
   | "conservative_slowdown" | "decoupled_slowdown" ->
       { direction = Lower_better; tolerance = 0.15 }
   (* SMP scaling: the 4-core speedup per core must not erode. Steal

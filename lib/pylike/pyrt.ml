@@ -46,6 +46,9 @@ type t = {
           never needs an environment switch. *)
   mutable allocs_since_gc : int;
   mutable collections : int;
+  mutable copy_elided : int;
+      (** localcopy calls satisfied by a refcounted read-only share of
+          the source span instead of a deep copy (see {!localcopy}) *)
 }
 
 and pyobj = { o_addr : int; o_module : string; o_len : int }
@@ -93,6 +96,7 @@ let boot ?backend ?gc_threshold ~mode () =
               side_refcounts = Hashtbl.create 4096;
               allocs_since_gc = 0;
               collections = 0;
+              copy_elided = 0;
             }
           in
           (* __main__'s own object arena. *)
@@ -347,12 +351,38 @@ let write_payload t obj data =
 let read_payload t obj =
   Cpu.read_bytes (cpu t) ~addr:(obj.o_addr + header_bytes) ~len:obj.o_len
 
+(* localcopy exists because Python lacks explicit allocation control:
+   the caller wants its own view of a value crossing the boundary. When
+   the current enclosure already holds an R view of the source span,
+   the deep copy buys nothing the view does not already guarantee — the
+   zero-copy plane satisfies the call with a refcounted share of the
+   source object instead (the RLBox shared-region move). The share
+   stays read-only, exactly as the source was; a caller that needs a
+   private mutable buffer allocates and fills one explicitly. *)
 let localcopy t obj ~dst_module =
-  charge t Clock.Compute (localcopy_ns_per_byte * obj.o_len);
-  let data = read_payload t obj in
-  let copy = alloc_obj t ~modul:dst_module ~len:obj.o_len in
-  write_payload t copy data;
-  copy
+  let elide =
+    Zerocopy.enabled ()
+    &&
+    match t.lb with
+    | None -> false
+    | Some lb -> Lb.current_access lb obj.o_module = Some Types.R
+  in
+  if elide then begin
+    t.copy_elided <- t.copy_elided + 1;
+    (let obs = t.machine.Machine.obs in
+     if Encl_obs.Obs.enabled obs then Encl_obs.Obs.incr obs "copy_elided");
+    (* The share keeps the source alive for the borrower's lifetime. *)
+    incref t obj;
+    obj
+  end
+  else begin
+    charge t Clock.Compute (localcopy_ns_per_byte * obj.o_len);
+    let data = read_payload t obj in
+    Machine.note_copied t.machine obj.o_len;
+    let copy = alloc_obj t ~modul:dst_module ~len:obj.o_len in
+    write_payload t copy data;
+    copy
+  end
 
 let live_objects t = Hashtbl.length t.young + Hashtbl.length t.old
 let young_objects t = Hashtbl.length t.young
@@ -384,3 +414,4 @@ let with_enclosure t ~name ~owner ~deps ~policy body =
               Fun.protect ~finally:(fun () -> Lb.epilog lb ~site) body))
 
 let trusted_switches t = t.switches
+let copy_elided_count t = t.copy_elided

@@ -73,7 +73,12 @@ val read_payload : t -> pyobj -> Bytes.t
 
 val localcopy : t -> pyobj -> dst_module:string -> pyobj
 (** Deep copy into another module's arena (like [copy.deepcopy] but with
-    an explicit destination). *)
+    an explicit destination). With {!Encl_sim.Zerocopy} enabled and the
+    source module readable ([R]) in the current enclosure's view, the
+    copy is elided: the call returns a refcounted share of the source
+    object (still read-only, exactly as the view already guarantees)
+    and bumps {!copy_elided_count}. Callers that need a private mutable
+    buffer allocate and fill one explicitly. *)
 
 val collect : t -> int
 (** A full (major) collection over both generations; frees objects with
@@ -109,3 +114,7 @@ val trusted_switches : t -> int
 (** Environment switches performed for metadata updates so far (each
     controlled excursion to the trusted environment counts twice: in and
     out, as the paper counts them). *)
+
+val copy_elided_count : t -> int
+(** [localcopy] calls satisfied by a read-only share instead of a deep
+    copy (mirrored into obs as ["copy_elided"]). *)

@@ -23,6 +23,10 @@ type t = {
   ring_submit : int;
   ring_entry : int;
   page_map : int;
+  sendfile_base : int;
+  bounce_copy_per_kb : int;
+  zc_grant : int;
+  zc_consume : int;
   init_per_package : int;
   init_per_enclosure : int;
   kvm_setup : int;
@@ -74,6 +78,18 @@ let default =
     ring_submit = 14;
     ring_entry = 28;
     page_map = 18;
+    (* Zero-copy data plane. A sendfile service splices page references
+       from the cache to the socket: fixed setup plus a few ns per
+       256-byte cluster of reference bookkeeping. A bounce copy (the
+       classic read+write data path, and every zc-capable path with
+       ENCL_ZEROCOPY off) moves the bytes through user memory at
+       memcpy speed, ~256 ns per KB each direction. Publishing an rx
+       descriptor is a few stores plus a refcount; consuming one in
+       place is cheaper still. *)
+    sendfile_base = 120;
+    bounce_copy_per_kb = 256;
+    zc_grant = 35;
+    zc_consume = 22;
     init_per_package = 850;
     init_per_enclosure = 2600;
     kvm_setup = 9_500_000;

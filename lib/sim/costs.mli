@@ -58,6 +58,18 @@ type t = {
       (** in-kernel dispatch of one drained ring entry; replaces the
           per-call trap cost — the batch pays one crossing total *)
   page_map : int;  (** mapping one page in a page table *)
+  sendfile_base : int;
+      (** fixed service cost of a sendfile splice: page references move
+          from the VFS cache to the socket, no user-memory pass *)
+  bounce_copy_per_kb : int;
+      (** one memcpy direction through user memory, per KB — the cost
+          the zero-copy paths charge (twice: in and out) when
+          {!Zerocopy} is disabled, so the flag changes only cost *)
+  zc_grant : int;
+      (** publishing one rx-ring descriptor: a few shared-memory
+          stores plus the reference count *)
+  zc_consume : int;
+      (** consuming one rx-ring descriptor in place (no copy-out) *)
   init_per_package : int;  (** LitterBox Init work per package *)
   init_per_enclosure : int;  (** LitterBox Init work per enclosure view *)
   kvm_setup : int;  (** one-time KVM / VM creation cost (LB_VTX) *)

@@ -1,0 +1,19 @@
+(** Global switch for the zero-copy data plane: rx-ring views consumed
+    in place, the sendfile VFS->socket path, and pylike [localcopy]
+    elision when the reader already holds an R view. Enforcement
+    outcomes (faults, seccomp verdicts, quarantine, syscall traces) are
+    identical with the flag on or off — the flag only changes which
+    copy costs are charged and how the [bytes_copied] ledger moves.
+
+    The initial value comes from the [ENCL_ZEROCOPY] environment
+    variable: unset or anything but ["0"], ["false"], ["off"] means
+    enabled. The flag lives in [lib/sim] because the kernel (sendfile,
+    ring fill), the runtimes (ring consumption, localcopy) and the apps
+    all consult it, and the kernel cannot depend on LitterBox. *)
+
+val enabled : unit -> bool
+val set : bool -> unit
+
+val with_flag : bool -> (unit -> 'a) -> 'a
+(** Run [f] with the flag forced to [b], restoring the previous value on
+    exit (tests use this to run differential comparisons). *)
