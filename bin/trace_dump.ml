@@ -431,6 +431,57 @@ let enforcement_zc name run =
     (fun (nr, n) -> Printf.printf "    sys %-14s %d\n" (Sysno.name nr) n)
     trace
 
+(* The pylike leg: localcopy under the Zerocopy flag is copy-on-write,
+   so everything observable — payload bytes through either side of a
+   share, the fault on a write to the R-granted source, refcounts once
+   shares settle — must be flag-invariant; only copy costs move. The
+   workload exercises a read through the share, a write-after-localcopy
+   (materializes the private copy), a trusted write to a shared source
+   (detaches the outstanding share with its pre-write bytes), and a
+   denied in-enclosure source write. *)
+module Pyrt = Encl_pylike.Pyrt
+
+let enforcement_pylike backend =
+  let ok = function Ok v -> v | Error e -> failwith ("pylike leg: " ^ e) in
+  let rt = ok (Pyrt.boot ~backend ~mode:Pyrt.Conservative ()) in
+  ok (Pyrt.import_module rt ~name:"src" ());
+  ok (Pyrt.import_module rt ~name:"dst" ());
+  let lb = Option.get (Pyrt.lb rt) in
+  Lb.set_fault_budget lb 3;
+  let payload obj = Bytes.to_string (Pyrt.read_payload rt obj) in
+  let src = Pyrt.alloc_obj rt ~modul:"src" ~len:8 in
+  Pyrt.write_payload rt src (Bytes.of_string "abcdefgh");
+  let shared = ref None in
+  let enc body =
+    Pyrt.with_enclosure rt ~name:"pycow" ~owner:"__main__" ~deps:[ "dst" ]
+      ~policy:"src:R; sys=none" body
+  in
+  (match
+     enc (fun () ->
+         let c1 = Pyrt.localcopy rt src ~dst_module:"dst" in
+         Printf.printf "  localcopy_read    %s\n" (payload c1);
+         Pyrt.write_payload rt c1 (Bytes.of_string "WRITTEN!");
+         Printf.printf "  write_after_copy  copy=%s src=%s\n" (payload c1)
+           (payload src);
+         shared := Some (Pyrt.localcopy rt src ~dst_module:"dst"))
+   with
+  | Ok () -> ()
+  | Error e -> Printf.printf "  enclosure_error   %s\n" e);
+  Pyrt.write_payload rt src (Bytes.of_string "12345678");
+  (match !shared with
+  | Some c ->
+      Printf.printf "  source_write      copy=%s src=%s\n" (payload c)
+        (payload src)
+  | None -> Printf.printf "  source_write      copy=missing\n");
+  (match enc (fun () -> Pyrt.write_payload rt src (Bytes.of_string "IllEGAL!"))
+   with
+  | Ok () -> Printf.printf "  denied_src_write  ok\n"
+  | Error e -> Printf.printf "  denied_src_write  error:%s\n" e
+  | exception Lb.Fault { reason; _ } ->
+      Printf.printf "  denied_src_write  fault:%s\n" reason);
+  Printf.printf "  faults=%d src_rc=%d final_src=%s\n" (Lb.fault_count lb)
+    (Pyrt.refcount rt src) (payload src)
+
 let enforcement () =
   List.iter
     (fun backend ->
@@ -447,6 +498,12 @@ let enforcement () =
           Scenarios.fasthttp_rt (Some backend) ~requests:120 ());
       enforcement_zc ("zerocopy_http/" ^ bname) (fun () ->
           Scenarios.zerocopy_http_rt (Some backend) ~requests:120 ()))
+    Encl_litterbox.Backend.all;
+  Printf.printf "pylike localcopy enforcement\n";
+  List.iter
+    (fun backend ->
+      Printf.printf "  under %s\n" (Lb.backend_name backend);
+      enforcement_pylike backend)
     Encl_litterbox.Backend.all;
   0
 

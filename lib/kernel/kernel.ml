@@ -515,17 +515,34 @@ let execute t call =
       | None -> Error Einval
       | Some ring -> (
           match find_fd t fd with
-          | Some (Fd_sock_stream ep) ->
-              if List.length ring.rx_inflight >= ring.rx_slots then
-                (* Every descriptor is granted and unconsumed:
-                   backpressure until the reader releases one. *)
-                Error Eagain
-              else (
+          | Some (Fd_sock_stream ep) -> (
+              (* Pick the fill slot before touching the socket, and
+                 never a slot that is still granted: with out-of-order
+                 consumption (a held descriptor while other slots
+                 churn, or a mid-ring force-reclaim) the round-robin
+                 head can wrap onto live data, so scan forward from
+                 rx_head for the first free descriptor. Choosing first
+                 keeps backpressure lossless — no bytes leave the
+                 socket buffer when the ring is full. *)
+              let free_slot =
+                let rec scan i left =
+                  if left = 0 then None
+                  else if List.mem_assoc i ring.rx_inflight then
+                    scan ((i + 1) mod ring.rx_slots) (left - 1)
+                  else Some i
+                in
+                scan ring.rx_head ring.rx_slots
+              in
+              match free_slot with
+              | None ->
+                  (* Every descriptor is granted and unconsumed:
+                     backpressure until the reader releases one. *)
+                  Error Eagain
+              | Some slot -> (
                 match
                   Net.recv t.net ep (ring.rx_slot_bytes - ring_hdr_bytes)
                 with
                 | Net.Data data ->
-                    let slot = ring.rx_head in
                     ring.rx_head <- (slot + 1) mod ring.rx_slots;
                     let addr = ring.rx_base + (slot * ring.rx_slot_bytes) in
                     let n = Bytes.length data in
@@ -552,7 +569,7 @@ let execute t call =
                     (* 1-based so 0 stays "EOF", as in recv(2). *)
                     Ok (slot + 1)
                 | Net.Would_block -> Error Eagain
-                | Net.Eof -> Ok 0)
+                | Net.Eof -> Ok 0))
           | Some _ -> Error Einval
           | None -> Error Ebadf))
   | Sendfile { out_fd; in_fd; off; len } -> (

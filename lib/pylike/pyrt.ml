@@ -49,9 +49,21 @@ type t = {
   mutable copy_elided : int;
       (** localcopy calls satisfied by a refcounted read-only share of
           the source span instead of a deep copy (see {!localcopy}) *)
+  shares : (int, pyobj list) Hashtbl.t;
+      (** source address -> elided shares not yet materialized; a write
+          to either side detaches them (see {!materialize_share}) *)
+  mutable cow_materialized : int;
+      (** elided shares that later turned into the deferred deep copy *)
 }
 
-and pyobj = { o_addr : int; o_module : string; o_len : int }
+and pyobj = {
+  mutable o_addr : int;
+  mutable o_module : string;
+  o_len : int;
+  mutable o_cow : cow option;
+}
+
+and cow = { cow_src : pyobj; cow_dst : string }
 
 let machine t = t.machine
 let lb t = t.lb
@@ -97,6 +109,8 @@ let boot ?backend ?gc_threshold ~mode () =
               allocs_since_gc = 0;
               collections = 0;
               copy_elided = 0;
+              shares = Hashtbl.create 64;
+              cow_materialized = 0;
             }
           in
           (* __main__'s own object arena. *)
@@ -296,7 +310,7 @@ let alloc_obj t ~modul ~len =
     failwith (Printf.sprintf "Pyrt: module %s object arena exhausted" modul);
   let addr = m.m_arena_addr + m.m_arena_used in
   m.m_arena_used <- m.m_arena_used + total;
-  let obj = { o_addr = addr; o_module = modul; o_len = len } in
+  let obj = { o_addr = addr; o_module = modul; o_len = len; o_cow = None } in
   (match t.mode with
   | Conservative ->
       (* Initialize the co-located header and link the object on the
@@ -344,21 +358,65 @@ let decref t obj =
           if v <= 0L then invalid_arg "Pyrt.decref: refcount underflow";
           Cpu.write64 (cpu t) obj.o_addr (Int64.sub v 1L))
 
-let write_payload t obj data =
-  if Bytes.length data > obj.o_len then invalid_arg "Pyrt.write_payload: too large";
-  Cpu.write_bytes (cpu t) ~addr:(obj.o_addr + header_bytes) data
-
 let read_payload t obj =
   Cpu.read_bytes (cpu t) ~addr:(obj.o_addr + header_bytes) ~len:obj.o_len
+
+let unregister_share t share =
+  match Hashtbl.find_opt t.shares share.o_addr with
+  | None -> ()
+  | Some l -> (
+      match List.filter (fun s -> s != share) l with
+      | [] -> Hashtbl.remove t.shares share.o_addr
+      | l' -> Hashtbl.replace t.shares share.o_addr l')
+
+(* Turn an elided share into the deep copy the flag-off path would have
+   made up front: same cost charge, same bytes_copied note, same
+   allocation in the destination arena — only deferred to the first
+   write that needs private semantics. The handle mutates in place, so
+   every holder of the share follows it to the private buffer. *)
+let materialize_share t share =
+  match share.o_cow with
+  | None -> ()
+  | Some { cow_src; cow_dst } ->
+      unregister_share t share;
+      charge t Clock.Compute (localcopy_ns_per_byte * share.o_len);
+      let data = read_payload t share in
+      Machine.note_copied t.machine share.o_len;
+      let priv = alloc_obj t ~modul:cow_dst ~len:share.o_len in
+      Cpu.write_bytes (cpu t) ~addr:(priv.o_addr + header_bytes) data;
+      share.o_addr <- priv.o_addr;
+      share.o_module <- priv.o_module;
+      share.o_cow <- None;
+      t.cow_materialized <- t.cow_materialized + 1;
+      (let obs = t.machine.Machine.obs in
+       if Encl_obs.Obs.enabled obs then
+         Encl_obs.Obs.incr obs "cow_materialized");
+      decref t cow_src
+
+let write_payload t obj data =
+  if Bytes.length data > obj.o_len then invalid_arg "Pyrt.write_payload: too large";
+  (* Copy-on-write keeps localcopy semantics independent of the
+     Zerocopy flag: the first write to an elided share materializes its
+     private copy, and a write to a shared *source* first detaches the
+     live shares so they keep the pre-write bytes — exactly what the
+     eager deep copies would have held. *)
+  materialize_share t obj;
+  (match Hashtbl.find_opt t.shares obj.o_addr with
+  | None -> ()
+  | Some l ->
+      Hashtbl.remove t.shares obj.o_addr;
+      List.iter (materialize_share t) l);
+  Cpu.write_bytes (cpu t) ~addr:(obj.o_addr + header_bytes) data
 
 (* localcopy exists because Python lacks explicit allocation control:
    the caller wants its own view of a value crossing the boundary. When
    the current enclosure already holds an R view of the source span,
-   the deep copy buys nothing the view does not already guarantee — the
-   zero-copy plane satisfies the call with a refcounted share of the
-   source object instead (the RLBox shared-region move). The share
-   stays read-only, exactly as the source was; a caller that needs a
-   private mutable buffer allocates and fills one explicitly. *)
+   the deep copy buys nothing up front — the zero-copy plane satisfies
+   the call with a refcounted share of the source object instead (the
+   RLBox shared-region move), marked copy-on-write so a later write to
+   either side falls back to the deferred deep copy. Semantics are
+   therefore identical with the flag off; only the cost of copies that
+   never turned out to be needed is saved. *)
 let localcopy t obj ~dst_module =
   let elide =
     Zerocopy.enabled ()
@@ -371,9 +429,21 @@ let localcopy t obj ~dst_module =
     t.copy_elided <- t.copy_elided + 1;
     (let obs = t.machine.Machine.obs in
      if Encl_obs.Obs.enabled obs then Encl_obs.Obs.incr obs "copy_elided");
-    (* The share keeps the source alive for the borrower's lifetime. *)
+    (* The share keeps the source alive until released or
+       materialized. *)
     incref t obj;
-    obj
+    let share =
+      {
+        o_addr = obj.o_addr;
+        o_module = obj.o_module;
+        o_len = obj.o_len;
+        o_cow = Some { cow_src = obj; cow_dst = dst_module };
+      }
+    in
+    Hashtbl.replace t.shares obj.o_addr
+      (share
+      :: Option.value ~default:[] (Hashtbl.find_opt t.shares obj.o_addr));
+    share
   end
   else begin
     charge t Clock.Compute (localcopy_ns_per_byte * obj.o_len);
@@ -415,3 +485,4 @@ let with_enclosure t ~name ~owner ~deps ~policy body =
 
 let trusted_switches t = t.switches
 let copy_elided_count t = t.copy_elided
+let cow_materialized_count t = t.cow_materialized

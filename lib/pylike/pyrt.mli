@@ -56,8 +56,19 @@ val modules : t -> string list
 
 (** {2 Objects} *)
 
-type pyobj = { o_addr : int; o_module : string; o_len : int }
-(** Header: 8 bytes of refcount, 8 bytes of GC link; payload follows. *)
+type pyobj = {
+  mutable o_addr : int;
+  mutable o_module : string;
+  o_len : int;
+  mutable o_cow : cow option;
+}
+(** Header: 8 bytes of refcount, 8 bytes of GC link; payload follows.
+    [o_cow = Some _] marks an elided {!localcopy} share: the handle
+    aliases the source span until a write to either side materializes
+    the deferred private copy, at which point [o_addr]/[o_module]
+    re-point at it in place. *)
+
+and cow = { cow_src : pyobj; cow_dst : string }
 
 val header_bytes : int
 
@@ -75,10 +86,13 @@ val localcopy : t -> pyobj -> dst_module:string -> pyobj
 (** Deep copy into another module's arena (like [copy.deepcopy] but with
     an explicit destination). With {!Encl_sim.Zerocopy} enabled and the
     source module readable ([R]) in the current enclosure's view, the
-    copy is elided: the call returns a refcounted share of the source
-    object (still read-only, exactly as the view already guarantees)
-    and bumps {!copy_elided_count}. Callers that need a private mutable
-    buffer allocate and fill one explicitly. *)
+    copy is elided: the call returns a refcounted copy-on-write share of
+    the source object and bumps {!copy_elided_count}. The first
+    {!write_payload} through the share — or to the shared source —
+    materializes the private copy the flag-off path would have made
+    eagerly (counted by {!cow_materialized_count}), so observable
+    semantics are identical under both flag settings; the flag moves
+    only the cost of copies that never needed to exist. *)
 
 val collect : t -> int
 (** A full (major) collection over both generations; frees objects with
@@ -116,5 +130,9 @@ val trusted_switches : t -> int
     out, as the paper counts them). *)
 
 val copy_elided_count : t -> int
-(** [localcopy] calls satisfied by a read-only share instead of a deep
-    copy (mirrored into obs as ["copy_elided"]). *)
+(** [localcopy] calls satisfied by a copy-on-write share instead of an
+    eager deep copy (mirrored into obs as ["copy_elided"]). *)
+
+val cow_materialized_count : t -> int
+(** Elided shares that a later write turned into the deferred deep copy
+    (mirrored into obs as ["cow_materialized"]). *)

@@ -411,7 +411,161 @@ let reclaim_tests =
           (granted, consumed, reclaimed);
         Alcotest.(check int) "nothing inflight" 0 (K.rxring_inflight kernel);
         Alcotest.(check bool) "granted = consumed + reclaimed" true
-          (granted = consumed + reclaimed))
+          (granted = consumed + reclaimed));
+    Alcotest.test_case "a held descriptor survives ring wrap" `Quick
+      (fun () ->
+        (* Regression: the fill cursor used to advance round-robin and
+           could wrap onto a still-granted slot, silently overwriting
+           the held payload with another message's bytes while every
+           counter kept balancing. Hold the first descriptor, churn the
+           rest of the ring through two full wraps, and require the
+           held span untouched and never re-granted. *)
+        let env = setup Lb.Mpk in
+        let m = Runtime.machine env.rt in
+        let kernel = m.Machine.kernel in
+        let send n c =
+          match Net.send m.Machine.net env.client (Bytes.make n c) with
+          | Ok _ -> ()
+          | Error e -> failwith ("client send: " ^ e)
+        in
+        let recv () =
+          match Runtime.netring_recv env.rt env.ring ~fd:env.conn_fd with
+          | Ok (Some (slot, payload)) -> (slot, payload)
+          | Ok None -> Alcotest.fail "unexpected EOF"
+          | Error e -> Alcotest.fail ("recv errno: " ^ K.errno_name e)
+        in
+        send 16 'A';
+        let held_slot, held_payload = recv () in
+        for i = 1 to 2 * slots do
+          let c = Char.chr (Char.code 'a' + i) in
+          send 16 c;
+          let slot, payload = recv () in
+          if slot = held_slot then
+            Alcotest.failf "grant %d landed on the held slot %d" i held_slot;
+          Alcotest.(check string)
+            (Printf.sprintf "churn grant %d carries its own bytes" i)
+            (String.make 16 c)
+            (Gbuf.read_string m payload);
+          Runtime.netring_consume env.rt slot
+        done;
+        Alcotest.(check string) "held payload intact after two wraps"
+          (String.make 16 'A')
+          (Gbuf.read_string m held_payload);
+        Alcotest.(check int) "exactly the held descriptor inflight" 1
+          (K.rxring_inflight kernel);
+        Runtime.netring_consume env.rt held_slot;
+        ignore (Runtime.syscall_exn env.rt (K.Close env.conn_fd));
+        Alcotest.(check (triple int int int))
+          "ledger balanced at quiesce"
+          (1 + (2 * slots), 1 + (2 * slots), 0)
+          (K.rxring_counters kernel))
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* localcopy copy-on-write: the pylike leg of the differential. The
+   elided share must be observationally identical to the eager deep
+   copy: reads alias until the first write, a write to either side of
+   the share materializes the deferred private copy, and a write to the
+   R-granted source inside the enclosure faults under both flag
+   settings. *)
+
+module Pyrt = Encl_pylike.Pyrt
+
+let py_ok = function Ok v -> v | Error e -> failwith ("pylike: " ^ e)
+
+let py_boot backend =
+  let rt = py_ok (Pyrt.boot ~backend ~mode:Pyrt.Conservative ()) in
+  py_ok (Pyrt.import_module rt ~name:"src" ());
+  py_ok (Pyrt.import_module rt ~name:"dst" ());
+  rt
+
+let py_run backend =
+  let rt = py_boot backend in
+  let lb = Option.get (Pyrt.lb rt) in
+  Lb.set_fault_budget lb 3;
+  let out = ref [] in
+  let say fmt = Printf.ksprintf (fun s -> out := s :: !out) fmt in
+  let payload obj = Bytes.to_string (Pyrt.read_payload rt obj) in
+  let src = Pyrt.alloc_obj rt ~modul:"src" ~len:8 in
+  Pyrt.write_payload rt src (Bytes.of_string "abcdefgh");
+  let c2 = ref None in
+  (match
+     Pyrt.with_enclosure rt ~name:"pycow" ~owner:"__main__" ~deps:[ "dst" ]
+       ~policy:"src:R; sys=none" (fun () ->
+         let c1 = Pyrt.localcopy rt src ~dst_module:"dst" in
+         say "copy1=%s" (payload c1);
+         (* Write-after-localcopy: lands in the private copy, never in
+            the source. *)
+         Pyrt.write_payload rt c1 (Bytes.of_string "WRITTEN!");
+         say "copy1'=%s src=%s" (payload c1) (payload src);
+         c2 := Some (Pyrt.localcopy rt src ~dst_module:"dst"))
+   with
+  | Ok () -> say "enclosure=ok"
+  | Error e -> say "enclosure=error:%s" e);
+  (* Trusted write to the shared source: the outstanding copy must keep
+     the pre-write bytes, like the eager deep copy it stands in for. *)
+  Pyrt.write_payload rt src (Bytes.of_string "12345678");
+  (match !c2 with
+  | Some c -> say "copy2=%s src'=%s" (payload c) (payload src)
+  | None -> say "copy2=missing");
+  (* A write to the R-granted source inside the enclosure must fault,
+     identically under both flag settings. *)
+  (match
+     Pyrt.with_enclosure rt ~name:"pycow" ~owner:"__main__" ~deps:[ "dst" ]
+       ~policy:"src:R; sys=none" (fun () ->
+         Pyrt.write_payload rt src (Bytes.of_string "IllEGAL!"))
+   with
+  | Ok () -> say "src_write=ok"
+  | Error e -> say "src_write=error:%s" e
+  | exception Lb.Fault { reason; _ } -> say "src_write=fault:%s" reason
+  | exception Cpu.Fault f ->
+      say "src_write=memfault:%s" (Cpu.access_kind_name f.Cpu.kind));
+  say "faults=%d src_rc=%d" (Lb.fault_count lb) (Pyrt.refcount rt src);
+  List.rev !out
+
+let py_differential_tests =
+  [
+    Alcotest.test_case "localcopy CoW preserves semantics across the flag"
+      `Quick (fun () ->
+        List.iter
+          (fun backend ->
+            let on = Zerocopy.with_flag true (fun () -> py_run backend) in
+            let off = Zerocopy.with_flag false (fun () -> py_run backend) in
+            Alcotest.(check (list string))
+              (Lb.backend_name backend ^ ": outcomes match across the flag")
+              off on)
+          Fixtures.all_backends);
+    Alcotest.test_case "write-after-localcopy materializes the share" `Quick
+      (fun () ->
+        Zerocopy.with_flag true (fun () ->
+            let rt = py_boot Lb.Mpk in
+            let src = Pyrt.alloc_obj rt ~modul:"src" ~len:8 in
+            Pyrt.write_payload rt src (Bytes.of_string "abcdefgh");
+            py_ok
+              (Pyrt.with_enclosure rt ~name:"pycow" ~owner:"__main__"
+                 ~deps:[ "dst" ] ~policy:"src:R; sys=none" (fun () ->
+                   let c = Pyrt.localcopy rt src ~dst_module:"dst" in
+                   Alcotest.(check int) "share elided" 1
+                     (Pyrt.copy_elided_count rt);
+                   Alcotest.(check bool) "share aliases the source" true
+                     (c.Pyrt.o_addr = src.Pyrt.o_addr);
+                   Alcotest.(check int) "share holds a source ref" 2
+                     (Pyrt.refcount rt src);
+                   Pyrt.write_payload rt c (Bytes.of_string "WRITTEN!");
+                   Alcotest.(check int) "materialized on first write" 1
+                     (Pyrt.cow_materialized_count rt);
+                   Alcotest.(check bool) "handle re-points at a private copy"
+                     true
+                     (c.Pyrt.o_addr <> src.Pyrt.o_addr);
+                   Alcotest.(check string) "copy lives in the destination"
+                     "dst" c.Pyrt.o_module;
+                   Alcotest.(check string) "write landed in the copy"
+                     "WRITTEN!"
+                     (Bytes.to_string (Pyrt.read_payload rt c));
+                   Alcotest.(check string) "source untouched" "abcdefgh"
+                     (Bytes.to_string (Pyrt.read_payload rt src));
+                   Alcotest.(check int) "source ref released" 1
+                     (Pyrt.refcount rt src)))))
   ]
 
 let () =
@@ -420,4 +574,5 @@ let () =
       ("differential", differential_tests);
       ("write-faults", write_faults_tests);
       ("descriptor-reclaim", reclaim_tests);
+      ("localcopy-cow", py_differential_tests);
     ]
